@@ -1,0 +1,165 @@
+// Ablation A10 (extension): reprioritization acquisition strategies.
+//
+// §VI ranks remaining tasks by GPR posterior mean. The surrogate-based
+// optimization literature the paper builds on (refs [2][8]) prefers
+// exploration-aware acquisitions. Since reprioritization cannot change
+// WHICH samples exist — only when they run — the measurable effect is
+// *discovery time*: how early the eventually-best samples get evaluated.
+// This bench runs the identical 500-task campaign under mean / EI / LCB
+// reprioritization (and a no-reprioritization control) and reports when
+// each run first reaches within 5% of the sample set's true minimum.
+#include <algorithm>
+#include <cstdio>
+
+#include "osprey/eqsql/schema.h"
+#include "osprey/json/json.h"
+#include "osprey/me/acquisition.h"
+#include "osprey/me/async_driver.h"
+#include "osprey/me/sampler.h"
+#include "osprey/me/task_runners.h"
+
+using namespace osprey;
+
+namespace {
+
+constexpr WorkType kWork = 1;
+constexpr int kTasks = 500;
+
+struct RunOutcome {
+  double finished_at = 0;
+  double best = 0;
+  double time_to_near_best = 0;  // first best-so-far within 5% of true min
+};
+
+RunOutcome run_with(const std::vector<me::Point>& samples, double true_min,
+                    bool reprioritize, me::Acquisition kind) {
+  sim::Simulation sim;
+  db::Database db;
+  db::sql::Connection conn(db);
+  if (!eqsql::create_schema(conn).is_ok()) std::abort();
+  eqsql::EQSQL api(db, sim);
+
+  me::AsyncDriverConfig config;
+  config.exp_id = "acq";
+  config.work_type = kWork;
+  config.retrain_after = reprioritize ? 40 : 1000000;  // control: never
+  config.gpr.lengthscale = 10.0;
+  config.gpr.noise = 1e-4;
+
+  me::RetrainExecutor executor =
+      [&config, kind](const std::vector<me::Point>& x,
+                      const std::vector<double>& y,
+                      const std::vector<me::Point>& remaining,
+                      std::function<void(std::vector<Priority>)> done) {
+        me::GPR model(config.gpr);
+        if (!model.fit(x, y).is_ok()) {
+          done({});
+          return;
+        }
+        me::AcquisitionConfig acq;
+        acq.kind = kind;
+        acq.incumbent = *std::min_element(y.begin(), y.end());
+        done(me::acquisition_priorities(model, remaining, acq));
+      };
+
+  me::AsyncGprDriver driver(sim, api, config, executor);
+  if (!driver.run(samples).is_ok()) std::abort();
+
+  pool::SimPoolConfig pool_config;
+  pool_config.work_type = kWork;
+  pool_config.num_workers = 25;
+  pool_config.batch_size = 25;
+  pool_config.threshold = 1;
+  pool_config.query_cost = 0.4;
+  pool_config.query_jitter = 0.0;
+  pool_config.idle_shutdown = 20.0;
+  pool::SimWorkerPool pool(sim, api, pool_config,
+                           me::ackley_sim_runner(15.0, 0.5), 7);
+  if (!pool.start().is_ok()) std::abort();
+
+  double finished_at = 0;
+  driver.set_on_complete([&] { finished_at = sim.now(); });
+  sim.run();
+
+  RunOutcome out;
+  out.finished_at = finished_at;
+  out.best = driver.best_value();
+  out.time_to_near_best = finished_at;
+  const double target = true_min * 1.05 + 1e-9;
+  for (const me::BestSoFar& point : driver.best_trajectory()) {
+    if (point.value <= target) {
+      out.time_to_near_best = point.time;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A10: reprioritization acquisition strategies ===\n");
+  std::printf("%d fixed 4-D Ackley samples, 25 workers, retrain each 40 "
+              "completions; metric: time until within 5%% of the sample "
+              "set's true minimum\n\n", kTasks);
+
+  Rng rng(31415);
+  auto samples = me::uniform_samples(rng, kTasks, 4, -32.768, 32.768);
+  double true_min = 1e300;
+  for (const auto& p : samples) true_min = std::min(true_min, me::ackley(p));
+  std::printf("true minimum over the sample set: %.4f\n\n", true_min);
+
+  struct Row {
+    const char* label;
+    RunOutcome outcome;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"none (submission order)",
+                  run_with(samples, true_min, false, me::Acquisition::kMean)});
+  rows.push_back({"mean (paper §VI)",
+                  run_with(samples, true_min, true, me::Acquisition::kMean)});
+  rows.push_back({"expected improvement",
+                  run_with(samples, true_min, true,
+                           me::Acquisition::kExpectedImprovement)});
+  rows.push_back({"lower confidence bound",
+                  run_with(samples, true_min, true,
+                           me::Acquisition::kLowerConfidenceBound)});
+  rows.push_back({"portfolio (ref [8])",
+                  run_with(samples, true_min, true,
+                           me::Acquisition::kPortfolio)});
+
+  std::printf("%-26s %14s %12s %10s\n", "strategy", "near-best at",
+              "makespan", "best");
+  for (const Row& row : rows) {
+    std::printf("%-26s %13.0fs %11.0fs %10.4f\n", row.label,
+                row.outcome.time_to_near_best, row.outcome.finished_at,
+                row.outcome.best);
+  }
+
+  std::printf("\n--- shape checks ---\n");
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  // All strategies find the same minimum eventually (fixed sample set).
+  check(std::all_of(rows.begin(), rows.end(),
+                    [&](const Row& r) {
+                      return std::fabs(r.outcome.best - true_min) < 1e-9;
+                    }),
+        "every strategy eventually evaluates the same fixed minimum");
+  // Any surrogate-guided ordering discovers it earlier than no ordering.
+  double control = rows[0].outcome.time_to_near_best;
+  check(rows[1].outcome.time_to_near_best < control &&
+            rows[2].outcome.time_to_near_best < control &&
+            rows[3].outcome.time_to_near_best < control &&
+            rows[4].outcome.time_to_near_best < control,
+        "surrogate-guided reprioritization front-loads the best samples "
+        "vs submission order");
+  double control_makespan = rows[0].outcome.finished_at;
+  check(std::fabs(rows[1].outcome.finished_at - control_makespan) /
+                control_makespan < 0.25,
+        "reprioritization does not materially change the makespan "
+        "(same tasks, same resources)");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+// Ablation A1 (§IV-C): the EMEWS DB's queue operations must be cheap — the
+// Service "abstracts task caching and queuing operations in an efficient
+// manner". Microbenchmarks of the embedded engine primitives the EQSQL hot
+// path is built from: inserts, primary-key lookups, indexed selects, the
+// priority pop, SQL parsing, and transaction overhead.
+#include <benchmark/benchmark.h>
+
+#include "osprey/db/database.h"
+#include "osprey/db/sql_exec.h"
+#include "osprey/db/sql_parser.h"
+
+using namespace osprey;
+using namespace osprey::db;
+
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      {"eq_task_id", ColumnType::kInt, false, true},
+      {"eq_status", ColumnType::kText, false, false},
+      {"eq_priority", ColumnType::kInt, false, false},
+      {"payload", ColumnType::kText, true, false},
+  });
+}
+
+void populate(Table& table, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    (void)table.insert({Value(i), Value(i % 2 ? "queued" : "complete"),
+                        Value(i % 100), Value("{\"x\": 1}")});
+  }
+}
+
+void BM_TableInsert(benchmark::State& state) {
+  std::int64_t i = 0;
+  Database db;
+  Table* table = db.create_table("t", task_schema()).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table->insert({Value(i++), Value("queued"), Value(std::int64_t{0}),
+                       Value("{}")}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TableInsert);
+
+void BM_FindPrimaryKey(benchmark::State& state) {
+  Database db;
+  Table* table = db.create_table("t", task_schema()).value();
+  populate(*table, state.range(0));
+  std::int64_t key = state.range(0) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->find_pk(Value(key)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FindPrimaryKey)->Arg(1000)->Arg(10000);
+
+void BM_IndexedStatusSelect(benchmark::State& state) {
+  Database db;
+  Table* table = db.create_table("t", task_schema()).value();
+  (void)table->create_index("eq_status");
+  populate(*table, state.range(0));
+  ScanOptions options;
+  options.where = eq("eq_status", Value("queued"));
+  options.limit = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->select(options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexedStatusSelect)->Arg(1000)->Arg(10000);
+
+void BM_UnindexedSelect(benchmark::State& state) {
+  Database db;
+  Table* table = db.create_table("t", task_schema()).value();
+  populate(*table, state.range(0));
+  ScanOptions options;
+  options.where = gt("eq_priority", Value(std::int64_t{90}));
+  options.limit = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->select(options));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnindexedSelect)->Arg(1000)->Arg(10000);
+
+void BM_PriorityPop(benchmark::State& state) {
+  // The §IV-C output-queue pop: SELECT ... ORDER BY priority DESC LIMIT 1
+  // then DELETE, under a transaction.
+  Database db;
+  sql::Connection conn(db);
+  (void)conn.execute(
+      "CREATE TABLE q (eq_task_id INTEGER PRIMARY KEY, "
+      "eq_priority INTEGER NOT NULL)");
+  std::int64_t next_id = 0;
+  for (; next_id < state.range(0); ++next_id) {
+    (void)conn.execute("INSERT INTO q VALUES (?, ?)",
+                       {Value(next_id), Value(next_id % 100)});
+  }
+  for (auto _ : state) {
+    Transaction txn(db);
+    auto top = conn.execute(
+        "SELECT eq_task_id FROM q ORDER BY eq_priority DESC, eq_task_id ASC "
+        "LIMIT 1");
+    (void)conn.execute("DELETE FROM q WHERE eq_task_id = ?",
+                       {top.value().rows[0][0]});
+    txn.commit();
+    // Keep the queue size constant.
+    (void)conn.execute("INSERT INTO q VALUES (?, ?)",
+                       {Value(next_id), Value(next_id % 100)});
+    ++next_id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PriorityPop)->Arg(750)->Arg(5000);
+
+void BM_SqlParse(benchmark::State& state) {
+  const std::string sql =
+      "SELECT eq_task_id, json_out FROM eq_tasks WHERE eq_task_type = ? AND "
+      "eq_status = 'queued' ORDER BY eq_priority DESC, eq_task_id ASC LIMIT 8";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::parse_statement(sql));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_PreparedExecute(benchmark::State& state) {
+  // With the statement cache, repeated execution skips the parse.
+  Database db;
+  sql::Connection conn(db);
+  (void)conn.execute(
+      "CREATE TABLE t (eq_task_id INTEGER PRIMARY KEY, eq_priority INTEGER)");
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    (void)conn.execute("INSERT INTO t VALUES (?, ?)",
+                       {Value(i), Value(i % 10)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conn.execute(
+        "SELECT eq_priority FROM t WHERE eq_task_id = ?", {Value(std::int64_t{500})}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PreparedExecute);
+
+void BM_TransactionCommit(benchmark::State& state) {
+  Database db;
+  Table* table = db.create_table("t", task_schema()).value();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    Transaction txn(db);
+    (void)table->insert({Value(i++), Value("queued"), Value(std::int64_t{0}),
+                         Value("{}")});
+    txn.commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionCommit);
+
+void BM_TransactionRollback(benchmark::State& state) {
+  Database db;
+  Table* table = db.create_table("t", task_schema()).value();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    Transaction txn(db);
+    (void)table->insert({Value(i++), Value("queued"), Value(std::int64_t{0}),
+                         Value("{}")});
+    txn.rollback();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionRollback);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// EQSQL task-queue throughput: the §IV-C submit/claim/report cycle under
+// various batch sizes, plus batch submission. The claim batch size is the
+// worker pool's query batch (§IV-D) — larger claims amortize the per-query
+// transaction cost, which is the quantitative basis of Fig 3's cache effect.
+#include <benchmark/benchmark.h>
+
+#include "osprey/core/clock.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/schema.h"
+
+using namespace osprey;
+using namespace osprey::eqsql;
+
+namespace {
+
+constexpr WorkType kWork = 1;
+
+struct Fixture {
+  Fixture() : conn(db) {
+    (void)create_schema(conn);
+    api = std::make_unique<EQSQL>(db, clock);
+  }
+  db::Database db;
+  db::sql::Connection conn;
+  ManualClock clock;
+  std::unique_ptr<EQSQL> api;
+};
+
+void BM_SubmitTask(benchmark::State& state) {
+  Fixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fx.api->submit_task("bench", kWork, "[1.0, 2.0, 3.0, 4.0]"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SubmitTask);
+
+void BM_SubmitBatch(benchmark::State& state) {
+  Fixture fx;
+  std::vector<std::string> payloads(static_cast<std::size_t>(state.range(0)),
+                                    "[1.0, 2.0, 3.0, 4.0]");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.api->submit_tasks("bench", kWork, payloads));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SubmitBatch)->Arg(50)->Arg(750);
+
+void BM_ClaimBatch(benchmark::State& state) {
+  Fixture fx;
+  const int batch = static_cast<int>(state.range(0));
+  // Pre-fill enough tasks that claims never run dry mid-iteration.
+  std::vector<std::string> payloads(4096, "[1]");
+  (void)fx.api->submit_tasks("bench", kWork, payloads);
+  std::vector<TaskHandle> claimed;
+  for (auto _ : state) {
+    auto handles = fx.api->try_query_tasks(kWork, batch, "pool");
+    benchmark::DoNotOptimize(handles);
+    if (handles.ok() && handles.value().size() < static_cast<std::size_t>(batch)) {
+      state.PauseTiming();
+      (void)fx.api->submit_tasks("bench", kWork, payloads);
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ClaimBatch)->Arg(1)->Arg(8)->Arg(33)->Arg(50);
+
+void BM_FullTaskCycle(benchmark::State& state) {
+  // submit -> claim -> report -> query_result, the complete §IV-C loop.
+  Fixture fx;
+  for (auto _ : state) {
+    TaskId id = fx.api->submit_task("bench", kWork, "[1]").value();
+    auto handles = fx.api->try_query_tasks(kWork, 1, "pool");
+    (void)fx.api->report_task(handles.value()[0].eq_task_id, kWork, "{\"y\":1}");
+    benchmark::DoNotOptimize(fx.api->try_query_result(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullTaskCycle);
+
+void BM_RequeuePoolTasks(benchmark::State& state) {
+  // Crash-recovery path: requeue all of a failed pool's running tasks.
+  Fixture fx;
+  std::vector<std::string> payloads(static_cast<std::size_t>(state.range(0)),
+                                    "[1]");
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)fx.api->submit_tasks("bench", kWork, payloads);
+    (void)fx.api->try_query_tasks(kWork, static_cast<int>(state.range(0)),
+                                  "doomed");
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fx.api->requeue_pool_tasks("doomed"));
+    state.PauseTiming();
+    // Drain the requeued tasks so the next iteration starts clean.
+    auto handles = fx.api->try_query_tasks(
+        kWork, static_cast<int>(state.range(0)), "drain");
+    for (const auto& h : handles.value()) {
+      (void)fx.api->report_task(h.eq_task_id, kWork, "{}");
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RequeuePoolTasks)->Arg(33);
+
+void BM_StatusBatch(benchmark::State& state) {
+  Fixture fx;
+  std::vector<std::string> payloads(static_cast<std::size_t>(state.range(0)),
+                                    "[1]");
+  auto ids = fx.api->submit_tasks("bench", kWork, payloads).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.api->task_statuses(ids));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StatusBatch)->Arg(100)->Arg(750);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Ablation A6 (§VI): GPR retraining cost grows with the number of completed
+// results (50, 100, ..., 700 at the paper's scale), which is why the
+// reprioritization windows in Fig 4's top panel lengthen over the campaign.
+// Also measures prediction (re-ranking) cost and the lengthscale search.
+#include <benchmark/benchmark.h>
+
+#include "osprey/me/functions.h"
+#include "osprey/me/gpr.h"
+
+using namespace osprey;
+using namespace osprey::me;
+
+namespace {
+
+std::pair<std::vector<Point>, std::vector<double>> make_data(int n, int dim) {
+  Rng rng(42);
+  std::vector<Point> x = uniform_samples(rng, n, dim, -32.768, 32.768);
+  std::vector<double> y;
+  y.reserve(x.size());
+  for (const Point& p : x) y.push_back(ackley(p));
+  return {std::move(x), std::move(y)};
+}
+
+GprConfig standard_config() {
+  GprConfig config;
+  config.lengthscale = 10.0;
+  config.noise = 1e-4;
+  return config;
+}
+
+void BM_GprFit(benchmark::State& state) {
+  auto [x, y] = make_data(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    GPR model(standard_config());
+    benchmark::DoNotOptimize(model.fit(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+// The paper's retrain sizes: first (50) to last (700) reprioritization.
+BENCHMARK(BM_GprFit)->Arg(50)->Arg(150)->Arg(350)->Arg(700)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GprPredictBatch(benchmark::State& state) {
+  auto [x, y] = make_data(static_cast<int>(state.range(0)), 4);
+  GPR model(standard_config());
+  if (!model.fit(x, y).is_ok()) std::abort();
+  Rng rng(7);
+  auto candidates = uniform_samples(rng, 700, 4, -32.768, 32.768);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(candidates));
+  }
+  state.SetItemsProcessed(state.iterations() * 700);
+}
+BENCHMARK(BM_GprPredictBatch)->Arg(50)->Arg(350)->Arg(700)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Reprioritize(benchmark::State& state) {
+  // The full §VI reprioritization step: fit + rank the remaining tasks.
+  auto [x, y] = make_data(static_cast<int>(state.range(0)), 4);
+  Rng rng(9);
+  auto remaining =
+      uniform_samples(rng, 750 - static_cast<int>(state.range(0)), 4, -32, 32);
+  for (auto _ : state) {
+    GPR model(standard_config());
+    if (!model.fit(x, y).is_ok()) std::abort();
+    benchmark::DoNotOptimize(promising_first_priorities(model, remaining));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Reprioritize)->Arg(50)->Arg(350)->Arg(700)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LengthscaleSearch(benchmark::State& state) {
+  auto [x, y] = make_data(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GPR::fit_lengthscale_search(
+        x, y, standard_config(), 1.0, 50.0, 10));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LengthscaleSearch)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_AckleyEvaluation(benchmark::State& state) {
+  Rng rng(3);
+  auto points = uniform_samples(rng, 1000, 4, -32.768, 32.768);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ackley(points[i++ % points.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AckleyEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// Ablation A9 (§II-B2): data ingestion and automated curation — "data
+// analysis pipelines, such as for data de-biasing, data integration,
+// uncertainty quantification, and more general metadata and provenance
+// tracking".
+//
+// Quantifies what the standard surveillance pipeline buys on a realistic
+// stream: a ground-truth epidemic observed through under-reporting, weekend
+// suppression, publication lag with revisions, and occasional glitches.
+// Reports RMSE to the (scaled) truth before and after curation, the weekend
+// bias ratio, and the provenance chain integrity.
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "osprey/epi/data.h"
+#include "osprey/ingest/curate.h"
+#include "osprey/ingest/stream.h"
+#include "osprey/sim/sim.h"
+
+using namespace osprey;
+
+namespace {
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  std::size_t n = std::min(a.size(), b.size());
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(n));
+}
+
+double weekend_ratio(const std::vector<double>& s) {
+  double weekend = 0, weekday = 0;
+  int we = 0, wd = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i % 7 == 5 || i % 7 == 6) {
+      weekend += s[i];
+      ++we;
+    } else {
+      weekday += s[i];
+      ++wd;
+    }
+  }
+  return (weekend / we) / (weekday / wd);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== A9: surveillance ingestion + curation pipeline ===\n\n");
+
+  // Ground truth epidemic and its ideal (noise-free, fully reported) view.
+  epi::SeirParams truth;
+  truth.beta = 0.45;
+  truth.sigma = 0.25;
+  truth.gamma = 0.125;
+  const int kDays = 98;
+  auto epidemic = epi::run_seir(truth, kDays).value();
+  const double report_rate = 0.3;
+  std::vector<double> ideal;
+  for (double v : epidemic.daily_incidence) ideal.push_back(v * report_rate);
+
+  // The observed stream: weekend suppression + Poisson noise + glitches.
+  epi::ReportingModel reporting;
+  reporting.report_rate = report_rate;
+  reporting.weekend_factor = 0.5;
+  epi::Surveillance observed =
+      epi::synthesize_surveillance(epidemic.daily_incidence, reporting);
+  // Two reporting glitches: a dropped day and a double-counted day.
+  observed.reported_cases[40] = std::nan("");
+  observed.reported_cases[60] *= 4.0;
+
+  // Publication with lag + revisions, ingested day by day.
+  sim::Simulation sim;
+  ingest::LaggedSource source(observed.reported_cases, {});
+  ingest::StreamIngestor ingestor(sim);
+  for (int day = 0; day < source.days(); ++day) {
+    (void)ingestor.ingest(source.publish(day, static_cast<double>(day)));
+  }
+  std::vector<double> raw = ingestor.current_view();
+
+  ingest::CurationPipeline pipeline =
+      ingest::standard_surveillance_pipeline(sim);
+  std::vector<ingest::ProvenanceRecord> provenance;
+  auto curated = pipeline.run(raw, &provenance);
+  if (!curated.ok()) {
+    std::printf("FAIL: %s\n", curated.error().to_string().c_str());
+    return 1;
+  }
+
+  // Compare on the settled window (the trailing lag window is incomplete).
+  // The naive raw consumer sees the dropped day as zero (missing = 0 is
+  // what a pipeline-less workflow would ingest).
+  std::vector<double> ideal_settled(ideal.begin(), ideal.end() - 7);
+  std::vector<double> raw_settled(raw.begin(), raw.end() - 7);
+  for (double& v : raw_settled) {
+    if (!std::isfinite(v)) v = 0.0;
+  }
+  std::vector<double> curated_settled(curated.value().begin(),
+                                      curated.value().end() - 7);
+
+  double rmse_raw = rmse(raw_settled, ideal_settled);
+  double rmse_curated = rmse(curated_settled, ideal_settled);
+  double ratio_raw = weekend_ratio(raw_settled);
+  double ratio_curated = weekend_ratio(curated_settled);
+
+  std::printf("%-36s %10s %10s\n", "", "raw", "curated");
+  std::printf("%-36s %10.1f %10.1f\n", "RMSE vs ideal reported series",
+              rmse_raw, rmse_curated);
+  std::printf("%-36s %10.2f %10.2f\n", "weekend/weekday ratio (ideal 1.0)",
+              ratio_raw, ratio_curated);
+  std::printf("%-36s %10.0f %10.0f\n", "glitch day 60 value",
+              raw_settled[60], curated_settled[60]);
+  std::printf("\nprovenance: %zu stages, chain %s\n", provenance.size(),
+              [&] {
+                for (std::size_t i = 1; i < provenance.size(); ++i) {
+                  if (provenance[i].input_checksum !=
+                      provenance[i - 1].output_checksum) {
+                    return "BROKEN";
+                  }
+                }
+                return "intact";
+              }());
+
+  std::printf("\n--- shape checks vs the paper ---\n");
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  check(rmse_curated < rmse_raw * 0.6,
+        "curation substantially reduces error vs the ideal series");
+  check(std::fabs(ratio_curated - 1.0) < std::fabs(ratio_raw - 1.0) / 2,
+        "weekday de-biasing removes most of the weekend artifact");
+  check(curated_settled[60] < raw_settled[60] / 2,
+        "outlier clipping suppresses the double-count glitch");
+  check(provenance.size() == 4,
+        "every stage recorded provenance");
+  check([&] {
+        for (std::size_t i = 1; i < provenance.size(); ++i) {
+          if (provenance[i].input_checksum !=
+              provenance[i - 1].output_checksum) {
+            return false;
+          }
+        }
+        return true;
+      }(),
+        "the provenance checksum chain is intact");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,99 @@
+// Quickstart: the smallest complete OSPREY workflow.
+//
+// 1. Start the EMEWS service (task database).
+// 2. Submit tasks through the EQSQL API (§V-A).
+// 3. Run a threaded worker pool that claims, executes, and reports them.
+// 4. Retrieve results.
+//
+// Task payloads are JSON arrays (points); the worker evaluates the Ackley
+// function over them with a small lognormal sleep, exactly the shape of the
+// paper's §VI example but scaled to finish in about a second.
+#include <cstdio>
+
+#include "osprey/core/clock.h"
+#include "osprey/eqsql/future.h"
+#include "osprey/eqsql/service.h"
+#include "osprey/json/json.h"
+#include "osprey/me/task_runners.h"
+#include "osprey/pool/threaded_pool.h"
+
+using namespace osprey;
+
+int main() {
+  constexpr WorkType kSimWork = 1;
+
+  // The EMEWS service owns the task database (§IV-C). In the paper it is
+  // started on the HPC login node via funcX; here we hold it in-process.
+  RealClock clock;
+  eqsql::EmewsService service(clock);
+  if (Status s = service.start(); !s.is_ok()) {
+    std::fprintf(stderr, "service start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("EMEWS service started\n");
+
+  auto api = service.connect().take();
+
+  // Submit 20 evaluation tasks: payload = JSON point, work type = sim.
+  std::vector<eqsql::TaskFuture> futures;
+  Rng rng(42);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> point{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    auto ft = eqsql::submit_task_future(*api, "quickstart", kSimWork,
+                                        json::array_of(point).dump());
+    if (!ft.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   ft.error().to_string().c_str());
+      return 1;
+    }
+    futures.push_back(ft.value());
+  }
+  std::printf("submitted %zu tasks (output queue depth: %lld)\n",
+              futures.size(),
+              static_cast<long long>(api->queued_count(kSimWork).value()));
+
+  // A 4-worker pilot pool with the paper's batch/threshold query protocol.
+  pool::PoolConfig config;
+  config.name = "quickstart_pool";
+  config.work_type = kSimWork;
+  config.num_workers = 4;
+  config.batch_size = 4;
+  config.threshold = 1;
+  config.poll_interval = 0.01;
+  config.idle_shutdown = 0.2;
+  pool::ThreadedWorkerPool pool(*api, config,
+                                me::ackley_threaded_runner(0.02, 0.5, 7));
+  if (Status s = pool.start(); !s.is_ok()) {
+    std::fprintf(stderr, "pool start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  // Pop futures as they complete (§V-B pop_completed).
+  double best = 1e300;
+  while (!futures.empty()) {
+    auto done = eqsql::pop_completed(futures, 10.0);
+    if (!done.ok()) {
+      std::fprintf(stderr, "pop_completed failed: %s\n",
+                   done.error().to_string().c_str());
+      return 1;
+    }
+    auto result = done.value().try_result();
+    auto parsed = json::parse(result.value());
+    double y = parsed.value()["y"].as_double();
+    if (y < best) {
+      best = y;
+      std::printf("task %lld improved best ackley value to %.4f\n",
+                  static_cast<long long>(done.value().task_id()), best);
+    }
+  }
+
+  pool.wait_until_shutdown(5.0);
+  auto stats = service.stats().value();
+  std::printf("done: %lld tasks complete, best value %.4f\n",
+              static_cast<long long>(stats.tasks_complete), best);
+  std::printf("pool issued %llu queries for %llu tasks\n",
+              static_cast<unsigned long long>(pool.queries_issued()),
+              static_cast<unsigned long long>(pool.tasks_completed()));
+  service.stop();
+  return 0;
+}

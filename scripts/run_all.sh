@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification: build, tests, every example, every bench.
+# Usage: scripts/run_all.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja || exit 1
+cmake --build "$BUILD" || exit 1
+
+status=0
+
+echo "=== ctest ==="
+ctest --test-dir "$BUILD" --output-on-failure || status=1
+
+echo "=== examples ==="
+for example in "$BUILD"/examples/example_*; do
+  echo "--- $(basename "$example")"
+  "$example" || status=1
+done
+
+echo "=== benches ==="
+for bench in "$BUILD"/bench/bench_*; do
+  echo "--- $(basename "$bench")"
+  "$bench" || status=1
+done
+
+exit $status

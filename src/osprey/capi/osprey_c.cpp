@@ -1,0 +1,158 @@
+#include "osprey/capi/osprey_c.h"
+
+#include <cstring>
+#include <memory>
+
+#include "osprey/eqsql/service.h"
+
+using osprey::ErrorCode;
+using osprey::Status;
+
+struct osprey_service {
+  osprey::RealClock clock;
+  std::unique_ptr<osprey::eqsql::EmewsService> service;
+};
+
+struct osprey_client {
+  std::unique_ptr<osprey::eqsql::EQSQL> api;
+};
+
+namespace {
+
+int to_c_error(ErrorCode code) { return static_cast<int>(code); }
+
+int copy_string(const std::string& value, char* buffer, size_t buffer_size) {
+  if (!buffer || buffer_size == 0 || value.size() + 1 > buffer_size) {
+    return OSPREY_E_INVALID_ARGUMENT;  // refuse to truncate
+  }
+  std::memcpy(buffer, value.c_str(), value.size() + 1);
+  return OSPREY_OK;
+}
+
+}  // namespace
+
+extern "C" {
+
+const char* osprey_error_name(int code) {
+  return osprey::error_code_name(static_cast<ErrorCode>(code));
+}
+
+osprey_service* osprey_service_create(void) {
+  auto* service = new osprey_service();
+  service->service =
+      std::make_unique<osprey::eqsql::EmewsService>(service->clock);
+  return service;
+}
+
+void osprey_service_destroy(osprey_service* service) { delete service; }
+
+int osprey_service_start(osprey_service* service) {
+  if (!service) return OSPREY_E_INVALID_ARGUMENT;
+  return to_c_error(service->service->start().code());
+}
+
+int osprey_service_stop(osprey_service* service) {
+  if (!service) return OSPREY_E_INVALID_ARGUMENT;
+  return to_c_error(service->service->stop().code());
+}
+
+osprey_client* osprey_client_connect(osprey_service* service) {
+  if (!service) return nullptr;
+  auto api = service->service->connect();
+  if (!api.ok()) return nullptr;
+  auto* client = new osprey_client();
+  client->api = std::move(api).take();
+  return client;
+}
+
+void osprey_client_destroy(osprey_client* client) { delete client; }
+
+int osprey_submit_task(osprey_client* client, const char* exp_id, int eq_type,
+                       const char* payload, int priority, const char* tag,
+                       int64_t* task_id_out) {
+  if (!client || !exp_id || !payload || !task_id_out) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  auto id = client->api->submit_task(exp_id, eq_type, payload, priority,
+                                     tag ? tag : "");
+  if (!id.ok()) return to_c_error(id.code());
+  *task_id_out = id.value();
+  return OSPREY_OK;
+}
+
+int osprey_query_task(osprey_client* client, int eq_type,
+                      const char* worker_pool, double delay, double timeout,
+                      int64_t* task_id_out, char* payload_buf,
+                      size_t payload_buf_size) {
+  if (!client || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
+  auto tasks = client->api->query_task(
+      eq_type, 1, worker_pool ? worker_pool : "default", {delay, timeout});
+  if (!tasks.ok()) return to_c_error(tasks.code());
+  const osprey::eqsql::TaskHandle& handle = tasks.value().front();
+  int copied = copy_string(handle.payload, payload_buf, payload_buf_size);
+  if (copied != OSPREY_OK) return copied;
+  *task_id_out = handle.eq_task_id;
+  return OSPREY_OK;
+}
+
+int osprey_report_task(osprey_client* client, int64_t task_id, int eq_type,
+                       const char* result) {
+  if (!client || !result) return OSPREY_E_INVALID_ARGUMENT;
+  return to_c_error(
+      client->api->report_task(task_id, eq_type, result).code());
+}
+
+int osprey_query_result(osprey_client* client, int64_t task_id, double delay,
+                        double timeout, char* result_buf,
+                        size_t result_buf_size) {
+  if (!client) return OSPREY_E_INVALID_ARGUMENT;
+  auto result = client->api->query_result(task_id, {delay, timeout});
+  if (!result.ok()) return to_c_error(result.code());
+  return copy_string(result.value(), result_buf, result_buf_size);
+}
+
+int osprey_task_status(osprey_client* client, int64_t task_id,
+                       int* status_out) {
+  if (!client || !status_out) return OSPREY_E_INVALID_ARGUMENT;
+  auto status = client->api->task_status(task_id);
+  if (!status.ok()) return to_c_error(status.code());
+  *status_out = static_cast<int>(status.value());
+  return OSPREY_OK;
+}
+
+int osprey_cancel_tasks(osprey_client* client, const int64_t* task_ids,
+                        size_t count, size_t* canceled_out) {
+  if (!client || (!task_ids && count > 0)) return OSPREY_E_INVALID_ARGUMENT;
+  std::vector<osprey::TaskId> ids(task_ids, task_ids + count);
+  auto canceled = client->api->cancel_tasks(ids);
+  if (!canceled.ok()) return to_c_error(canceled.code());
+  if (canceled_out) *canceled_out = canceled.value();
+  return OSPREY_OK;
+}
+
+int osprey_update_priorities(osprey_client* client, const int64_t* task_ids,
+                             size_t count, const int* priorities,
+                             size_t priorities_count, size_t* updated_out) {
+  if (!client || (!task_ids && count > 0) || !priorities ||
+      priorities_count == 0) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  std::vector<osprey::TaskId> ids(task_ids, task_ids + count);
+  std::vector<osprey::Priority> prios(priorities,
+                                      priorities + priorities_count);
+  auto updated = client->api->update_priorities(ids, prios);
+  if (!updated.ok()) return to_c_error(updated.code());
+  if (updated_out) *updated_out = updated.value();
+  return OSPREY_OK;
+}
+
+int osprey_queued_count(osprey_client* client, int eq_type,
+                        int64_t* count_out) {
+  if (!client || !count_out) return OSPREY_E_INVALID_ARGUMENT;
+  auto count = client->api->queued_count(eq_type);
+  if (!count.ok()) return to_c_error(count.code());
+  *count_out = count.value();
+  return OSPREY_OK;
+}
+
+}  // extern "C"

@@ -1,0 +1,119 @@
+/* C API for the OSPREY task queue.
+ *
+ * §II-B1e: "There is ... not a single lingua franca that can be assumed for
+ * developing the model exploration algorithms ... OSPREY will need to be
+ * inclusive and provide multi-language APIs." The paper ships Python and R
+ * bindings; in a C++ codebase the equivalent enabler is a stable C ABI —
+ * every language with a foreign-function interface (Python ctypes, R .Call,
+ * Julia ccall, ...) can drive the EQSQL task API through these functions.
+ *
+ * Conventions:
+ *  - handles are opaque pointers; every *_create has a *_destroy;
+ *  - functions return 0 on success or a positive osprey error code
+ *    (see osprey_error_name); out-parameters are only written on success;
+ *  - strings are NUL-terminated UTF-8; output strings are copied into
+ *    caller-provided buffers and truncated results fail with
+ *    OSPREY_E_INVALID_ARGUMENT rather than overflow.
+ */
+#ifndef OSPREY_CAPI_OSPREY_C_H_
+#define OSPREY_CAPI_OSPREY_C_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Error codes: mirrors osprey::ErrorCode. */
+enum {
+  OSPREY_OK = 0,
+  OSPREY_E_TIMEOUT = 1,
+  OSPREY_E_NOT_FOUND = 2,
+  OSPREY_E_CANCELED = 3,
+  OSPREY_E_INVALID_ARGUMENT = 4,
+  OSPREY_E_PAYLOAD_TOO_LARGE = 5,
+  OSPREY_E_UNAVAILABLE = 6,
+  OSPREY_E_PERMISSION_DENIED = 7,
+  OSPREY_E_CONFLICT = 8,
+  OSPREY_E_INTERNAL = 9,
+};
+
+/* Task status values returned by osprey_task_status. */
+enum {
+  OSPREY_TASK_QUEUED = 0,
+  OSPREY_TASK_RUNNING = 1,
+  OSPREY_TASK_COMPLETE = 2,
+  OSPREY_TASK_CANCELED = 3,
+};
+
+typedef struct osprey_service osprey_service;
+typedef struct osprey_client osprey_client;
+
+/* "TIMEOUT", "NOT_FOUND", ... — the paper's status payload strings. */
+const char* osprey_error_name(int code);
+
+/* --- service lifecycle (§IV-C EMEWS service) --------------------------- */
+
+/* Create an EMEWS service with its own task database (wall-clock time). */
+osprey_service* osprey_service_create(void);
+void osprey_service_destroy(osprey_service* service);
+
+int osprey_service_start(osprey_service* service);
+int osprey_service_stop(osprey_service* service);
+
+/* --- client connections ------------------------------------------------- */
+
+/* Connect a client API handle to a running service. NULL on failure. */
+osprey_client* osprey_client_connect(osprey_service* service);
+void osprey_client_destroy(osprey_client* client);
+
+/* --- the EQSQL task API (§V-A, Listing 1) -------------------------------- */
+
+/* Submit a task; on success writes the new task id to *task_id_out.
+ * `tag` may be NULL. */
+int osprey_submit_task(osprey_client* client, const char* exp_id, int eq_type,
+                       const char* payload, int priority, const char* tag,
+                       int64_t* task_id_out);
+
+/* Pop one task for execution (worker-pool side), polling every `delay`
+ * seconds up to `timeout`. On success writes the task id and copies the
+ * payload into payload_buf. */
+int osprey_query_task(osprey_client* client, int eq_type,
+                      const char* worker_pool, double delay, double timeout,
+                      int64_t* task_id_out, char* payload_buf,
+                      size_t payload_buf_size);
+
+/* Report a completed task's result payload. */
+int osprey_report_task(osprey_client* client, int64_t task_id, int eq_type,
+                       const char* result);
+
+/* Retrieve a task's result, polling like osprey_query_task. */
+int osprey_query_result(osprey_client* client, int64_t task_id, double delay,
+                        double timeout, char* result_buf,
+                        size_t result_buf_size);
+
+/* Current status; on success writes one of OSPREY_TASK_*. */
+int osprey_task_status(osprey_client* client, int64_t task_id,
+                       int* status_out);
+
+/* Batch cancel; on success writes how many tasks were newly canceled. */
+int osprey_cancel_tasks(osprey_client* client, const int64_t* task_ids,
+                        size_t count, size_t* canceled_out);
+
+/* Batch reprioritization (§V-B update_priority). `priorities` has either
+ * `count` entries (element-wise) or 1 entry (broadcast, pass
+ * priorities_count = 1). */
+int osprey_update_priorities(osprey_client* client, const int64_t* task_ids,
+                             size_t count, const int* priorities,
+                             size_t priorities_count, size_t* updated_out);
+
+/* Number of queued tasks of a work type. */
+int osprey_queued_count(osprey_client* client, int eq_type,
+                        int64_t* count_out);
+
+#ifdef __cplusplus
+}
+#endif
+
+#endif /* OSPREY_CAPI_OSPREY_C_H_ */

@@ -1,0 +1,24 @@
+#include "osprey/core/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace osprey {
+
+namespace {
+TimePoint steady_seconds() {
+  using namespace std::chrono;
+  return duration<double>(steady_clock::now().time_since_epoch()).count();
+}
+}  // namespace
+
+RealClock::RealClock() : epoch_(steady_seconds()) {}
+
+TimePoint RealClock::now() const { return steady_seconds() - epoch_; }
+
+void RealClock::sleep_for(Duration seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace osprey

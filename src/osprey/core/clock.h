@@ -1,0 +1,50 @@
+// Clock abstraction: every time-dependent OSPREY component takes a Clock&.
+//
+// The paper's evaluation traces span ~300 wall-clock seconds (Figs. 3-4).
+// To reproduce those dynamics deterministically and quickly we drive the
+// middleware either from the system clock (RealClock) or from the
+// discrete-event simulation clock (sim::Simulation implements Clock).
+#pragma once
+
+#include "osprey/core/types.h"
+
+namespace osprey {
+
+/// Source of the current time in seconds. Implementations: RealClock
+/// (steady_clock-backed) and sim::Simulation (virtual time).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in seconds since an arbitrary epoch.
+  virtual TimePoint now() const = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+/// now() is measured from the construction of the clock, so traces start
+/// near zero just like the paper's figures.
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  TimePoint now() const override;
+
+  /// Block the calling thread for `seconds` of real time.
+  static void sleep_for(Duration seconds);
+
+ private:
+  TimePoint epoch_;
+};
+
+/// Fixed-time clock for unit tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimePoint start = 0.0) : now_(start) {}
+  TimePoint now() const override { return now_; }
+  void advance(Duration dt) { now_ += dt; }
+  void set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace osprey

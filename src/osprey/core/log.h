@@ -1,0 +1,49 @@
+// Minimal leveled, thread-safe logger.
+//
+// OSPREY components log control-plane events (pool start/stop, retries,
+// transfers). Logging defaults to kWarn so tests and benches stay quiet;
+// examples raise it to kInfo to narrate the workflow.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace osprey {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold. Messages below this level are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe). Prefer the OSPREY_LOG macro.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_message(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace osprey
+
+/// Usage: OSPREY_LOG(kInfo, "pool") << "worker " << id << " started";
+#define OSPREY_LOG(level, component)                                   \
+  if (::osprey::LogLevel::level < ::osprey::log_level()) {             \
+  } else                                                               \
+    ::osprey::detail::LogStream(::osprey::LogLevel::level, (component))

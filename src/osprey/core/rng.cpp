@@ -1,0 +1,5 @@
+#include "osprey/core/rng.h"
+
+// Header-only at the moment; this TU anchors the module in the archive and
+// hosts any future out-of-line additions.
+namespace osprey {}

@@ -1,0 +1,114 @@
+// Seeded random number generation and the task-runtime model.
+//
+// §VI: "We have added a lognormally distributed 'sleep' delay to the Ackley
+// function implementation to increase the otherwise millisecond runtime and
+// to add task runtime heterogeneity." LognormalRuntime reproduces that model
+// and is shared by the simulated and the threaded execution paths so both
+// see the same heterogeneity.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "osprey/core/types.h"
+
+namespace osprey {
+
+/// Deterministic per-component RNG. A thin wrapper over mt19937_64 so seeds
+/// are explicit at construction and never global.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled to N(mean, sd).
+  double normal(double mean = 0.0, double sd = 1.0) {
+    return std::normal_distribution<double>(mean, sd)(engine_);
+  }
+
+  /// Lognormal draw with the given log-space parameters.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Exponential draw with the given rate.
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Poisson draw with the given mean.
+  std::int64_t poisson(double mean) {
+    return std::poisson_distribution<std::int64_t>(mean)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// The paper's lognormal task-runtime model. Parameterized by the median
+/// runtime and the log-space sigma; median parameterization makes scaled
+/// (fast test) and full-scale (figure) configurations trivially related.
+class LognormalRuntime {
+ public:
+  /// median: runtime in seconds at the 50th percentile; sigma: log-space
+  /// spread (0 => constant runtime equal to median).
+  LognormalRuntime(double median_seconds, double sigma)
+      : mu_(std::log(median_seconds)), sigma_(sigma) {}
+
+  Duration sample(Rng& rng) const {
+    if (sigma_ == 0.0) return std::exp(mu_);
+    return rng.lognormal(mu_, sigma_);
+  }
+
+  double median() const { return std::exp(mu_); }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Splits one master seed into per-component seeds, so a single workflow
+/// seed determines every stochastic component deterministically.
+class SeedSequence {
+ public:
+  explicit SeedSequence(std::uint64_t master) : state_(master) {}
+
+  std::uint64_t next() {
+    // splitmix64: a well-distributed stream from a sequential state.
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace osprey

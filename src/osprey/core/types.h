@@ -1,0 +1,37 @@
+// Core identifier and time types shared by every OSPREY module.
+//
+// The paper's task model (§IV-A, §V-A) identifies a task by an integer id,
+// a string experiment id, an integer "work type", and a JSON string payload.
+// These aliases keep that contract explicit throughout the codebase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace osprey {
+
+/// Unique task identifier assigned by the EMEWS DB on submission (§IV-A).
+using TaskId = std::int64_t;
+
+/// Work type tag: a worker pool only consumes tasks of its work type (§IV-D).
+using WorkType = std::int32_t;
+
+/// Experiment identifier linking tasks to an experiment (§IV-C).
+using ExpId = std::string;
+
+/// Task priority; higher values are popped from the output queue first.
+using Priority = std::int32_t;
+
+/// Identifier of a worker pool instance consuming tasks.
+using PoolId = std::string;
+
+/// Simulation / wall time in seconds. All clocks report seconds as double.
+using TimePoint = double;
+
+/// Duration in seconds.
+using Duration = double;
+
+/// Size of a serialized payload or artifact in bytes.
+using Bytes = std::uint64_t;
+
+}  // namespace osprey

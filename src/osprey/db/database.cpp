@@ -1,0 +1,104 @@
+#include "osprey/db/database.h"
+
+#include <cassert>
+
+namespace osprey::db {
+
+Transaction::Transaction(Database& db) : db_(db), lock_(db.mutex()) {
+  db_.attach_journal(&journal_);
+}
+
+Transaction::~Transaction() {
+  if (!finished_) rollback();
+}
+
+void Transaction::commit() {
+  assert(!finished_ && "commit on finished transaction");
+  db_.detach_journal();
+  journal_.clear();
+  committed_ = true;
+  finished_ = true;
+}
+
+void Transaction::rollback() {
+  if (finished_) return;
+  db_.detach_journal();
+  db_.apply_undo(journal_);
+  journal_.clear();
+  finished_ = true;
+}
+
+Result<Table*> Database::create_table(const std::string& name, Schema schema) {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  if (tables_.count(name)) {
+    return Error(ErrorCode::kConflict, "table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Status Database::drop_table(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  if (tables_.erase(name) == 0) {
+    return Status(ErrorCode::kNotFound, "no table '" + name + "'");
+  }
+  return Status::ok();
+}
+
+Table* Database::table(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::table(const std::string& name) const {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+void Database::attach_journal(std::vector<UndoRecord>* journal) {
+  for (auto& [_, table] : tables_) table->attach_journal(journal);
+}
+
+void Database::detach_journal() {
+  for (auto& [_, table] : tables_) table->detach_journal();
+}
+
+void Database::apply_undo(const std::vector<UndoRecord>& journal) {
+  // Reverse order: later mutations are undone first.
+  for (auto it = journal.rbegin(); it != journal.rend(); ++it) {
+    Table* t = table(it->table);
+    assert(t && "journaled table disappeared");
+    if (!t) continue;
+    switch (it->kind) {
+      case UndoRecord::Kind::kInsert:
+        t->erase_row(it->row_id);
+        break;
+      case UndoRecord::Kind::kUpdate: {
+        Status s = t->update_row(it->row_id, it->old_row);
+        assert(s.is_ok());
+        (void)s;
+        break;
+      }
+      case UndoRecord::Kind::kDelete: {
+        Status s = t->restore_row(it->row_id, it->old_row);
+        assert(s.is_ok());
+        (void)s;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace osprey::db

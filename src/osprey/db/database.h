@@ -1,0 +1,85 @@
+// The embedded database: a named collection of tables with coarse-grained
+// thread safety and journaled transactions.
+//
+// This is the stand-in for the PostgreSQL instance the paper runs on the HPC
+// login node (§IV-C). The fault-tolerance story of the EMEWS DB rests on all
+// task state living here — not in the ME process — so multi-table operations
+// (e.g. "pop output queue + mark task running") must be atomic. Transaction
+// provides that atomicity via an undo journal under a single database mutex,
+// the moral equivalent of Postgres's serialized transactions at our scale.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "osprey/db/table.h"
+
+namespace osprey::db {
+
+class Database;
+
+/// RAII transaction guard. Holds the database lock for its lifetime; commit()
+/// keeps the mutations, destruction without commit rolls them back.
+class Transaction {
+ public:
+  explicit Transaction(Database& db);
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Keep all mutations made during this transaction.
+  void commit();
+
+  /// Undo all mutations made so far (also done on destruction if not
+  /// committed).
+  void rollback();
+
+  bool committed() const { return committed_; }
+
+ private:
+  Database& db_;
+  std::unique_lock<std::recursive_mutex> lock_;
+  std::vector<UndoRecord> journal_;
+  bool committed_ = false;
+  bool finished_ = false;
+};
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Create a table. Fails with kConflict when the name is taken.
+  Result<Table*> create_table(const std::string& name, Schema schema);
+
+  /// Drop a table (kNotFound when absent). Not journaled: DDL is not
+  /// transactional, as in most SQL engines.
+  Status drop_table(const std::string& name);
+
+  /// Look up a table; nullptr when absent.
+  Table* table(const std::string& name);
+  const Table* table(const std::string& name) const;
+
+  std::vector<std::string> table_names() const;
+
+  /// The database-wide lock. Public so single statements outside an explicit
+  /// Transaction can serialize themselves (execute() does this).
+  std::recursive_mutex& mutex() const { return mutex_; }
+
+ private:
+  friend class Transaction;
+
+  void attach_journal(std::vector<UndoRecord>* journal);
+  void detach_journal();
+  void apply_undo(const std::vector<UndoRecord>& journal);
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  mutable std::recursive_mutex mutex_;
+};
+
+}  // namespace osprey::db

@@ -1,0 +1,175 @@
+#include "osprey/db/dump.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace osprey::db {
+
+namespace {
+
+json::Value value_to_json(const Value& v) {
+  if (v.is_null()) return json::Value(nullptr);
+  if (v.is_int()) return json::Value(v.as_int());
+  if (v.is_real()) return json::Value(v.as_real());
+  return json::Value(v.as_text());
+}
+
+Result<Value> json_to_value(const json::Value& v, ColumnType type) {
+  if (v.is_null()) return Value(nullptr);
+  switch (type) {
+    case ColumnType::kInt:
+      if (!v.is_number()) break;
+      return Value(v.as_int());
+    case ColumnType::kReal:
+      if (!v.is_number()) break;
+      return Value(v.as_double());
+    case ColumnType::kText:
+      if (!v.is_string()) break;
+      return Value(v.as_string());
+  }
+  return Error(ErrorCode::kInvalidArgument, "snapshot cell type mismatch");
+}
+
+const char* type_tag(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt: return "int";
+    case ColumnType::kReal: return "real";
+    case ColumnType::kText: return "text";
+  }
+  return "?";
+}
+
+Result<ColumnType> parse_type_tag(const std::string& tag) {
+  if (tag == "int") return ColumnType::kInt;
+  if (tag == "real") return ColumnType::kReal;
+  if (tag == "text") return ColumnType::kText;
+  return Error(ErrorCode::kInvalidArgument, "unknown column type '" + tag + "'");
+}
+
+}  // namespace
+
+json::Value dump_database(const Database& db) {
+  json::Object doc;
+  doc["format"] = json::Value("osprey-db-snapshot-v1");
+  json::Object tables;
+  for (const std::string& name : db.table_names()) {
+    const Table* table = db.table(name);
+    json::Object tj;
+
+    json::Array columns;
+    for (const ColumnDef& col : table->schema().columns()) {
+      json::Object cj;
+      cj["name"] = json::Value(col.name);
+      cj["type"] = json::Value(type_tag(col.type));
+      cj["nullable"] = json::Value(col.nullable);
+      cj["primary_key"] = json::Value(col.primary_key);
+      columns.emplace_back(std::move(cj));
+    }
+    tj["columns"] = json::Value(std::move(columns));
+
+    json::Array indexes;
+    for (const std::string& col : table->indexed_columns()) {
+      indexes.emplace_back(col);
+    }
+    tj["indexes"] = json::Value(std::move(indexes));
+
+    json::Array rows;
+    for (RowId id : table->all_row_ids()) {
+      json::Array rj;
+      const auto row = table->get(id);
+      for (const Value& cell : *row) {
+        rj.push_back(value_to_json(cell));
+      }
+      rows.emplace_back(std::move(rj));
+    }
+    tj["rows"] = json::Value(std::move(rows));
+    tables[name] = json::Value(std::move(tj));
+  }
+  doc["tables"] = json::Value(std::move(tables));
+  return json::Value(std::move(doc));
+}
+
+Status restore_database(Database& db, const json::Value& snapshot) {
+  if (snapshot["format"].get_string("") != "osprey-db-snapshot-v1") {
+    return Status(ErrorCode::kInvalidArgument, "not an osprey db snapshot");
+  }
+  const json::Value& tables = snapshot["tables"];
+  if (!tables.is_object()) {
+    return Status(ErrorCode::kInvalidArgument, "snapshot missing tables");
+  }
+  for (const auto& [name, tj] : tables.as_object()) {
+    std::vector<ColumnDef> columns;
+    if (!tj["columns"].is_array()) {
+      return Status(ErrorCode::kInvalidArgument, "table missing columns");
+    }
+    for (const json::Value& cj : tj["columns"].as_array()) {
+      ColumnDef def;
+      def.name = cj["name"].get_string("");
+      Result<ColumnType> type = parse_type_tag(cj["type"].get_string(""));
+      if (!type.ok()) return type.error();
+      def.type = type.value();
+      def.nullable = cj["nullable"].get_bool(true);
+      def.primary_key = cj["primary_key"].get_bool(false);
+      if (def.name.empty()) {
+        return Status(ErrorCode::kInvalidArgument, "column without a name");
+      }
+      columns.push_back(std::move(def));
+    }
+    Result<Table*> created = db.create_table(name, Schema(std::move(columns)));
+    if (!created.ok()) return created.error();
+    Table* table = created.value();
+
+    if (tj["indexes"].is_array()) {
+      for (const json::Value& idx : tj["indexes"].as_array()) {
+        Status s = table->create_index(idx.get_string(""));
+        if (!s.is_ok()) return s;
+      }
+    }
+
+    if (tj["rows"].is_array()) {
+      const Schema& schema = table->schema();
+      for (const json::Value& rj : tj["rows"].as_array()) {
+        if (!rj.is_array() || rj.size() != schema.size()) {
+          return Status(ErrorCode::kInvalidArgument, "snapshot row arity");
+        }
+        Row row;
+        row.reserve(schema.size());
+        for (std::size_t i = 0; i < schema.size(); ++i) {
+          Result<Value> cell = json_to_value(rj[i], schema.column(i).type);
+          if (!cell.ok()) return cell.error();
+          row.push_back(std::move(cell).take());
+        }
+        Result<RowId> id = table->insert(std::move(row));
+        if (!id.ok()) return id.error();
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status dump_to_file(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status(ErrorCode::kUnavailable, "cannot open '" + path + "'");
+  }
+  out << dump_database(db).dump();
+  out.flush();
+  if (!out) {
+    return Status(ErrorCode::kUnavailable, "write to '" + path + "' failed");
+  }
+  return Status::ok();
+}
+
+Status restore_from_file(Database& db, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(ErrorCode::kNotFound, "cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<json::Value> doc = json::parse(buffer.str());
+  if (!doc.ok()) return doc.error();
+  return restore_database(db, doc.value());
+}
+
+}  // namespace osprey::db

@@ -1,0 +1,30 @@
+// Database snapshot / restore as JSON.
+//
+// §II-B2c: "Model checkpoints should be easily selected, staged for
+// execution, and run" — and §IV-B's fault-tolerance story requires task state
+// to survive resource failure. dump/restore serializes an entire database
+// (schemas, indexes, rows) to a JSON document that can be staged through the
+// data sharing service and reloaded on another resource, which is how an
+// OSPREY campaign resumes elsewhere.
+#pragma once
+
+#include <string>
+
+#include "osprey/db/database.h"
+#include "osprey/json/json.h"
+
+namespace osprey::db {
+
+/// Serialize all tables to a JSON document.
+json::Value dump_database(const Database& db);
+
+/// Recreate tables into an empty database from a dump. Fails with
+/// kInvalidArgument on malformed documents and kConflict when a table
+/// already exists.
+Status restore_database(Database& db, const json::Value& snapshot);
+
+/// Convenience: dump to / restore from a file on disk.
+Status dump_to_file(const Database& db, const std::string& path);
+Status restore_from_file(Database& db, const std::string& path);
+
+}  // namespace osprey::db

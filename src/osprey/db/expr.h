@@ -1,0 +1,92 @@
+// Row-predicate / scalar expression tree, shared by the programmatic table
+// API and the SQL front end. An Expr evaluates against (schema, row) to a
+// Value; WHERE clauses evaluate to a truthy value (nonzero number).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osprey/db/value.h"
+
+namespace osprey::db {
+
+enum class BinOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,  // comparisons -> 0/1 int
+  kAnd, kOr,                     // logical -> 0/1 int
+  kAdd, kSub, kMul, kDiv,        // arithmetic (numeric operands)
+};
+
+enum class ExprKind { kLiteral, kColumn, kParam, kBinary, kNot, kIsNull, kIn };
+
+/// Immutable expression node. Build with the factory functions below.
+struct Expr {
+  ExprKind kind;
+  // kLiteral
+  Value literal;
+  // kColumn
+  std::string column;
+  // kParam: 0-based index into the bind-parameter list ("?" in SQL)
+  int param_index = -1;
+  // kBinary / kNot / kIsNull
+  BinOp op = BinOp::kEq;
+  std::shared_ptr<const Expr> lhs;
+  std::shared_ptr<const Expr> rhs;
+  // kIn: lhs IN (items...)
+  std::vector<std::shared_ptr<const Expr>> items;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+ExprPtr lit(Value v);
+ExprPtr col(std::string name);
+ExprPtr param(int index);
+ExprPtr bin(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr not_(ExprPtr e);
+ExprPtr is_null(ExprPtr e);
+ExprPtr in_list(ExprPtr lhs, std::vector<ExprPtr> items);
+
+// Sugar for the common col-vs-literal comparisons.
+inline ExprPtr eq(std::string c, Value v) { return bin(BinOp::kEq, col(std::move(c)), lit(std::move(v))); }
+inline ExprPtr ne(std::string c, Value v) { return bin(BinOp::kNe, col(std::move(c)), lit(std::move(v))); }
+inline ExprPtr lt(std::string c, Value v) { return bin(BinOp::kLt, col(std::move(c)), lit(std::move(v))); }
+inline ExprPtr le(std::string c, Value v) { return bin(BinOp::kLe, col(std::move(c)), lit(std::move(v))); }
+inline ExprPtr gt(std::string c, Value v) { return bin(BinOp::kGt, col(std::move(c)), lit(std::move(v))); }
+inline ExprPtr ge(std::string c, Value v) { return bin(BinOp::kGe, col(std::move(c)), lit(std::move(v))); }
+inline ExprPtr and_(ExprPtr a, ExprPtr b) { return bin(BinOp::kAnd, std::move(a), std::move(b)); }
+inline ExprPtr or_(ExprPtr a, ExprPtr b) { return bin(BinOp::kOr, std::move(a), std::move(b)); }
+
+/// Evaluate an expression against a row. `params` supplies values for kParam
+/// nodes. Errors: unknown column, type mismatch in arithmetic, param range.
+Result<Value> eval(const Expr& e, const Schema& schema, const Row& row,
+                   const std::vector<Value>& params = {});
+
+/// Evaluate as a WHERE predicate: NULL and errors are false; numbers are
+/// truthy when nonzero. `error_out`, when non-null, receives eval errors.
+bool eval_predicate(const Expr& e, const Schema& schema, const Row& row,
+                    const std::vector<Value>& params = {},
+                    Error* error_out = nullptr);
+
+/// If the expression is exactly `column = literal-or-param` (possibly under
+/// one level of AND), extract (column, value) pairs usable for index lookup.
+/// Used by the table scan planner.
+struct EqConstraint {
+  std::string column;
+  Value value;
+};
+std::vector<EqConstraint> extract_eq_constraints(
+    const Expr& e, const std::vector<Value>& params);
+
+/// Like extract_eq_constraints, but also recognizes `column IN (...)` with
+/// literal/param items (possibly under ANDs): each hit yields the column and
+/// the set of probe values. An equality is a one-value probe. Used by the
+/// table planner so the EQSQL hot path's `eq_task_id IN (?,...)` updates are
+/// index probes instead of full scans.
+struct InConstraint {
+  std::string column;
+  std::vector<Value> values;
+};
+std::vector<InConstraint> extract_index_probes(
+    const Expr& e, const std::vector<Value>& params);
+
+}  // namespace osprey::db

@@ -1,0 +1,141 @@
+#include "osprey/db/sql_lexer.h"
+
+#include <array>
+#include <cctype>
+
+namespace osprey::db::sql {
+
+namespace {
+
+bool is_keyword(const std::string& upper) {
+  static const std::array<const char*, 38> kKeywords = {
+      "SELECT", "FROM",   "WHERE",  "ORDER",   "BY",     "ASC",    "DESC",
+      "LIMIT",  "INSERT", "INTO",   "VALUES",  "UPDATE", "SET",    "DELETE",
+      "CREATE", "TABLE",  "INDEX",  "ON",      "DROP",   "AND",    "OR",
+      "NOT",    "NULL",   "IS",     "IN",      "PRIMARY", "KEY",   "INTEGER",
+      "REAL",   "TEXT",   "BEGIN",  "COMMIT",  "ROLLBACK", "COUNT",
+      "MIN",    "MAX",    "SUM",    "AVG",
+  };
+  for (const char* k : kKeywords) {
+    if (upper == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+
+  auto fail = [&](const std::string& msg) -> Error {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SQL lex error: " + msg + " at offset " + std::to_string(i));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- line comments
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      if (is_keyword(upper)) {
+        tokens.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool real = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.') {
+        real = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        real = true;
+        ++i;
+        if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(sql[i]))) {
+          return fail("malformed exponent");
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tokens.push_back({real ? TokenKind::kReal : TokenKind::kInteger,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (true) {
+        if (i >= n) return fail("unterminated string literal");
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // '' escape
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        text += sql[i++];
+      }
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    if (c == '?') {
+      ++i;
+      tokens.push_back({TokenKind::kParam, "?", start});
+      continue;
+    }
+    // Multi-char symbols first.
+    if (c == '<' || c == '>' || c == '!') {
+      if (i + 1 < n && sql[i + 1] == '=') {
+        tokens.push_back({TokenKind::kSymbol, sql.substr(i, 2), start});
+        i += 2;
+        continue;
+      }
+      if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+        tokens.push_back({TokenKind::kSymbol, "<>", start});
+        i += 2;
+        continue;
+      }
+      if (c == '!') return fail("expected '=' after '!'");
+      tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '(': case ')': case ',': case '*': case '=':
+      case '+': case '-': case '/': case '.': case ';':
+        tokens.push_back({TokenKind::kSymbol, std::string(1, c), start});
+        ++i;
+        continue;
+      default:
+        return fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace osprey::db::sql

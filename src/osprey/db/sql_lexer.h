@@ -1,0 +1,32 @@
+// Tokenizer for the mini-SQL dialect of osprey::db.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "osprey/core/error.h"
+
+namespace osprey::db::sql {
+
+enum class TokenKind {
+  kIdentifier,  // table / column names (case preserved)
+  kKeyword,     // SELECT, FROM, ... (upper-cased in `text`)
+  kInteger,
+  kReal,
+  kString,      // single-quoted, unescaped content in `text`
+  kParam,       // ?
+  kSymbol,      // ( ) , * = != <> < <= > >= + - / .
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset = 0;  // position in the source for error messages
+};
+
+/// Tokenize a SQL statement. Keywords are recognized case-insensitively and
+/// normalized to upper case. Strings use SQL '' escaping.
+Result<std::vector<Token>> tokenize(const std::string& sql);
+
+}  // namespace osprey::db::sql

@@ -1,0 +1,14 @@
+// Recursive-descent parser: token stream -> Statement AST.
+#pragma once
+
+#include <string>
+
+#include "osprey/db/sql_ast.h"
+
+namespace osprey::db::sql {
+
+/// Parse one SQL statement (an optional trailing ';' is allowed).
+/// Bind parameters '?' are numbered left to right starting at 0.
+Result<Statement> parse_statement(const std::string& sql);
+
+}  // namespace osprey::db::sql

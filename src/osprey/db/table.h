@@ -1,0 +1,128 @@
+// A single relational table: typed rows, primary-key uniqueness, secondary
+// indexes, predicate scans with ORDER BY / LIMIT, and an undo journal hook
+// used by Database transactions.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osprey/db/expr.h"
+#include "osprey/db/value.h"
+
+namespace osprey::db {
+
+/// ORDER BY term: column plus direction.
+struct OrderTerm {
+  std::string column;
+  bool ascending = true;
+};
+
+/// Scan options: WHERE + ORDER BY + LIMIT.
+struct ScanOptions {
+  ExprPtr where;                    // null => all rows
+  std::vector<Value> params;        // bind parameters for `where`
+  std::vector<OrderTerm> order_by;  // empty => row-id order (deterministic)
+  std::int64_t limit = -1;          // -1 => unlimited
+};
+
+/// Mutation record for transaction rollback.
+struct UndoRecord {
+  enum class Kind { kInsert, kUpdate, kDelete } kind;
+  std::string table;
+  RowId row_id;
+  Row old_row;  // valid for kUpdate / kDelete
+};
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Create a secondary index on `column`. Existing rows are indexed.
+  Status create_index(const std::string& column);
+  bool has_index(const std::string& column) const;
+  std::vector<std::string> indexed_columns() const;
+
+  /// Insert a row. Enforces schema validation and primary-key uniqueness.
+  Result<RowId> insert(Row row);
+
+  /// Fetch a row by id.
+  std::optional<Row> get(RowId id) const;
+
+  /// Find row ids matching the scan options, in the requested order.
+  /// Uses a secondary or primary-key index when the WHERE clause contains an
+  /// equality constraint on an indexed column; otherwise scans all rows.
+  Result<std::vector<RowId>> select(const ScanOptions& options) const;
+
+  /// Single-row convenience: first match or nullopt.
+  Result<std::optional<RowId>> select_one(const ScanOptions& options) const;
+
+  /// Find a row by primary key (requires a PRIMARY KEY column).
+  std::optional<RowId> find_pk(const Value& key) const;
+
+  /// Apply `assignments` (column -> expression) to all rows matching
+  /// `options.where`. Returns number of rows updated.
+  Result<std::size_t> update(
+      const ScanOptions& options,
+      const std::vector<std::pair<std::string, ExprPtr>>& assignments);
+
+  /// Overwrite one row wholesale (validated). Used by rollback.
+  Status update_row(RowId id, Row row);
+
+  /// Delete rows matching `options.where`. Returns number deleted.
+  Result<std::size_t> erase(const ScanOptions& options);
+
+  /// Delete one row by id. Returns false when absent.
+  bool erase_row(RowId id);
+
+  /// Remove every row (keeps schema and index definitions).
+  void clear();
+
+  /// All row ids in insertion (row-id) order.
+  std::vector<RowId> all_row_ids() const;
+
+  /// Transactions: when a journal is attached, every mutation appends an
+  /// UndoRecord describing how to reverse it.
+  void attach_journal(std::vector<UndoRecord>* journal) { journal_ = journal; }
+  void detach_journal() { journal_ = nullptr; }
+
+  /// Re-insert a row under a specific id (rollback of a delete).
+  Status restore_row(RowId id, Row row);
+
+  /// Cumulative scan statistics — exposed so benches can verify that indexed
+  /// queries do not degrade into full scans.
+  std::uint64_t full_scans() const { return full_scans_; }
+  std::uint64_t index_lookups() const { return index_lookups_; }
+
+ private:
+  using IndexMap = std::multimap<Value, RowId>;
+
+  void index_insert(const Row& row, RowId id);
+  void index_erase(const Row& row, RowId id);
+  Status check_pk_unique(const Row& row, std::optional<RowId> ignore) const;
+  Result<std::vector<RowId>> candidates(const ScanOptions& options) const;
+  Status order_rows(std::vector<RowId>& ids,
+                    const std::vector<OrderTerm>& order_by) const;
+  /// Top-N via ordered index walk: used when ORDER BY's first term is an
+  /// indexed column and a LIMIT is present, so the priority pop of §IV-C is
+  /// O(result) instead of O(table log table).
+  Result<std::vector<RowId>> select_ordered_via_index(
+      const ScanOptions& options, const IndexMap& index) const;
+
+  std::string name_;
+  Schema schema_;
+  std::map<RowId, Row> rows_;  // ordered => deterministic unindexed scans
+  RowId next_row_id_ = 1;
+  std::map<std::string, IndexMap> indexes_;  // column name -> index
+  std::vector<UndoRecord>* journal_ = nullptr;
+  mutable std::uint64_t full_scans_ = 0;
+  mutable std::uint64_t index_lookups_ = 0;
+};
+
+}  // namespace osprey::db

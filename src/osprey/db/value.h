@@ -1,0 +1,106 @@
+// Database cell values and column schemas.
+//
+// The EMEWS DB (§IV-C) is "a resource-local SQL database". osprey::db is our
+// from-scratch embedded relational engine standing in for PostgreSQL: typed
+// columns, ordered comparisons (for ORDER BY / indexes), and NULL semantics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "osprey/core/error.h"
+
+namespace osprey::db {
+
+enum class ColumnType { kInt, kReal, kText };
+
+const char* column_type_name(ColumnType t);
+
+/// A cell value: NULL, 64-bit integer, double, or text.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}           // NOLINT
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(std::int64_t v) : data_(v) {}                 // NOLINT
+  Value(double v) : data_(v) {}                       // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}     // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}       // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_real() const { return std::holds_alternative<double>(data_); }
+  bool is_text() const { return std::holds_alternative<std::string>(data_); }
+  bool is_number() const { return is_int() || is_real(); }
+
+  std::int64_t as_int() const;
+  double as_real() const;
+  const std::string& as_text() const;
+
+  /// Total order used by ORDER BY and indexes:
+  /// NULL < numbers (compared numerically across int/real) < text.
+  /// Returns -1 / 0 / +1.
+  int compare(const Value& other) const;
+
+  bool operator==(const Value& o) const { return compare(o) == 0; }
+  bool operator!=(const Value& o) const { return compare(o) != 0; }
+  bool operator<(const Value& o) const { return compare(o) < 0; }
+  bool operator<=(const Value& o) const { return compare(o) <= 0; }
+  bool operator>(const Value& o) const { return compare(o) > 0; }
+  bool operator>=(const Value& o) const { return compare(o) >= 0; }
+
+  /// Does this value's type satisfy a column of type `t`? (NULL always does;
+  /// ints satisfy real columns.)
+  bool conforms_to(ColumnType t) const;
+
+  /// SQL-literal rendering: NULL, 42, 3.5, 'text' (quotes escaped).
+  std::string to_sql() const;
+  /// Plain rendering without quoting (for CSV dumps and debugging).
+  std::string to_display() const;
+
+ private:
+  std::variant<std::nullptr_t, std::int64_t, double, std::string> data_;
+};
+
+/// Column definition within a table schema.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  bool nullable = true;
+  bool primary_key = false;
+};
+
+/// An ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  std::size_t size() const { return columns_.size(); }
+  const ColumnDef& column(std::size_t i) const { return columns_[i]; }
+
+  /// Index of a named column, or -1 when absent.
+  int index_of(const std::string& name) const;
+  bool has_column(const std::string& name) const { return index_of(name) >= 0; }
+
+  /// Index of the PRIMARY KEY column, or -1 when none is declared.
+  int primary_key_index() const { return pk_index_; }
+
+  /// Validate a row against this schema (arity, types, nullability).
+  Status validate(const std::vector<Value>& row) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  int pk_index_ = -1;
+};
+
+/// A row is a tuple of values positionally matching a Schema.
+using Row = std::vector<Value>;
+
+/// Engine-assigned unique row identifier within a table.
+using RowId = std::uint64_t;
+
+}  // namespace osprey::db

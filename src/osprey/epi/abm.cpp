@@ -1,0 +1,108 @@
+#include "osprey/epi/abm.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace osprey::epi {
+
+int AbmSeries::peak_infected() const {
+  if (i.empty()) return 0;
+  return *std::max_element(i.begin(), i.end());
+}
+
+int AbmSeries::total_infected() const {
+  return std::accumulate(daily_incidence.begin(), daily_incidence.end(), 0);
+}
+
+Result<AbmSeries> run_abm(const AbmParams& params, int days) {
+  if (params.population <= 0 || params.initial_infected <= 0 ||
+      params.initial_infected > params.population) {
+    return Error(ErrorCode::kInvalidArgument, "invalid ABM population setup");
+  }
+  if (params.transmission_prob < 0 || params.transmission_prob > 1 ||
+      params.contacts_per_day <= 0 || params.infectious_days <= 0 ||
+      days <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "invalid ABM parameters");
+  }
+
+  enum class Agent : std::uint8_t { kS, kI, kR };
+  std::vector<Agent> agents(static_cast<std::size_t>(params.population),
+                            Agent::kS);
+  Rng rng(params.seed);
+
+  // Seed initial infections at distinct random agents.
+  int seeded = 0;
+  while (seeded < params.initial_infected) {
+    auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, params.population - 1));
+    if (agents[idx] == Agent::kS) {
+      agents[idx] = Agent::kI;
+      ++seeded;
+    }
+  }
+
+  std::vector<std::size_t> infectious;
+  for (std::size_t a = 0; a < agents.size(); ++a) {
+    if (agents[a] == Agent::kI) infectious.push_back(a);
+  }
+
+  AbmSeries series;
+  const double recovery_prob = 1.0 / params.infectious_days;
+  int s_count = params.population - params.initial_infected;
+  int i_count = params.initial_infected;
+  int r_count = 0;
+  series.s.push_back(s_count);
+  series.i.push_back(i_count);
+  series.r.push_back(r_count);
+
+  for (int day = 0; day < days && !infectious.empty(); ++day) {
+    std::vector<std::size_t> newly_infected;
+    // Random daily mixing: each infectious agent draws Poisson(contacts)
+    // partners uniformly from the population.
+    for (std::size_t src : infectious) {
+      (void)src;
+      std::int64_t contacts = rng.poisson(params.contacts_per_day);
+      for (std::int64_t c = 0; c < contacts; ++c) {
+        auto partner = static_cast<std::size_t>(
+            rng.uniform_int(0, params.population - 1));
+        if (agents[partner] == Agent::kS &&
+            rng.bernoulli(params.transmission_prob)) {
+          agents[partner] = Agent::kI;
+          newly_infected.push_back(partner);
+        }
+      }
+    }
+    // Recoveries (geometric duration).
+    std::vector<std::size_t> still_infectious;
+    still_infectious.reserve(infectious.size());
+    for (std::size_t a : infectious) {
+      if (rng.bernoulli(recovery_prob)) {
+        agents[a] = Agent::kR;
+        ++r_count;
+        --i_count;
+      } else {
+        still_infectious.push_back(a);
+      }
+    }
+    infectious = std::move(still_infectious);
+    infectious.insert(infectious.end(), newly_infected.begin(),
+                      newly_infected.end());
+    s_count -= static_cast<int>(newly_infected.size());
+    i_count += static_cast<int>(newly_infected.size());
+
+    series.s.push_back(s_count);
+    series.i.push_back(i_count);
+    series.r.push_back(r_count);
+    series.daily_incidence.push_back(static_cast<int>(newly_infected.size()));
+  }
+  // Pad flat tail if the epidemic died before `days`.
+  while (series.days() < days) {
+    series.s.push_back(s_count);
+    series.i.push_back(i_count);
+    series.r.push_back(r_count);
+    series.daily_incidence.push_back(0);
+  }
+  return series;
+}
+
+}  // namespace osprey::epi

@@ -1,0 +1,45 @@
+// Stochastic agent-based SIR model.
+//
+// The paper's worker pools run "a multi-process MPI-based simulation model"
+// (§IV-D) — at Argonne that is the CityCOVID agent-based model. Our stand-in
+// is a stochastic agent-based SIR with random daily mixing: individually
+// tracked agents, Bernoulli transmission per contact, and geometric
+// recovery. It exhibits the run-to-run variance that motivates ensemble
+// calibration, which the deterministic SEIR cannot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "osprey/core/error.h"
+#include "osprey/core/rng.h"
+
+namespace osprey::epi {
+
+struct AbmParams {
+  int population = 10000;
+  double transmission_prob = 0.05;  // per contact
+  double contacts_per_day = 10.0;   // mean contacts per infectious agent
+  double infectious_days = 7.0;     // mean infectious period (geometric)
+  int initial_infected = 5;
+  std::uint64_t seed = 1;
+};
+
+struct AbmSeries {
+  std::vector<int> s, i, r;
+  std::vector<int> daily_incidence;
+
+  int days() const { return static_cast<int>(daily_incidence.size()); }
+  int peak_infected() const;
+  int total_infected() const;
+};
+
+/// Run the agent-based SIR for `days` days. Deterministic per seed.
+Result<AbmSeries> run_abm(const AbmParams& params, int days);
+
+/// Implied R0 of the parameterization.
+inline double abm_r0(const AbmParams& p) {
+  return p.transmission_prob * p.contacts_per_day * p.infectious_days;
+}
+
+}  // namespace osprey::epi

@@ -1,0 +1,92 @@
+#include "osprey/epi/calibrate.h"
+
+#include <cmath>
+#include <limits>
+
+#include "osprey/json/json.h"
+
+namespace osprey::epi {
+
+double poisson_deviance(const std::vector<double>& observed,
+                        const std::vector<double>& expected) {
+  double deviance = 0.0;
+  const std::size_t n = std::min(observed.size(), expected.size());
+  for (std::size_t t = 0; t < n; ++t) {
+    double obs = observed[t];
+    double mu = std::max(expected[t], 1e-9);
+    deviance += 2.0 * (obs > 0 ? obs * std::log(obs / mu) - (obs - mu)
+                               : mu);
+  }
+  return deviance;
+}
+
+double rmse(const std::vector<double>& observed,
+            const std::vector<double>& expected) {
+  const std::size_t n = std::min(observed.size(), expected.size());
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    double d = observed[t] - expected[t];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(n));
+}
+
+double CalibrationProblem::loss(double beta, double sigma, double gamma) const {
+  SeirParams candidate = base;
+  candidate.beta = beta;
+  candidate.sigma = sigma;
+  candidate.gamma = gamma;
+  Result<SeirSeries> series = run_seir(candidate, days);
+  if (!series.ok()) return std::numeric_limits<double>::infinity();
+  // Expected reported cases under the (noise-free) reporting model.
+  std::vector<double> expected;
+  expected.reserve(series.value().daily_incidence.size());
+  for (std::size_t day = 0; day < series.value().daily_incidence.size();
+       ++day) {
+    double e = series.value().daily_incidence[day] * reporting.report_rate;
+    if (reporting.weekend_effect && (day % 7 == 5 || day % 7 == 6)) {
+      e *= reporting.weekend_factor;
+    }
+    expected.push_back(e);
+  }
+  return poisson_deviance(observed.reported_cases, expected);
+}
+
+CalibrationProblem make_synthetic_problem(const SeirParams& truth, int days,
+                                          const ReportingModel& reporting) {
+  CalibrationProblem problem;
+  problem.base = truth;  // population / initials fixed at truth
+  problem.reporting = reporting;
+  problem.days = days;
+  Result<Surveillance> observed = synthesize_from_seir(truth, days, reporting);
+  if (observed.ok()) problem.observed = observed.value();
+  return problem;
+}
+
+pool::SimTaskRunner calibration_sim_runner(CalibrationProblem problem,
+                                           double median_runtime, double sigma,
+                                           bool log_loss) {
+  LognormalRuntime model(median_runtime, sigma);
+  return [problem = std::move(problem), model, log_loss](
+             const eqsql::TaskHandle& handle, Rng& rng) -> pool::TaskOutcome {
+    Duration runtime = model.sample(rng);
+    Result<json::Value> parsed = json::parse(handle.payload);
+    Result<std::vector<double>> params =
+        parsed.ok() ? json::to_doubles(parsed.value())
+                    : Result<std::vector<double>>(parsed.error());
+    json::Value result;
+    if (!params.ok() || params.value().size() != 3) {
+      result["error"] = json::Value("payload must be [beta, sigma, gamma]");
+      return pool::TaskOutcome{result.dump(), 0.001};
+    }
+    double loss = problem.loss(params.value()[0], params.value()[1],
+                               params.value()[2]);
+    if (!std::isfinite(loss)) loss = 1e12;
+    result["y"] = json::Value(log_loss ? std::log1p(loss) : loss);
+    result["runtime"] = json::Value(runtime);
+    return pool::TaskOutcome{result.dump(), runtime};
+  };
+}
+
+}  // namespace osprey::epi

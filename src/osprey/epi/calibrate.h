@@ -1,0 +1,54 @@
+// Calibration losses and the SEIR-calibration task runner.
+//
+// Calibration is the paper's flagship workload (§I, §II-B1d): fit an
+// epidemiologic model's parameters to surveillance data by minimizing a
+// goodness-of-fit loss over many simulation runs. The task runner here turns
+// a parameter-vector task payload into a simulated epidemic plus loss
+// against observed data — the epi analogue of the Ackley task in §VI.
+#pragma once
+
+#include "osprey/epi/data.h"
+#include "osprey/epi/seir.h"
+#include "osprey/pool/sim_pool.h"
+
+namespace osprey::epi {
+
+/// Poisson deviance between observed counts and model-expected counts
+/// (standard count-data calibration loss; lower is better).
+double poisson_deviance(const std::vector<double>& observed,
+                        const std::vector<double>& expected);
+
+/// Root mean squared error.
+double rmse(const std::vector<double>& observed,
+            const std::vector<double>& expected);
+
+/// What the calibration tasks optimize over: (beta, sigma, gamma) scaled to
+/// a workable box. Payload protocol: JSON array [beta, sigma, gamma].
+struct CalibrationProblem {
+  Surveillance observed;
+  SeirParams base;          // population / initial conditions held fixed
+  ReportingModel reporting; // same reporting model applied to candidates
+  int days = 120;
+
+  /// Loss of a candidate (beta, sigma, gamma) against the observations.
+  /// Invalid parameters yield +inf.
+  double loss(double beta, double sigma, double gamma) const;
+};
+
+/// Standard synthetic calibration problem: a ground-truth epidemic observed
+/// through the reporting model. `truth` is returned so tests can check
+/// recovery.
+CalibrationProblem make_synthetic_problem(const SeirParams& truth, int days,
+                                          const ReportingModel& reporting);
+
+/// Sim-pool task runner evaluating calibration tasks, with the paper's
+/// lognormal runtime model standing in for the real simulation cost.
+/// With `log_loss`, the reported objective is log1p(loss): deviances span
+/// orders of magnitude, and the GPR surrogate ranks far better on the log
+/// scale (the ranking is unchanged — log1p is monotone).
+pool::SimTaskRunner calibration_sim_runner(CalibrationProblem problem,
+                                           double median_runtime,
+                                           double sigma,
+                                           bool log_loss = false);
+
+}  // namespace osprey::epi

@@ -1,0 +1,34 @@
+#include "osprey/epi/data.h"
+
+#include <numeric>
+
+namespace osprey::epi {
+
+double Surveillance::total() const {
+  return std::accumulate(reported_cases.begin(), reported_cases.end(), 0.0);
+}
+
+Surveillance synthesize_surveillance(const std::vector<double>& true_incidence,
+                                     const ReportingModel& model) {
+  Surveillance out;
+  out.reported_cases.reserve(true_incidence.size());
+  Rng rng(model.seed);
+  for (std::size_t day = 0; day < true_incidence.size(); ++day) {
+    double expected = true_incidence[day] * model.report_rate;
+    if (model.weekend_effect && (day % 7 == 5 || day % 7 == 6)) {
+      expected *= model.weekend_factor;
+    }
+    out.reported_cases.push_back(
+        expected > 0 ? static_cast<double>(rng.poisson(expected)) : 0.0);
+  }
+  return out;
+}
+
+Result<Surveillance> synthesize_from_seir(const SeirParams& truth, int days,
+                                          const ReportingModel& model) {
+  Result<SeirSeries> series = run_seir(truth, days);
+  if (!series.ok()) return series.error();
+  return synthesize_surveillance(series.value().daily_incidence, model);
+}
+
+}  // namespace osprey::epi

@@ -1,0 +1,40 @@
+// Synthetic surveillance data.
+//
+// §II-B2 describes the surveillance streams OSPREY ingests: "heterogeneous,
+// changing, and incomplete" case reports. We generate synthetic observed
+// data by pushing a ground-truth SEIR epidemic through a reporting model:
+// under-reporting (only a fraction of infections are diagnosed), reporting
+// noise (Poisson counts), and optional weekday under-reporting artifacts.
+// Calibration examples then try to recover the true parameters from this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "osprey/core/rng.h"
+#include "osprey/epi/seir.h"
+
+namespace osprey::epi {
+
+struct ReportingModel {
+  double report_rate = 0.25;     // fraction of infections ever reported
+  double weekend_factor = 0.6;   // scaling applied on days 5,6 of each week
+  bool weekend_effect = true;
+  std::uint64_t seed = 7;
+};
+
+struct Surveillance {
+  std::vector<double> reported_cases;  // per day
+  int days() const { return static_cast<int>(reported_cases.size()); }
+  double total() const;
+};
+
+/// Observe a ground-truth incidence series through the reporting model.
+Surveillance synthesize_surveillance(const std::vector<double>& true_incidence,
+                                     const ReportingModel& model);
+
+/// Convenience: run SEIR with `truth` and observe it.
+Result<Surveillance> synthesize_from_seir(const SeirParams& truth, int days,
+                                          const ReportingModel& model);
+
+}  // namespace osprey::epi

@@ -1,0 +1,129 @@
+#include "osprey/epi/seir.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osprey::epi {
+
+double SeirSeries::peak_infected() const {
+  if (i.empty()) return 0.0;
+  return *std::max_element(i.begin(), i.end());
+}
+
+int SeirSeries::peak_day() const {
+  if (i.empty()) return 0;
+  return static_cast<int>(std::max_element(i.begin(), i.end()) - i.begin());
+}
+
+double SeirSeries::attack_rate() const {
+  if (s.empty()) return 0.0;
+  double n = s.front() + e.front() + i.front() + r.front();
+  return n > 0 ? 1.0 - s.back() / n : 0.0;
+}
+
+namespace {
+
+struct State {
+  double s, e, i, r;
+};
+
+State derivative(const State& x, const SeirParams& p) {
+  const double n = p.population;
+  const double infection = p.beta * x.s * x.i / n;
+  return State{
+      -infection,
+      infection - p.sigma * x.e,
+      p.sigma * x.e - p.gamma * x.i,
+      p.gamma * x.i,
+  };
+}
+
+State axpy(const State& x, const State& d, double h) {
+  return State{x.s + h * d.s, x.e + h * d.e, x.i + h * d.i, x.r + h * d.r};
+}
+
+}  // namespace
+
+double InterventionSchedule::factor_on(int day) const {
+  double factor = 1.0;
+  for (const Intervention& intervention : interventions_) {
+    if (day >= intervention.start_day && day < intervention.end_day) {
+      factor *= intervention.beta_factor;
+    }
+  }
+  return factor;
+}
+
+Status InterventionSchedule::validate() const {
+  for (const Intervention& intervention : interventions_) {
+    if (intervention.beta_factor <= 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "intervention beta factor must be positive");
+    }
+    if (intervention.end_day <= intervention.start_day) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "intervention range must be non-empty");
+    }
+  }
+  return Status::ok();
+}
+
+Result<SeirSeries> run_seir(const SeirParams& params, int days,
+                            int steps_per_day) {
+  return run_seir_with_interventions(params, InterventionSchedule{}, days,
+                                     steps_per_day);
+}
+
+Result<SeirSeries> run_seir_with_interventions(
+    const SeirParams& params, const InterventionSchedule& schedule, int days,
+    int steps_per_day) {
+  if (params.beta <= 0 || params.sigma <= 0 || params.gamma <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "SEIR rates must be positive");
+  }
+  if (params.population <= 0 ||
+      params.initial_infected + params.initial_exposed > params.population) {
+    return Error(ErrorCode::kInvalidArgument, "invalid population setup");
+  }
+  if (days <= 0 || steps_per_day <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "days and steps must be positive");
+  }
+  if (Status s = schedule.validate(); !s.is_ok()) return s.error();
+
+  SeirSeries series;
+  series.s.reserve(static_cast<std::size_t>(days) + 1);
+  State x{params.population - params.initial_infected - params.initial_exposed,
+          params.initial_exposed, params.initial_infected, 0.0};
+  const double h = 1.0 / steps_per_day;
+
+  auto record = [&series](const State& state) {
+    series.s.push_back(state.s);
+    series.e.push_back(state.e);
+    series.i.push_back(state.i);
+    series.r.push_back(state.r);
+  };
+  record(x);
+
+  for (int day = 0; day < days; ++day) {
+    const double s_before = x.s;
+    // Apply the intervention factor active on this day.
+    SeirParams day_params = params;
+    day_params.beta = params.beta * schedule.factor_on(day);
+    for (int step = 0; step < steps_per_day; ++step) {
+      State k1 = derivative(x, day_params);
+      State k2 = derivative(axpy(x, k1, h / 2), day_params);
+      State k3 = derivative(axpy(x, k2, h / 2), day_params);
+      State k4 = derivative(axpy(x, k3, h), day_params);
+      x = State{
+          x.s + h / 6 * (k1.s + 2 * k2.s + 2 * k3.s + k4.s),
+          x.e + h / 6 * (k1.e + 2 * k2.e + 2 * k3.e + k4.e),
+          x.i + h / 6 * (k1.i + 2 * k2.i + 2 * k3.i + k4.i),
+          x.r + h / 6 * (k1.r + 2 * k2.r + 2 * k3.r + k4.r),
+      };
+    }
+    record(x);
+    series.daily_incidence.push_back(std::max(0.0, s_before - x.s));
+  }
+  return series;
+}
+
+}  // namespace osprey::epi

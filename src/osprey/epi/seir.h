@@ -1,0 +1,85 @@
+// Deterministic SEIR compartmental model (RK4 integration).
+//
+// OSPREY exists to calibrate and run epidemiologic models on HPC (§I, §II).
+// The paper's production models (e.g. CityCOVID) are proprietary; this SEIR
+// model is the standard compartmental stand-in — the simulation tasks that
+// OSPREY workflows submit in the epi examples and benches integrate it and
+// compare against synthetic surveillance data.
+#pragma once
+
+#include <vector>
+
+#include "osprey/core/error.h"
+
+namespace osprey::epi {
+
+struct SeirParams {
+  double beta = 0.5;    // transmission rate (contacts * p(transmit) per day)
+  double sigma = 0.25;  // incubation rate: 1 / latent period (days^-1)
+  double gamma = 0.1;   // recovery rate: 1 / infectious period (days^-1)
+  double population = 1e6;
+  double initial_infected = 10.0;
+  double initial_exposed = 0.0;
+};
+
+struct SeirSeries {
+  std::vector<double> s, e, i, r;       // compartment sizes per day
+  std::vector<double> daily_incidence;  // new infections per day (E inflow)
+
+  int days() const { return static_cast<int>(daily_incidence.size()); }
+  double peak_infected() const;
+  int peak_day() const;
+  double attack_rate() const;  // final fraction ever infected
+};
+
+/// Integrate the SEIR ODEs for `days` days with RK4 at `steps_per_day`
+/// substeps. Fails on non-positive parameters or population.
+Result<SeirSeries> run_seir(const SeirParams& params, int days,
+                            int steps_per_day = 10);
+
+/// Basic reproduction number implied by the parameters.
+inline double r0(const SeirParams& p) { return p.beta / p.gamma; }
+
+/// A non-pharmaceutical-intervention schedule: multiplicative beta factors
+/// over day ranges (lockdowns, masking, reopening). This is the "scenario
+/// modeling" workload the paper's introduction motivates (ensemble runs of
+/// "vaccination rates and nonpharmaceutical intervention scenarios", ref
+/// [6]): the same parameters under different schedules are compared as an
+/// ensemble of OSPREY tasks.
+struct Intervention {
+  int start_day = 0;       // inclusive
+  int end_day = 0;         // exclusive
+  double beta_factor = 1;  // transmission multiplier while active
+};
+
+class InterventionSchedule {
+ public:
+  InterventionSchedule() = default;
+  explicit InterventionSchedule(std::vector<Intervention> interventions)
+      : interventions_(std::move(interventions)) {}
+
+  void add(Intervention intervention) {
+    interventions_.push_back(intervention);
+  }
+
+  /// Product of all factors active on `day` (1.0 when none).
+  double factor_on(int day) const;
+
+  bool empty() const { return interventions_.empty(); }
+  const std::vector<Intervention>& interventions() const {
+    return interventions_;
+  }
+
+  /// Validation: factors positive, ranges non-degenerate.
+  Status validate() const;
+
+ private:
+  std::vector<Intervention> interventions_;
+};
+
+/// SEIR with a time-varying beta: beta(day) = params.beta * schedule factor.
+Result<SeirSeries> run_seir_with_interventions(
+    const SeirParams& params, const InterventionSchedule& schedule, int days,
+    int steps_per_day = 10);
+
+}  // namespace osprey::epi

@@ -1,0 +1,556 @@
+#include "osprey/eqsql/db_api.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "osprey/core/log.h"
+#include "osprey/eqsql/schema.h"
+
+namespace osprey::eqsql {
+
+namespace {
+
+/// "?,?,?" with n placeholders, for IN (...) lists.
+std::string placeholders(std::size_t n) {
+  std::string out;
+  out.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out += ',';
+    out += '?';
+  }
+  return out;
+}
+
+std::vector<db::Value> id_params(const std::vector<TaskId>& ids) {
+  std::vector<db::Value> params;
+  params.reserve(ids.size());
+  for (TaskId id : ids) params.emplace_back(id);
+  return params;
+}
+
+}  // namespace
+
+const char* task_status_name(TaskStatus s) {
+  switch (s) {
+    case TaskStatus::kQueued: return "queued";
+    case TaskStatus::kRunning: return "running";
+    case TaskStatus::kComplete: return "complete";
+    case TaskStatus::kCanceled: return "canceled";
+  }
+  return "?";
+}
+
+Result<TaskStatus> parse_task_status(const std::string& name) {
+  if (name == "queued") return TaskStatus::kQueued;
+  if (name == "running") return TaskStatus::kRunning;
+  if (name == "complete") return TaskStatus::kComplete;
+  if (name == "canceled") return TaskStatus::kCanceled;
+  return Error(ErrorCode::kInvalidArgument, "unknown task status '" + name + "'");
+}
+
+EQSQL::EQSQL(db::Database& db, const Clock& clock, Sleeper sleeper)
+    : db_(db),
+      clock_(clock),
+      sleeper_(sleeper ? std::move(sleeper) : Sleeper(&RealClock::sleep_for)),
+      conn_(db) {
+  assert(schema_exists(db) && "EMEWS schema missing: call create_schema first");
+}
+
+Result<TaskId> EQSQL::submit_task(const ExpId& exp_id, WorkType eq_type,
+                                  const std::string& payload, Priority priority,
+                                  const std::string& tag) {
+  Result<std::vector<TaskId>> ids =
+      submit_tasks(exp_id, eq_type, {payload}, priority, tag);
+  if (!ids.ok()) return ids.error();
+  return ids.value().front();
+}
+
+Result<std::vector<TaskId>> EQSQL::submit_tasks(
+    const ExpId& exp_id, WorkType eq_type,
+    const std::vector<std::string>& payloads, Priority priority,
+    const std::string& tag) {
+  if (payloads.empty()) return std::vector<TaskId>{};
+  db::Transaction txn(db_);
+
+  // Allocate a contiguous id block from the sequence row.
+  auto seq = conn_.execute(
+      "SELECT meta_value FROM eq_meta WHERE meta_key = 'next_task_id'");
+  if (!seq.ok()) return seq.error();
+  if (seq.value().rows.empty()) {
+    return Error(ErrorCode::kInternal, "task id sequence row missing");
+  }
+  TaskId first_id = seq.value().rows[0][0].as_int();
+  auto bump = conn_.execute(
+      "UPDATE eq_meta SET meta_value = meta_value + ? "
+      "WHERE meta_key = 'next_task_id'",
+      {db::Value(static_cast<std::int64_t>(payloads.size()))});
+  if (!bump.ok()) return bump.error();
+
+  const double now = clock_.now();
+  std::vector<TaskId> ids;
+  ids.reserve(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    TaskId id = first_id + static_cast<TaskId>(i);
+    auto ins = conn_.execute(
+        "INSERT INTO eq_tasks (eq_task_id, eq_task_type, eq_status, "
+        "eq_priority, json_out, time_created) VALUES (?, ?, 'queued', ?, ?, ?)",
+        {db::Value(id), db::Value(std::int64_t{eq_type}),
+         db::Value(std::int64_t{priority}), db::Value(payloads[i]),
+         db::Value(now)});
+    if (!ins.ok()) return ins.error();
+    auto queue = conn_.execute(
+        "INSERT INTO eq_output_queue VALUES (?, ?, ?)",
+        {db::Value(id), db::Value(std::int64_t{eq_type}),
+         db::Value(std::int64_t{priority})});
+    if (!queue.ok()) return queue.error();
+    auto exp = conn_.execute("INSERT INTO eq_experiments VALUES (?, ?)",
+                             {db::Value(exp_id), db::Value(id)});
+    if (!exp.ok()) return exp.error();
+    if (!tag.empty()) {
+      auto tagged = conn_.execute("INSERT INTO eq_task_tags VALUES (?, ?)",
+                                  {db::Value(id), db::Value(tag)});
+      if (!tagged.ok()) return tagged.error();
+    }
+    ids.push_back(id);
+  }
+  txn.commit();
+  return ids;
+}
+
+Result<std::vector<TaskHandle>> EQSQL::claim_tasks_locked(
+    WorkType eq_type, int n, const PoolId& worker_pool) {
+  // Pop the n highest-priority entries; ties resolve FIFO by task id.
+  auto top = conn_.execute(
+      "SELECT eq_task_id FROM eq_output_queue WHERE eq_task_type = ? "
+      "ORDER BY eq_priority DESC, eq_task_id ASC LIMIT ?",
+      {db::Value(std::int64_t{eq_type}), db::Value(std::int64_t{n})});
+  if (!top.ok()) return top.error();
+  if (top.value().rows.empty()) return std::vector<TaskHandle>{};
+
+  std::vector<TaskId> ids;
+  ids.reserve(top.value().rows.size());
+  for (const db::Row& row : top.value().rows) ids.push_back(row[0].as_int());
+  const std::string in = placeholders(ids.size());
+
+  auto del = conn_.execute(
+      "DELETE FROM eq_output_queue WHERE eq_task_id IN (" + in + ")",
+      id_params(ids));
+  if (!del.ok()) return del.error();
+
+  std::vector<db::Value> update_params;
+  update_params.emplace_back(worker_pool);
+  update_params.emplace_back(clock_.now());
+  for (TaskId id : ids) update_params.emplace_back(id);
+  auto upd = conn_.execute(
+      "UPDATE eq_tasks SET eq_status = 'running', worker_pool = ?, "
+      "time_start = ? WHERE eq_task_id IN (" + in + ")",
+      update_params);
+  if (!upd.ok()) return upd.error();
+
+  auto payloads = conn_.execute(
+      "SELECT eq_task_id, json_out FROM eq_tasks WHERE eq_task_id IN (" + in +
+          ") ORDER BY eq_priority DESC, eq_task_id ASC",
+      id_params(ids));
+  if (!payloads.ok()) return payloads.error();
+
+  std::vector<TaskHandle> handles;
+  handles.reserve(payloads.value().rows.size());
+  for (const db::Row& row : payloads.value().rows) {
+    handles.push_back(TaskHandle{row[0].as_int(), eq_type,
+                                 row[1].is_null() ? "" : row[1].as_text()});
+  }
+  return handles;
+}
+
+Result<std::vector<TaskHandle>> EQSQL::try_query_tasks(
+    WorkType eq_type, int n, const PoolId& worker_pool) {
+  if (n <= 0) return std::vector<TaskHandle>{};
+  db::Transaction txn(db_);
+  Result<std::vector<TaskHandle>> handles =
+      claim_tasks_locked(eq_type, n, worker_pool);
+  if (handles.ok()) txn.commit();
+  return handles;
+}
+
+Result<std::vector<TaskHandle>> EQSQL::try_query_tasks_batched(
+    WorkType eq_type, int batch_size, int threshold, int owned,
+    const PoolId& worker_pool) {
+  if (batch_size <= 0 || threshold <= 0 || owned < 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "batch_size and threshold must be positive, owned >= 0");
+  }
+  int deficit = batch_size - owned;
+  if (deficit < threshold) return std::vector<TaskHandle>{};
+  return try_query_tasks(eq_type, deficit, worker_pool);
+}
+
+Result<std::vector<TaskHandle>> EQSQL::query_task(WorkType eq_type, int n,
+                                                  const PoolId& worker_pool,
+                                                  PollSpec poll) {
+  const TimePoint deadline = clock_.now() + poll.timeout;
+  while (true) {
+    Result<std::vector<TaskHandle>> handles =
+        try_query_tasks(eq_type, n, worker_pool);
+    if (!handles.ok()) return handles;
+    if (!handles.value().empty()) return handles;
+    if (clock_.now() + poll.delay > deadline) {
+      return Error(ErrorCode::kTimeout,
+                   "no task of type " + std::to_string(eq_type) + " within " +
+                       std::to_string(poll.timeout) + "s");
+    }
+    sleeper_(poll.delay);
+  }
+}
+
+Status EQSQL::report_task(TaskId eq_task_id, WorkType eq_type,
+                          const std::string& result) {
+  db::Transaction txn(db_);
+  auto status = conn_.execute(
+      "SELECT eq_status FROM eq_tasks WHERE eq_task_id = ?",
+      {db::Value(eq_task_id)});
+  if (!status.ok()) return status.error();
+  if (status.value().rows.empty()) {
+    return Status(ErrorCode::kNotFound,
+                  "no task " + std::to_string(eq_task_id));
+  }
+  const std::string& current = status.value().rows[0][0].as_text();
+  if (current == "canceled") {
+    // Canceled while running: drop the result, keep the canceled state
+    // (the ME algorithm already gave up on this task).
+    txn.commit();
+    return Status(ErrorCode::kCanceled,
+                  "task " + std::to_string(eq_task_id) + " was canceled");
+  }
+  auto upd = conn_.execute(
+      "UPDATE eq_tasks SET eq_status = 'complete', json_in = ?, time_stop = ? "
+      "WHERE eq_task_id = ?",
+      {db::Value(result), db::Value(clock_.now()), db::Value(eq_task_id)});
+  if (!upd.ok()) return upd.error();
+  auto push = conn_.execute(
+      "INSERT INTO eq_input_queue VALUES (?, ?)",
+      {db::Value(eq_task_id), db::Value(std::int64_t{eq_type})});
+  if (!push.ok()) return push.error();
+  txn.commit();
+  return Status::ok();
+}
+
+Result<std::string> EQSQL::try_query_result(TaskId eq_task_id) {
+  db::Transaction txn(db_);
+  auto row = conn_.execute(
+      "SELECT eq_status, json_in FROM eq_tasks WHERE eq_task_id = ?",
+      {db::Value(eq_task_id)});
+  if (!row.ok()) return row.error();
+  if (row.value().rows.empty()) {
+    return Error(ErrorCode::kNotFound, "no task " + std::to_string(eq_task_id));
+  }
+  const std::string& status = row.value().rows[0][0].as_text();
+  if (status == "canceled") {
+    txn.commit();
+    return Error(ErrorCode::kCanceled,
+                 "task " + std::to_string(eq_task_id) + " canceled");
+  }
+  if (status != "complete") {
+    txn.commit();
+    return Error(ErrorCode::kNotFound,
+                 "task " + std::to_string(eq_task_id) + " not complete");
+  }
+  auto pop = conn_.execute("DELETE FROM eq_input_queue WHERE eq_task_id = ?",
+                           {db::Value(eq_task_id)});
+  if (!pop.ok()) return pop.error();
+  txn.commit();
+  return row.value().rows[0][1].is_null() ? std::string{}
+                                          : row.value().rows[0][1].as_text();
+}
+
+Result<std::string> EQSQL::query_result(TaskId eq_task_id, PollSpec poll) {
+  const TimePoint deadline = clock_.now() + poll.timeout;
+  while (true) {
+    Result<std::string> r = try_query_result(eq_task_id);
+    if (r.ok() || (r.code() != ErrorCode::kNotFound)) return r;
+    // kNotFound means "not complete yet" — unless the task truly does not
+    // exist, which polling will never fix; bail out for nonexistent ids.
+    if (r.error().message.find("not complete") == std::string::npos) return r;
+    if (clock_.now() + poll.delay > deadline) {
+      return Error(ErrorCode::kTimeout,
+                   "task " + std::to_string(eq_task_id) + " not complete within " +
+                       std::to_string(poll.timeout) + "s");
+    }
+    sleeper_(poll.delay);
+  }
+}
+
+Result<std::vector<TaskId>> EQSQL::try_query_completed(
+    const std::vector<TaskId>& ids, int n) {
+  if (ids.empty() || n <= 0) return std::vector<TaskId>{};
+  db::Transaction txn(db_);
+  // One batch scan of the input queue instead of one query per future —
+  // the §V-B "batch operations on the EMEWS DB" optimization.
+  auto complete = conn_.execute(
+      "SELECT eq_task_id FROM eq_input_queue WHERE eq_task_id IN (" +
+          placeholders(ids.size()) + ") ORDER BY eq_task_id ASC LIMIT ?",
+      [&] {
+        std::vector<db::Value> params = id_params(ids);
+        params.emplace_back(std::int64_t{n});
+        return params;
+      }());
+  if (!complete.ok()) return complete.error();
+  std::vector<TaskId> found;
+  found.reserve(complete.value().rows.size());
+  for (const db::Row& row : complete.value().rows) {
+    found.push_back(row[0].as_int());
+  }
+  if (!found.empty()) {
+    auto pop = conn_.execute(
+        "DELETE FROM eq_input_queue WHERE eq_task_id IN (" +
+            placeholders(found.size()) + ")",
+        id_params(found));
+    if (!pop.ok()) return pop.error();
+  }
+  txn.commit();
+  return found;
+}
+
+Result<std::size_t> EQSQL::cancel_tasks(const std::vector<TaskId>& ids) {
+  if (ids.empty()) return std::size_t{0};
+  const std::string in = placeholders(ids.size());
+  db::Transaction txn(db_);
+  // Queued tasks leave the output queue so no pool ever claims them.
+  auto dequeue = conn_.execute(
+      "DELETE FROM eq_output_queue WHERE eq_task_id IN (" + in + ")",
+      id_params(ids));
+  if (!dequeue.ok()) return dequeue.error();
+  auto upd = conn_.execute(
+      "UPDATE eq_tasks SET eq_status = 'canceled', time_stop = ? "
+      "WHERE eq_status IN ('queued', 'running') AND eq_task_id IN (" + in + ")",
+      [&] {
+        std::vector<db::Value> params;
+        params.emplace_back(clock_.now());
+        for (TaskId id : ids) params.emplace_back(id);
+        return params;
+      }());
+  if (!upd.ok()) return upd.error();
+  txn.commit();
+  return upd.value().affected;
+}
+
+Result<std::size_t> EQSQL::update_priorities(
+    const std::vector<TaskId>& ids, const std::vector<Priority>& priorities) {
+  if (ids.empty()) return std::size_t{0};
+  if (priorities.size() != 1 && priorities.size() != ids.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "priorities must have size 1 or ids.size()");
+  }
+  db::Transaction txn(db_);
+  std::size_t repositioned = 0;
+  if (priorities.size() == 1) {
+    // Broadcast: two IN-list updates cover every task.
+    const std::string in = placeholders(ids.size());
+    auto make_params = [&](Priority p) {
+      std::vector<db::Value> params;
+      params.emplace_back(std::int64_t{p});
+      for (TaskId id : ids) params.emplace_back(id);
+      return params;
+    };
+    auto q = conn_.execute(
+        "UPDATE eq_output_queue SET eq_priority = ? WHERE eq_task_id IN (" +
+            in + ")",
+        make_params(priorities[0]));
+    if (!q.ok()) return q.error();
+    auto t = conn_.execute(
+        "UPDATE eq_tasks SET eq_priority = ? WHERE eq_task_id IN (" + in + ")",
+        make_params(priorities[0]));
+    if (!t.ok()) return t.error();
+    repositioned = q.value().affected;
+  } else {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      std::vector<db::Value> params{db::Value(std::int64_t{priorities[i]}),
+                                    db::Value(ids[i])};
+      auto q = conn_.execute(
+          "UPDATE eq_output_queue SET eq_priority = ? WHERE eq_task_id = ?",
+          params);
+      if (!q.ok()) return q.error();
+      auto t = conn_.execute(
+          "UPDATE eq_tasks SET eq_priority = ? WHERE eq_task_id = ?", params);
+      if (!t.ok()) return t.error();
+      repositioned += q.value().affected;
+    }
+  }
+  txn.commit();
+  return repositioned;
+}
+
+Result<std::size_t> EQSQL::requeue_tasks(const std::vector<TaskId>& ids) {
+  if (ids.empty()) return std::size_t{0};
+  db::Transaction txn(db_);
+  // Only running tasks are eligible; fetch their type/priority for the
+  // output-queue rows.
+  auto rows = conn_.execute(
+      "SELECT eq_task_id, eq_task_type, eq_priority FROM eq_tasks "
+      "WHERE eq_status = 'running' AND eq_task_id IN (" +
+          placeholders(ids.size()) + ")",
+      id_params(ids));
+  if (!rows.ok()) return rows.error();
+  std::size_t requeued = 0;
+  for (const db::Row& row : rows.value().rows) {
+    auto upd = conn_.execute(
+        "UPDATE eq_tasks SET eq_status = 'queued', worker_pool = NULL, "
+        "time_start = NULL WHERE eq_task_id = ?",
+        {row[0]});
+    if (!upd.ok()) return upd.error();
+    auto ins = conn_.execute("INSERT INTO eq_output_queue VALUES (?, ?, ?)",
+                             {row[0], row[1], row[2]});
+    if (!ins.ok()) return ins.error();
+    ++requeued;
+  }
+  txn.commit();
+  return requeued;
+}
+
+Result<std::size_t> EQSQL::requeue_pool_tasks(const PoolId& pool) {
+  auto rows = conn_.execute(
+      "SELECT eq_task_id FROM eq_tasks WHERE eq_status = 'running' "
+      "AND worker_pool = ?",
+      {db::Value(pool)});
+  if (!rows.ok()) return rows.error();
+  std::vector<TaskId> ids;
+  ids.reserve(rows.value().rows.size());
+  for (const db::Row& row : rows.value().rows) ids.push_back(row[0].as_int());
+  return requeue_tasks(ids);
+}
+
+Result<TaskStatus> EQSQL::task_status(TaskId eq_task_id) {
+  auto r = conn_.execute("SELECT eq_status FROM eq_tasks WHERE eq_task_id = ?",
+                         {db::Value(eq_task_id)});
+  if (!r.ok()) return r.error();
+  if (r.value().rows.empty()) {
+    return Error(ErrorCode::kNotFound, "no task " + std::to_string(eq_task_id));
+  }
+  return parse_task_status(r.value().rows[0][0].as_text());
+}
+
+Result<std::vector<TaskStatus>> EQSQL::task_statuses(
+    const std::vector<TaskId>& ids) {
+  if (ids.empty()) return std::vector<TaskStatus>{};
+  auto r = conn_.execute(
+      "SELECT eq_task_id, eq_status FROM eq_tasks WHERE eq_task_id IN (" +
+          placeholders(ids.size()) + ")",
+      id_params(ids));
+  if (!r.ok()) return r.error();
+  std::unordered_map<TaskId, TaskStatus> by_id;
+  for (const db::Row& row : r.value().rows) {
+    Result<TaskStatus> s = parse_task_status(row[1].as_text());
+    if (!s.ok()) return s.error();
+    by_id.emplace(row[0].as_int(), s.value());
+  }
+  std::vector<TaskStatus> out;
+  out.reserve(ids.size());
+  for (TaskId id : ids) {
+    auto it = by_id.find(id);
+    if (it == by_id.end()) {
+      return Error(ErrorCode::kNotFound, "no task " + std::to_string(id));
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Result<Priority> EQSQL::task_priority(TaskId eq_task_id) {
+  auto r = conn_.execute(
+      "SELECT eq_priority FROM eq_tasks WHERE eq_task_id = ?",
+      {db::Value(eq_task_id)});
+  if (!r.ok()) return r.error();
+  if (r.value().rows.empty()) {
+    return Error(ErrorCode::kNotFound, "no task " + std::to_string(eq_task_id));
+  }
+  return static_cast<Priority>(r.value().rows[0][0].as_int());
+}
+
+Result<TaskRecord> EQSQL::task_record(TaskId eq_task_id) {
+  auto r = conn_.execute("SELECT * FROM eq_tasks WHERE eq_task_id = ?",
+                         {db::Value(eq_task_id)});
+  if (!r.ok()) return r.error();
+  if (r.value().rows.empty()) {
+    return Error(ErrorCode::kNotFound, "no task " + std::to_string(eq_task_id));
+  }
+  const db::Row& row = r.value().rows[0];
+  TaskRecord record;
+  record.eq_task_id = row[0].as_int();
+  record.eq_type = static_cast<WorkType>(row[1].as_int());
+  Result<TaskStatus> status = parse_task_status(row[2].as_text());
+  if (!status.ok()) return status.error();
+  record.status = status.value();
+  record.priority = static_cast<Priority>(row[3].as_int());
+  record.payload = row[4].is_null() ? "" : row[4].as_text();
+  if (!row[5].is_null()) record.result = row[5].as_text();
+  if (!row[6].is_null()) record.worker_pool = row[6].as_text();
+  record.created_at = row[7].as_real();
+  if (!row[8].is_null()) record.start_at = row[8].as_real();
+  if (!row[9].is_null()) record.stop_at = row[9].as_real();
+
+  auto exp = conn_.execute(
+      "SELECT exp_id FROM eq_experiments WHERE eq_task_id = ?",
+      {db::Value(eq_task_id)});
+  if (exp.ok() && !exp.value().rows.empty()) {
+    record.exp_id = exp.value().rows[0][0].as_text();
+  }
+  return record;
+}
+
+Result<std::vector<TaskId>> EQSQL::experiment_tasks(const ExpId& exp_id) {
+  auto r = conn_.execute(
+      "SELECT eq_task_id FROM eq_experiments WHERE exp_id = ? "
+      "ORDER BY eq_task_id ASC",
+      {db::Value(exp_id)});
+  if (!r.ok()) return r.error();
+  std::vector<TaskId> ids;
+  ids.reserve(r.value().rows.size());
+  for (const db::Row& row : r.value().rows) ids.push_back(row[0].as_int());
+  return ids;
+}
+
+Result<std::vector<TaskId>> EQSQL::tagged_tasks(const std::string& tag) {
+  auto r = conn_.execute(
+      "SELECT eq_task_id FROM eq_task_tags WHERE tag = ? "
+      "ORDER BY eq_task_id ASC",
+      {db::Value(tag)});
+  if (!r.ok()) return r.error();
+  std::vector<TaskId> ids;
+  ids.reserve(r.value().rows.size());
+  for (const db::Row& row : r.value().rows) ids.push_back(row[0].as_int());
+  return ids;
+}
+
+Result<std::int64_t> EQSQL::queued_count(WorkType eq_type) {
+  auto r = conn_.execute(
+      "SELECT COUNT(*) FROM eq_output_queue WHERE eq_task_type = ?",
+      {db::Value(std::int64_t{eq_type})});
+  if (!r.ok()) return r.error();
+  return r.value().rows[0][0].as_int();
+}
+
+Result<std::int64_t> EQSQL::input_queue_depth() {
+  auto r = conn_.execute("SELECT COUNT(*) FROM eq_input_queue");
+  if (!r.ok()) return r.error();
+  return r.value().rows[0][0].as_int();
+}
+
+Result<std::int64_t> EQSQL::pool_completed_count(const PoolId& pool) {
+  auto r = conn_.execute(
+      "SELECT COUNT(*) FROM eq_tasks WHERE worker_pool = ? AND "
+      "eq_status = 'complete'",
+      {db::Value(pool)});
+  if (!r.ok()) return r.error();
+  return r.value().rows[0][0].as_int();
+}
+
+Result<std::int64_t> EQSQL::pool_running_count(const PoolId& pool) {
+  auto r = conn_.execute(
+      "SELECT COUNT(*) FROM eq_tasks WHERE worker_pool = ? AND "
+      "eq_status = 'running'",
+      {db::Value(pool)});
+  if (!r.ok()) return r.error();
+  return r.value().rows[0][0].as_int();
+}
+
+}  // namespace osprey::eqsql

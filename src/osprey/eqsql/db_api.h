@@ -1,0 +1,173 @@
+// The EQSQL task-queue API over the EMEWS DB (§IV-C, §V-A).
+//
+// This is the C++ rendition of the paper's Python/R API (Listing 1):
+//   submit_task(exp_id, eq_type, payload, priority, tag)
+//   query_task(eq_type, n, worker_pool, delay, timeout)
+//   report_task(eq_task_id, eq_type, result)
+//   query_result(eq_task_id, delay, timeout)
+// plus the batch operations that §V-B calls out as the efficient backbone of
+// the asynchronous future functions (as_completed / update_priority / cancel).
+//
+// Concurrency: every mutating operation runs inside a single database
+// transaction, so a task can never be claimed by two pools, and a crash
+// between queues never loses a task — the fault-tolerance property §IV-B
+// attributes to describing tasks "in the system in enough detail".
+//
+// Blocking queries poll with (delay, timeout) like the paper's API. The
+// sleeper is injected so threaded callers really sleep while simulated
+// callers never block (they use the try_* variants and schedule retries).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/db/sql_exec.h"
+#include "osprey/eqsql/task.h"
+
+namespace osprey::eqsql {
+
+/// How blocking queries wait between polls.
+using Sleeper = std::function<void(Duration)>;
+
+class EQSQL {
+ public:
+  /// `db` must contain the EMEWS schema (see create_schema). `clock` stamps
+  /// task creation/start/stop times. `sleeper` defaults to a real sleep.
+  EQSQL(db::Database& db, const Clock& clock, Sleeper sleeper = {});
+
+  // --- submission (§IV-A) ---------------------------------------------------
+
+  /// Submit a task: inserts into the tasks table and the output queue,
+  /// records the experiment link and optional tag, and returns the new
+  /// unique task id.
+  Result<TaskId> submit_task(const ExpId& exp_id, WorkType eq_type,
+                             const std::string& payload, Priority priority = 0,
+                             const std::string& tag = "");
+
+  /// Batch submission in one transaction; returns ids in input order.
+  Result<std::vector<TaskId>> submit_tasks(
+      const ExpId& exp_id, WorkType eq_type,
+      const std::vector<std::string>& payloads, Priority priority = 0,
+      const std::string& tag = "");
+
+  // --- worker-pool side (§IV-C, §IV-D) ---------------------------------------
+
+  /// Atomically pop up to `n` highest-priority tasks of `eq_type` from the
+  /// output queue, marking them running and owned by `worker_pool`.
+  /// Returns an empty vector (not an error) when the queue has none.
+  Result<std::vector<TaskHandle>> try_query_tasks(
+      WorkType eq_type, int n = 1, const PoolId& worker_pool = "default");
+
+  /// Blocking variant: polls every `poll.delay` seconds until at least one
+  /// task is available or `poll.timeout` elapses (kTimeout), mirroring the
+  /// paper's query_task(eq_type, n, worker_pool, delay, timeout).
+  Result<std::vector<TaskHandle>> query_task(WorkType eq_type, int n = 1,
+                                             const PoolId& worker_pool = "default",
+                                             PollSpec poll = {});
+
+  /// The §IV-D "enhanced version for querying the output queue, customized
+  /// for worker pools": request up to `batch_size` tasks "while accounting
+  /// for the number of tasks a worker pool already has obtained but have
+  /// not completed" (`owned`), gated by `threshold` ("how large the deficit
+  /// between requested tasks and owned tasks must be before more tasks are
+  /// obtained"). Claims min(deficit, available) tasks; empty when the
+  /// deficit is below the threshold or the queue has none.
+  Result<std::vector<TaskHandle>> try_query_tasks_batched(
+      WorkType eq_type, int batch_size, int threshold, int owned,
+      const PoolId& worker_pool);
+
+  /// Report a completed task: stores the result payload, marks the task
+  /// complete with its stop time, and pushes it onto the input queue.
+  Status report_task(TaskId eq_task_id, WorkType eq_type,
+                     const std::string& result);
+
+  // --- ME-algorithm side (§IV-C, §V-B) ---------------------------------------
+
+  /// Non-blocking result pickup: if the task is complete, pops it from the
+  /// input queue and returns its result payload. kNotFound while incomplete;
+  /// kCanceled for canceled tasks.
+  Result<std::string> try_query_result(TaskId eq_task_id);
+
+  /// Blocking variant with (delay, timeout) polling; kTimeout on expiry,
+  /// matching the {'type':'status','payload':'TIMEOUT'} protocol.
+  Result<std::string> query_result(TaskId eq_task_id, PollSpec poll = {});
+
+  /// Batch completion check (backbone of as_completed / pop_completed):
+  /// of the given ids, return up to `n` that are complete, popping them from
+  /// the input queue. Never blocks; empty result when none are complete.
+  Result<std::vector<TaskId>> try_query_completed(const std::vector<TaskId>& ids,
+                                                  int n);
+
+  // --- task control ----------------------------------------------------------
+
+  /// Cancel queued or running tasks in one transaction. Queued tasks leave
+  /// the output queue so pools never see them; running tasks are marked
+  /// canceled (their in-flight results are dropped on report). Returns the
+  /// number of tasks newly canceled (complete tasks are left untouched).
+  Result<std::size_t> cancel_tasks(const std::vector<TaskId>& ids);
+
+  /// Batch priority update (§V-B update_priority): updates both the tasks
+  /// table and the output queue in one transaction. `priorities` must have
+  /// size 1 (broadcast) or ids.size() (element-wise). Tasks no longer queued
+  /// are skipped. Returns the number of rows repositioned.
+  Result<std::size_t> update_priorities(const std::vector<TaskId>& ids,
+                                        const std::vector<Priority>& priorities);
+
+  /// Return running tasks to the output queue (status back to queued, pool
+  /// and start time cleared) at their original priorities. This is how a
+  /// stopping pool releases its cached-but-unstarted tasks and how tasks are
+  /// "restarted if necessary" after a resource failure (§IV-B). Tasks not in
+  /// the running state are skipped. Returns the number requeued.
+  Result<std::size_t> requeue_tasks(const std::vector<TaskId>& ids);
+
+  /// Crash recovery: requeue every running task owned by `pool`.
+  Result<std::size_t> requeue_pool_tasks(const PoolId& pool);
+
+  // --- introspection ----------------------------------------------------------
+
+  Result<TaskStatus> task_status(TaskId eq_task_id);
+
+  /// Batch status query in one scan (§V-B batch operations).
+  Result<std::vector<TaskStatus>> task_statuses(const std::vector<TaskId>& ids);
+
+  Result<Priority> task_priority(TaskId eq_task_id);
+
+  /// The full task row.
+  Result<TaskRecord> task_record(TaskId eq_task_id);
+
+  /// All task ids belonging to an experiment.
+  Result<std::vector<TaskId>> experiment_tasks(const ExpId& exp_id);
+
+  /// All task ids carrying a tag.
+  Result<std::vector<TaskId>> tagged_tasks(const std::string& tag);
+
+  /// Number of queued tasks of a work type currently in the output queue.
+  Result<std::int64_t> queued_count(WorkType eq_type);
+
+  /// Number of completed tasks waiting in the input queue.
+  Result<std::int64_t> input_queue_depth();
+
+  /// Per-pool progress counters (the remote pool monitor's heartbeat view).
+  Result<std::int64_t> pool_completed_count(const PoolId& pool);
+  Result<std::int64_t> pool_running_count(const PoolId& pool);
+
+  const Clock& clock() const { return clock_; }
+
+  /// Wait via the injected sleeper (used by the future collection functions
+  /// so their polling honors the same waiting strategy as the blocking API).
+  void sleep(Duration seconds) const { sleeper_(seconds); }
+
+ private:
+  Result<std::vector<TaskHandle>> claim_tasks_locked(WorkType eq_type, int n,
+                                                     const PoolId& worker_pool);
+
+  db::Database& db_;
+  const Clock& clock_;
+  Sleeper sleeper_;
+  db::sql::Connection conn_;
+  TaskId next_task_id_ = 1;
+};
+
+}  // namespace osprey::eqsql

@@ -1,0 +1,109 @@
+// The asynchronous task API (§V-B): futures over EMEWS DB tasks.
+//
+// "A future encapsulates the asynchronous execution of a task... Future
+// instances are created and returned when tasks are submitted." The
+// collection functions (as_completed, pop_completed, update_priority)
+// perform batch operations on the EMEWS DB rather than iterating through
+// futures individually — that batching is benchmarked in bench_futures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osprey/eqsql/db_api.h"
+
+namespace osprey::eqsql {
+
+/// Handle to an asynchronously executing task. Copyable; copies share the
+/// cached result (resolving a future twice does not re-pop the input queue).
+class TaskFuture {
+ public:
+  TaskFuture() = default;
+  TaskFuture(EQSQL& api, TaskId task_id, WorkType eq_type);
+
+  TaskId task_id() const { return state_ ? state_->task_id : 0; }
+  WorkType eq_type() const { return state_ ? state_->eq_type : 0; }
+  bool valid() const { return state_ != nullptr; }
+
+  /// The EQSQL API this future resolves against (nullptr when invalid).
+  EQSQL* api() const { return state_ ? state_->api : nullptr; }
+
+  /// Current task status ("query the status ... without waiting").
+  Result<TaskStatus> status() const;
+
+  /// True when the task has completed and its result is available (cached
+  /// results count as done).
+  bool done() const;
+
+  /// Non-blocking result check: the cached result, or the popped result if
+  /// the task just completed; kNotFound while still pending.
+  Result<std::string> try_result();
+
+  /// Blocking result with (delay, timeout) polling.
+  Result<std::string> result(PollSpec poll = {});
+
+  /// Cancel the task (no-op if already complete). True when the task was
+  /// newly canceled.
+  Result<bool> cancel();
+
+  /// Current priority in the output queue.
+  Result<Priority> priority() const;
+
+  /// Reprioritize this task relative to others in the output queue.
+  Status set_priority(Priority priority);
+
+ private:
+  friend Result<std::vector<std::size_t>> as_completed(
+      std::vector<TaskFuture>& futures, std::size_t n,
+      std::optional<Duration> timeout);
+
+  struct State {
+    EQSQL* api = nullptr;
+    TaskId task_id = 0;
+    WorkType eq_type = 0;
+    std::optional<std::string> cached_result;
+    bool canceled = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Wait until `n` of the given futures complete and return their indexes
+/// (in completion-discovery order). Futures whose results were already
+/// retrieved count immediately. With a timeout, returns kTimeout if fewer
+/// than n complete in time. Uses one batch DB query per poll, not one per
+/// future. (Paper: as_completed yields futures as they complete.)
+Result<std::vector<std::size_t>> as_completed(
+    std::vector<TaskFuture>& futures, std::size_t n,
+    std::optional<Duration> timeout = std::nullopt);
+
+/// Pop the first completed future from the list: removes it and returns it.
+/// (Paper: pop_completed "returns the first completed Future from a list,
+/// removing that Future from the list".)
+Result<TaskFuture> pop_completed(std::vector<TaskFuture>& futures,
+                                 std::optional<Duration> timeout = std::nullopt);
+
+/// Batch-update the priorities of all (still queued) futures in one DB
+/// transaction. `priorities` is broadcast (size 1) or element-wise.
+Result<std::size_t> update_priority(std::vector<TaskFuture>& futures,
+                                    const std::vector<Priority>& priorities);
+
+/// Batch-cancel; returns the number newly canceled.
+Result<std::size_t> cancel(std::vector<TaskFuture>& futures);
+
+/// Submit a task and get its future — the paper's EQSQL.submit_task returns
+/// a Future in the Python API.
+Result<TaskFuture> submit_task_future(EQSQL& api, const ExpId& exp_id,
+                                      WorkType eq_type,
+                                      const std::string& payload,
+                                      Priority priority = 0,
+                                      const std::string& tag = "");
+
+/// Batch submission returning futures.
+Result<std::vector<TaskFuture>> submit_task_futures(
+    EQSQL& api, const ExpId& exp_id, WorkType eq_type,
+    const std::vector<std::string>& payloads, Priority priority = 0,
+    const std::string& tag = "");
+
+}  // namespace osprey::eqsql

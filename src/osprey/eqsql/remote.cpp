@@ -1,0 +1,73 @@
+#include "osprey/eqsql/remote.h"
+
+namespace osprey::eqsql {
+
+Status register_emews_functions(faas::Endpoint& endpoint,
+                                EmewsService& service,
+                                proxystore::Store* checkpoint_store) {
+  Status s = endpoint.registry().register_function(
+      "emews_start", [&service](const json::Value&) -> Result<json::Value> {
+        Status started = service.start();
+        json::Value out;
+        out["status"] =
+            json::Value(started.is_ok() ? "started" : started.to_string());
+        out["ok"] = json::Value(started.is_ok());
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "emews_stop", [&service](const json::Value&) -> Result<json::Value> {
+        Status stopped = service.stop();
+        json::Value out;
+        out["status"] =
+            json::Value(stopped.is_ok() ? "stopped" : stopped.to_string());
+        out["ok"] = json::Value(stopped.is_ok());
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "emews_stats", [&service](const json::Value&) -> Result<json::Value> {
+        Result<ServiceStats> stats = service.stats();
+        if (!stats.ok()) return stats.error();
+        json::Value out;
+        out["tasks_total"] = json::Value(stats.value().tasks_total);
+        out["tasks_queued"] = json::Value(stats.value().tasks_queued);
+        out["tasks_running"] = json::Value(stats.value().tasks_running);
+        out["tasks_complete"] = json::Value(stats.value().tasks_complete);
+        out["tasks_canceled"] = json::Value(stats.value().tasks_canceled);
+        out["output_queue_depth"] =
+            json::Value(stats.value().output_queue_depth);
+        out["input_queue_depth"] = json::Value(stats.value().input_queue_depth);
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  if (checkpoint_store) {
+    s = endpoint.registry().register_function(
+        "emews_checkpoint",
+        [&service, checkpoint_store](
+            const json::Value& payload) -> Result<json::Value> {
+          std::string key = payload["key"].get_string("");
+          if (key.empty()) {
+            return Error(ErrorCode::kInvalidArgument,
+                         "emews_checkpoint needs a 'key'");
+          }
+          // The snapshot goes out-of-band via the store: it can exceed the
+          // FaaS 10 MB payload limit (§IV-E).
+          std::string snapshot = service.checkpoint().dump();
+          Bytes size = snapshot.size();
+          Status stored = checkpoint_store->put(key, std::move(snapshot));
+          if (!stored.is_ok()) return stored.error();
+          json::Value out;
+          out["key"] = json::Value(key);
+          out["bytes"] = json::Value(static_cast<std::int64_t>(size));
+          return out;
+        });
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+}  // namespace osprey::eqsql

@@ -1,0 +1,29 @@
+// Remote control of the EMEWS service over the FaaS fabric (§IV-B).
+//
+// "In our prototype, we use funcX to start and stop the EMEWS service, the
+// EMEWS DB database, and remote worker pools on HPC resources. The EMEWS
+// service is a Python application and can thus be started directly from
+// within a Python function executed on a remote funcX endpoint."
+//
+// register_emews_functions installs that control surface on an endpoint:
+//   emews_start   -> start the service (idempotence error surfaces as data)
+//   emews_stop    -> stop it (task state is retained)
+//   emews_stats   -> the §IV-C queue/task counts, as JSON
+//   emews_checkpoint -> snapshot the task database into a ProxyStore key
+// The ME algorithm drives these through FaaSService::submit from any site.
+#pragma once
+
+#include "osprey/eqsql/service.h"
+#include "osprey/faas/endpoint.h"
+#include "osprey/proxystore/store.h"
+
+namespace osprey::eqsql {
+
+/// Install the EMEWS control functions on `endpoint`, bound to `service`.
+/// `checkpoint_store`, when non-null, enables emews_checkpoint (snapshots
+/// are written there under the key given in the call payload).
+/// The service and store must outlive the endpoint.
+Status register_emews_functions(faas::Endpoint& endpoint, EmewsService& service,
+                                proxystore::Store* checkpoint_store = nullptr);
+
+}  // namespace osprey::eqsql

@@ -1,0 +1,68 @@
+#include "osprey/eqsql/schema.h"
+
+#include <array>
+
+namespace osprey::eqsql {
+
+Status create_schema(db::sql::Connection& conn) {
+  static const std::array<const char*, 14> kStatements = {
+      // Task data: identifier, work type, status, priority, payloads,
+      // consuming pool, and the creation / start / stop timestamps (§IV-C).
+      "CREATE TABLE eq_tasks ("
+      "  eq_task_id INTEGER PRIMARY KEY,"
+      "  eq_task_type INTEGER NOT NULL,"
+      "  eq_status TEXT NOT NULL,"
+      "  eq_priority INTEGER NOT NULL,"
+      "  json_out TEXT,"
+      "  json_in TEXT,"
+      "  worker_pool TEXT,"
+      "  time_created REAL NOT NULL,"
+      "  time_start REAL,"
+      "  time_stop REAL)",
+      "CREATE INDEX ON eq_tasks (eq_status)",
+      "CREATE INDEX ON eq_tasks (eq_task_type)",
+
+      // Output queue: tasks are popped for execution ordered by priority.
+      "CREATE TABLE eq_output_queue ("
+      "  eq_task_id INTEGER PRIMARY KEY,"
+      "  eq_task_type INTEGER NOT NULL,"
+      "  eq_priority INTEGER NOT NULL)",
+      "CREATE INDEX ON eq_output_queue (eq_task_type)",
+      "CREATE INDEX ON eq_output_queue (eq_priority)",
+
+      // Input queue: completed tasks whose results await pickup.
+      "CREATE TABLE eq_input_queue ("
+      "  eq_task_id INTEGER PRIMARY KEY,"
+      "  eq_task_type INTEGER NOT NULL)",
+      "CREATE INDEX ON eq_input_queue (eq_task_type)",
+
+      // Experiment linkage.
+      "CREATE TABLE eq_experiments ("
+      "  exp_id TEXT NOT NULL,"
+      "  eq_task_id INTEGER NOT NULL)",
+      "CREATE INDEX ON eq_experiments (exp_id)",
+
+      // Metadata tags.
+      "CREATE TABLE eq_task_tags ("
+      "  eq_task_id INTEGER NOT NULL,"
+      "  tag TEXT NOT NULL)",
+      "CREATE INDEX ON eq_task_tags (tag)",
+
+      // Task-id sequence (SERIAL stand-in).
+      "CREATE TABLE eq_meta (meta_key TEXT PRIMARY KEY, meta_value INTEGER)",
+      "INSERT INTO eq_meta VALUES ('next_task_id', 1)",
+  };
+  for (const char* sql : kStatements) {
+    auto r = conn.execute(sql);
+    if (!r.ok()) return r.error();
+  }
+  return Status::ok();
+}
+
+bool schema_exists(const db::Database& db) {
+  return db.table(kTasksTable) && db.table(kOutputQueueTable) &&
+         db.table(kInputQueueTable) && db.table(kExperimentsTable) &&
+         db.table(kTagsTable) && db.table(kMetaTable);
+}
+
+}  // namespace osprey::eqsql

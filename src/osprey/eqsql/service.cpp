@@ -1,0 +1,91 @@
+#include "osprey/eqsql/service.h"
+
+#include "osprey/db/dump.h"
+#include "osprey/db/sql_exec.h"
+#include "osprey/eqsql/schema.h"
+
+namespace osprey::eqsql {
+
+EmewsService::EmewsService(const Clock& clock) : clock_(clock) {}
+
+Status EmewsService::start() {
+  if (running_) {
+    return Status(ErrorCode::kConflict, "EMEWS service already running");
+  }
+  if (!schema_created_) {
+    db::sql::Connection conn(db_);
+    Status s = create_schema(conn);
+    if (!s.is_ok()) return s;
+    schema_created_ = true;
+  }
+  running_ = true;
+  return Status::ok();
+}
+
+Status EmewsService::stop() {
+  if (!running_) {
+    return Status(ErrorCode::kConflict, "EMEWS service not running");
+  }
+  running_ = false;
+  return Status::ok();
+}
+
+Result<std::unique_ptr<EQSQL>> EmewsService::connect(Sleeper sleeper) {
+  if (!running_) {
+    return Error(ErrorCode::kUnavailable, "EMEWS service not running");
+  }
+  return std::make_unique<EQSQL>(db_, clock_, std::move(sleeper));
+}
+
+Result<ServiceStats> EmewsService::stats() {
+  if (!running_) {
+    return Error(ErrorCode::kUnavailable, "EMEWS service not running");
+  }
+  db::sql::Connection conn(db_);
+  ServiceStats stats;
+  struct CountQuery {
+    const char* sql;
+    std::int64_t* slot;
+  };
+  const CountQuery queries[] = {
+      {"SELECT COUNT(*) FROM eq_tasks", &stats.tasks_total},
+      {"SELECT COUNT(*) FROM eq_tasks WHERE eq_status = 'queued'",
+       &stats.tasks_queued},
+      {"SELECT COUNT(*) FROM eq_tasks WHERE eq_status = 'running'",
+       &stats.tasks_running},
+      {"SELECT COUNT(*) FROM eq_tasks WHERE eq_status = 'complete'",
+       &stats.tasks_complete},
+      {"SELECT COUNT(*) FROM eq_tasks WHERE eq_status = 'canceled'",
+       &stats.tasks_canceled},
+      {"SELECT COUNT(*) FROM eq_output_queue", &stats.output_queue_depth},
+      {"SELECT COUNT(*) FROM eq_input_queue", &stats.input_queue_depth},
+  };
+  for (const CountQuery& q : queries) {
+    auto r = conn.execute(q.sql);
+    if (!r.ok()) return r.error();
+    *q.slot = r.value().rows[0][0].as_int();
+  }
+  return stats;
+}
+
+json::Value EmewsService::checkpoint() const {
+  return db::dump_database(db_);
+}
+
+Status EmewsService::restore(const json::Value& snapshot) {
+  if (schema_created_ || running_) {
+    return Status(ErrorCode::kConflict,
+                  "restore requires a fresh service instance");
+  }
+  Status s = db::restore_database(db_, snapshot);
+  if (!s.is_ok()) return s;
+  if (!schema_exists(db_)) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "snapshot does not contain an EMEWS schema");
+  }
+  schema_created_ = true;
+  running_ = true;
+  return Status::ok();
+}
+
+}  // namespace osprey::eqsql

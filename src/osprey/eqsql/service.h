@@ -1,0 +1,72 @@
+// The EMEWS Service (§IV-C): the resource-local process that owns the task
+// database and "abstracts task caching and queuing operations", mediating
+// between ME algorithms and worker pools.
+//
+// In the paper the service and its database are started remotely via funcX
+// (§IV-B). Here the service is an object whose lifecycle (start/stop) is
+// driven the same way by the faas module in examples and benches; it owns
+// the Database and hands out EQSQL client handles.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "osprey/core/clock.h"
+#include "osprey/db/database.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/json/json.h"
+
+namespace osprey::eqsql {
+
+/// Aggregate queue/task counts exposed "for queries" (§IV-C).
+struct ServiceStats {
+  std::int64_t tasks_total = 0;
+  std::int64_t tasks_queued = 0;
+  std::int64_t tasks_running = 0;
+  std::int64_t tasks_complete = 0;
+  std::int64_t tasks_canceled = 0;
+  std::int64_t output_queue_depth = 0;
+  std::int64_t input_queue_depth = 0;
+};
+
+class EmewsService {
+ public:
+  /// Creates the service with a fresh empty database. `clock` stamps task
+  /// timestamps; pass the simulation for virtual-time runs.
+  explicit EmewsService(const Clock& clock);
+
+  /// Start the service: creates the EMEWS schema. Idempotent start attempts
+  /// fail with kConflict (already running).
+  Status start();
+
+  /// Stop the service. Task state remains in the database (fault tolerance:
+  /// stopping the service must not lose tasks); a later start() resumes.
+  Status stop();
+
+  bool running() const { return running_; }
+
+  /// A client API handle bound to this service's database. The service must
+  /// be running. Each caller (ME algorithm, worker pool) gets its own
+  /// EQSQL — they share the database but not statement state.
+  Result<std::unique_ptr<EQSQL>> connect(Sleeper sleeper = {});
+
+  /// Queue / task counts for monitoring.
+  Result<ServiceStats> stats();
+
+  /// Snapshot the whole task database as JSON (checkpoint; §II-B2c).
+  json::Value checkpoint() const;
+
+  /// Restore a checkpoint into this (fresh, never-started) service and mark
+  /// it running.
+  Status restore(const json::Value& snapshot);
+
+  db::Database& database() { return db_; }
+
+ private:
+  const Clock& clock_;
+  db::Database db_;
+  bool running_ = false;
+  bool schema_created_ = false;
+};
+
+}  // namespace osprey::eqsql

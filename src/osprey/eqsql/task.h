@@ -1,0 +1,49 @@
+// Task model types for the EMEWS DB (§IV-C).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "osprey/core/error.h"
+#include "osprey/core/types.h"
+
+namespace osprey::eqsql {
+
+/// Task lifecycle states stored in the tasks table (§IV-C: "queued, running,
+/// complete, or canceled").
+enum class TaskStatus { kQueued, kRunning, kComplete, kCanceled };
+
+const char* task_status_name(TaskStatus s);
+Result<TaskStatus> parse_task_status(const std::string& name);
+
+/// What a worker pool receives when it pops the output queue: the Python API
+/// returns {'type': 'work', 'eq_task_id': id, 'payload': payload}.
+struct TaskHandle {
+  TaskId eq_task_id = 0;
+  WorkType eq_type = 0;
+  std::string payload;
+};
+
+/// Full task row, for introspection and tests.
+struct TaskRecord {
+  TaskId eq_task_id = 0;
+  ExpId exp_id;
+  WorkType eq_type = 0;
+  TaskStatus status = TaskStatus::kQueued;
+  Priority priority = 0;
+  std::string payload;
+  std::optional<std::string> result;
+  std::optional<PoolId> worker_pool;
+  TimePoint created_at = 0;
+  std::optional<TimePoint> start_at;
+  std::optional<TimePoint> stop_at;
+};
+
+/// Polling parameters used by the blocking query APIs (§IV-C: "an optional
+/// timeout and delay value").
+struct PollSpec {
+  Duration delay = 0.5;
+  Duration timeout = 2.0;
+};
+
+}  // namespace osprey::eqsql

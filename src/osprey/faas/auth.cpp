@@ -1,0 +1,51 @@
+#include "osprey/faas/auth.h"
+
+#include <array>
+
+namespace osprey::faas {
+
+AuthService::AuthService(const Clock& clock, std::uint64_t seed)
+    : clock_(clock), rng_(seed) {}
+
+Token AuthService::issue(const UserName& user, Duration lifetime) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string token = "osp-";
+  for (int i = 0; i < 32; ++i) {
+    token += kHex[rng_.uniform_int(0, 15)];
+  }
+  tokens_[token] = Entry{user, clock_.now() + lifetime};
+  return token;
+}
+
+Result<UserName> AuthService::validate(const Token& token) const {
+  auto it = tokens_.find(token);
+  if (it == tokens_.end()) {
+    return Error(ErrorCode::kPermissionDenied, "unknown or revoked token");
+  }
+  if (clock_.now() >= it->second.expires_at) {
+    return Error(ErrorCode::kPermissionDenied, "token expired");
+  }
+  return it->second.user;
+}
+
+void AuthService::revoke(const Token& token) { tokens_.erase(token); }
+
+Status AuthService::refresh(const Token& token, Duration lifetime) {
+  auto it = tokens_.find(token);
+  if (it == tokens_.end() || clock_.now() >= it->second.expires_at) {
+    return Status(ErrorCode::kPermissionDenied,
+                  "cannot refresh an invalid token");
+  }
+  it->second.expires_at = clock_.now() + lifetime;
+  return Status::ok();
+}
+
+std::size_t AuthService::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, entry] : tokens_) {
+    if (clock_.now() < entry.expires_at) ++n;
+  }
+  return n;
+}
+
+}  // namespace osprey::faas

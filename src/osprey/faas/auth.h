@@ -1,0 +1,53 @@
+// Token-based authentication for the FaaS control plane.
+//
+// §IV-B: the hosted funcX service is "responsible for ... authenticating and
+// authorizing users (via OAuth 2.0)". We model the outcome of that flow:
+// users obtain bearer tokens with an expiry; every control-plane call
+// validates its token; expired or revoked tokens yield PERMISSION_DENIED.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/error.h"
+#include "osprey/core/rng.h"
+
+namespace osprey::faas {
+
+using Token = std::string;
+using UserName = std::string;
+
+class AuthService {
+ public:
+  /// `clock` drives token expiry; `seed` makes token strings deterministic
+  /// in tests.
+  AuthService(const Clock& clock, std::uint64_t seed = 0x0a0a'0a0a);
+
+  /// Issue a bearer token for `user`, valid for `lifetime` seconds.
+  Token issue(const UserName& user, Duration lifetime = 3600.0);
+
+  /// Validate a token: returns the owning user, or PERMISSION_DENIED when
+  /// the token is unknown, revoked, or expired.
+  Result<UserName> validate(const Token& token) const;
+
+  /// Revoke a token immediately. Unknown tokens are ignored.
+  void revoke(const Token& token);
+
+  /// Refresh: extend a (still valid) token's lifetime.
+  Status refresh(const Token& token, Duration lifetime = 3600.0);
+
+  std::size_t active_count() const;
+
+ private:
+  struct Entry {
+    UserName user;
+    TimePoint expires_at;
+  };
+  const Clock& clock_;
+  mutable Rng rng_;
+  std::map<Token, Entry> tokens_;
+};
+
+}  // namespace osprey::faas

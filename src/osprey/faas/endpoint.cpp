@@ -1,0 +1,30 @@
+#include "osprey/faas/endpoint.h"
+
+namespace osprey::faas {
+
+Endpoint::Endpoint(std::string name, net::SiteName site, std::uint64_t seed)
+    : name_(std::move(name)), site_(std::move(site)), rng_(seed) {}
+
+Result<json::Value> Endpoint::execute(const std::string& function,
+                                      const json::Value& payload) {
+  if (!online_) {
+    ++failures_;
+    return Error(ErrorCode::kUnavailable,
+                 "endpoint '" + name_ + "' is offline");
+  }
+  if (forced_failures_ > 0) {
+    --forced_failures_;
+    ++failures_;
+    return Error(ErrorCode::kUnavailable,
+                 "endpoint '" + name_ + "' injected failure");
+  }
+  if (failure_probability_ > 0.0 && rng_.bernoulli(failure_probability_)) {
+    ++failures_;
+    return Error(ErrorCode::kUnavailable,
+                 "endpoint '" + name_ + "' transient failure");
+  }
+  ++executions_;
+  return registry_.invoke(function, payload);
+}
+
+}  // namespace osprey::faas

@@ -1,0 +1,60 @@
+// A FaaS endpoint: the per-resource agent users deploy "to make it
+// accessible for remote computation" (§IV-B).
+//
+// The endpoint owns a function registry (the code available at that site),
+// an online/offline state (resources go down; the cloud service retries),
+// and a failure injector so tests and benches can exercise the
+// fire-and-forget retry path deterministically.
+#pragma once
+
+#include <string>
+
+#include "osprey/core/rng.h"
+#include "osprey/faas/registry.h"
+#include "osprey/net/network.h"
+
+namespace osprey::faas {
+
+class Endpoint {
+ public:
+  /// `name` identifies the endpoint to the cloud service; `site` locates it
+  /// in the network model.
+  Endpoint(std::string name, net::SiteName site, std::uint64_t seed = 1);
+
+  const std::string& name() const { return name_; }
+  const net::SiteName& site() const { return site_; }
+
+  FunctionRegistry& registry() { return registry_; }
+  const FunctionRegistry& registry() const { return registry_; }
+
+  bool online() const { return online_; }
+  void set_online(bool online) { online_ = online; }
+
+  /// Failure injection: each execution fails with probability `p`
+  /// (UNAVAILABLE, retryable). Deterministic given the endpoint seed.
+  void set_failure_probability(double p) { failure_probability_ = p; }
+  /// Force exactly the next `n` executions to fail.
+  void fail_next(int n) { forced_failures_ = n; }
+
+  /// Execute a function body at this endpoint. Returns UNAVAILABLE when the
+  /// endpoint is offline or an injected failure fires.
+  Result<json::Value> execute(const std::string& function,
+                              const json::Value& payload);
+
+  /// Statistics.
+  std::uint64_t executions() const { return executions_; }
+  std::uint64_t failures() const { return failures_; }
+
+ private:
+  std::string name_;
+  net::SiteName site_;
+  FunctionRegistry registry_;
+  bool online_ = true;
+  double failure_probability_ = 0.0;
+  int forced_failures_ = 0;
+  Rng rng_;
+  std::uint64_t executions_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace osprey::faas

@@ -1,0 +1,47 @@
+#include "osprey/faas/registry.h"
+
+namespace osprey::faas {
+
+Status FunctionRegistry::register_function(const std::string& name,
+                                           FunctionBody body,
+                                           DurationModel duration) {
+  if (!body) {
+    return Status(ErrorCode::kInvalidArgument, "empty function body");
+  }
+  auto [it, inserted] =
+      functions_.emplace(name, Entry{std::move(body), std::move(duration)});
+  (void)it;
+  if (!inserted) {
+    return Status(ErrorCode::kConflict,
+                  "function '" + name + "' already registered");
+  }
+  return Status::ok();
+}
+
+Result<json::Value> FunctionRegistry::invoke(const std::string& name,
+                                             const json::Value& payload) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Error(ErrorCode::kNotFound, "no function '" + name + "'");
+  }
+  return it->second.body(payload);
+}
+
+Result<Duration> FunctionRegistry::duration(const std::string& name,
+                                            const json::Value& payload) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Error(ErrorCode::kNotFound, "no function '" + name + "'");
+  }
+  if (!it->second.duration) return Duration{0.0};
+  return it->second.duration(payload);
+}
+
+std::vector<std::string> FunctionRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(functions_.size());
+  for (const auto& [name, _] : functions_) out.push_back(name);
+  return out;
+}
+
+}  // namespace osprey::faas

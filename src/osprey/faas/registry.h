@@ -1,0 +1,56 @@
+// Registered remote functions.
+//
+// §IV-B: funcX executes "arbitrary Python functions ... on remote
+// computers". In C++ the equivalent is a registry of named functions taking
+// and returning JSON. Each registration optionally declares a duration
+// model — how long the function occupies the endpoint in simulated time
+// (e.g. GPR retraining time as a function of the training-set size) — since
+// the body itself runs instantaneously inside a simulation event.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "osprey/core/error.h"
+#include "osprey/core/types.h"
+#include "osprey/json/json.h"
+
+namespace osprey::faas {
+
+/// A remote function body: JSON in, JSON out (or an error, which the service
+/// treats as a task failure subject to retry).
+using FunctionBody = std::function<Result<json::Value>(const json::Value&)>;
+
+/// Simulated execution time of a call given its payload.
+using DurationModel = std::function<Duration(const json::Value&)>;
+
+class FunctionRegistry {
+ public:
+  /// Register a function under a unique name. `duration` defaults to zero
+  /// (control-plane actions are instantaneous at trace resolution).
+  Status register_function(const std::string& name, FunctionBody body,
+                           DurationModel duration = {});
+
+  bool has(const std::string& name) const { return functions_.count(name) > 0; }
+
+  /// Invoke a function body directly (endpoint-side use).
+  Result<json::Value> invoke(const std::string& name,
+                             const json::Value& payload) const;
+
+  /// The declared execution duration for a call.
+  Result<Duration> duration(const std::string& name,
+                            const json::Value& payload) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    FunctionBody body;
+    DurationModel duration;
+  };
+  std::map<std::string, Entry> functions_;
+};
+
+}  // namespace osprey::faas

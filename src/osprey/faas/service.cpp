@@ -1,0 +1,183 @@
+#include "osprey/faas/service.h"
+
+#include <cassert>
+
+#include "osprey/core/log.h"
+
+namespace osprey::faas {
+
+const char* faas_task_state_name(FaaSTaskState s) {
+  switch (s) {
+    case FaaSTaskState::kPending: return "pending";
+    case FaaSTaskState::kExecuting: return "executing";
+    case FaaSTaskState::kSucceeded: return "succeeded";
+    case FaaSTaskState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+FaaSService::FaaSService(sim::Simulation& sim, const net::Network& network,
+                         AuthService& auth)
+    : sim_(sim), network_(network), auth_(auth) {}
+
+Status FaaSService::register_endpoint(Endpoint& endpoint) {
+  auto [it, inserted] = endpoints_.emplace(endpoint.name(), &endpoint);
+  (void)it;
+  if (!inserted) {
+    return Status(ErrorCode::kConflict,
+                  "endpoint '" + endpoint.name() + "' already registered");
+  }
+  return Status::ok();
+}
+
+Endpoint* FaaSService::endpoint(const std::string& name) {
+  auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+Result<FaaSTaskId> FaaSService::submit(const Token& token,
+                                       const std::string& endpoint,
+                                       const std::string& function,
+                                       const json::Value& payload,
+                                       SubmitOptions options) {
+  Result<UserName> user = auth_.validate(token);
+  if (!user.ok()) return user.error();
+  auto ep = endpoints_.find(endpoint);
+  if (ep == endpoints_.end()) {
+    return Error(ErrorCode::kNotFound, "no endpoint '" + endpoint + "'");
+  }
+  const Bytes payload_bytes = payload.dump().size();
+  if (payload_bytes > kMaxPayloadBytes) {
+    return Error(ErrorCode::kPayloadTooLarge,
+                 "payload is " + std::to_string(payload_bytes) +
+                     " bytes; the FaaS limit is 10MB — stage via ProxyStore");
+  }
+
+  FaaSTaskId id = next_id_++;
+  TaskEntry entry;
+  entry.endpoint = endpoint;
+  entry.function = function;
+  entry.payload = payload;
+  entry.options = std::move(options);
+  tasks_.emplace(id, std::move(entry));
+
+  // Control path: caller site -> cloud -> endpoint site.
+  const TaskEntry& stored = tasks_.at(id);
+  Duration delivery = network_.latency(stored.options.caller_site, net::kCloudSite) +
+                      network_.latency(net::kCloudSite, ep->second->site());
+  sim_.schedule_in(delivery, [this, id] { deliver(id); });
+  return id;
+}
+
+void FaaSService::deliver(FaaSTaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  TaskEntry& task = it->second;
+  Endpoint* ep = endpoints_.at(task.endpoint);
+  if (!ep->online()) {
+    // Fire-and-forget: hold the task and re-poll the endpoint. Offline time
+    // does not consume the retry budget (§IV-B: stored until the endpoint
+    // is reachable).
+    OSPREY_LOG(kDebug, "faas") << "task " << id << ": endpoint '"
+                               << task.endpoint << "' offline; re-polling";
+    sim_.schedule_in(task.options.offline_poll, [this, id] { deliver(id); });
+    return;
+  }
+  task.state = FaaSTaskState::kExecuting;
+  Result<Duration> duration = ep->registry().duration(task.function, task.payload);
+  if (!duration.ok()) {
+    finish(id, duration.error());  // unknown function: permanent failure
+    return;
+  }
+  sim_.schedule_in(duration.value(), [this, id] { execute(id); });
+}
+
+void FaaSService::execute(FaaSTaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  TaskEntry& task = it->second;
+  Endpoint* ep = endpoints_.at(task.endpoint);
+  Result<json::Value> outcome = ep->execute(task.function, task.payload);
+
+  if (!outcome.ok() && outcome.code() == ErrorCode::kUnavailable) {
+    // Transient failure: bounded retries with exponential backoff.
+    if (task.attempts < task.options.max_retries) {
+      ++task.attempts;
+      ++total_retries_;
+      task.state = FaaSTaskState::kPending;
+      Duration backoff =
+          task.options.retry_backoff * static_cast<double>(1 << (task.attempts - 1));
+      OSPREY_LOG(kDebug, "faas")
+          << "task " << id << " attempt " << task.attempts << " failed; retry in "
+          << backoff << "s";
+      sim_.schedule_in(backoff, [this, id] { deliver(id); });
+      return;
+    }
+    finish(id, Error(ErrorCode::kUnavailable,
+                     "retries exhausted after " +
+                         std::to_string(task.attempts + 1) + " attempts"));
+    return;
+  }
+
+  if (outcome.ok()) {
+    const Bytes result_bytes = outcome.value().dump().size();
+    if (result_bytes > kMaxPayloadBytes) {
+      finish(id, Error(ErrorCode::kPayloadTooLarge,
+                       "result is " + std::to_string(result_bytes) +
+                           " bytes; the FaaS limit is 10MB"));
+      return;
+    }
+  }
+
+  // Result returns endpoint site -> cloud before it is visible to the user.
+  Endpoint* endpoint_ptr = ep;
+  Duration return_latency =
+      network_.latency(endpoint_ptr->site(), net::kCloudSite);
+  sim_.schedule_in(return_latency, [this, id, outcome = std::move(outcome)] {
+    finish(id, outcome);
+  });
+}
+
+void FaaSService::finish(FaaSTaskId id, Result<json::Value> outcome) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  TaskEntry& task = it->second;
+  task.state = outcome.ok() ? FaaSTaskState::kSucceeded : FaaSTaskState::kFailed;
+  task.outcome = outcome;
+  if (task.options.on_complete) {
+    task.options.on_complete(id, *task.outcome);
+  }
+}
+
+FaaSTaskState FaaSService::state(FaaSTaskId id) const {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return FaaSTaskState::kFailed;
+  return it->second.state;
+}
+
+Result<json::Value> FaaSService::retrieve(FaaSTaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) {
+    return Error(ErrorCode::kNotFound, "no FaaS task " + std::to_string(id));
+  }
+  if (!it->second.outcome.has_value()) {
+    return Error(ErrorCode::kNotFound,
+                 "FaaS task " + std::to_string(id) + " still in flight");
+  }
+  Result<json::Value> outcome = *it->second.outcome;
+  tasks_.erase(it);  // results are stored until retrieved, then dropped
+  return outcome;
+}
+
+std::size_t FaaSService::in_flight() const {
+  std::size_t n = 0;
+  for (const auto& [_, task] : tasks_) {
+    if (task.state == FaaSTaskState::kPending ||
+        task.state == FaaSTaskState::kExecuting) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace osprey::faas

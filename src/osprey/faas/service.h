@@ -1,0 +1,116 @@
+// The hosted FaaS cloud service (§IV-B).
+//
+// Responsibilities modeled from the paper:
+//  - "an interface for users to submit tasks" (submit),
+//  - "managing secure communication with an endpoint, authenticating and
+//    authorizing users" (AuthService token on every call),
+//  - "providing fire-and-forget execution by storing and retrying tasks in
+//    the event an endpoint is offline or fails" (pending store, offline
+//    re-polls, bounded retries on transient failures),
+//  - "storing results (or failures) until retrieved by a user" (result
+//    store + retrieve),
+//  - the 10 MB input/output payload limit (§IV-E) that motivates the
+//    ProxyStore data plane.
+//
+// The service is event-driven on the discrete-event simulation: control
+// messages travel caller-site -> cloud -> endpoint-site with network-model
+// latencies, and function bodies execute at the simulated time their
+// endpoint reaches them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "osprey/faas/auth.h"
+#include "osprey/faas/endpoint.h"
+#include "osprey/net/network.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::faas {
+
+using FaaSTaskId = std::uint64_t;
+
+enum class FaaSTaskState {
+  kPending,    // stored in the cloud, endpoint offline or not yet reached
+  kExecuting,  // delivered, running at the endpoint
+  kSucceeded,  // result stored, awaiting retrieval
+  kFailed,     // permanent failure (retries exhausted or function error)
+};
+
+const char* faas_task_state_name(FaaSTaskState s);
+
+struct SubmitOptions {
+  /// Site the submit call originates from (affects control latency).
+  net::SiteName caller_site = "laptop";
+  /// Transient-failure retries before the task fails permanently.
+  int max_retries = 3;
+  /// Backoff between retries (doubles per attempt).
+  Duration retry_backoff = 1.0;
+  /// How often the cloud re-checks an offline endpoint (fire-and-forget).
+  Duration offline_poll = 5.0;
+  /// Invoked (in simulation time) when the task reaches a terminal state.
+  std::function<void(FaaSTaskId, const Result<json::Value>&)> on_complete;
+};
+
+class FaaSService {
+ public:
+  /// funcX "limits input/output sizes to 10MB" (§IV-E).
+  static constexpr Bytes kMaxPayloadBytes = 10ull * 1024 * 1024;
+
+  FaaSService(sim::Simulation& sim, const net::Network& network,
+              AuthService& auth);
+
+  /// Make an endpoint reachable. The endpoint must outlive the service.
+  Status register_endpoint(Endpoint& endpoint);
+
+  Endpoint* endpoint(const std::string& name);
+
+  /// Submit a function call. Validates the token and payload size, stores
+  /// the task, and schedules delivery. Returns the task id immediately
+  /// (fire-and-forget); completion is observed via state/result/on_complete.
+  Result<FaaSTaskId> submit(const Token& token, const std::string& endpoint,
+                            const std::string& function,
+                            const json::Value& payload,
+                            SubmitOptions options = {});
+
+  FaaSTaskState state(FaaSTaskId id) const;
+
+  /// Retrieve a stored result ("storing results (or failures) until
+  /// retrieved"): kNotFound while the task is in flight or unknown; the
+  /// stored error for failed tasks. Retrieval removes the stored result.
+  Result<json::Value> retrieve(FaaSTaskId id);
+
+  /// Number of tasks not yet in a terminal state.
+  std::size_t in_flight() const;
+
+  /// Total transient-failure retries performed (for the A7 bench).
+  std::uint64_t total_retries() const { return total_retries_; }
+
+ private:
+  struct TaskEntry {
+    std::string endpoint;
+    std::string function;
+    json::Value payload;
+    SubmitOptions options;
+    FaaSTaskState state = FaaSTaskState::kPending;
+    int attempts = 0;
+    std::optional<Result<json::Value>> outcome;
+  };
+
+  void deliver(FaaSTaskId id);
+  void execute(FaaSTaskId id);
+  void finish(FaaSTaskId id, Result<json::Value> outcome);
+
+  sim::Simulation& sim_;
+  const net::Network& network_;
+  AuthService& auth_;
+  std::map<std::string, Endpoint*> endpoints_;
+  std::map<FaaSTaskId, TaskEntry> tasks_;
+  FaaSTaskId next_id_ = 1;
+  std::uint64_t total_retries_ = 0;
+};
+
+}  // namespace osprey::faas

@@ -1,0 +1,41 @@
+#include "osprey/faas/ssh.h"
+
+namespace osprey::faas {
+
+SshChannel::SshChannel(sim::Simulation& sim, const net::Network& network,
+                       SshConfig config)
+    : sim_(sim), network_(network), config_(config) {}
+
+Duration SshChannel::handshake_cost(const net::SiteName& a,
+                                    const net::SiteName& b) const {
+  return 2.0 * config_.handshake_round_trips * network_.latency(a, b);
+}
+
+void SshChannel::run(const net::SiteName& caller_site, Endpoint& endpoint,
+                     const std::string& function, const json::Value& payload,
+                     std::function<void(Result<json::Value>)> on_complete) {
+  ++sessions_;
+  const Duration rtt = 2.0 * network_.latency(caller_site, endpoint.site());
+  // Connect attempt: one round trip to discover an offline host.
+  if (!endpoint.online()) {
+    sim_.schedule_in(rtt, [on_complete = std::move(on_complete), &endpoint] {
+      on_complete(Error(ErrorCode::kUnavailable,
+                        "ssh: connection refused by '" + endpoint.name() +
+                            "' (host offline; no store-and-retry)"));
+    });
+    return;
+  }
+  const Duration setup = handshake_cost(caller_site, endpoint.site());
+  Result<Duration> exec_duration =
+      endpoint.registry().duration(function, payload);
+  const Duration run_time = exec_duration.ok() ? exec_duration.value() : 0.0;
+  sim_.schedule_in(
+      setup + run_time + rtt / 2.0,
+      [&endpoint, function, payload, on_complete = std::move(on_complete)] {
+        // The caller held the connection the whole time; the result arrives
+        // directly (or the failure does — nothing is stored).
+        on_complete(endpoint.execute(function, payload));
+      });
+}
+
+}  // namespace osprey::faas

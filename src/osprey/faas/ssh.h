@@ -1,0 +1,53 @@
+// SSH transport alternative (§IV-B): "Tasks produced by the ME algorithm
+// are distributed over the wide area network via a configurable network,
+// with funcX or SSH as the transport mechanism."
+//
+// SshChannel models the pre-FaaS way of running remote commands: a direct,
+// connection-oriented call to one host. The contrasts with the FaaS path
+// are the point (and are tested):
+//  - no third party: the caller holds the connection; an offline host is an
+//    immediate failure, nothing is stored or retried;
+//  - per-call session setup cost (handshake + authentication round trips);
+//  - results return only while the caller waits — fire-and-forget is
+//    impossible.
+#pragma once
+
+#include <functional>
+
+#include "osprey/faas/endpoint.h"
+#include "osprey/net/network.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::faas {
+
+struct SshConfig {
+  /// Round trips for TCP + key exchange + auth before the command runs.
+  int handshake_round_trips = 3;
+};
+
+class SshChannel {
+ public:
+  SshChannel(sim::Simulation& sim, const net::Network& network,
+             SshConfig config = {});
+
+  /// Run a function on the remote endpoint from `caller_site`. The callback
+  /// fires after handshake + execution + return latency, or immediately-ish
+  /// with UNAVAILABLE when the host is offline (detected at connect time —
+  /// one latency round trip). No retries, no result storage.
+  void run(const net::SiteName& caller_site, Endpoint& endpoint,
+           const std::string& function, const json::Value& payload,
+           std::function<void(Result<json::Value>)> on_complete);
+
+  /// Pure cost model: session setup time between two sites.
+  Duration handshake_cost(const net::SiteName& a, const net::SiteName& b) const;
+
+  std::uint64_t sessions_opened() const { return sessions_; }
+
+ private:
+  sim::Simulation& sim_;
+  const net::Network& network_;
+  SshConfig config_;
+  std::uint64_t sessions_ = 0;
+};
+
+}  // namespace osprey::faas

@@ -1,0 +1,130 @@
+#include "osprey/ingest/catalog.h"
+
+#include <algorithm>
+
+namespace osprey::ingest {
+
+Result<ArtifactId> ArtifactCatalog::put(const std::string& name,
+                                        const std::string& type,
+                                        std::string bytes,
+                                        std::vector<ArtifactId> parents,
+                                        json::Value metadata) {
+  if (name.empty() || type.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "artifact needs name and type");
+  }
+  for (ArtifactId parent : parents) {
+    if (!artifacts_.count(parent)) {
+      return Error(ErrorCode::kNotFound,
+                   "parent artifact " + std::to_string(parent) + " not found");
+    }
+  }
+  ArtifactId id = next_id_++;
+  ArtifactMeta meta;
+  meta.id = id;
+  meta.name = name;
+  meta.version = static_cast<int>(versions_by_name_[name].size()) + 1;
+  meta.type = type;
+  meta.size = bytes.size();
+  meta.created_at = clock_->now();
+  meta.parents = std::move(parents);
+  meta.metadata = std::move(metadata);
+
+  Status stored = store_->put(storage_key(id), std::move(bytes));
+  if (!stored.is_ok()) return stored.error();
+  versions_by_name_[name].push_back(id);
+  artifacts_.emplace(id, std::move(meta));
+  return id;
+}
+
+Result<ArtifactMeta> ArtifactCatalog::info(ArtifactId id) const {
+  auto it = artifacts_.find(id);
+  if (it == artifacts_.end()) {
+    return Error(ErrorCode::kNotFound, "no artifact " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Result<ArtifactMeta> ArtifactCatalog::latest(const std::string& name) const {
+  auto it = versions_by_name_.find(name);
+  if (it == versions_by_name_.end() || it->second.empty()) {
+    return Error(ErrorCode::kNotFound, "no artifact named '" + name + "'");
+  }
+  return info(it->second.back());
+}
+
+Result<ArtifactMeta> ArtifactCatalog::version(const std::string& name,
+                                              int version) const {
+  auto it = versions_by_name_.find(name);
+  if (it == versions_by_name_.end() || version < 1 ||
+      static_cast<std::size_t>(version) > it->second.size()) {
+    return Error(ErrorCode::kNotFound,
+                 "no artifact '" + name + "' v" + std::to_string(version));
+  }
+  return info(it->second[static_cast<std::size_t>(version) - 1]);
+}
+
+Result<std::string> ArtifactCatalog::fetch(ArtifactId id) const {
+  if (!artifacts_.count(id)) {
+    return Error(ErrorCode::kNotFound, "no artifact " + std::to_string(id));
+  }
+  return store_->get(storage_key(id));
+}
+
+std::vector<ArtifactMeta> ArtifactCatalog::by_type(
+    const std::string& type) const {
+  std::vector<ArtifactMeta> out;
+  for (const auto& [id, meta] : artifacts_) {
+    if (meta.type == type) out.push_back(meta);
+  }
+  return out;  // map order == id order == creation order
+}
+
+Result<std::vector<ArtifactMeta>> ArtifactCatalog::lineage(
+    ArtifactId id) const {
+  Result<ArtifactMeta> root = info(id);
+  if (!root.ok()) return root.error();
+  std::vector<ArtifactMeta> out;
+  std::vector<ArtifactId> frontier = root.value().parents;
+  std::vector<bool> seen;
+  std::map<ArtifactId, bool> visited;
+  while (!frontier.empty()) {
+    std::vector<ArtifactId> next;
+    for (ArtifactId parent : frontier) {
+      if (visited[parent]) continue;
+      visited[parent] = true;
+      Result<ArtifactMeta> meta = info(parent);
+      if (!meta.ok()) return meta.error();
+      out.push_back(meta.value());
+      for (ArtifactId grandparent : meta.value().parents) {
+        next.push_back(grandparent);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+Status ArtifactCatalog::evict(ArtifactId id) {
+  auto it = artifacts_.find(id);
+  if (it == artifacts_.end()) {
+    return Status(ErrorCode::kNotFound, "no artifact " + std::to_string(id));
+  }
+  for (const auto& [other_id, meta] : artifacts_) {
+    if (other_id == id) continue;
+    if (std::find(meta.parents.begin(), meta.parents.end(), id) !=
+        meta.parents.end()) {
+      return Status(ErrorCode::kConflict,
+                    "artifact " + std::to_string(id) + " is a parent of " +
+                        std::to_string(other_id));
+    }
+  }
+  Status evicted = store_->evict(storage_key(id));
+  if (!evicted.is_ok()) return evicted;
+  auto& versions = versions_by_name_[it->second.name];
+  versions.erase(std::remove(versions.begin(), versions.end(), id),
+                 versions.end());
+  artifacts_.erase(it);
+  return Status::ok();
+}
+
+}  // namespace osprey::ingest

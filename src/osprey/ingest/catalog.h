@@ -1,0 +1,86 @@
+// Artifact catalog (§II-B2c): "Algorithm and model artifacts, such as model
+// exploration state or calibrated model checkpoints, can be complex, large,
+// and numerous and not local to a specific resource. OSPREY needs to manage
+// these artifacts, and their associated metadata."
+//
+// The catalog stores versioned named artifacts: bytes go into any
+// proxystore::Store (local / file / globus), metadata (type, creation time,
+// lineage to parent artifacts, free-form JSON such as curation provenance)
+// stays in the catalog. "Model checkpoints should be easily selected" —
+// lookups by name/latest, by type, and by lineage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/json/json.h"
+#include "osprey/proxystore/store.h"
+
+namespace osprey::ingest {
+
+using ArtifactId = std::uint64_t;
+
+struct ArtifactMeta {
+  ArtifactId id = 0;
+  std::string name;
+  int version = 0;        // per-name, starting at 1
+  std::string type;       // "dataset", "gpr_model", "checkpoint", ...
+  Bytes size = 0;
+  TimePoint created_at = 0;
+  std::vector<ArtifactId> parents;  // lineage
+  json::Value metadata;             // free-form (e.g. curation provenance)
+};
+
+class ArtifactCatalog {
+ public:
+  /// Artifact bytes live in `store`; metadata lives in the catalog.
+  ArtifactCatalog(proxystore::Store& store, const Clock& clock)
+      : store_(&store), clock_(&clock) {}
+
+  /// Register a new version of `name` (versions auto-increment per name).
+  /// Parents must already exist.
+  Result<ArtifactId> put(const std::string& name, const std::string& type,
+                         std::string bytes,
+                         std::vector<ArtifactId> parents = {},
+                         json::Value metadata = {});
+
+  /// Metadata by id.
+  Result<ArtifactMeta> info(ArtifactId id) const;
+
+  /// Latest version of a name.
+  Result<ArtifactMeta> latest(const std::string& name) const;
+
+  /// A specific version of a name.
+  Result<ArtifactMeta> version(const std::string& name, int version) const;
+
+  /// Fetch an artifact's bytes from the store.
+  Result<std::string> fetch(ArtifactId id) const;
+
+  /// All artifacts of a type, oldest first.
+  std::vector<ArtifactMeta> by_type(const std::string& type) const;
+
+  /// Transitive ancestors of an artifact (nearest first).
+  Result<std::vector<ArtifactMeta>> lineage(ArtifactId id) const;
+
+  /// Drop an artifact (fails while other artifacts list it as a parent).
+  Status evict(ArtifactId id);
+
+  std::size_t size() const { return artifacts_.size(); }
+
+ private:
+  std::string storage_key(ArtifactId id) const {
+    return "artifact/" + std::to_string(id);
+  }
+
+  proxystore::Store* store_;
+  const Clock* clock_;
+  std::map<ArtifactId, ArtifactMeta> artifacts_;
+  std::map<std::string, std::vector<ArtifactId>> versions_by_name_;
+  ArtifactId next_id_ = 1;
+};
+
+}  // namespace osprey::ingest

@@ -1,0 +1,213 @@
+#include "osprey/ingest/curate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace osprey::ingest {
+
+std::uint64_t series_checksum(const Series& series) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (double v : series) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (bits >> (byte * 8)) & 0xFF;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+Result<Series> CurationPipeline::run(
+    const Series& input, std::vector<ProvenanceRecord>* provenance) const {
+  Series current = input;
+  for (const Stage& stage : stages_) {
+    std::uint64_t input_checksum = series_checksum(current);
+    Result<Series> next = stage.apply(current);
+    if (!next.ok()) {
+      return Error(next.error().code,
+                   "stage '" + stage.name + "': " + next.error().message);
+    }
+    current = std::move(next).take();
+    if (provenance) {
+      ProvenanceRecord record;
+      record.stage = stage.name;
+      record.parameters = stage.parameters;
+      record.input_checksum = input_checksum;
+      record.output_checksum = series_checksum(current);
+      record.applied_at = clock_->now();
+      provenance->push_back(std::move(record));
+    }
+  }
+  return current;
+}
+
+json::Value CurationPipeline::provenance_to_json(
+    const std::vector<ProvenanceRecord>& provenance) {
+  json::Array stages;
+  for (const ProvenanceRecord& record : provenance) {
+    json::Value entry;
+    entry["stage"] = json::Value(record.stage);
+    entry["parameters"] = record.parameters;
+    entry["input_checksum"] =
+        json::Value(static_cast<std::int64_t>(record.input_checksum));
+    entry["output_checksum"] =
+        json::Value(static_cast<std::int64_t>(record.output_checksum));
+    entry["applied_at"] = json::Value(record.applied_at);
+    stages.push_back(std::move(entry));
+  }
+  json::Value doc;
+  doc["provenance"] = json::Value(std::move(stages));
+  return doc;
+}
+
+// --- stages ---------------------------------------------------------------------
+
+Stage fill_missing_stage() {
+  Stage stage;
+  stage.name = "fill_missing";
+  stage.parameters["method"] = json::Value("linear_interpolation");
+  stage.apply = [](const Series& in) -> Result<Series> {
+    Series out = in;
+    auto invalid = [](double v) { return !std::isfinite(v) || v < 0; };
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!invalid(out[i])) continue;
+      // Find valid neighbors.
+      std::size_t prev = i;
+      while (prev > 0 && invalid(out[prev])) --prev;
+      std::size_t next = i;
+      while (next + 1 < n && invalid(out[next])) ++next;
+      bool prev_ok = !invalid(out[prev]);
+      bool next_ok = !invalid(out[next]);
+      if (prev_ok && next_ok && next > prev) {
+        double t = static_cast<double>(i - prev) / static_cast<double>(next - prev);
+        out[i] = out[prev] + t * (out[next] - out[prev]);
+      } else if (prev_ok) {
+        out[i] = out[prev];
+      } else if (next_ok) {
+        out[i] = out[next];
+      } else {
+        out[i] = 0.0;  // nothing valid anywhere
+      }
+    }
+    return out;
+  };
+  return stage;
+}
+
+Stage weekday_debias_stage() {
+  Stage stage;
+  stage.name = "weekday_debias";
+  stage.parameters["method"] = json::Value("multiplicative_dow_factors");
+  stage.apply = [](const Series& in) -> Result<Series> {
+    if (in.size() < 14) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "need >= 14 days to estimate weekday factors");
+    }
+    // Local level: 7-day centered mean (flat at the edges).
+    const std::size_t n = in.size();
+    Series level(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t lo = i >= 3 ? i - 3 : 0;
+      std::size_t hi = std::min(n - 1, i + 3);
+      double sum = 0;
+      for (std::size_t j = lo; j <= hi; ++j) sum += in[j];
+      level[i] = sum / static_cast<double>(hi - lo + 1);
+    }
+    // Per-weekday mean ratio to the local level.
+    double factor[7] = {0, 0, 0, 0, 0, 0, 0};
+    int count[7] = {0, 0, 0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level[i] > 1e-9) {
+        factor[i % 7] += in[i] / level[i];
+        ++count[i % 7];
+      }
+    }
+    Series out = in;
+    for (std::size_t i = 0; i < n; ++i) {
+      int dow = static_cast<int>(i % 7);
+      if (count[dow] > 0) {
+        double f = factor[dow] / count[dow];
+        if (f > 1e-6) out[i] = in[i] / f;
+      }
+    }
+    return out;
+  };
+  return stage;
+}
+
+Stage smooth_stage(int window) {
+  Stage stage;
+  stage.name = "smooth";
+  stage.parameters["window"] = json::Value(window);
+  stage.apply = [window](const Series& in) -> Result<Series> {
+    if (window < 1 || window % 2 == 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "smoothing window must be odd and positive");
+    }
+    const int half = window / 2;
+    const int n = static_cast<int>(in.size());
+    Series out(in.size());
+    for (int i = 0; i < n; ++i) {
+      int lo = std::max(0, i - half);
+      int hi = std::min(n - 1, i + half);
+      double sum = 0;
+      for (int j = lo; j <= hi; ++j) sum += in[static_cast<std::size_t>(j)];
+      out[static_cast<std::size_t>(i)] = sum / (hi - lo + 1);
+    }
+    return out;
+  };
+  return stage;
+}
+
+Stage outlier_clip_stage(double k) {
+  Stage stage;
+  stage.name = "outlier_clip";
+  stage.parameters["k_mad"] = json::Value(k);
+  stage.apply = [k](const Series& in) -> Result<Series> {
+    const int n = static_cast<int>(in.size());
+    Series out = in;
+    auto window_median = [&](int center, int radius,
+                             const Series& source) {
+      int lo = std::max(0, center - radius);
+      int hi = std::min(n - 1, center + radius);
+      std::vector<double> window(source.begin() + lo, source.begin() + hi + 1);
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<long>(window.size() / 2),
+                       window.end());
+      return window[window.size() / 2];
+    };
+    for (int i = 0; i < n; ++i) {
+      double median = window_median(i, 3, in);
+      // MAD within the window.
+      int lo = std::max(0, i - 3);
+      int hi = std::min(n - 1, i + 3);
+      std::vector<double> deviations;
+      for (int j = lo; j <= hi; ++j) {
+        deviations.push_back(std::fabs(in[static_cast<std::size_t>(j)] - median));
+      }
+      std::nth_element(deviations.begin(),
+                       deviations.begin() + static_cast<long>(deviations.size() / 2),
+                       deviations.end());
+      double mad = std::max(deviations[deviations.size() / 2], 1e-9);
+      double bound = k * mad;
+      double& value = out[static_cast<std::size_t>(i)];
+      value = std::clamp(value, median - bound, median + bound);
+    }
+    return out;
+  };
+  return stage;
+}
+
+CurationPipeline standard_surveillance_pipeline(const Clock& clock) {
+  CurationPipeline pipeline(clock);
+  pipeline.add_stage(fill_missing_stage());
+  pipeline.add_stage(weekday_debias_stage());
+  pipeline.add_stage(outlier_clip_stage());
+  pipeline.add_stage(smooth_stage(7));
+  return pipeline;
+}
+
+}  // namespace osprey::ingest

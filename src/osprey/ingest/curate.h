@@ -1,0 +1,87 @@
+// Automated data curation (§II-B2b): "data analysis pipelines, such as for
+// data de-biasing, data integration, uncertainty quantification, and more
+// general metadata and provenance tracking".
+//
+// A CurationPipeline is an ordered list of named stages applied to a daily
+// series. Each application emits a ProvenanceRecord per stage (stage name,
+// parameters, input/output checksums, timestamp), so any curated series can
+// be traced back to its raw input. The built-in stages target exactly the
+// biases the epi surveillance model injects: missing days, weekday
+// reporting artifacts, and noise spikes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/error.h"
+#include "osprey/json/json.h"
+
+namespace osprey::ingest {
+
+using Series = std::vector<double>;
+
+/// One stage's provenance entry.
+struct ProvenanceRecord {
+  std::string stage;
+  json::Value parameters;
+  std::uint64_t input_checksum = 0;
+  std::uint64_t output_checksum = 0;
+  TimePoint applied_at = 0;
+};
+
+/// A curation stage: pure series -> series transform plus its parameter
+/// description for provenance.
+struct Stage {
+  std::string name;
+  json::Value parameters;
+  std::function<Result<Series>(const Series&)> apply;
+};
+
+/// Checksum of a series (order-sensitive), used by provenance records.
+std::uint64_t series_checksum(const Series& series);
+
+class CurationPipeline {
+ public:
+  explicit CurationPipeline(const Clock& clock) : clock_(&clock) {}
+
+  void add_stage(Stage stage) { stages_.push_back(std::move(stage)); }
+  std::size_t stage_count() const { return stages_.size(); }
+
+  /// Run all stages in order; returns the curated series and appends one
+  /// ProvenanceRecord per stage to `provenance`.
+  Result<Series> run(const Series& input,
+                     std::vector<ProvenanceRecord>* provenance) const;
+
+  /// Serialize a provenance chain for artifact metadata.
+  static json::Value provenance_to_json(
+      const std::vector<ProvenanceRecord>& provenance);
+
+ private:
+  const Clock* clock_;
+  std::vector<Stage> stages_;
+};
+
+// --- built-in stages ------------------------------------------------------------
+
+/// Replace non-finite / negative entries by linear interpolation between the
+/// nearest valid neighbors (ends extend flat).
+Stage fill_missing_stage();
+
+/// Estimate multiplicative day-of-week reporting factors (mean of each
+/// weekday relative to the 7-day local level) and divide them out — the
+/// de-biasing counterpart to the surveillance weekend effect.
+Stage weekday_debias_stage();
+
+/// Centered moving average of odd window `window`.
+Stage smooth_stage(int window = 7);
+
+/// Clip entries further than `k` median-absolute-deviations from a 7-day
+/// rolling median to that bound (spike suppression).
+Stage outlier_clip_stage(double k = 5.0);
+
+/// The standard surveillance pipeline: fill -> debias -> clip -> smooth.
+CurationPipeline standard_surveillance_pipeline(const Clock& clock);
+
+}  // namespace osprey::ingest

@@ -1,0 +1,78 @@
+#include "osprey/ingest/stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osprey::ingest {
+
+LaggedSource::LaggedSource(std::vector<double> truth, Config config)
+    : truth_(std::move(truth)), config_(std::move(config)) {}
+
+Publication LaggedSource::publish(int day, TimePoint now) const {
+  Publication batch;
+  batch.published_at = now;
+  batch.source = config_.name;
+  if (day < 0 || day >= days()) return batch;
+  // Revise the trailing window [day - lag_days + 1, day]; day d published on
+  // day p has revision (p - d), completeness converging geometrically.
+  int first = std::max(0, day - config_.lag_days + 1);
+  for (int d = first; d <= day; ++d) {
+    int revision = day - d;
+    double completeness =
+        1.0 - (1.0 - config_.initial_completeness) *
+                  std::pow(config_.convergence, revision);
+    Record record;
+    record.day = d;
+    record.revision = revision;
+    record.value = std::floor(truth_[static_cast<std::size_t>(d)] * completeness);
+    batch.records.push_back(record);
+  }
+  return batch;
+}
+
+Status StreamIngestor::ingest(const Publication& publication) {
+  if (publication.source.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "publication without a source");
+  }
+  for (const Record& record : publication.records) {
+    auto& history = by_day_[record.day];
+    if (!history.empty() && record.revision <= history.back().revision) {
+      ++stale_dropped_;
+      continue;
+    }
+    history.push_back(record);
+  }
+  ++publications_;
+  last_ingest_at_ = clock_->now();
+  return Status::ok();
+}
+
+std::vector<double> StreamIngestor::current_view() const {
+  if (by_day_.empty()) return {};
+  int last_day = by_day_.rbegin()->first;
+  std::vector<double> view(static_cast<std::size_t>(last_day) + 1, 0.0);
+  for (const auto& [day, history] : by_day_) {
+    view[static_cast<std::size_t>(day)] = history.back().value;
+  }
+  return view;
+}
+
+std::vector<Record> StreamIngestor::history(int day) const {
+  auto it = by_day_.find(day);
+  return it == by_day_.end() ? std::vector<Record>{} : it->second;
+}
+
+std::vector<int> StreamIngestor::revised_days() const {
+  std::vector<int> days;
+  for (const auto& [day, history] : by_day_) {
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      if (history[i].value != history[0].value) {
+        days.push_back(day);
+        break;
+      }
+    }
+  }
+  return days;
+}
+
+}  // namespace osprey::ingest

@@ -1,0 +1,103 @@
+// Surveillance data-stream ingestion (§II-B2a).
+//
+// "Incoming data streams relevant to OSPREY workflows vary widely in type
+// and size. OSPREY will need to develop flexible techniques to move and
+// track data sets from their origin of publication, such as a city or
+// health department portals, to their site of use."
+//
+// The model: a stream publishes daily records that are *revised* over time —
+// the classic surveillance reporting lag where recent days are undercounted
+// at first publication and converge upward over subsequent revisions
+// ("heterogeneous, changing, and incomplete" data, §I). StreamIngestor
+// tracks every revision it has seen, exposes the current best view, and
+// records ingestion provenance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/error.h"
+#include "osprey/core/rng.h"
+
+namespace osprey::ingest {
+
+/// One published observation: day index, reported value, revision number.
+struct Record {
+  int day = 0;
+  double value = 0;
+  int revision = 0;
+};
+
+/// A publication batch: what the source posts at one moment.
+struct Publication {
+  TimePoint published_at = 0;
+  std::string source;
+  std::vector<Record> records;
+};
+
+/// Simulates a surveillance source with reporting lag: day d's count starts
+/// at a fraction of the truth and converges geometrically toward it across
+/// revisions. publish(day) returns the batch the portal would post after
+/// `day` closes (revising the trailing `lag_days` days).
+class LaggedSource {
+ public:
+  struct Config {
+    std::string name = "city_portal";
+    /// Fraction of the final value visible at first publication.
+    double initial_completeness = 0.6;
+    /// Per-revision convergence factor toward the final value.
+    double convergence = 0.5;
+    /// How many trailing days each publication revises.
+    int lag_days = 5;
+    std::uint64_t seed = 21;
+  };
+
+  LaggedSource(std::vector<double> truth, Config config);
+
+  /// The publication posted after `day` closes (0-based). Days outside the
+  /// truth range yield an empty batch.
+  Publication publish(int day, TimePoint now) const;
+
+  int days() const { return static_cast<int>(truth_.size()); }
+  const std::string& name() const { return config_.name; }
+
+ private:
+  std::vector<double> truth_;
+  Config config_;
+};
+
+/// Ingests publications, keeps the full revision history per day, and
+/// exposes the current best view of the series.
+class StreamIngestor {
+ public:
+  explicit StreamIngestor(const Clock& clock) : clock_(&clock) {}
+
+  /// Apply one publication. Records for already-known days must carry a
+  /// strictly newer revision (stale re-deliveries are dropped, counted).
+  Status ingest(const Publication& publication);
+
+  /// The latest value per day, 0-filled through the last seen day.
+  std::vector<double> current_view() const;
+
+  /// Every revision seen for one day (publication order).
+  std::vector<Record> history(int day) const;
+
+  /// Days whose value changed across revisions — the "changing" part.
+  std::vector<int> revised_days() const;
+
+  std::size_t publications_ingested() const { return publications_; }
+  std::size_t stale_records_dropped() const { return stale_dropped_; }
+  TimePoint last_ingest_at() const { return last_ingest_at_; }
+
+ private:
+  const Clock* clock_;
+  std::map<int, std::vector<Record>> by_day_;
+  std::size_t publications_ = 0;
+  std::size_t stale_dropped_ = 0;
+  TimePoint last_ingest_at_ = 0;
+};
+
+}  // namespace osprey::ingest

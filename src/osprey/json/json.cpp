@@ -1,0 +1,451 @@
+#include "osprey/json/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace osprey::json {
+
+namespace {
+const Value& null_value() {
+  static const Value v;
+  return v;
+}
+}  // namespace
+
+const Value& Value::operator[](const std::string& key) const {
+  if (!is_object()) return null_value();
+  auto it = as_object().find(key);
+  return it == as_object().end() ? null_value() : it->second;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = Object{};
+  return std::get<Object>(data_)[key];
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_double(std::string& out, double d) {
+  if (std::isnan(d)) {
+    out += "null";  // JSON has no NaN; match Python's json default behavior
+    return;
+  }
+  if (std::isinf(d)) {
+    out += d > 0 ? "1e308" : "-1e308";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips doubles exactly; trim to shortest when possible.
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  double check = std::strtod(buf, nullptr);
+  if (check == d) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[32];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+      if (std::strtod(shorter, nullptr) == d) {
+        out += shorter;
+        return;
+      }
+    }
+  }
+  out += buf;
+}
+
+void write_value(std::string& out, const Value& v, int indent, int depth) {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.type()) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(v.as_int()); break;
+    case Type::kDouble: write_double(out, v.as_double()); break;
+    case Type::kString: write_escaped(out, v.as_string()); break;
+    case Type::kArray: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& e : a) {
+        if (!first) out += indent < 0 ? "," : ",";
+        first = false;
+        newline(depth + 1);
+        write_value(out, e, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, val] : o) {
+        if (!first) out += ",";
+        first = false;
+        newline(depth + 1);
+        write_escaped(out, key);
+        out += indent < 0 ? ":" : ": ";
+        write_value(out, val, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  write_value(out, *this, /*indent=*/-1, 0);
+  return out;
+}
+
+std::string Value::dump_pretty() const {
+  std::string out;
+  write_value(out, *this, /*indent=*/2, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> parse_document() {
+    skip_ws();
+    Result<Value> v = parse_value(0);
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  Error make_error(const std::string& msg) const {
+    return Error(ErrorCode::kInvalidArgument,
+                 msg + " at offset " + std::to_string(pos_));
+  }
+  Result<Value> fail(const std::string& msg) const { return make_error(msg); }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (!at_end() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* word) {
+    std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value(int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (at_end()) return fail("unexpected end of input");
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        Result<std::string> s = parse_string();
+        if (!s.ok()) return s.error();
+        return Value(std::move(s).take());
+      }
+      case 't':
+        if (consume_word("true")) return Value(true);
+        return fail("invalid literal");
+      case 'f':
+        if (consume_word("false")) return Value(false);
+        return fail("invalid literal");
+      case 'n':
+        if (consume_word("null")) return Value(nullptr);
+        return fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Result<Value> parse_object(int depth) {
+    consume('{');
+    Object obj;
+    skip_ws();
+    if (consume('}')) return Value(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (at_end() || peek() != '"') return fail("expected object key");
+      Result<std::string> key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      Result<Value> val = parse_value(depth + 1);
+      if (!val.ok()) return val;
+      obj[std::move(key).take()] = std::move(val).take();
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return Value(std::move(obj));
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Value> parse_array(int depth) {
+    consume('[');
+    Array arr;
+    skip_ws();
+    if (consume(']')) return Value(std::move(arr));
+    while (true) {
+      skip_ws();
+      Result<Value> val = parse_value(depth + 1);
+      if (!val.ok()) return val;
+      arr.push_back(std::move(val).take());
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return Value(std::move(arr));
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> parse_string() {
+    consume('"');
+    std::string out;
+    while (true) {
+      if (at_end()) return make_error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (at_end()) return make_error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return make_error("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return make_error("bad hex digit in \\u escape");
+            }
+            // Surrogate pair handling for non-BMP characters.
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 6 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return make_error("unpaired surrogate");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              for (int i = 0; i < 4; ++i) {
+                char h = text_[pos_++];
+                low <<= 4;
+                if (h >= '0' && h <= '9') low |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f') low |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F') low |= static_cast<unsigned>(h - 'A' + 10);
+                else return make_error("bad hex digit in \\u escape");
+              }
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return make_error("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
+            append_utf8(out, code);
+            break;
+          }
+          default:
+            return make_error("invalid escape character");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  static void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  Result<Value> parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (at_end()) return fail("invalid number");
+    if (!consume('0')) {
+      if (at_end() || peek() < '1' || peek() > '9') {
+        return fail("invalid number");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    bool is_integer = true;
+    if (consume('.')) {
+      is_integer = false;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digits required after decimal point");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || peek() < '0' || peek() > '9') {
+        return fail("digits required in exponent");
+      }
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    if (is_integer) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return Value(static_cast<std::int64_t>(v));
+      }
+      // Fall through to double for out-of-range integers.
+    }
+    errno = 0;
+    double d = std::strtod(token.c_str(), nullptr);
+    if (errno != 0 && (d == HUGE_VAL || d == -HUGE_VAL)) {
+      return fail("number out of range");
+    }
+    return Value(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+Value parse_or_die(const std::string& text) {
+  Result<Value> r = parse(text);
+  assert(r.ok() && "parse_or_die on invalid JSON");
+  if (!r.ok()) return Value();  // keep release builds defined
+  return std::move(r).take();
+}
+
+Value array_of(const std::vector<double>& xs) {
+  Array a;
+  a.reserve(xs.size());
+  for (double x : xs) a.emplace_back(x);
+  return Value(std::move(a));
+}
+
+Result<std::vector<double>> to_doubles(const Value& v) {
+  if (!v.is_array()) {
+    return Error(ErrorCode::kInvalidArgument, "expected JSON array");
+  }
+  std::vector<double> out;
+  out.reserve(v.as_array().size());
+  for (const Value& e : v.as_array()) {
+    if (!e.is_number()) {
+      return Error(ErrorCode::kInvalidArgument, "expected numeric element");
+    }
+    out.push_back(e.as_double());
+  }
+  return out;
+}
+
+}  // namespace osprey::json

@@ -1,0 +1,126 @@
+// Minimal JSON value / parser / writer.
+//
+// The paper's task payloads are "typically a JSON formatted string, either a
+// JSON dictionary or in less complex cases a simple JSON list" (§IV-A), and
+// results are "typically in JSON format" (§IV-C). Every task crosses the
+// OSPREY API as (work type, JSON string), which is also how the platform
+// stays language-inclusive (§II-B1e): any language binding can speak this
+// boundary. This module implements that boundary from scratch.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "osprey/core/error.h"
+
+namespace osprey::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps object keys ordered => deterministic serialization,
+// which the tests and the DB dump format rely on.
+using Object = std::map<std::string, Value>;
+
+enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+/// A JSON document node. Small, value-semantic, copyable.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}        // NOLINT
+  Value(bool b) : data_(b) {}                      // NOLINT
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::int64_t i) : data_(i) {}              // NOLINT
+  Value(double d) : data_(d) {}                    // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}  // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}    // NOLINT
+  Value(Array a) : data_(std::move(a)) {}          // NOLINT
+  Value(Object o) : data_(std::move(o)) {}         // NOLINT
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  // Typed accessors. Asserting variants: call only when the type matches.
+  bool as_bool() const { return std::get<bool>(data_); }
+  std::int64_t as_int() const {
+    if (is_double()) return static_cast<std::int64_t>(std::get<double>(data_));
+    return std::get<std::int64_t>(data_);
+  }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(data_));
+    return std::get<double>(data_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  // Lenient accessors with fallbacks, for tolerant payload reading.
+  bool get_bool(bool fallback) const { return is_bool() ? as_bool() : fallback; }
+  std::int64_t get_int(std::int64_t fallback) const {
+    return is_number() ? as_int() : fallback;
+  }
+  double get_double(double fallback) const {
+    return is_number() ? as_double() : fallback;
+  }
+  std::string get_string(std::string fallback) const {
+    return is_string() ? as_string() : std::move(fallback);
+  }
+
+  /// Object member access; returns a shared null for missing keys.
+  const Value& operator[](const std::string& key) const;
+  /// Mutable object member access; converts a null value to an object.
+  Value& operator[](const std::string& key);
+  /// Array element access (must be an array; index must be in range).
+  const Value& operator[](std::size_t i) const { return as_array()[i]; }
+  const Value& operator[](int i) const {
+    return as_array()[static_cast<std::size_t>(i)];
+  }
+
+  bool contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+  }
+  std::size_t size() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Compact serialization ({"a":1,"b":[2,3]}).
+  std::string dump() const;
+  /// Pretty-printed serialization with 2-space indentation.
+  std::string dump_pretty() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+/// Parse a JSON document. Returns kInvalidArgument with a position-annotated
+/// message on malformed input. Accepts exactly one top-level value.
+Result<Value> parse(const std::string& text);
+
+/// Convenience: parse text that is known to be valid (asserts on failure).
+/// Use only for literals inside the codebase, never for external input.
+Value parse_or_die(const std::string& text);
+
+/// Build an array value from doubles — the common "point" payload shape.
+Value array_of(const std::vector<double>& xs);
+/// Extract a vector<double> from a JSON array of numbers.
+Result<std::vector<double>> to_doubles(const Value& v);
+
+}  // namespace osprey::json

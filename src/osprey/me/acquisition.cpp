@@ -1,0 +1,137 @@
+#include "osprey/me/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace osprey::me {
+
+const char* acquisition_name(Acquisition a) {
+  switch (a) {
+    case Acquisition::kMean: return "mean";
+    case Acquisition::kExpectedImprovement: return "ei";
+    case Acquisition::kLowerConfidenceBound: return "lcb";
+    case Acquisition::kPortfolio: return "portfolio";
+  }
+  return "?";
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(6.283185307179586);
+}
+
+double acquisition_score(const Prediction& prediction,
+                         const AcquisitionConfig& config) {
+  const double sigma = std::sqrt(std::max(prediction.variance, 0.0));
+  switch (config.kind) {
+    case Acquisition::kMean:
+    case Acquisition::kPortfolio:  // scored per-member; fall back to mean
+      return prediction.mean;
+    case Acquisition::kExpectedImprovement: {
+      const double improvement = config.incumbent - prediction.mean;
+      if (sigma < 1e-12) return std::max(improvement, 0.0);
+      const double z = improvement / sigma;
+      return improvement * normal_cdf(z) + sigma * normal_pdf(z);
+    }
+    case Acquisition::kLowerConfidenceBound:
+      return prediction.mean - config.beta * sigma;
+  }
+  return prediction.mean;
+}
+
+namespace {
+
+/// Preference order (best first) of indexes under one scored strategy.
+std::vector<std::size_t> preference_order(const std::vector<double>& scores,
+                                          bool higher_is_better) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return higher_is_better ? scores[a] > scores[b]
+                                             : scores[a] < scores[b];
+                   });
+  return order;
+}
+
+std::vector<Priority> portfolio_priorities(
+    const std::vector<Prediction>& predictions,
+    const AcquisitionConfig& config) {
+  const std::size_t n = predictions.size();
+  // Score under each member strategy.
+  AcquisitionConfig mean_config = config;
+  mean_config.kind = Acquisition::kMean;
+  AcquisitionConfig ei_config = config;
+  ei_config.kind = Acquisition::kExpectedImprovement;
+  AcquisitionConfig lcb_config = config;
+  lcb_config.kind = Acquisition::kLowerConfidenceBound;
+  std::vector<double> mean_scores(n), ei_scores(n), lcb_scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_scores[i] = acquisition_score(predictions[i], mean_config);
+    ei_scores[i] = acquisition_score(predictions[i], ei_config);
+    lcb_scores[i] = acquisition_score(predictions[i], lcb_config);
+  }
+  const std::vector<std::vector<std::size_t>> orders = {
+      preference_order(mean_scores, false),
+      preference_order(ei_scores, true),
+      preference_order(lcb_scores, false),
+  };
+  // Round-robin merge of the three preference lists, skipping duplicates:
+  // the final order's head mixes each member's top picks.
+  std::vector<std::size_t> merged;
+  merged.reserve(n);
+  std::vector<bool> taken(n, false);
+  std::size_t cursor[3] = {0, 0, 0};
+  while (merged.size() < n) {
+    for (std::size_t strategy = 0; strategy < 3 && merged.size() < n;
+         ++strategy) {
+      std::size_t& c = cursor[strategy];
+      while (c < n && taken[orders[strategy][c]]) ++c;
+      if (c < n) {
+        taken[orders[strategy][c]] = true;
+        merged.push_back(orders[strategy][c]);
+        ++c;
+      }
+    }
+  }
+  std::vector<Priority> priorities(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    priorities[merged[rank]] = static_cast<Priority>(n - rank);
+  }
+  return priorities;
+}
+
+}  // namespace
+
+std::vector<Priority> acquisition_priorities(const GPR& model,
+                                             const std::vector<Point>& remaining,
+                                             const AcquisitionConfig& config) {
+  const std::size_t n = remaining.size();
+  std::vector<Prediction> predictions = model.predict_batch(remaining);
+  if (config.kind == Acquisition::kPortfolio) {
+    return portfolio_priorities(predictions, config);
+  }
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scores[i] = acquisition_score(predictions[i], config);
+  }
+  // Direction: EI is maximized; the others are minimized.
+  const bool higher_is_better =
+      config.kind == Acquisition::kExpectedImprovement;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return higher_is_better ? scores[a] > scores[b]
+                                             : scores[a] < scores[b];
+                   });
+  std::vector<Priority> priorities(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    priorities[order[rank]] = static_cast<Priority>(n - rank);
+  }
+  return priorities;
+}
+
+}  // namespace osprey::me

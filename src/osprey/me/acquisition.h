@@ -1,0 +1,59 @@
+// Acquisition strategies for surrogate-guided reprioritization.
+//
+// §VI reprioritizes by predicted mean ("those more likely to find an
+// optimal result according to the GPR"). The paper's own motivation cites
+// surrogate-based multi-objective/Bayesian optimization [2][8] (Binois,
+// Collier, Ozik), where acquisition functions balancing exploitation and
+// exploration — expected improvement, confidence bounds — replace the plain
+// mean. This module provides those as drop-in alternatives for
+// promising_first_priorities, plus the ablation hook the acquisition bench
+// sweeps.
+#pragma once
+
+#include "osprey/me/gpr.h"
+
+namespace osprey::me {
+
+enum class Acquisition {
+  /// Rank by posterior mean (lower = better) — the paper's §VI rule.
+  kMean,
+  /// Expected improvement over the incumbent best (higher = better):
+  /// EI(x) = (f* - mu) Phi(z) + sigma phi(z), z = (f* - mu) / sigma.
+  kExpectedImprovement,
+  /// Lower confidence bound (lower = better): mu - beta * sigma.
+  kLowerConfidenceBound,
+  /// Portfolio (ref [8], Binois/Collier/Ozik "A portfolio approach to
+  /// massively parallel Bayesian optimization"): interleave the preference
+  /// orders of mean, EI, and LCB round-robin, so the top of the queue mixes
+  /// exploitation and exploration candidates.
+  kPortfolio,
+};
+
+const char* acquisition_name(Acquisition a);
+
+struct AcquisitionConfig {
+  Acquisition kind = Acquisition::kMean;
+  /// Exploration weight for kLowerConfidenceBound.
+  double beta = 2.0;
+  /// Incumbent best objective for kExpectedImprovement.
+  double incumbent = 0.0;
+};
+
+/// Scalar acquisition score of one posterior prediction. For kMean and
+/// kLowerConfidenceBound, lower is better; for kExpectedImprovement, higher
+/// is better (the ranking helper accounts for the direction).
+double acquisition_score(const Prediction& prediction,
+                         const AcquisitionConfig& config);
+
+/// Generalization of promising_first_priorities: rank `remaining` under the
+/// chosen acquisition; the most promising point gets the highest priority
+/// (ranks 1..n, as in §VI).
+std::vector<Priority> acquisition_priorities(const GPR& model,
+                                             const std::vector<Point>& remaining,
+                                             const AcquisitionConfig& config);
+
+/// Standard normal CDF / PDF (exposed for tests).
+double normal_cdf(double z);
+double normal_pdf(double z);
+
+}  // namespace osprey::me

@@ -1,0 +1,159 @@
+#include "osprey/me/async_driver.h"
+
+#include <algorithm>
+
+#include "osprey/core/log.h"
+#include "osprey/json/json.h"
+
+namespace osprey::me {
+
+AsyncGprDriver::AsyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
+                               AsyncDriverConfig config,
+                               RetrainExecutor executor)
+    : sim_(sim), api_(api), config_(config), executor_(std::move(executor)) {
+  if (!executor_) {
+    // Local retraining: fit the GPR and rank immediately.
+    executor_ = [this](const std::vector<Point>& x, const std::vector<double>& y,
+                       const std::vector<Point>& remaining,
+                       std::function<void(std::vector<Priority>)> done) {
+      GPR model(config_.gpr);
+      Status fitted = model.fit(x, y);
+      if (!fitted.is_ok()) {
+        OSPREY_LOG(kWarn, "me") << "GPR fit failed: " << fitted.to_string()
+                                << "; keeping current order";
+        done({});
+        return;
+      }
+      done(promising_first_priorities(model, remaining));
+    };
+  }
+}
+
+Status AsyncGprDriver::run(const std::vector<Point>& samples) {
+  if (samples.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "no samples to submit");
+  }
+  std::vector<std::string> payloads;
+  payloads.reserve(samples.size());
+  for (const Point& p : samples) {
+    payloads.push_back(json::array_of(p).dump());
+  }
+  Result<std::vector<TaskId>> ids =
+      api_.submit_tasks(config_.exp_id, config_.work_type, payloads);
+  if (!ids.ok()) return ids.error();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    pending_.emplace(ids.value()[i], samples[i]);
+    pending_ids_.push_back(ids.value()[i]);
+  }
+  sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+  return Status::ok();
+}
+
+void AsyncGprDriver::poll() {
+  absorb_completions();
+  maybe_retrain();
+  if (pending_.empty()) {
+    if (!finished_) {
+      finished_ = true;
+      OSPREY_LOG(kInfo, "me") << "async driver finished; best value "
+                              << best_value_;
+      if (on_complete_) on_complete_();
+    }
+    return;
+  }
+  sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+}
+
+void AsyncGprDriver::absorb_completions() {
+  if (pending_.empty()) return;
+  Result<std::vector<TaskId>> done = api_.try_query_completed(
+      pending_ids_, static_cast<int>(pending_ids_.size()));
+  if (!done.ok()) {
+    OSPREY_LOG(kError, "me") << "completion query failed: "
+                             << done.error().to_string();
+    return;
+  }
+  for (TaskId id : done.value()) {
+    Result<std::string> result = api_.try_query_result(id);
+    if (!result.ok()) {
+      OSPREY_LOG(kError, "me") << "result fetch failed for task " << id << ": "
+                               << result.error().to_string();
+      continue;
+    }
+    Result<json::Value> parsed = json::parse(result.value());
+    double y = parsed.ok() ? parsed.value()["y"].get_double(0.0) : 0.0;
+    auto it = pending_.find(id);
+    if (it == pending_.end()) continue;
+    completed_x_.push_back(it->second);
+    completed_y_.push_back(y);
+    completed_ids_.push_back(id);
+    pending_.erase(it);
+    ++new_since_retrain_;
+    if (y < best_value_) {
+      best_value_ = y;
+      best_.push_back({sim_.now(), y});
+    }
+  }
+  if (!done.value().empty()) {
+    pending_ids_.erase(
+        std::remove_if(pending_ids_.begin(), pending_ids_.end(),
+                       [this](TaskId id) { return !pending_.count(id); }),
+        pending_ids_.end());
+  }
+}
+
+void AsyncGprDriver::maybe_retrain() {
+  if (retrain_in_flight_ || pending_.empty()) return;
+  if (new_since_retrain_ < config_.retrain_after) return;
+  new_since_retrain_ = 0;
+  retrain_in_flight_ = true;
+
+  // Snapshot the remaining tasks: reprioritization applies to what is still
+  // pending *now*; tasks completing during the retrain are skipped by
+  // update_priorities (they are no longer queued).
+  std::vector<TaskId> remaining_ids = pending_ids_;
+  std::vector<Point> remaining_points;
+  remaining_points.reserve(remaining_ids.size());
+  for (TaskId id : remaining_ids) {
+    remaining_points.push_back(pending_.at(id));
+  }
+
+  RetrainRecord record;
+  record.started_at = sim_.now();
+  record.train_size = completed_x_.size();
+  record.reprioritized = remaining_ids.size();
+  retrains_.push_back(std::move(record));
+  std::size_t record_index = retrains_.size() - 1;
+
+  OSPREY_LOG(kInfo, "me") << "retrain #" << record_index + 1 << " on "
+                          << completed_x_.size() << " results, reprioritizing "
+                          << remaining_ids.size() << " tasks";
+
+  executor_(completed_x_, completed_y_, remaining_points,
+            [this, remaining_ids = std::move(remaining_ids), record_index](
+                std::vector<Priority> priorities) {
+              apply_priorities(remaining_ids, std::move(priorities),
+                               record_index);
+            });
+}
+
+void AsyncGprDriver::apply_priorities(const std::vector<TaskId>& ids,
+                                      std::vector<Priority> priorities,
+                                      std::size_t record_index) {
+  RetrainRecord& record = retrains_[record_index];
+  record.finished_at = sim_.now();
+  if (!priorities.empty() && priorities.size() == ids.size()) {
+    Result<std::size_t> updated = api_.update_priorities(ids, priorities);
+    if (!updated.ok()) {
+      OSPREY_LOG(kError, "me") << "update_priorities failed: "
+                               << updated.error().to_string();
+    }
+    record.assignments.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      record.assignments.emplace_back(ids[i], priorities[i]);
+    }
+  }
+  retrain_in_flight_ = false;
+}
+
+}  // namespace osprey::me

@@ -1,0 +1,107 @@
+// The asynchronous ME algorithm of §VI, event-driven on the simulation.
+//
+// Pseudo-code from Fig. 2 of the paper:
+//   for each initial sample: submit the sample for evaluation
+//   while stopping condition not reached:
+//     wait for n evaluation results
+//     re-sample, reorder, re-submit based on results
+//
+// Concretely (§VI): all 750 Ackley points are submitted up front; every 50
+// completions the GPR is retrained on all completed results and the
+// *remaining* tasks are reprioritized so the most promising (lowest
+// predicted objective) pop first. Retraining may run remotely — the
+// executor hook lets the Fig-4 bench route it through the FaaS service with
+// the model shipped as a ProxyStore proxy — and the worker pools keep
+// consuming tasks while it runs.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "osprey/eqsql/db_api.h"
+#include "osprey/me/gpr.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::me {
+
+/// One reprioritization episode (the Fig-4 top panel data).
+struct RetrainRecord {
+  TimePoint started_at = 0;
+  TimePoint finished_at = 0;
+  std::size_t train_size = 0;      // completed results the GPR saw
+  std::size_t reprioritized = 0;   // remaining tasks re-ranked
+  /// (task id, new priority) pairs — the priority-trajectory lines.
+  std::vector<std::pair<TaskId, Priority>> assignments;
+};
+
+/// Best-objective-so-far trajectory point (for the async-vs-sync bench).
+struct BestSoFar {
+  TimePoint time = 0;
+  double value = 0;
+};
+
+/// Executes one retraining: given completed (x, y) and the remaining points,
+/// deliver new priorities for the remaining points via `done` (possibly
+/// later in simulated time, e.g. after a remote FaaS round trip).
+using RetrainExecutor = std::function<void(
+    const std::vector<Point>& x, const std::vector<double>& y,
+    const std::vector<Point>& remaining,
+    std::function<void(std::vector<Priority>)> done)>;
+
+struct AsyncDriverConfig {
+  ExpId exp_id = "exp";
+  WorkType work_type = 1;
+  /// Retrain after this many new completions (the paper uses 50).
+  int retrain_after = 50;
+  Duration poll_interval = 1.0;
+  GprConfig gpr;
+};
+
+class AsyncGprDriver {
+ public:
+  /// With no executor, retraining runs locally and completes instantly in
+  /// simulated time.
+  AsyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
+                 AsyncDriverConfig config, RetrainExecutor executor = {});
+
+  /// Submit all sample points as tasks and start watching for completions.
+  Status run(const std::vector<Point>& samples);
+
+  void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
+
+  bool finished() const { return finished_; }
+  std::size_t completed() const { return completed_ids_.size(); }
+  double best_value() const { return best_value_; }
+  const std::vector<RetrainRecord>& retrains() const { return retrains_; }
+  const std::vector<BestSoFar>& best_trajectory() const { return best_; }
+
+ private:
+  void poll();
+  void absorb_completions();
+  void maybe_retrain();
+  void apply_priorities(const std::vector<TaskId>& ids,
+                        std::vector<Priority> priorities,
+                        std::size_t record_index);
+
+  sim::Simulation& sim_;
+  eqsql::EQSQL& api_;
+  AsyncDriverConfig config_;
+  RetrainExecutor executor_;
+
+  std::map<TaskId, Point> pending_;   // submitted, result not yet seen
+  std::vector<TaskId> pending_ids_;   // stable iteration order
+  std::vector<Point> completed_x_;
+  std::vector<double> completed_y_;
+  std::vector<TaskId> completed_ids_;
+  int new_since_retrain_ = 0;
+  bool retrain_in_flight_ = false;
+  bool finished_ = false;
+  double best_value_ = std::numeric_limits<double>::infinity();
+  std::vector<BestSoFar> best_;
+  std::vector<RetrainRecord> retrains_;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace osprey::me

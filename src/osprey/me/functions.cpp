@@ -1,0 +1,94 @@
+#include "osprey/me/functions.h"
+
+#include <cmath>
+
+namespace osprey::me {
+
+double ackley(const std::vector<double>& x, double a, double b, double c) {
+  if (x.empty()) return 0.0;
+  const double d = static_cast<double>(x.size());
+  double sum_sq = 0.0;
+  double sum_cos = 0.0;
+  for (double xi : x) {
+    sum_sq += xi * xi;
+    sum_cos += std::cos(c * xi);
+  }
+  return -a * std::exp(-b * std::sqrt(sum_sq / d)) - std::exp(sum_cos / d) +
+         a + std::exp(1.0);
+}
+
+double rastrigin(const std::vector<double>& x) {
+  double sum = 10.0 * static_cast<double>(x.size());
+  for (double xi : x) {
+    sum += xi * xi - 10.0 * std::cos(6.283185307179586 * xi);
+  }
+  return sum;
+}
+
+double rosenbrock(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    double a = x[i + 1] - x[i] * x[i];
+    double b = 1.0 - x[i];
+    sum += 100.0 * a * a + b * b;
+  }
+  return sum;
+}
+
+double sphere(const std::vector<double>& x) {
+  double sum = 0.0;
+  for (double xi : x) sum += xi * xi;
+  return sum;
+}
+
+double griewank(const std::vector<double>& x) {
+  double sum = 0.0;
+  double prod = 1.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += x[i] * x[i] / 4000.0;
+    prod *= std::cos(x[i] / std::sqrt(static_cast<double>(i + 1)));
+  }
+  return sum - prod + 1.0;
+}
+
+double levy(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  auto w = [](double xi) { return 1.0 + (xi - 1.0) / 4.0; };
+  const double pi = 3.141592653589793;
+  double w1 = w(x.front());
+  double sum = std::sin(pi * w1) * std::sin(pi * w1);
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    double wi = w(x[i]);
+    double s = std::sin(pi * wi + 1.0);
+    sum += (wi - 1.0) * (wi - 1.0) * (1.0 + 10.0 * s * s);
+  }
+  double wd = w(x.back());
+  double sd = std::sin(2.0 * pi * wd);
+  sum += (wd - 1.0) * (wd - 1.0) * (1.0 + sd * sd);
+  return sum;
+}
+
+namespace {
+double ackley_default(const std::vector<double>& x) { return ackley(x); }
+}  // namespace
+
+const std::vector<TestFunction>& test_functions() {
+  static const std::vector<TestFunction> kFunctions = {
+      {"ackley", &ackley_default, -32.768, 32.768, 0.0},
+      {"rastrigin", &rastrigin, -5.12, 5.12, 0.0},
+      {"rosenbrock", &rosenbrock, -5.0, 10.0, 0.0},
+      {"sphere", &sphere, -5.0, 5.0, 0.0},
+      {"griewank", &griewank, -600.0, 600.0, 0.0},
+      {"levy", &levy, -10.0, 10.0, 0.0},
+  };
+  return kFunctions;
+}
+
+Result<TestFunction> test_function(const std::string& name) {
+  for (const TestFunction& f : test_functions()) {
+    if (f.name == name) return f;
+  }
+  return Error(ErrorCode::kNotFound, "no test function '" + name + "'");
+}
+
+}  // namespace osprey::me

@@ -1,0 +1,58 @@
+// Optimization test functions.
+//
+// §VI evaluates OSPREY on "an example optimization workflow that attempts to
+// find the minimum of the Ackley function" in 4 dimensions. Ackley is the
+// headline objective; the others are standard benchmark surfaces used by the
+// extended tests/benches to check the ME algorithms generalize beyond one
+// landscape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "osprey/core/error.h"
+
+namespace osprey::me {
+
+/// Ackley function (global minimum 0 at the origin). Defaults follow the
+/// standard parameterization a=20, b=0.2, c=2*pi on [-32.768, 32.768]^d.
+double ackley(const std::vector<double>& x, double a = 20.0, double b = 0.2,
+              double c = 6.283185307179586);
+
+/// Rastrigin (min 0 at origin, domain [-5.12, 5.12]^d).
+double rastrigin(const std::vector<double>& x);
+
+/// Rosenbrock (min 0 at (1,...,1), domain [-5, 10]^d).
+double rosenbrock(const std::vector<double>& x);
+
+/// Sphere (min 0 at origin).
+double sphere(const std::vector<double>& x);
+
+/// Griewank (min 0 at origin, domain [-600, 600]^d).
+double griewank(const std::vector<double>& x);
+
+/// Levy (min 0 at (1,...,1), domain [-10, 10]^d).
+double levy(const std::vector<double>& x);
+
+/// A named objective with its standard domain, for parameterized tests and
+/// benches.
+struct TestFunction {
+  std::string name;
+  double (*fn)(const std::vector<double>&);
+  double lo;  // per-dimension domain bounds
+  double hi;
+  double global_min;
+};
+
+/// The registry of benchmark surfaces (ackley, rastrigin, rosenbrock,
+/// sphere, griewank, levy).
+const std::vector<TestFunction>& test_functions();
+
+/// Lookup by name.
+Result<TestFunction> test_function(const std::string& name);
+
+namespace detail {
+double rastrigin_impl(const std::vector<double>& x);
+}
+
+}  // namespace osprey::me

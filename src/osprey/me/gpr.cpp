@@ -1,0 +1,204 @@
+#include "osprey/me/gpr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <tuple>
+
+namespace osprey::me {
+
+namespace {
+
+double squared_distance(const Point& a, const Point& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double GPR::kernel(const Point& a, const Point& b) const {
+  const double r2 = squared_distance(a, b);
+  const double ls2 = config_.lengthscale * config_.lengthscale;
+  switch (config_.kernel) {
+    case KernelType::kRBF:
+      return config_.signal_variance * std::exp(-0.5 * r2 / ls2);
+    case KernelType::kMatern52: {
+      const double r = std::sqrt(r2);
+      const double s = std::sqrt(5.0) * r / config_.lengthscale;
+      return config_.signal_variance * (1.0 + s + s * s / 3.0) * std::exp(-s);
+    }
+  }
+  return 0.0;
+}
+
+Status GPR::fit(const std::vector<Point>& x, const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "fit needs equal, nonzero numbers of points and targets");
+  }
+  const std::size_t dim = x.front().size();
+  for (const Point& p : x) {
+    if (p.size() != dim || dim == 0) {
+      return Status(ErrorCode::kInvalidArgument, "ragged or empty input point");
+    }
+  }
+  if (config_.lengthscale <= 0 || config_.signal_variance <= 0 ||
+      config_.noise < 0) {
+    return Status(ErrorCode::kInvalidArgument, "invalid GPR hyperparameters");
+  }
+
+  x_ = x;
+  const std::size_t n = x.size();
+
+  // Normalize targets.
+  y_mean_ = 0.0;
+  y_std_ = 1.0;
+  if (config_.normalize_y) {
+    y_mean_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+    double var = 0.0;
+    for (double v : y) var += (v - y_mean_) * (v - y_mean_);
+    var /= static_cast<double>(n);
+    y_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  y_normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y_normalized_[i] = (y[i] - y_mean_) / y_std_;
+  }
+
+  // K + noise I, then Cholesky (retry with growing jitter if needed).
+  double jitter = std::max(config_.noise, 1e-10);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    chol_ = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double k = kernel(x_[i], x_[j]);
+        chol_.at(i, j) = k;
+        chol_.at(j, i) = k;
+      }
+      chol_.at(i, i) += jitter;
+    }
+    Status ok = cholesky_inplace(chol_);
+    if (ok.is_ok()) {
+      alpha_ = cholesky_solve(chol_, y_normalized_);
+      // log p(y) = -1/2 y^T alpha - sum log L_ii - n/2 log(2 pi)
+      double log_det_half = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        log_det_half += std::log(chol_.at(i, i));
+      }
+      log_marginal_ = -0.5 * dot(y_normalized_, alpha_) - log_det_half -
+                      0.5 * static_cast<double>(n) * std::log(6.283185307179586);
+      fitted_ = true;
+      return Status::ok();
+    }
+    jitter *= 100.0;
+  }
+  fitted_ = false;
+  return Status(ErrorCode::kInvalidArgument,
+                "kernel matrix is not positive definite even with jitter");
+}
+
+Prediction GPR::predict(const Point& p) const {
+  Prediction out;
+  if (!fitted_) return out;
+  const std::size_t n = x_.size();
+  std::vector<double> k_star(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k_star[i] = kernel(p, x_[i]);
+  }
+  const double mean_normalized = dot(k_star, alpha_);
+  out.mean = mean_normalized * y_std_ + y_mean_;
+  // var = k(p,p) - v^T v with v = L^-1 k_star.
+  std::vector<double> v = forward_solve(chol_, k_star);
+  double var_normalized = kernel(p, p) - dot(v, v);
+  out.variance = std::max(0.0, var_normalized) * y_std_ * y_std_;
+  return out;
+}
+
+std::vector<Prediction> GPR::predict_batch(
+    const std::vector<Point>& points) const {
+  std::vector<Prediction> out;
+  out.reserve(points.size());
+  for (const Point& p : points) out.push_back(predict(p));
+  return out;
+}
+
+double GPR::log_marginal_likelihood() const { return log_marginal_; }
+
+Result<GPR> GPR::fit_lengthscale_search(const std::vector<Point>& x,
+                                        const std::vector<double>& y,
+                                        GprConfig config, double ls_min,
+                                        double ls_max, int iterations) {
+  if (!(ls_min > 0) || ls_max <= ls_min) {
+    return Error(ErrorCode::kInvalidArgument, "invalid lengthscale interval");
+  }
+  // Golden-section maximization of log marginal likelihood over log(ls) —
+  // the likelihood surface is much better behaved in log space.
+  auto evaluate = [&](double log_ls) {
+    GprConfig c = config;
+    c.lengthscale = std::exp(log_ls);
+    GPR model(c);
+    Status ok = model.fit(x, y);
+    return std::pair<double, GPR>(
+        ok.is_ok() ? model.log_marginal_likelihood()
+                   : -std::numeric_limits<double>::infinity(),
+        std::move(model));
+  };
+
+  const double phi = 0.6180339887498949;
+  double lo = std::log(ls_min);
+  double hi = std::log(ls_max);
+  double m1 = hi - phi * (hi - lo);
+  double m2 = lo + phi * (hi - lo);
+  auto [f1, g1] = evaluate(m1);
+  auto [f2, g2] = evaluate(m2);
+  for (int i = 0; i < iterations; ++i) {
+    if (f1 < f2) {
+      lo = m1;
+      m1 = m2;
+      f1 = f2;
+      g1 = std::move(g2);
+      m2 = lo + phi * (hi - lo);
+      std::tie(f2, g2) = evaluate(m2);
+    } else {
+      hi = m2;
+      m2 = m1;
+      f2 = f1;
+      g2 = std::move(g1);
+      m1 = hi - phi * (hi - lo);
+      std::tie(f1, g1) = evaluate(m1);
+    }
+  }
+  GPR best = f1 >= f2 ? std::move(g1) : std::move(g2);
+  if (!best.fitted()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "no positive-definite fit in the lengthscale interval");
+  }
+  return best;
+}
+
+std::vector<Priority> promising_first_priorities(
+    const GPR& model, const std::vector<Point>& remaining) {
+  const std::size_t n = remaining.size();
+  std::vector<Prediction> predictions = model.predict_batch(remaining);
+  // Rank by predicted mean: the lowest mean gets the highest priority n,
+  // the highest mean gets priority 1 (we minimize; higher priority pops
+  // first from the output queue).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return predictions[a].mean < predictions[b].mean;
+                   });
+  std::vector<Priority> priorities(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    priorities[order[rank]] = static_cast<Priority>(n - rank);
+  }
+  return priorities;
+}
+
+}  // namespace osprey::me

@@ -1,0 +1,90 @@
+// Gaussian process regression, from scratch.
+//
+// §VI: "we train a GPR using the results, and reorder the evaluation of the
+// remaining tasks, increasing the priority of those more likely to find an
+// optimal result according to the GPR." This is the surrogate model driving
+// the asynchronous reprioritization. Implementation: exact GPR with RBF or
+// Matérn-5/2 kernels, jittered Cholesky solve, y-normalization, log marginal
+// likelihood, and a golden-section lengthscale search for hyperparameter
+// fitting.
+#pragma once
+
+#include <vector>
+
+#include "osprey/core/error.h"
+#include "osprey/core/types.h"
+#include "osprey/me/linalg.h"
+#include "osprey/me/sampler.h"
+
+namespace osprey::me {
+
+enum class KernelType { kRBF, kMatern52 };
+
+struct GprConfig {
+  KernelType kernel = KernelType::kRBF;
+  double lengthscale = 1.0;
+  double signal_variance = 1.0;
+  /// Observation noise added to the kernel diagonal (also the numerical
+  /// jitter keeping the Cholesky stable).
+  double noise = 1e-6;
+  /// Standardize targets to zero mean / unit variance before fitting.
+  bool normalize_y = true;
+};
+
+/// Posterior prediction at one point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+};
+
+class GPR {
+ public:
+  explicit GPR(GprConfig config = {}) : config_(config) {}
+
+  /// Fit the model to observations. X: n points of equal dimension; y: n
+  /// targets. Fails on empty/ragged input or a non-PD kernel matrix.
+  Status fit(const std::vector<Point>& x, const std::vector<double>& y);
+
+  bool fitted() const { return fitted_; }
+  std::size_t train_size() const { return x_.size(); }
+  const GprConfig& config() const { return config_; }
+
+  /// Posterior mean and variance at a point (requires fit()).
+  Prediction predict(const Point& p) const;
+  std::vector<Prediction> predict_batch(const std::vector<Point>& points) const;
+
+  /// Log marginal likelihood of the training data under the fitted model.
+  double log_marginal_likelihood() const;
+
+  /// Fit with a golden-section search over the kernel lengthscale in
+  /// [ls_min, ls_max], maximizing log marginal likelihood. Returns the
+  /// fitted model with the best lengthscale.
+  static Result<GPR> fit_lengthscale_search(const std::vector<Point>& x,
+                                            const std::vector<double>& y,
+                                            GprConfig config, double ls_min,
+                                            double ls_max, int iterations = 20);
+
+  /// Kernel value between two points under this config (exposed for tests).
+  double kernel(const Point& a, const Point& b) const;
+
+ private:
+  GprConfig config_;
+  bool fitted_ = false;
+  std::vector<Point> x_;
+  std::vector<double> y_normalized_;
+  double y_mean_ = 0.0;
+  double y_std_ = 1.0;
+  Matrix chol_;                 // Cholesky factor of K + noise I
+  std::vector<double> alpha_;   // (K + noise I)^-1 y
+  double log_marginal_ = 0.0;
+};
+
+/// Compute output-queue priorities for the remaining (unevaluated) points
+/// from a fitted surrogate: points with lower predicted objective (more
+/// promising for minimization) receive higher priority. Priorities are the
+/// ranks 1..n, matching §VI's "700 uncompleted tasks are reprioritized with
+/// new priorities of 1-700".
+std::vector<Priority> promising_first_priorities(
+    const GPR& model, const std::vector<Point>& remaining);
+
+}  // namespace osprey::me

@@ -1,0 +1,81 @@
+#include "osprey/me/linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace osprey::me {
+
+Status cholesky_inplace(Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) {
+      diag -= a.at(j, k) * a.at(j, k);
+    }
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "matrix is not positive definite (pivot " +
+                        std::to_string(j) + ")");
+    }
+    const double ljj = std::sqrt(diag);
+    a.at(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= a.at(i, k) * a.at(j, k);
+      }
+      a.at(i, j) = sum / ljj;
+    }
+    for (std::size_t k = j + 1; k < n; ++k) {
+      a.at(j, k) = 0.0;  // zero the upper triangle for cleanliness
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<double> forward_solve(const Matrix& l,
+                                  const std::vector<double>& b) {
+  assert(l.rows() == b.size());
+  const std::size_t n = b.size();
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    const double* row = l.row(i);
+    for (std::size_t k = 0; k < i; ++k) {
+      sum -= row[k] * y[k];
+    }
+    y[i] = sum / row[i];
+  }
+  return y;
+}
+
+std::vector<double> back_solve_transposed(const Matrix& l,
+                                          const std::vector<double>& y) {
+  assert(l.rows() == y.size());
+  const std::size_t n = y.size();
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    // L^T(ii, k) = L(k, ii) for k > ii.
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      sum -= l.at(k, ii) * x[k];
+    }
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l,
+                                   const std::vector<double>& b) {
+  return back_solve_transposed(l, forward_solve(l, b));
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace osprey::me

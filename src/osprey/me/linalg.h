@@ -1,0 +1,56 @@
+// Small dense linear algebra for the GPR: row-major matrices, Cholesky
+// factorization, and triangular solves. Scales are n <= a few thousand
+// (the paper's GPR trains on up to 750 points), so simple cache-friendly
+// loops suffice; no BLAS dependency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "osprey/core/error.h"
+
+namespace osprey::me {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double at(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// In-place Cholesky factorization A = L L^T of a symmetric positive
+/// definite matrix; on success the lower triangle of `a` holds L (the upper
+/// triangle is zeroed). Fails with kInvalidArgument when A is not SPD.
+Status cholesky_inplace(Matrix& a);
+
+/// Solve L y = b (forward substitution) for lower-triangular L.
+std::vector<double> forward_solve(const Matrix& l, const std::vector<double>& b);
+
+/// Solve L^T x = y (back substitution) given lower-triangular L.
+std::vector<double> back_solve_transposed(const Matrix& l,
+                                          const std::vector<double>& y);
+
+/// Solve (L L^T) x = b given the Cholesky factor L.
+std::vector<double> cholesky_solve(const Matrix& l, const std::vector<double>& b);
+
+/// Dot product.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace osprey::me

@@ -1,0 +1,37 @@
+#include "osprey/me/sampler.h"
+
+#include <numeric>
+
+namespace osprey::me {
+
+std::vector<Point> uniform_samples(Rng& rng, int n, int dim, double lo,
+                                   double hi) {
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Point p(static_cast<std::size_t>(dim));
+    for (double& x : p) x = rng.uniform(lo, hi);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<Point> latin_hypercube(Rng& rng, int n, int dim, double lo,
+                                   double hi) {
+  std::vector<Point> points(static_cast<std::size_t>(n),
+                            Point(static_cast<std::size_t>(dim)));
+  const double width = (hi - lo) / n;
+  std::vector<int> strata(static_cast<std::size_t>(n));
+  std::iota(strata.begin(), strata.end(), 0);
+  for (int d = 0; d < dim; ++d) {
+    rng.shuffle(strata);
+    for (int i = 0; i < n; ++i) {
+      double u = rng.uniform();  // position within the stratum
+      points[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)] =
+          lo + (strata[static_cast<std::size_t>(i)] + u) * width;
+    }
+  }
+  return points;
+}
+
+}  // namespace osprey::me

@@ -1,0 +1,27 @@
+// Sample-set generators for ME algorithms.
+//
+// §VI: "we create an initial sample set of 750 4-dimensional points".
+// Uniform random sampling matches the paper's example; Latin hypercube is
+// the standard space-filling alternative the GPR literature prefers, and
+// the ablation benches compare both.
+#pragma once
+
+#include <vector>
+
+#include "osprey/core/rng.h"
+
+namespace osprey::me {
+
+using Point = std::vector<double>;
+
+/// n i.i.d. uniform points in [lo, hi]^dim.
+std::vector<Point> uniform_samples(Rng& rng, int n, int dim, double lo,
+                                   double hi);
+
+/// n Latin-hypercube-stratified points in [lo, hi]^dim: each dimension is
+/// divided into n strata, each stratum sampled exactly once, with the
+/// stratum order shuffled independently per dimension.
+std::vector<Point> latin_hypercube(Rng& rng, int n, int dim, double lo,
+                                   double hi);
+
+}  // namespace osprey::me

@@ -1,0 +1,116 @@
+#include "osprey/me/sync_driver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "osprey/core/log.h"
+#include "osprey/json/json.h"
+#include "osprey/me/sampler.h"
+
+namespace osprey::me {
+
+SyncGprDriver::SyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
+                             SyncDriverConfig config)
+    : sim_(sim), api_(api), config_(config), rng_(config.seed) {}
+
+Status SyncGprDriver::run() {
+  if (config_.generation_size <= 0 || config_.generations <= 0) {
+    return Status(ErrorCode::kInvalidArgument, "invalid generation config");
+  }
+  generation_ = 1;
+  Status submitted = submit_generation(uniform_samples(
+      rng_, config_.generation_size, config_.dim, config_.lo, config_.hi));
+  if (!submitted.is_ok()) return submitted;
+  sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+  return Status::ok();
+}
+
+Status SyncGprDriver::submit_generation(const std::vector<Point>& points) {
+  std::vector<std::string> payloads;
+  payloads.reserve(points.size());
+  for (const Point& p : points) payloads.push_back(json::array_of(p).dump());
+  Result<std::vector<TaskId>> ids =
+      api_.submit_tasks(config_.exp_id, config_.work_type, payloads);
+  if (!ids.ok()) return ids.error();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    in_flight_.emplace(ids.value()[i], points[i]);
+    in_flight_ids_.push_back(ids.value()[i]);
+  }
+  return Status::ok();
+}
+
+void SyncGprDriver::poll() {
+  // Collect whatever finished; the barrier is that the next generation is
+  // only planned once in_flight_ is fully drained.
+  Result<std::vector<TaskId>> done = api_.try_query_completed(
+      in_flight_ids_, static_cast<int>(in_flight_ids_.size()));
+  if (done.ok()) {
+    for (TaskId id : done.value()) {
+      Result<std::string> result = api_.try_query_result(id);
+      if (!result.ok()) continue;
+      Result<json::Value> parsed = json::parse(result.value());
+      double y = parsed.ok() ? parsed.value()["y"].get_double(0.0) : 0.0;
+      auto it = in_flight_.find(id);
+      if (it == in_flight_.end()) continue;
+      all_x_.push_back(it->second);
+      all_y_.push_back(y);
+      in_flight_.erase(it);
+      ++total_completed_;
+      if (y < best_value_) {
+        best_value_ = y;
+        best_.push_back({sim_.now(), y});
+      }
+    }
+    in_flight_ids_.erase(
+        std::remove_if(in_flight_ids_.begin(), in_flight_ids_.end(),
+                       [this](TaskId id) { return !in_flight_.count(id); }),
+        in_flight_ids_.end());
+  }
+
+  if (in_flight_.empty()) {
+    if (generation_ >= config_.generations) {
+      finished_ = true;
+      OSPREY_LOG(kInfo, "me") << "sync driver finished; best value "
+                              << best_value_;
+      if (on_complete_) on_complete_();
+      return;
+    }
+    ++generation_;
+    Status submitted = submit_generation(next_generation());
+    if (!submitted.is_ok()) {
+      OSPREY_LOG(kError, "me") << "generation submit failed: "
+                               << submitted.to_string();
+      finished_ = true;
+      if (on_complete_) on_complete_();
+      return;
+    }
+  }
+  sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+}
+
+std::vector<Point> SyncGprDriver::next_generation() {
+  GPR model(config_.gpr);
+  Status fitted = model.fit(all_x_, all_y_);
+  std::vector<Point> candidates = uniform_samples(
+      rng_, config_.candidate_pool, config_.dim, config_.lo, config_.hi);
+  if (!fitted.is_ok()) {
+    // Surrogate unusable: fall back to random exploration.
+    candidates.resize(static_cast<std::size_t>(config_.generation_size));
+    return candidates;
+  }
+  std::vector<Prediction> predictions = model.predict_batch(candidates);
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return predictions[a].mean < predictions[b].mean;
+                   });
+  std::vector<Point> generation;
+  generation.reserve(static_cast<std::size_t>(config_.generation_size));
+  for (int i = 0; i < config_.generation_size; ++i) {
+    generation.push_back(candidates[order[static_cast<std::size_t>(i)]]);
+  }
+  return generation;
+}
+
+}  // namespace osprey::me

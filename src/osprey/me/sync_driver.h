@@ -1,0 +1,75 @@
+// Batch-synchronous ME baseline.
+//
+// §II-B1d motivates asynchronous algorithms "for fast time to solution, and
+// for providing better utilization of HPC resources when compared with batch
+// synchronous workflows". This driver is that batch-synchronous comparator:
+// it submits a generation of tasks, waits for ALL of them (the barrier that
+// idles workers under heterogeneous runtimes), retrains the surrogate, picks
+// the next generation from a candidate pool, and repeats. bench_async_vs_sync
+// races it against AsyncGprDriver at equal evaluation budgets.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "osprey/eqsql/db_api.h"
+#include "osprey/me/async_driver.h"  // RetrainRecord / BestSoFar
+#include "osprey/me/gpr.h"
+
+namespace osprey::me {
+
+struct SyncDriverConfig {
+  ExpId exp_id = "exp_sync";
+  WorkType work_type = 1;
+  int generation_size = 50;
+  int generations = 15;  // total budget = generation_size * generations
+  /// Candidates scored by the surrogate when picking the next generation.
+  int candidate_pool = 2000;
+  int dim = 4;
+  double lo = -32.768;
+  double hi = 32.768;
+  Duration poll_interval = 1.0;
+  GprConfig gpr;
+  std::uint64_t seed = 4242;
+};
+
+class SyncGprDriver {
+ public:
+  SyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
+                SyncDriverConfig config);
+
+  /// Submit the first (random) generation and start the barrier loop.
+  Status run();
+
+  void set_on_complete(std::function<void()> fn) { on_complete_ = std::move(fn); }
+
+  bool finished() const { return finished_; }
+  std::size_t completed() const { return total_completed_; }
+  int generation() const { return generation_; }
+  double best_value() const { return best_value_; }
+  const std::vector<BestSoFar>& best_trajectory() const { return best_; }
+
+ private:
+  void poll();
+  Status submit_generation(const std::vector<Point>& points);
+  std::vector<Point> next_generation();
+
+  sim::Simulation& sim_;
+  eqsql::EQSQL& api_;
+  SyncDriverConfig config_;
+  Rng rng_;
+
+  std::map<TaskId, Point> in_flight_;
+  std::vector<TaskId> in_flight_ids_;
+  std::vector<Point> all_x_;
+  std::vector<double> all_y_;
+  int generation_ = 0;
+  std::size_t total_completed_ = 0;
+  bool finished_ = false;
+  double best_value_ = std::numeric_limits<double>::infinity();
+  std::vector<BestSoFar> best_;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace osprey::me

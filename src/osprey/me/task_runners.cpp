@@ -1,0 +1,68 @@
+#include "osprey/me/task_runners.h"
+
+#include <memory>
+#include <mutex>
+
+#include "osprey/json/json.h"
+
+namespace osprey::me {
+
+namespace {
+
+/// Evaluate the payload point and format the result payload.
+std::pair<std::string, bool> evaluate(
+    double (*objective)(const std::vector<double>&),
+    const eqsql::TaskHandle& handle, Duration runtime) {
+  Result<json::Value> parsed = json::parse(handle.payload);
+  if (!parsed.ok() || !parsed.value().is_array()) {
+    json::Value error;
+    error["error"] = json::Value("bad payload: expected JSON array");
+    return {error.dump(), false};
+  }
+  Result<std::vector<double>> point = json::to_doubles(parsed.value());
+  if (!point.ok()) {
+    json::Value error;
+    error["error"] = json::Value(point.error().to_string());
+    return {error.dump(), false};
+  }
+  json::Value result;
+  result["y"] = json::Value(objective(point.value()));
+  result["runtime"] = json::Value(runtime);
+  return {result.dump(), true};
+}
+
+}  // namespace
+
+pool::SimTaskRunner objective_sim_runner(
+    double (*objective)(const std::vector<double>&), double median_runtime,
+    double sigma) {
+  LognormalRuntime model(median_runtime, sigma);
+  return [objective, model](const eqsql::TaskHandle& handle,
+                            Rng& rng) -> pool::TaskOutcome {
+    Duration runtime = model.sample(rng);
+    auto [result, ok] = evaluate(objective, handle, runtime);
+    if (!ok) runtime = 0.001;  // malformed tasks fail fast
+    return pool::TaskOutcome{std::move(result), runtime};
+  };
+}
+
+pool::ThreadedTaskRunner objective_threaded_runner(
+    double (*objective)(const std::vector<double>&), double median_runtime,
+    double sigma, std::uint64_t seed) {
+  // Worker threads share the runner: guard the RNG.
+  auto rng = std::make_shared<Rng>(seed);
+  auto mutex = std::make_shared<std::mutex>();
+  LognormalRuntime model(median_runtime, sigma);
+  return [objective, model, rng, mutex](const eqsql::TaskHandle& handle) {
+    Duration runtime;
+    {
+      std::lock_guard<std::mutex> lock(*mutex);
+      runtime = model.sample(*rng);
+    }
+    auto [result, ok] = evaluate(objective, handle, runtime);
+    if (ok) RealClock::sleep_for(runtime);
+    return result;
+  };
+}
+
+}  // namespace osprey::me

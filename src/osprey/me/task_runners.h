@@ -1,0 +1,47 @@
+// Standard task runners used by tests, examples, and the figure benches.
+//
+// The evaluation tasks of §VI compute the Ackley function over the payload
+// point "with a lognormally distributed 'sleep' delay ... to increase the
+// otherwise millisecond runtime and to add task runtime heterogeneity".
+// Payload protocol: a JSON array (the point); result protocol:
+// {"y": <objective>, "runtime": <seconds>}.
+#pragma once
+
+#include <cstdint>
+
+#include "osprey/me/functions.h"
+#include "osprey/pool/sim_pool.h"
+#include "osprey/pool/threaded_pool.h"
+
+namespace osprey::me {
+
+/// Simulated-time runner: objective evaluated immediately, runtime drawn
+/// from the lognormal model (per-pool Rng keeps determinism).
+pool::SimTaskRunner objective_sim_runner(
+    double (*objective)(const std::vector<double>&), double median_runtime,
+    double sigma);
+
+/// The §VI Ackley task.
+inline pool::SimTaskRunner ackley_sim_runner(double median_runtime,
+                                             double sigma) {
+  return objective_sim_runner(
+      [](const std::vector<double>& x) { return ackley(x); }, median_runtime,
+      sigma);
+}
+
+/// Real-time runner for the threaded pool: evaluates the objective and
+/// actually sleeps the lognormal delay (scaled-down medians keep examples
+/// fast).
+pool::ThreadedTaskRunner objective_threaded_runner(
+    double (*objective)(const std::vector<double>&), double median_runtime,
+    double sigma, std::uint64_t seed);
+
+inline pool::ThreadedTaskRunner ackley_threaded_runner(double median_runtime,
+                                                       double sigma,
+                                                       std::uint64_t seed) {
+  return objective_threaded_runner(
+      [](const std::vector<double>& x) { return ackley(x); }, median_runtime,
+      sigma, seed);
+}
+
+}  // namespace osprey::me

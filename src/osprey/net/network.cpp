@@ -1,0 +1,69 @@
+#include "osprey/net/network.h"
+
+#include <algorithm>
+
+namespace osprey::net {
+
+void Network::add_site(const SiteName& site) { sites_[site] = true; }
+
+bool Network::has_site(const SiteName& site) const {
+  return sites_.count(site) > 0;
+}
+
+std::vector<SiteName> Network::sites() const {
+  std::vector<SiteName> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, _] : sites_) out.push_back(name);
+  return out;
+}
+
+void Network::set_link(const SiteName& a, const SiteName& b, LinkSpec spec) {
+  add_site(a);
+  add_site(b);
+  // Store under canonical (min, max) ordering; lookups mirror this.
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  links_[key] = spec;
+}
+
+LinkSpec Network::link(const SiteName& a, const SiteName& b) const {
+  if (a == b) {
+    // Intra-site: effectively free relative to WAN scales.
+    return LinkSpec{0.0, 1e12};
+  }
+  auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = links_.find(key);
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+Duration Network::latency(const SiteName& a, const SiteName& b) const {
+  return link(a, b).latency;
+}
+
+Duration Network::transfer_duration(const SiteName& a, const SiteName& b,
+                                    Bytes bytes) const {
+  LinkSpec spec = link(a, b);
+  return spec.latency + static_cast<double>(bytes) / spec.bandwidth;
+}
+
+Network Network::testbed() {
+  Network network;
+  const double kMiB = 1 << 20;
+  for (const char* site : {"laptop", "bebop", "midway2", "theta", kCloudSite}) {
+    network.add_site(site);
+  }
+  // Laptop: home-broadband-ish uplink to everything.
+  for (const char* remote : {"bebop", "midway2", "theta", kCloudSite}) {
+    network.set_link("laptop", remote, {0.040, 12.0 * kMiB});
+  }
+  // Lab-to-lab paths (ESnet-like): low latency, high bandwidth.
+  network.set_link("bebop", "theta", {0.002, 1200.0 * kMiB});
+  network.set_link("bebop", "midway2", {0.004, 800.0 * kMiB});
+  network.set_link("midway2", "theta", {0.004, 800.0 * kMiB});
+  // Cloud control plane reachable from the labs with modest latency.
+  for (const char* site : {"bebop", "midway2", "theta"}) {
+    network.set_link(site, kCloudSite, {0.025, 200.0 * kMiB});
+  }
+  return network;
+}
+
+}  // namespace osprey::net

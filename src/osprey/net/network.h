@@ -1,0 +1,69 @@
+// Simulated wide-area network between HPC sites.
+//
+// The paper's deployment spans a laptop, UChicago Midway2, Argonne Bebop,
+// and ALCF Theta, connected over the internet (§VI). Since we have none of
+// those, the network is a model: named sites and pairwise links with latency
+// and bandwidth. The FaaS control plane and the Globus-like transfer service
+// derive their delivery and staging times from this model, which is what
+// makes "wide-area data staging is expensive, so stage out-of-band and
+// lazily" (§IV-E) a measurable statement in our benches.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "osprey/core/error.h"
+#include "osprey/core/types.h"
+
+namespace osprey::net {
+
+/// Name of a computing site ("laptop", "bebop", "theta", ...). The FaaS
+/// cloud itself is a site, conventionally named by kCloudSite.
+using SiteName = std::string;
+
+inline constexpr const char* kCloudSite = "cloud";
+
+struct LinkSpec {
+  Duration latency = 0.05;            // one-way seconds
+  double bandwidth = 100.0 * (1 << 20);  // bytes/second (default 100 MiB/s)
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Register a site. Idempotent.
+  void add_site(const SiteName& site);
+  bool has_site(const SiteName& site) const;
+  std::vector<SiteName> sites() const;
+
+  /// Set the (symmetric) link between two sites. Sites are auto-registered.
+  void set_link(const SiteName& a, const SiteName& b, LinkSpec spec);
+
+  /// Default used for site pairs without an explicit link.
+  void set_default_link(LinkSpec spec) { default_link_ = spec; }
+
+  /// The link between two sites (the default when unset). Intra-site
+  /// communication is free (zero latency, infinite bandwidth).
+  LinkSpec link(const SiteName& a, const SiteName& b) const;
+
+  /// One-way message latency between sites.
+  Duration latency(const SiteName& a, const SiteName& b) const;
+
+  /// Time to move `bytes` from `a` to `b`: latency + bytes / bandwidth.
+  Duration transfer_duration(const SiteName& a, const SiteName& b,
+                             Bytes bytes) const;
+
+  /// The standard OSPREY testbed topology used by examples and benches:
+  /// laptop, bebop, midway2, theta, and the FaaS cloud, with internet-like
+  /// links (laptop on a slower uplink, lab-to-lab links faster).
+  static Network testbed();
+
+ private:
+  std::map<SiteName, bool> sites_;
+  std::map<std::pair<SiteName, SiteName>, LinkSpec> links_;
+  LinkSpec default_link_;
+};
+
+}  // namespace osprey::net

@@ -1,0 +1,79 @@
+#include "osprey/pool/monitor.h"
+
+#include "osprey/core/log.h"
+
+namespace osprey::pool {
+
+PoolMonitor::PoolMonitor(sim::Simulation& sim, eqsql::EQSQL& api,
+                         MonitorConfig config)
+    : sim_(sim), api_(api), config_(config) {}
+
+Status PoolMonitor::watch(const PoolId& pool, OnStall on_stall) {
+  if (pool.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty pool name");
+  }
+  Watched watched;
+  watched.on_stall = std::move(on_stall);
+  watched.last_progress_at = sim_.now();
+  auto [it, inserted] = watched_.emplace(pool, std::move(watched));
+  (void)it;
+  if (!inserted) {
+    return Status(ErrorCode::kConflict, "already watching '" + pool + "'");
+  }
+  return Status::ok();
+}
+
+void PoolMonitor::unwatch(const PoolId& pool) { watched_.erase(pool); }
+
+Status PoolMonitor::start() {
+  if (started_) return Status(ErrorCode::kConflict, "monitor already started");
+  started_ = true;
+  sim_.schedule_in(config_.check_interval, [this] { check(); });
+  return Status::ok();
+}
+
+void PoolMonitor::stop() { stopped_ = true; }
+
+void PoolMonitor::check() {
+  if (stopped_) return;
+  std::vector<PoolId> stalled;
+  for (auto& [pool, watched] : watched_) {
+    Result<std::int64_t> completed = api_.pool_completed_count(pool);
+    Result<std::int64_t> running = api_.pool_running_count(pool);
+    if (!completed.ok() || !running.ok()) continue;
+
+    if (completed.value() > watched.last_completed) {
+      watched.last_completed = completed.value();
+      watched.last_progress_at = sim_.now();
+      watched.ever_active = true;
+      continue;
+    }
+    if (running.value() == 0) {
+      // Nothing owned: idle or not started yet — not a stall.
+      watched.last_progress_at = sim_.now();
+      continue;
+    }
+    // Owns running tasks, no completions since last progress.
+    if (sim_.now() - watched.last_progress_at >= config_.stall_timeout) {
+      stalled.push_back(pool);
+    }
+  }
+
+  for (const PoolId& pool : stalled) {
+    Result<std::size_t> requeued = api_.requeue_pool_tasks(pool);
+    std::size_t count = requeued.ok() ? requeued.value() : 0;
+    ++stalls_detected_;
+    OSPREY_LOG(kWarn, "monitor")
+        << "pool '" << pool << "' stalled; requeued " << count << " tasks";
+    auto it = watched_.find(pool);
+    if (it != watched_.end()) {
+      OnStall callback = it->second.on_stall;
+      watched_.erase(it);  // a stalled pool is no longer watched
+      if (callback) callback(pool, count);
+    }
+  }
+
+  sim_.schedule_in(config_.check_interval, [this] { check(); });
+}
+
+}  // namespace osprey::pool

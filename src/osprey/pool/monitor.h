@@ -1,0 +1,74 @@
+// Active worker-pool monitoring (§VII future work): "expand the funcX
+// capabilities for more robust interactions with HPC schedulers, including
+// active monitoring and termination of worker pools, through the PSI/J
+// library".
+//
+// The monitor never touches pool objects — like a PSI/J-driven remote
+// monitor, it watches only the EMEWS DB: a pool is *stalled* when it owns
+// running tasks but its completed-task counter has not advanced for
+// `stall_timeout` seconds (crashed pilot, hung node, preempted allocation).
+// On detection the monitor requeues the pool's stranded tasks (§IV-B fault
+// tolerance) and invokes the failure callback so the workflow can relaunch
+// capacity.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "osprey/eqsql/db_api.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::pool {
+
+struct MonitorConfig {
+  Duration check_interval = 10.0;
+  /// Running-but-no-progress time after which a pool is declared stalled.
+  Duration stall_timeout = 60.0;
+};
+
+class PoolMonitor {
+ public:
+  /// Invoked when a watched pool is declared stalled, after its tasks have
+  /// been requeued. `requeued` is how many tasks went back to the queue.
+  using OnStall = std::function<void(const PoolId&, std::size_t requeued)>;
+
+  PoolMonitor(sim::Simulation& sim, eqsql::EQSQL& api, MonitorConfig config);
+
+  /// Watch a pool by name. The pool does not need to exist yet (pilot jobs
+  /// start late); monitoring begins with its first observed activity.
+  Status watch(const PoolId& pool, OnStall on_stall = {});
+
+  /// Stop watching (e.g. after a graceful shutdown).
+  void unwatch(const PoolId& pool);
+
+  /// Start the periodic checks.
+  Status start();
+
+  /// Stop all monitoring.
+  void stop();
+
+  bool running() const { return started_ && !stopped_; }
+  std::size_t watched_count() const { return watched_.size(); }
+  std::size_t stalls_detected() const { return stalls_detected_; }
+
+ private:
+  struct Watched {
+    OnStall on_stall;
+    std::int64_t last_completed = 0;
+    TimePoint last_progress_at = 0;
+    bool ever_active = false;
+  };
+
+  void check();
+
+  sim::Simulation& sim_;
+  eqsql::EQSQL& api_;
+  MonitorConfig config_;
+  std::map<PoolId, Watched> watched_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::size_t stalls_detected_ = 0;
+};
+
+}  // namespace osprey::pool

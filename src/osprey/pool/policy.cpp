@@ -1,0 +1,4 @@
+#include "osprey/pool/policy.h"
+
+// QueryPolicy is header-only; this TU anchors the module in the archive.
+namespace osprey::pool {}

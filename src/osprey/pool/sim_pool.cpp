@@ -1,0 +1,206 @@
+#include "osprey/pool/sim_pool.h"
+
+#include <cassert>
+#include <vector>
+
+#include "osprey/core/log.h"
+
+namespace osprey::pool {
+
+SimWorkerPool::SimWorkerPool(sim::Simulation& sim, eqsql::EQSQL& api,
+                             SimPoolConfig config, SimTaskRunner runner,
+                             std::uint64_t seed)
+    : sim_(sim),
+      api_(api),
+      config_(std::move(config)),
+      policy_(config_.batch_size, config_.threshold),
+      runner_(std::move(runner)),
+      rng_(seed) {
+  assert(runner_ && "pool needs a task runner");
+}
+
+Status SimWorkerPool::start() {
+  Status valid = QueryPolicy::validate(config_.batch_size, config_.threshold,
+                                       config_.num_workers);
+  if (!valid.is_ok()) return valid;
+  if (started_) {
+    return Status(ErrorCode::kConflict, "pool already started");
+  }
+  started_ = true;
+  started_at_ = sim_.now();
+  idle_since_ = sim_.now();
+  trace_.record(sim_.now(), 0);
+  OSPREY_LOG(kInfo, "pool") << config_.name << " started (workers="
+                            << config_.num_workers << " batch="
+                            << config_.batch_size << " threshold="
+                            << config_.threshold << ")";
+  issue_query();
+  return Status::ok();
+}
+
+void SimWorkerPool::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  if (poll_event_ != 0) {
+    sim_.cancel(poll_event_);
+    poll_event_ = 0;
+  }
+  // Release cached tasks so other pools can take them (§IV-D: pools "can be
+  // started and stopped as needed").
+  if (!cache_.empty()) {
+    std::vector<TaskId> ids;
+    ids.reserve(cache_.size());
+    for (const eqsql::TaskHandle& h : cache_) ids.push_back(h.eq_task_id);
+    cache_.clear();
+    auto requeued = api_.requeue_tasks(ids);
+    if (requeued.ok()) {
+      OSPREY_LOG(kInfo, "pool")
+          << config_.name << " requeued " << requeued.value()
+          << " cached tasks on stop";
+    }
+  }
+  if (running_ == 0) shutdown();
+}
+
+void SimWorkerPool::crash() {
+  // Everything in flight is abandoned; the DB still records the tasks as
+  // running+owned, which is what requeue_pool_tasks recovers from.
+  // In-flight completion events still fire, but finish_task drops them:
+  // a crashed pool must never report.
+  crashed_ = true;
+  stopped_ = true;
+  started_ = false;
+  if (poll_event_ != 0) {
+    sim_.cancel(poll_event_);
+    poll_event_ = 0;
+  }
+  cache_.clear();
+  running_ = 0;
+  trace_.record(sim_.now(), 0);
+  OSPREY_LOG(kWarn, "pool") << config_.name << " crashed";
+}
+
+void SimWorkerPool::issue_query() {
+  if (stopped_ || query_in_flight_) return;
+  int n = policy_.tasks_to_request(owned());
+  if (n <= 0) return;
+  query_in_flight_ = true;
+  ++queries_issued_;
+  Duration cost = config_.query_cost;
+  if (cost > 0 && config_.query_jitter > 0) {
+    cost = LognormalRuntime(cost, config_.query_jitter).sample(rng_);
+  }
+  sim_.schedule_in(cost, [this, n] { query_arrived(n); });
+}
+
+void SimWorkerPool::query_arrived(int requested) {
+  query_in_flight_ = false;
+  if (stopped_) return;
+  // Claim through the §IV-D batched query with the owned count re-derived
+  // *now*: tasks completing while the query was in flight widen the deficit,
+  // so the claim reflects the pool's true capacity at claim time.
+  (void)requested;
+  const int claim_target = policy_.tasks_to_request(owned());
+  auto handles = api_.try_query_tasks_batched(
+      config_.work_type, config_.batch_size, config_.threshold, owned(),
+      config_.name);
+  if (!handles.ok()) {
+    OSPREY_LOG(kError, "pool") << config_.name << " query failed: "
+                               << handles.error().to_string();
+    schedule_poll();
+    return;
+  }
+  for (eqsql::TaskHandle& h : handles.value()) {
+    cache_.push_back(std::move(h));
+  }
+  maybe_start_cached();
+  if (owned() > 0) idle_since_ = sim_.now();
+
+  if (static_cast<int>(handles.value().size()) < claim_target &&
+      running_ < config_.num_workers) {
+    // The queue could not fill us: poll again later (workers are idle).
+    schedule_poll();
+  } else if (policy_.tasks_to_request(owned()) > 0) {
+    // Oversubscription configurations may still want more.
+    issue_query();
+  }
+}
+
+void SimWorkerPool::schedule_poll() {
+  if (stopped_ || poll_event_ != 0) return;
+  poll_event_ = sim_.schedule_in(config_.poll_interval, [this] {
+    poll_event_ = 0;
+    maybe_idle_shutdown();
+    if (stopped_) return;
+    if (policy_.tasks_to_request(owned()) > 0) {
+      issue_query();
+    } else {
+      schedule_poll();
+    }
+  });
+}
+
+void SimWorkerPool::maybe_start_cached() {
+  while (running_ < config_.num_workers && !cache_.empty()) {
+    eqsql::TaskHandle handle = std::move(cache_.front());
+    cache_.pop_front();
+    if (in_completion_context_) ++cache_hits_;
+    start_task(std::move(handle));
+  }
+}
+
+void SimWorkerPool::start_task(eqsql::TaskHandle handle) {
+  ++running_;
+  trace_.record(sim_.now(), running_);
+  TaskOutcome outcome = runner_(handle, rng_);
+  sim_.schedule_in(outcome.runtime,
+                   [this, handle = std::move(handle),
+                    result = std::move(outcome.result)] {
+                     finish_task(handle, result);
+                   });
+}
+
+void SimWorkerPool::finish_task(const eqsql::TaskHandle& handle,
+                                const std::string& result) {
+  if (crashed_) return;  // dead pools report nothing
+  Status reported = api_.report_task(handle.eq_task_id, handle.eq_type, result);
+  if (!reported.is_ok() && reported.code() != ErrorCode::kCanceled) {
+    OSPREY_LOG(kError, "pool") << config_.name << " report failed: "
+                               << reported.to_string();
+  }
+  --running_;
+  ++tasks_completed_;
+  trace_.record(sim_.now(), running_);
+  in_completion_context_ = true;
+  maybe_start_cached();
+  in_completion_context_ = false;
+  if (owned() == 0) idle_since_ = sim_.now();
+  if (stopped_) {
+    if (running_ == 0) shutdown();
+    return;
+  }
+  // The §IV-D pattern: completion opens a deficit; query if it clears the
+  // threshold.
+  issue_query();
+  if (owned() == 0) schedule_poll();
+}
+
+void SimWorkerPool::maybe_idle_shutdown() {
+  if (stopped_ || config_.idle_shutdown <= 0) return;
+  if (owned() == 0 && sim_.now() - idle_since_ >= config_.idle_shutdown) {
+    stopped_ = true;
+    shutdown();
+  }
+}
+
+void SimWorkerPool::shutdown() {
+  OSPREY_LOG(kInfo, "pool") << config_.name << " shut down after "
+                            << tasks_completed_ << " tasks";
+  if (poll_event_ != 0) {
+    sim_.cancel(poll_event_);
+    poll_event_ = 0;
+  }
+  if (on_shutdown_) on_shutdown_();
+}
+
+}  // namespace osprey::pool

@@ -1,0 +1,118 @@
+// Discrete-event worker pool: the Swift/T pilot-job pool of §IV-D driven by
+// virtual time. This is the pool implementation behind the Fig. 3 / Fig. 4
+// benches.
+//
+// Model:
+//  - `num_workers` workers execute tasks concurrently; each task's runtime
+//    comes from the task runner (e.g. Ackley + the paper's lognormal sleep).
+//  - One outstanding output-queue query at a time, issued per the
+//    batch/threshold QueryPolicy; a query costs `query_cost` of simulated
+//    time (the "more costly database query" of §VI) — that cost is exactly
+//    why batch=50 (oversubscription, in-pool cache) utilizes workers better
+//    than batch=33/threshold=1, and why threshold=15 saw-tooths.
+//  - Tasks claimed beyond free workers wait in the in-pool cache.
+//  - stop() releases cached tasks back to the output queue (requeue) and
+//    lets running tasks finish; crash() abandons everything mid-flight so
+//    tests can exercise requeue_pool_tasks recovery.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "osprey/core/rng.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/pool/policy.h"
+#include "osprey/pool/trace.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::pool {
+
+/// What executing one task produced: the JSON result to report and how much
+/// simulated time it took.
+struct TaskOutcome {
+  std::string result;
+  Duration runtime = 0.0;
+};
+
+/// Executes a task payload. The Rng provides the runtime heterogeneity
+/// (the paper's lognormal sleep) deterministically per pool.
+using SimTaskRunner =
+    std::function<TaskOutcome(const eqsql::TaskHandle&, Rng&)>;
+
+struct SimPoolConfig : PoolConfig {
+  /// Simulated cost of one output-queue query (round trip to the DB node).
+  Duration query_cost = 0.4;
+  /// Lognormal sigma applied to query_cost (0 = deterministic).
+  double query_jitter = 0.15;
+};
+
+class SimWorkerPool {
+ public:
+  SimWorkerPool(sim::Simulation& sim, eqsql::EQSQL& api, SimPoolConfig config,
+                SimTaskRunner runner, std::uint64_t seed = 17);
+
+  /// Begin querying for work at the current simulated time.
+  Status start();
+
+  /// Graceful stop: no more queries; cached unstarted tasks are requeued;
+  /// running tasks finish and report.
+  void stop();
+
+  /// Simulate a pool crash: running and cached tasks are abandoned (left
+  /// 'running' in the DB until someone calls requeue_pool_tasks).
+  void crash();
+
+  bool running() const { return started_ && !stopped_; }
+  const SimPoolConfig& config() const { return config_; }
+  const ConcurrencyTrace& trace() const { return trace_; }
+
+  int running_tasks() const { return running_; }
+  int cached_tasks() const { return static_cast<int>(cache_.size()); }
+  std::uint64_t tasks_completed() const { return tasks_completed_; }
+  std::uint64_t queries_issued() const { return queries_issued_; }
+  /// Task starts served instantly from the in-pool cache when a worker
+  /// freed up — the §VI mechanism: "an in-memory task cache from which new
+  /// tasks can be quickly pulled without the more costly database query".
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  TimePoint started_at() const { return started_at_; }
+
+  /// Invoked when the pool shuts down (idle timeout or stop()).
+  void set_on_shutdown(std::function<void()> fn) { on_shutdown_ = std::move(fn); }
+
+ private:
+  int owned() const { return running_ + static_cast<int>(cache_.size()); }
+  void issue_query();
+  void query_arrived(int requested);
+  void schedule_poll();
+  void maybe_start_cached();
+  void start_task(eqsql::TaskHandle handle);
+  void finish_task(const eqsql::TaskHandle& handle, const std::string& result);
+  void maybe_idle_shutdown();
+  void shutdown();
+
+  sim::Simulation& sim_;
+  eqsql::EQSQL& api_;
+  SimPoolConfig config_;
+  QueryPolicy policy_;
+  SimTaskRunner runner_;
+  Rng rng_;
+
+  bool started_ = false;
+  bool stopped_ = false;
+  bool crashed_ = false;
+  bool query_in_flight_ = false;
+  sim::EventId poll_event_ = 0;
+  int running_ = 0;
+  std::deque<eqsql::TaskHandle> cache_;
+  ConcurrencyTrace trace_;
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t queries_issued_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  bool in_completion_context_ = false;
+  TimePoint started_at_ = 0;
+  TimePoint idle_since_ = 0;
+  std::function<void()> on_shutdown_;
+};
+
+}  // namespace osprey::pool

@@ -1,0 +1,214 @@
+#include "osprey/pool/threaded_pool.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "osprey/core/log.h"
+
+namespace osprey::pool {
+
+namespace {
+std::chrono::duration<double> seconds(Duration d) {
+  return std::chrono::duration<double>(d > 0 ? d : 0);
+}
+}  // namespace
+
+ThreadedWorkerPool::ThreadedWorkerPool(eqsql::EQSQL& api, PoolConfig config,
+                                       ThreadedTaskRunner runner)
+    : api_(api),
+      config_(std::move(config)),
+      policy_(config_.batch_size, config_.threshold),
+      runner_(std::move(runner)) {
+  assert(runner_ && "pool needs a task runner");
+}
+
+ThreadedWorkerPool::~ThreadedWorkerPool() { stop(); }
+
+Status ThreadedWorkerPool::start() {
+  Status valid = QueryPolicy::validate(config_.batch_size, config_.threshold,
+                                       config_.num_workers);
+  if (!valid.is_ok()) return valid;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (started_) return Status(ErrorCode::kConflict, "pool already started");
+    started_ = true;
+    trace_.record(api_.clock().now(), 0);
+  }
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  coordinator_ = std::thread([this] { coordinator_loop(); });
+  OSPREY_LOG(kInfo, "pool") << config_.name << " started (threaded, workers="
+                            << config_.num_workers << ")";
+  return Status::ok();
+}
+
+void ThreadedWorkerPool::coordinator_loop() {
+  TimePoint idle_since = api_.clock().now();
+  while (true) {
+    int to_request = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) break;
+      to_request = policy_.tasks_to_request(owned_locked());
+      if (owned_locked() > 0) idle_since = api_.clock().now();
+    }
+    if (to_request > 0) {
+      int owned_now;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        owned_now = owned_locked();
+      }
+      // The §IV-D batched pool query: deficit/threshold applied at claim
+      // time against the current owned count.
+      auto handles = api_.try_query_tasks_batched(
+          config_.work_type, config_.batch_size, config_.threshold, owned_now,
+          config_.name);
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ++queries_issued_;
+        if (handles.ok() && !handles.value().empty()) {
+          for (eqsql::TaskHandle& h : handles.value()) {
+            cache_.push_back(std::move(h));
+          }
+          idle_since = api_.clock().now();
+          work_cv_.notify_all();
+          // Got work: loop immediately to check the policy again.
+          continue;
+        }
+      }
+      if (!handles.ok()) {
+        OSPREY_LOG(kError, "pool") << config_.name << " query failed: "
+                                   << handles.error().to_string();
+      }
+    }
+    // Nothing to fetch (or nothing available): wait for a completion or the
+    // poll interval, then re-evaluate.
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) break;
+    if (config_.idle_shutdown > 0 && owned_locked() == 0 &&
+        api_.clock().now() - idle_since >= config_.idle_shutdown) {
+      stopping_ = true;
+      break;
+    }
+    control_cv_.wait_for(lock, seconds(config_.poll_interval));
+  }
+
+  // Shutdown path: release cached tasks, wake workers so they can exit.
+  std::vector<TaskId> to_requeue;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (const eqsql::TaskHandle& h : cache_) to_requeue.push_back(h.eq_task_id);
+    cache_.clear();
+    work_cv_.notify_all();
+  }
+  if (!to_requeue.empty()) {
+    auto requeued = api_.requeue_tasks(to_requeue);
+    if (requeued.ok()) {
+      OSPREY_LOG(kInfo, "pool") << config_.name << " requeued "
+                                << requeued.value() << " cached tasks on stop";
+    }
+  }
+}
+
+void ThreadedWorkerPool::worker_loop() {
+  while (true) {
+    eqsql::TaskHandle handle;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !cache_.empty(); });
+      if (cache_.empty()) return;  // stopping and drained
+      handle = std::move(cache_.front());
+      cache_.pop_front();
+      ++running_count_;
+      record_locked();
+    }
+    std::string result = runner_(handle);
+    Status reported =
+        api_.report_task(handle.eq_task_id, handle.eq_type, result);
+    if (!reported.is_ok() && reported.code() != ErrorCode::kCanceled) {
+      OSPREY_LOG(kError, "pool") << config_.name << " report failed: "
+                                 << reported.to_string();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_count_;
+      ++tasks_completed_;
+      record_locked();
+    }
+    control_cv_.notify_one();  // completion opens a deficit
+  }
+}
+
+void ThreadedWorkerPool::record_locked() {
+  trace_.record(api_.clock().now(), running_count_);
+}
+
+void ThreadedWorkerPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || shut_down_) return;
+    stopping_ = true;
+  }
+  control_cv_.notify_all();
+  work_cv_.notify_all();
+  if (coordinator_.joinable()) coordinator_.join();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work_cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  shut_down_ = true;
+  OSPREY_LOG(kInfo, "pool") << config_.name << " shut down after "
+                            << tasks_completed_ << " tasks";
+}
+
+bool ThreadedWorkerPool::wait_until_shutdown(Duration timeout) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          seconds(timeout));
+  while (std::chrono::steady_clock::now() < deadline) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_ || shut_down_) {
+        // Coordinator decided to stop (idle). Finish joining.
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!stopping_ && !shut_down_) return false;
+  }
+  stop();
+  return true;
+}
+
+bool ThreadedWorkerPool::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return started_ && !shut_down_;
+}
+
+std::uint64_t ThreadedWorkerPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_completed_;
+}
+
+std::uint64_t ThreadedWorkerPool::queries_issued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queries_issued_;
+}
+
+ConcurrencyTrace ThreadedWorkerPool::trace_snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+}  // namespace osprey::pool

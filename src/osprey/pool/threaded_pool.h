@@ -1,0 +1,85 @@
+// Threaded worker pool: the same §IV-D pilot-pool semantics as SimWorkerPool
+// but on real OS threads and wall-clock time.
+//
+// One coordinator thread runs the batch/threshold query loop against the
+// EMEWS DB; `num_workers` worker threads execute tasks from the in-pool
+// cache and report results. This is the pool the runnable examples use, with
+// millisecond-scale task runtimes standing in for the paper's seconds.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "osprey/eqsql/db_api.h"
+#include "osprey/pool/policy.h"
+#include "osprey/pool/trace.h"
+
+namespace osprey::pool {
+
+/// Executes a task and returns its JSON result. Expected to block for the
+/// task's duration (compute or sleep).
+using ThreadedTaskRunner = std::function<std::string(const eqsql::TaskHandle&)>;
+
+class ThreadedWorkerPool {
+ public:
+  /// The pool records its concurrency trace against `api.clock()`.
+  ThreadedWorkerPool(eqsql::EQSQL& api, PoolConfig config,
+                     ThreadedTaskRunner runner);
+  ~ThreadedWorkerPool();
+
+  ThreadedWorkerPool(const ThreadedWorkerPool&) = delete;
+  ThreadedWorkerPool& operator=(const ThreadedWorkerPool&) = delete;
+
+  /// Spawn the coordinator and worker threads.
+  Status start();
+
+  /// Graceful stop: stop querying, requeue cached tasks, let running tasks
+  /// finish, join all threads. Safe to call twice.
+  void stop();
+
+  /// Block until the pool shuts down on its own (requires
+  /// config.idle_shutdown > 0) or `timeout` elapses. Returns true when the
+  /// pool shut down.
+  bool wait_until_shutdown(Duration timeout);
+
+  bool running() const;
+  std::uint64_t tasks_completed() const;
+  std::uint64_t queries_issued() const;
+
+  /// Trace of concurrently running tasks (snapshot under lock).
+  ConcurrencyTrace trace_snapshot() const;
+
+ private:
+  void coordinator_loop();
+  void worker_loop();
+  int owned_locked() const {
+    return running_count_ + static_cast<int>(cache_.size());
+  }
+  void record_locked();
+
+  eqsql::EQSQL& api_;
+  PoolConfig config_;
+  QueryPolicy policy_;
+  ThreadedTaskRunner runner_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;    // workers wait for cache items
+  std::condition_variable control_cv_; // coordinator waits for changes
+  std::deque<eqsql::TaskHandle> cache_;
+  int running_count_ = 0;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool shut_down_ = false;
+  std::uint64_t tasks_completed_ = 0;
+  std::uint64_t queries_issued_ = 0;
+  ConcurrencyTrace trace_;
+
+  std::thread coordinator_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace osprey::pool

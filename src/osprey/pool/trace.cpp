@@ -1,0 +1,102 @@
+#include "osprey/pool/trace.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace osprey::pool {
+
+void ConcurrencyTrace::record(TimePoint time, int running) {
+  assert(points_.empty() || time >= points_.back().time);
+  // Collapse same-time updates to the final value.
+  if (!points_.empty() && points_.back().time == time) {
+    points_.back().running = running;
+    return;
+  }
+  points_.push_back({time, running});
+}
+
+int ConcurrencyTrace::value_at(TimePoint t) const {
+  // Last point with time <= t (step function semantics).
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](TimePoint value, const TracePoint& p) { return value < p.time; });
+  if (it == points_.begin()) return 0;
+  return std::prev(it)->running;
+}
+
+double ConcurrencyTrace::mean_concurrency(TimePoint t0, TimePoint t1) const {
+  if (t1 <= t0) return 0.0;
+  double area = 0.0;
+  TimePoint cursor = t0;
+  int current = value_at(t0);
+  for (const TracePoint& p : points_) {
+    if (p.time <= t0) continue;
+    if (p.time >= t1) break;
+    area += current * (p.time - cursor);
+    cursor = p.time;
+    current = p.running;
+  }
+  area += current * (t1 - cursor);
+  return area / (t1 - t0);
+}
+
+double ConcurrencyTrace::fraction_at_least(int k, TimePoint t0,
+                                           TimePoint t1) const {
+  if (t1 <= t0) return 0.0;
+  double covered = 0.0;
+  TimePoint cursor = t0;
+  int current = value_at(t0);
+  for (const TracePoint& p : points_) {
+    if (p.time <= t0) continue;
+    if (p.time >= t1) break;
+    if (current >= k) covered += p.time - cursor;
+    cursor = p.time;
+    current = p.running;
+  }
+  if (current >= k) covered += t1 - cursor;
+  return covered / (t1 - t0);
+}
+
+int ConcurrencyTrace::max_drop() const {
+  int max_drop = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    max_drop = std::max(max_drop, points_[i - 1].running - points_[i].running);
+  }
+  return max_drop;
+}
+
+int ConcurrencyTrace::max_rise() const {
+  int max_rise = 0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    max_rise = std::max(max_rise, points_[i].running - points_[i - 1].running);
+  }
+  return max_rise;
+}
+
+std::vector<int> ConcurrencyTrace::resample(TimePoint t0, TimePoint t1,
+                                            Duration dt) const {
+  std::vector<int> samples;
+  if (dt <= 0) return samples;
+  for (TimePoint t = t0; t <= t1 + 1e-9; t += dt) {
+    samples.push_back(value_at(t));
+  }
+  return samples;
+}
+
+std::string ConcurrencyTrace::sparkline(TimePoint t0, TimePoint t1, Duration dt,
+                                        int max_value) const {
+  std::string row;
+  if (max_value <= 0) max_value = 1;
+  for (int v : resample(t0, t1, dt)) {
+    if (v <= 0) {
+      row += '.';
+    } else {
+      int level = (v * 9) / max_value;
+      level = std::clamp(level, 0, 9);
+      row += static_cast<char>('0' + level);
+    }
+  }
+  return row;
+}
+
+}  // namespace osprey::pool

@@ -1,0 +1,58 @@
+// Concurrency traces: the measurement behind Figs. 3 and 4.
+//
+// A trace records (time, concurrently-running-task-count) steps for one
+// worker pool. The figure benches print these series and derive utilization
+// statistics from them (mean concurrency / worker count, task throughput).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "osprey/core/types.h"
+
+namespace osprey::pool {
+
+struct TracePoint {
+  TimePoint time;
+  int running;
+};
+
+class ConcurrencyTrace {
+ public:
+  /// Record a change in the number of running tasks.
+  void record(TimePoint time, int running);
+
+  const std::vector<TracePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean number of running tasks over [t0, t1] (time-weighted).
+  double mean_concurrency(TimePoint t0, TimePoint t1) const;
+
+  /// Fraction of [t0, t1] with at least `k` tasks running.
+  double fraction_at_least(int k, TimePoint t0, TimePoint t1) const;
+
+  /// Largest instantaneous drop between consecutive points.
+  int max_drop() const;
+
+  /// Largest instantaneous rise between consecutive points. A threshold-
+  /// gated pool refills many workers at once, so this is the depth of the
+  /// saw-tooth in Fig 3's bottom plot.
+  int max_rise() const;
+
+  /// The concurrency value at time t (0 before the first point).
+  int value_at(TimePoint t) const;
+
+  /// Resample the step series at fixed dt for printing (returns one value
+  /// per sample point from t0 to t1 inclusive).
+  std::vector<int> resample(TimePoint t0, TimePoint t1, Duration dt) const;
+
+  /// Render one compact ASCII row ('0'-'9X' density digits) for terminal
+  /// figures; scale maps running-count to 0..9.
+  std::string sparkline(TimePoint t0, TimePoint t1, Duration dt,
+                        int max_value) const;
+
+ private:
+  std::vector<TracePoint> points_;  // non-decreasing time
+};
+
+}  // namespace osprey::pool

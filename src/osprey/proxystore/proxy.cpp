@@ -1,0 +1,46 @@
+#include "osprey/proxystore/proxy.h"
+
+#include <cstring>
+
+#include "osprey/json/json.h"
+
+namespace osprey::proxystore {
+
+Codec<json::Value> json_codec() {
+  return Codec<json::Value>{
+      [](const json::Value& v) { return v.dump(); },
+      [](const std::string& bytes) { return json::parse(bytes); },
+  };
+}
+
+Codec<std::string> bytes_codec() {
+  return Codec<std::string>{
+      [](const std::string& v) { return v; },
+      [](const std::string& bytes) -> Result<std::string> { return bytes; },
+  };
+}
+
+Codec<std::vector<double>> doubles_codec() {
+  return Codec<std::vector<double>>{
+      [](const std::vector<double>& v) {
+        std::string bytes(v.size() * sizeof(double), '\0');
+        if (!v.empty()) {
+          std::memcpy(bytes.data(), v.data(), bytes.size());
+        }
+        return bytes;
+      },
+      [](const std::string& bytes) -> Result<std::vector<double>> {
+        if (bytes.size() % sizeof(double) != 0) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "blob size is not a multiple of sizeof(double)");
+        }
+        std::vector<double> v(bytes.size() / sizeof(double));
+        if (!v.empty()) {
+          std::memcpy(v.data(), bytes.data(), bytes.size());
+        }
+        return v;
+      },
+  };
+}
+
+}  // namespace osprey::proxystore

@@ -1,0 +1,107 @@
+// Proxy<T>: the lazy pass-by-reference object of ProxyStore (§IV-E).
+//
+// "It passes 'Proxy' object references between participating entities ...
+// and implements a lazy evaluation approach in which Proxies are resolved
+// only when needed." A Proxy carries (store, key, codec); resolve() fetches
+// and decodes on first use and caches. Copies share the resolution cache, so
+// handing a proxy to a remote function and resolving it there (as the GPR is
+// resolved inside the remote retraining call in §VI) decodes exactly once.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osprey/json/json.h"
+#include "osprey/proxystore/store.h"
+
+namespace osprey::proxystore {
+
+/// Encoding of T to/from the store's byte blobs.
+template <typename T>
+struct Codec {
+  std::function<std::string(const T&)> encode;
+  std::function<Result<T>(const std::string&)> decode;
+};
+
+template <typename T>
+class Proxy {
+ public:
+  Proxy() = default;
+
+  /// Wrap an existing stored object.
+  Proxy(Store& store, Key key, Codec<T> codec)
+      : state_(std::make_shared<State>(
+            State{&store, std::move(key), std::move(codec), {}, 0})) {}
+
+  /// Store `value` under `key` and return its proxy.
+  static Result<Proxy> create(Store& store, Key key, const T& value,
+                              Codec<T> codec) {
+    std::string bytes = codec.encode(value);
+    Bytes size = bytes.size();
+    Status s = store.put(key, std::move(bytes));
+    if (!s.is_ok()) return s.error();
+    Proxy proxy(store, std::move(key), std::move(codec));
+    proxy.state_->stored_bytes = size;
+    return proxy;
+  }
+
+  bool valid() const { return state_ != nullptr; }
+  const Key& key() const { return state_->key; }
+  bool resolved() const { return state_ && state_->cached.has_value(); }
+
+  /// Size of the stored encoding (0 until known).
+  Bytes stored_bytes() const { return state_ ? state_->stored_bytes : 0; }
+
+  /// Fetch + decode on first use; cached afterwards.
+  Result<std::reference_wrapper<const T>> resolve() {
+    if (!state_) {
+      return Error(ErrorCode::kInvalidArgument, "invalid proxy");
+    }
+    if (!state_->cached) {
+      Result<std::string> bytes = state_->store->get(state_->key);
+      if (!bytes.ok()) return bytes.error();
+      state_->stored_bytes = bytes.value().size();
+      Result<T> value = state_->codec.decode(bytes.value());
+      if (!value.ok()) return value.error();
+      state_->cached = std::move(value).take();
+    }
+    return std::cref(*state_->cached);
+  }
+
+  /// Simulated time resolving from `site` would cost (0 once cached —
+  /// lazy resolution means you pay the WAN exactly once).
+  Duration resolve_cost(const net::SiteName& site) const {
+    if (!state_ || state_->cached) return 0.0;
+    return state_->store->access_cost(state_->key, site);
+  }
+
+  /// Drop the stored blob (the cache, if any, survives).
+  Status evict() {
+    if (!state_) return Status(ErrorCode::kInvalidArgument, "invalid proxy");
+    return state_->store->evict(state_->key);
+  }
+
+ private:
+  struct State {
+    Store* store = nullptr;
+    Key key;
+    Codec<T> codec;
+    std::optional<T> cached;
+    Bytes stored_bytes = 0;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Codec for JSON documents — the common artifact encoding.
+Codec<json::Value> json_codec();
+
+/// Codec for raw byte strings.
+Codec<std::string> bytes_codec();
+
+/// Codec for double vectors (model weights, sample batches).
+Codec<std::vector<double>> doubles_codec();
+
+}  // namespace osprey::proxystore

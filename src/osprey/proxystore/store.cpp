@@ -1,0 +1,154 @@
+#include "osprey/proxystore/store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace osprey::proxystore {
+
+// --- LocalStore --------------------------------------------------------------
+
+Status LocalStore::put(const Key& key, std::string bytes) {
+  blobs_[key] = std::move(bytes);
+  return Status::ok();
+}
+
+Result<std::string> LocalStore::get(const Key& key) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Error(ErrorCode::kNotFound, "no proxy blob '" + key + "'");
+  }
+  return it->second;
+}
+
+bool LocalStore::exists(const Key& key) const { return blobs_.count(key) > 0; }
+
+Status LocalStore::evict(const Key& key) {
+  if (blobs_.erase(key) == 0) {
+    return Status(ErrorCode::kNotFound, "no proxy blob '" + key + "'");
+  }
+  return Status::ok();
+}
+
+// --- FileStore ---------------------------------------------------------------
+
+FileStore::FileStore(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+}
+
+std::string FileStore::path_for(const Key& key) const {
+  // Keys may contain path-hostile characters; hex-encode them.
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string name;
+  name.reserve(key.size() * 2);
+  for (unsigned char c : key) {
+    name += kHex[c >> 4];
+    name += kHex[c & 0xF];
+  }
+  return directory_ + "/" + name + ".blob";
+}
+
+Status FileStore::put(const Key& key, std::string bytes) {
+  std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kUnavailable,
+                  "cannot write blob file for '" + key + "'");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Status(ErrorCode::kUnavailable, "short write for '" + key + "'");
+  }
+  return Status::ok();
+}
+
+Result<std::string> FileStore::get(const Key& key) {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, "no proxy blob '" + key + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool FileStore::exists(const Key& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(path_for(key), ec);
+}
+
+Status FileStore::evict(const Key& key) {
+  std::error_code ec;
+  if (!std::filesystem::remove(path_for(key), ec) || ec) {
+    return Status(ErrorCode::kNotFound, "no proxy blob '" + key + "'");
+  }
+  return Status::ok();
+}
+
+// --- RedisStore --------------------------------------------------------------
+
+RedisStore::RedisStore(const net::Network& network, net::SiteName host_site)
+    : network_(network), host_site_(std::move(host_site)) {}
+
+Status RedisStore::put(const Key& key, std::string bytes) {
+  blobs_[key] = std::move(bytes);
+  return Status::ok();
+}
+
+Result<std::string> RedisStore::get(const Key& key) {
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return Error(ErrorCode::kNotFound, "no proxy blob '" + key + "'");
+  }
+  return it->second;
+}
+
+bool RedisStore::exists(const Key& key) const { return blobs_.count(key) > 0; }
+
+Status RedisStore::evict(const Key& key) {
+  if (blobs_.erase(key) == 0) {
+    return Status(ErrorCode::kNotFound, "no proxy blob '" + key + "'");
+  }
+  return Status::ok();
+}
+
+Duration RedisStore::access_cost(const Key& key,
+                                 const net::SiteName& site) const {
+  auto it = blobs_.find(key);
+  Bytes bytes = it == blobs_.end() ? 0 : it->second.size();
+  // One request latency to the Redis host plus payload movement back.
+  return network_.latency(site, host_site_) +
+         network_.transfer_duration(host_site_, site, bytes);
+}
+
+// --- GlobusStore -------------------------------------------------------------
+
+GlobusStore::GlobusStore(transfer::TransferService& transfers,
+                         net::SiteName home_site)
+    : transfers_(transfers), home_site_(std::move(home_site)) {}
+
+Status GlobusStore::put(const Key& key, std::string bytes) {
+  return transfers_.store().put(home_site_, key, std::move(bytes));
+}
+
+Result<std::string> GlobusStore::get(const Key& key) {
+  return transfers_.store().get(home_site_, key);
+}
+
+bool GlobusStore::exists(const Key& key) const {
+  return transfers_.store().exists(home_site_, key);
+}
+
+Status GlobusStore::evict(const Key& key) {
+  return transfers_.store().erase(home_site_, key);
+}
+
+Duration GlobusStore::access_cost(const Key& key,
+                                  const net::SiteName& site) const {
+  Result<Bytes> bytes = transfers_.store().size(home_site_, key);
+  if (!bytes.ok()) return 0.0;
+  return transfers_.estimate(home_site_, site, bytes.value());
+}
+
+}  // namespace osprey::proxystore

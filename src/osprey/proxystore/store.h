@@ -1,0 +1,122 @@
+// ProxyStore-like data fabric: pluggable stores behind a common interface
+// (§IV-E).
+//
+// "ProxyStore implements a common data access/movement interface with
+// plugins to support storage and movement via different methods, including
+// shared file systems, Redis databases, or Globus." The stores here:
+//   LocalStore  - in-process memory (same-site sharing)
+//   FileStore   - a directory on a shared filesystem
+//   RedisStore  - in-memory with a per-operation latency cost model
+//   GlobusStore - blobs live at a home site; cross-site access goes through
+//                 the transfer service's site stores and costs WAN time
+//
+// Because the simulation cannot block inside an event callback, wide-area
+// cost is exposed through access_cost(): callers (e.g. the FaaS duration
+// model for remote GPR retraining) add the resolve cost to their simulated
+// duration, while the bytes themselves move synchronously. DESIGN.md
+// documents this substitution.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osprey/core/error.h"
+#include "osprey/core/types.h"
+#include "osprey/net/network.h"
+#include "osprey/transfer/transfer.h"
+
+namespace osprey::proxystore {
+
+using Key = std::string;
+
+class Store {
+ public:
+  virtual ~Store() = default;
+
+  virtual Status put(const Key& key, std::string bytes) = 0;
+  virtual Result<std::string> get(const Key& key) = 0;
+  virtual bool exists(const Key& key) const = 0;
+  virtual Status evict(const Key& key) = 0;
+
+  /// Time accessing `key` from `site` costs in the simulated world.
+  virtual Duration access_cost(const Key& key,
+                               const net::SiteName& site) const = 0;
+
+  /// Human-readable plugin name ("local", "file", "redis", "globus").
+  virtual const char* kind() const = 0;
+};
+
+/// In-process memory store: free same-site access.
+class LocalStore final : public Store {
+ public:
+  Status put(const Key& key, std::string bytes) override;
+  Result<std::string> get(const Key& key) override;
+  bool exists(const Key& key) const override;
+  Status evict(const Key& key) override;
+  Duration access_cost(const Key&, const net::SiteName&) const override {
+    return 0.0;
+  }
+  const char* kind() const override { return "local"; }
+
+ private:
+  std::map<Key, std::string> blobs_;
+};
+
+/// Shared-filesystem store: blobs are files under a directory.
+class FileStore final : public Store {
+ public:
+  explicit FileStore(std::string directory);
+  Status put(const Key& key, std::string bytes) override;
+  Result<std::string> get(const Key& key) override;
+  bool exists(const Key& key) const override;
+  Status evict(const Key& key) override;
+  Duration access_cost(const Key&, const net::SiteName&) const override {
+    return 0.0;  // shared FS: same-site by definition
+  }
+  const char* kind() const override { return "file"; }
+
+ private:
+  std::string path_for(const Key& key) const;
+  std::string directory_;
+};
+
+/// Redis-like store: in-memory, with a per-op latency to the Redis host's
+/// site plus payload serialization over that link.
+class RedisStore final : public Store {
+ public:
+  RedisStore(const net::Network& network, net::SiteName host_site);
+  Status put(const Key& key, std::string bytes) override;
+  Result<std::string> get(const Key& key) override;
+  bool exists(const Key& key) const override;
+  Status evict(const Key& key) override;
+  Duration access_cost(const Key& key, const net::SiteName& site) const override;
+  const char* kind() const override { return "redis"; }
+
+ private:
+  const net::Network& network_;
+  net::SiteName host_site_;
+  std::map<Key, std::string> blobs_;
+};
+
+/// Globus-backed store: blobs live in the transfer service's site store at
+/// `home_site`; cross-site access costs a third-party transfer.
+class GlobusStore final : public Store {
+ public:
+  GlobusStore(transfer::TransferService& transfers, net::SiteName home_site);
+  Status put(const Key& key, std::string bytes) override;
+  Result<std::string> get(const Key& key) override;
+  bool exists(const Key& key) const override;
+  Status evict(const Key& key) override;
+  Duration access_cost(const Key& key, const net::SiteName& site) const override;
+  const char* kind() const override { return "globus"; }
+
+  const net::SiteName& home_site() const { return home_site_; }
+
+ private:
+  transfer::TransferService& transfers_;
+  net::SiteName home_site_;
+};
+
+}  // namespace osprey::proxystore

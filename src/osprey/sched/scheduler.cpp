@@ -1,0 +1,169 @@
+#include "osprey/sched/scheduler.h"
+
+#include <algorithm>
+
+#include "osprey/core/log.h"
+
+namespace osprey::sched {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kComplete: return "complete";
+    case JobState::kCanceled: return "canceled";
+  }
+  return "?";
+}
+
+const char* end_reason_name(EndReason r) {
+  switch (r) {
+    case EndReason::kFinished: return "finished";
+    case EndReason::kWalltime: return "walltime";
+    case EndReason::kCanceled: return "canceled";
+    case EndReason::kPreempted: return "preempted";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(sim::Simulation& sim, SchedulerConfig config)
+    : sim_(sim),
+      config_(config),
+      rng_(config.seed),
+      overhead_(config.submit_overhead_median, config.submit_overhead_sigma),
+      nodes_free_(config.total_nodes) {}
+
+Result<JobId> Scheduler::submit(JobSpec spec) {
+  if (spec.nodes <= 0 || spec.nodes > config_.total_nodes) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "job needs " + std::to_string(spec.nodes) + " nodes; cluster has " +
+                     std::to_string(config_.total_nodes));
+  }
+  JobId id = next_id_++;
+  Job job;
+  job.spec = std::move(spec);
+  job.submitted_at = sim_.now();
+  Duration overhead =
+      config_.submit_overhead_median > 0 ? overhead_.sample(rng_) : 0.0;
+  job.eligible_at = job.submitted_at + overhead;
+  jobs_.emplace(id, std::move(job));
+  queue_.push_back(id);
+  // Wake the scheduler when the job becomes eligible.
+  sim_.schedule_at(jobs_.at(id).eligible_at, [this] { try_start_jobs(); });
+  return id;
+}
+
+void Scheduler::try_start_jobs() {
+  // FIFO with easy backfill: walk the queue in order; start anything that is
+  // eligible and fits in the currently free nodes. A too-large head job does
+  // not block smaller jobs behind it (no reservations — documented
+  // simplification of conservative backfill).
+  bool started = true;
+  while (started) {
+    started = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      Job& job = jobs_.at(*it);
+      if (sim_.now() < job.eligible_at) continue;
+      if (job.spec.nodes > nodes_free_) continue;
+      JobId id = *it;
+      queue_.erase(it);
+      start_job(id);
+      started = true;
+      break;  // iterator invalidated; rescan
+    }
+  }
+}
+
+void Scheduler::start_job(JobId id) {
+  Job& job = jobs_.at(id);
+  job.state = JobState::kRunning;
+  job.started_at = sim_.now();
+  nodes_free_ -= job.spec.nodes;
+  OSPREY_LOG(kDebug, "sched") << "job " << id << " (" << job.spec.name
+                              << ") started after "
+                              << job.started_at - job.submitted_at << "s wait";
+  if (job.spec.walltime > 0) {
+    job.walltime_event = sim_.schedule_in(
+        job.spec.walltime, [this, id] { end_job(id, EndReason::kWalltime); });
+  }
+  if (job.spec.on_start) job.spec.on_start(id);
+}
+
+void Scheduler::end_job(JobId id, EndReason reason) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return;
+  Job& job = it->second;
+  if (job.state != JobState::kRunning) return;
+  nodes_free_ += job.spec.nodes;
+  if (job.walltime_event != 0) {
+    sim_.cancel(job.walltime_event);
+    job.walltime_event = 0;
+  }
+  if (reason == EndReason::kPreempted) {
+    // Requeue at the front; the job restarts when nodes free up.
+    job.state = JobState::kQueued;
+    job.eligible_at = sim_.now();
+    queue_.push_front(id);
+  } else {
+    job.state =
+        reason == EndReason::kCanceled ? JobState::kCanceled : JobState::kComplete;
+  }
+  if (job.spec.on_end) job.spec.on_end(id, reason);
+  try_start_jobs();
+}
+
+Status Scheduler::complete(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kRunning) {
+    return Status(ErrorCode::kNotFound,
+                  "job " + std::to_string(id) + " is not running");
+  }
+  end_job(id, EndReason::kFinished);
+  return Status::ok();
+}
+
+Status Scheduler::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status(ErrorCode::kNotFound, "no job " + std::to_string(id));
+  }
+  Job& job = it->second;
+  if (job.state == JobState::kQueued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), id), queue_.end());
+    job.state = JobState::kCanceled;
+    if (job.spec.on_end) job.spec.on_end(id, EndReason::kCanceled);
+    return Status::ok();
+  }
+  if (job.state == JobState::kRunning) {
+    end_job(id, EndReason::kCanceled);
+    return Status::ok();
+  }
+  return Status(ErrorCode::kConflict,
+                "job " + std::to_string(id) + " already finished");
+}
+
+Status Scheduler::preempt(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kRunning) {
+    return Status(ErrorCode::kNotFound,
+                  "job " + std::to_string(id) + " is not running");
+  }
+  end_job(id, EndReason::kPreempted);
+  return Status::ok();
+}
+
+JobState Scheduler::state(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? JobState::kCanceled : it->second.state;
+}
+
+Result<Duration> Scheduler::queue_wait(JobId id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state == JobState::kQueued) {
+    return Error(ErrorCode::kNotFound,
+                 "job " + std::to_string(id) + " has not started");
+  }
+  return it->second.started_at - it->second.submitted_at;
+}
+
+}  // namespace osprey::sched

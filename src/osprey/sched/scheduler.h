@@ -1,0 +1,105 @@
+// Batch scheduler simulation (Slurm/PBS stand-in).
+//
+// Worker pools run as pilot jobs inside scheduler allocations (§IV-B, §IV-D),
+// and Fig. 4 explicitly notes that pools 2 and 3 "do not immediately start
+// consuming tasks ... due to delays between submitting a worker pool job to
+// Bebop and it actually beginning". This module produces those delays from
+// first principles: a node-limited FIFO queue with easy backfill, plus a
+// stochastic submission overhead, plus walltime enforcement and preemption
+// (§II-B1c: "site specific preemption protocols").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "osprey/core/error.h"
+#include "osprey/core/rng.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::sched {
+
+using JobId = std::uint64_t;
+
+enum class JobState { kQueued, kRunning, kComplete, kCanceled };
+
+/// Why on_end fired.
+enum class EndReason { kFinished, kWalltime, kCanceled, kPreempted };
+
+const char* job_state_name(JobState s);
+const char* end_reason_name(EndReason r);
+
+struct JobSpec {
+  std::string name;
+  int nodes = 1;
+  /// Hard allocation limit: the job is killed at start + walltime.
+  Duration walltime = 86400.0;
+  /// Called (simulated time) when the allocation actually starts.
+  std::function<void(JobId)> on_start;
+  /// Called when the job ends for any reason.
+  std::function<void(JobId, EndReason)> on_end;
+};
+
+struct SchedulerConfig {
+  int total_nodes = 8;
+  /// Lognormal submission overhead added before a job is eligible to start
+  /// (scheduler cycle, node boot, module loads...). Median/sigma as in the
+  /// core runtime model; Fig 4's 20-60s pool start delays come from here.
+  double submit_overhead_median = 20.0;
+  double submit_overhead_sigma = 0.4;
+  std::uint64_t seed = 99;
+};
+
+class Scheduler {
+ public:
+  Scheduler(sim::Simulation& sim, SchedulerConfig config = {});
+
+  /// Submit a pilot job. on_start fires when nodes are allocated.
+  Result<JobId> submit(JobSpec spec);
+
+  /// The running job signals its own completion (a pilot pool exits when
+  /// its work is done). Frees nodes and starts eligible queued jobs.
+  Status complete(JobId id);
+
+  /// Cancel a queued or running job.
+  Status cancel(JobId id);
+
+  /// Preempt a running job: it loses its nodes (on_end kPreempted) and is
+  /// requeued at the front, restarting when nodes free up.
+  Status preempt(JobId id);
+
+  JobState state(JobId id) const;
+  int nodes_free() const { return nodes_free_; }
+  int nodes_total() const { return config_.total_nodes; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Observed queue wait (submit -> start) of a started job.
+  Result<Duration> queue_wait(JobId id) const;
+
+ private:
+  struct Job {
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    TimePoint submitted_at = 0;
+    TimePoint eligible_at = 0;  // submitted_at + submission overhead
+    TimePoint started_at = 0;
+    sim::EventId walltime_event = 0;
+  };
+
+  void try_start_jobs();
+  void start_job(JobId id);
+  void end_job(JobId id, EndReason reason);
+
+  sim::Simulation& sim_;
+  SchedulerConfig config_;
+  Rng rng_;
+  LognormalRuntime overhead_;
+  std::map<JobId, Job> jobs_;
+  std::deque<JobId> queue_;  // FIFO order with easy backfill
+  int nodes_free_;
+  JobId next_id_ = 1;
+};
+
+}  // namespace osprey::sched

@@ -1,0 +1,88 @@
+#include "osprey/sim/sim.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace osprey::sim {
+
+EventId Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
+  assert(fn && "scheduling an empty callback");
+  if (at < now_) at = now_;  // events cannot fire in the past
+  EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  ++canceled_count_;  // heap entry stays; pop_next discards it lazily
+  return true;
+}
+
+bool Simulation::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    Event e = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      // Canceled event: skip its stale heap entry.
+      assert(canceled_count_ > 0);
+      --canceled_count_;
+      continue;
+    }
+    out = e;
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run() {
+  return run_until(std::numeric_limits<TimePoint>::infinity());
+}
+
+std::size_t Simulation::run_until(TimePoint t_end) {
+  std::size_t count = 0;
+  Event e;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    // Peek: don't consume events beyond the horizon.
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      queue_.pop();
+      --canceled_count_;
+      continue;
+    }
+    if (top.time > t_end) break;
+    if (!pop_next(e)) break;
+    now_ = e.time;
+    auto it = callbacks_.find(e.id);
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    ++count;
+  }
+  // Advance to the horizon: remaining events (if any) are strictly later.
+  if (t_end != std::numeric_limits<TimePoint>::infinity() && t_end > now_) {
+    now_ = t_end;
+  }
+  return count;
+}
+
+std::size_t Simulation::run_bounded(std::size_t max_events) {
+  std::size_t count = 0;
+  Event e;
+  while ((max_events == 0 || count < max_events) && pop_next(e)) {
+    now_ = e.time;
+    auto it = callbacks_.find(e.id);
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace osprey::sim

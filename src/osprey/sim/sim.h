@@ -1,0 +1,91 @@
+// Discrete-event simulation engine.
+//
+// The paper's evaluation (Figs. 3-4) records ~300-second traces of a
+// distributed workflow across a laptop, two clusters, and a supercomputer.
+// We reproduce those dynamics deterministically with a discrete-event engine:
+// components schedule events on a shared virtual clock and the engine runs
+// them in (time, insertion-order) order. Simulation implements core::Clock,
+// so time-aware middleware code is identical under real and virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/types.h"
+
+namespace osprey::sim {
+
+/// Handle to a scheduled event; lets the scheduler cancel it.
+using EventId = std::uint64_t;
+
+/// The discrete-event simulation: a virtual clock plus an event queue.
+///
+/// Determinism: events at the same timestamp run in insertion order
+/// (a strictly increasing sequence number breaks ties), so repeated runs of
+/// the same seeded workflow produce identical traces.
+class Simulation final : public Clock {
+ public:
+  Simulation() = default;
+
+  // Non-copyable: components hold references to the simulation.
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time (seconds).
+  TimePoint now() const override { return now_; }
+
+  /// Schedule `fn` to run at absolute virtual time `at` (clamped to now()).
+  EventId schedule_at(TimePoint at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` seconds from now.
+  EventId schedule_in(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran or was canceled.
+  bool cancel(EventId id);
+
+  /// Run events until the queue drains. Returns the number of events run.
+  std::size_t run();
+
+  /// Run events with time <= t_end; afterwards now() == t_end if the queue
+  /// drained early, else the time of the last executed event.
+  std::size_t run_until(TimePoint t_end);
+
+  /// Run at most `max_events` events (0 = unlimited). Guards runaway loops.
+  std::size_t run_bounded(std::size_t max_events);
+
+  /// Number of pending (non-canceled) events.
+  std::size_t pending() const { return queue_.size() - canceled_count_; }
+
+  bool empty() const { return pending() == 0; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered min-first by (time, seq).
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  TimePoint now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Callbacks and cancellation flags live beside the heap entries.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::size_t canceled_count_ = 0;
+};
+
+}  // namespace osprey::sim

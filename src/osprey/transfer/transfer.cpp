@@ -1,0 +1,155 @@
+#include "osprey/transfer/transfer.h"
+
+#include "osprey/core/log.h"
+
+namespace osprey::transfer {
+
+Status SiteStore::put(const net::SiteName& site, const std::string& key,
+                      std::string bytes) {
+  blobs_[{site, key}] = std::move(bytes);
+  return Status::ok();
+}
+
+Result<std::string> SiteStore::get(const net::SiteName& site,
+                                   const std::string& key) const {
+  auto it = blobs_.find({site, key});
+  if (it == blobs_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "no blob '" + key + "' at site '" + site + "'");
+  }
+  return it->second;
+}
+
+bool SiteStore::exists(const net::SiteName& site, const std::string& key) const {
+  return blobs_.count({site, key}) > 0;
+}
+
+Status SiteStore::erase(const net::SiteName& site, const std::string& key) {
+  if (blobs_.erase({site, key}) == 0) {
+    return Status(ErrorCode::kNotFound,
+                  "no blob '" + key + "' at site '" + site + "'");
+  }
+  return Status::ok();
+}
+
+Result<Bytes> SiteStore::size(const net::SiteName& site,
+                              const std::string& key) const {
+  auto it = blobs_.find({site, key});
+  if (it == blobs_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "no blob '" + key + "' at site '" + site + "'");
+  }
+  return static_cast<Bytes>(it->second.size());
+}
+
+std::uint64_t SiteStore::checksum(const std::string& bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+TransferService::TransferService(sim::Simulation& sim,
+                                 const net::Network& network,
+                                 std::uint64_t seed)
+    : sim_(sim), network_(network), rng_(seed) {}
+
+Duration TransferService::estimate(const net::SiteName& a,
+                                   const net::SiteName& b, Bytes bytes) const {
+  return network_.transfer_duration(a, b, bytes);
+}
+
+Result<TransferId> TransferService::submit(const net::SiteName& src,
+                                           const net::SiteName& dst,
+                                           const std::string& key,
+                                           TransferOptions options) {
+  if (!store_.exists(src, key)) {
+    return Error(ErrorCode::kNotFound,
+                 "no blob '" + key + "' at site '" + src + "'");
+  }
+  TransferId id = next_id_++;
+  transfers_.emplace(
+      id, Entry{src, dst, key, std::move(options), TransferState::kActive, 0});
+  attempt(id);
+  return id;
+}
+
+void TransferService::attempt(TransferId id) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  Entry& entry = it->second;
+  Result<Bytes> bytes = store_.size(entry.src, entry.key);
+  if (!bytes.ok()) {
+    // Source disappeared between retries.
+    finish(id, Status(bytes.error()));
+    return;
+  }
+  Duration duration = estimate(entry.src, entry.dst, bytes.value());
+  bool corrupted = corruption_probability_ > 0.0 &&
+                   rng_.bernoulli(corruption_probability_);
+  sim_.schedule_in(duration, [this, id, corrupted] { arrive(id, corrupted); });
+}
+
+void TransferService::arrive(TransferId id, bool corrupted) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  Entry& entry = it->second;
+  Result<std::string> data = store_.get(entry.src, entry.key);
+  if (!data.ok()) {
+    finish(id, Status(data.error()));
+    return;
+  }
+  std::string payload = data.value();
+  if (corrupted) payload += '\0';  // in-flight corruption
+
+  bool checksum_ok = !entry.options.verify_checksum ||
+                     SiteStore::checksum(payload) ==
+                         SiteStore::checksum(data.value());
+  if (!checksum_ok) {
+    if (entry.attempts < entry.options.max_retries) {
+      ++entry.attempts;
+      ++total_retries_;
+      OSPREY_LOG(kDebug, "transfer")
+          << "transfer " << id << " checksum mismatch; retry "
+          << entry.attempts;
+      attempt(id);
+      return;
+    }
+    finish(id, Status(ErrorCode::kUnavailable,
+                      "checksum failed after " +
+                          std::to_string(entry.attempts + 1) + " attempts"));
+    return;
+  }
+  // Unverified corrupted payloads land corrupted — that is the point of
+  // checksum verification, and the tests assert this difference.
+  store_.put(entry.dst, entry.key, std::move(payload));
+  finish(id, Status::ok());
+}
+
+void TransferService::finish(TransferId id, Status status) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  it->second.state =
+      status.is_ok() ? TransferState::kSucceeded : TransferState::kFailed;
+  if (it->second.options.on_complete) {
+    it->second.options.on_complete(id, status);
+  }
+}
+
+TransferState TransferService::state(TransferId id) const {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return TransferState::kFailed;
+  return it->second.state;
+}
+
+std::size_t TransferService::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [_, entry] : transfers_) {
+    if (entry.state == TransferState::kActive) ++n;
+  }
+  return n;
+}
+
+}  // namespace osprey::transfer

@@ -1,0 +1,106 @@
+// Globus-like third-party wide-area transfer service (§IV-E).
+//
+// "The third-party nature of Globus transfers allows OSPREY (via ProxyStore)
+// to easily move data between locations without needing to maintain open
+// connections to those locations." We model that: each site has a named-blob
+// store; a transfer is submitted to the service and proceeds on its own
+// (simulation events) — the submitting party holds no connection. Transfers
+// carry checksums, can fail with injected probability, and retry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osprey/core/rng.h"
+#include "osprey/net/network.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::transfer {
+
+/// Per-site named blobs ("the filesystem at each site" as far as the
+/// transfer service is concerned).
+class SiteStore {
+ public:
+  Status put(const net::SiteName& site, const std::string& key,
+             std::string bytes);
+  Result<std::string> get(const net::SiteName& site,
+                          const std::string& key) const;
+  bool exists(const net::SiteName& site, const std::string& key) const;
+  Status erase(const net::SiteName& site, const std::string& key);
+  Result<Bytes> size(const net::SiteName& site, const std::string& key) const;
+
+  /// Stable content checksum (FNV-1a).
+  static std::uint64_t checksum(const std::string& bytes);
+
+ private:
+  std::map<std::pair<net::SiteName, std::string>, std::string> blobs_;
+};
+
+using TransferId = std::uint64_t;
+
+enum class TransferState { kActive, kSucceeded, kFailed };
+
+struct TransferOptions {
+  int max_retries = 2;
+  /// Verify the destination checksum after each attempt (detects the
+  /// injected corruption) — Globus's checksum-verified transfer mode.
+  bool verify_checksum = true;
+  std::function<void(TransferId, Status)> on_complete;
+};
+
+class TransferService {
+ public:
+  TransferService(sim::Simulation& sim, const net::Network& network,
+                  std::uint64_t seed = 7);
+
+  SiteStore& store() { return store_; }
+  const SiteStore& store() const { return store_; }
+
+  /// Pure cost model: how long moving `bytes` from `a` to `b` takes.
+  Duration estimate(const net::SiteName& a, const net::SiteName& b,
+                    Bytes bytes) const;
+
+  /// Start an asynchronous third-party transfer of blob `key` from `src` to
+  /// `dst`. Fails immediately (kNotFound) when the source blob is missing.
+  Result<TransferId> submit(const net::SiteName& src, const net::SiteName& dst,
+                            const std::string& key,
+                            TransferOptions options = {});
+
+  TransferState state(TransferId id) const;
+
+  /// Each attempt corrupts the payload in flight with probability `p`
+  /// (checksum verification catches it and triggers a retry).
+  void set_corruption_probability(double p) { corruption_probability_ = p; }
+
+  std::uint64_t total_retries() const { return total_retries_; }
+  std::size_t active_count() const;
+
+ private:
+  struct Entry {
+    net::SiteName src;
+    net::SiteName dst;
+    std::string key;
+    TransferOptions options;
+    TransferState state = TransferState::kActive;
+    int attempts = 0;
+  };
+
+  void attempt(TransferId id);
+  void arrive(TransferId id, bool corrupted);
+  void finish(TransferId id, Status status);
+
+  sim::Simulation& sim_;
+  const net::Network& network_;
+  SiteStore store_;
+  Rng rng_;
+  std::map<TransferId, Entry> transfers_;
+  TransferId next_id_ = 1;
+  double corruption_probability_ = 0.0;
+  std::uint64_t total_retries_ = 0;
+};
+
+}  // namespace osprey::transfer

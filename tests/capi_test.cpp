@@ -1,0 +1,167 @@
+// Tests for the C API (§II-B1e multi-language boundary). Everything here
+// goes through the extern "C" surface only — the way a Python/R/Julia FFI
+// binding would.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "osprey/capi/osprey_c.h"
+
+namespace {
+
+class CApiTest : public ::testing::Test {
+ protected:
+  CApiTest() {
+    service_ = osprey_service_create();
+    EXPECT_EQ(osprey_service_start(service_), OSPREY_OK);
+    client_ = osprey_client_connect(service_);
+    EXPECT_NE(client_, nullptr);
+  }
+  ~CApiTest() override {
+    osprey_client_destroy(client_);
+    osprey_service_destroy(service_);
+  }
+
+  osprey_service* service_ = nullptr;
+  osprey_client* client_ = nullptr;
+};
+
+TEST_F(CApiTest, ErrorNamesMatchProtocolStrings) {
+  EXPECT_STREQ(osprey_error_name(OSPREY_OK), "OK");
+  EXPECT_STREQ(osprey_error_name(OSPREY_E_TIMEOUT), "TIMEOUT");
+  EXPECT_STREQ(osprey_error_name(OSPREY_E_PERMISSION_DENIED),
+               "PERMISSION_DENIED");
+}
+
+TEST_F(CApiTest, ServiceLifecycle) {
+  EXPECT_EQ(osprey_service_start(service_), OSPREY_E_CONFLICT);  // running
+  EXPECT_EQ(osprey_service_stop(service_), OSPREY_OK);
+  EXPECT_EQ(osprey_service_stop(service_), OSPREY_E_CONFLICT);
+  EXPECT_EQ(osprey_service_start(service_), OSPREY_OK);
+  EXPECT_EQ(osprey_service_start(nullptr), OSPREY_E_INVALID_ARGUMENT);
+}
+
+TEST_F(CApiTest, FullTaskCycleThroughCApi) {
+  int64_t task_id = 0;
+  ASSERT_EQ(osprey_submit_task(client_, "exp_c", 1, "[1.5, 2.5]", 3, "tag0",
+                               &task_id),
+            OSPREY_OK);
+  EXPECT_GT(task_id, 0);
+
+  int status = -1;
+  ASSERT_EQ(osprey_task_status(client_, task_id, &status), OSPREY_OK);
+  EXPECT_EQ(status, OSPREY_TASK_QUEUED);
+
+  int64_t queued = 0;
+  ASSERT_EQ(osprey_queued_count(client_, 1, &queued), OSPREY_OK);
+  EXPECT_EQ(queued, 1);
+
+  // Worker side: claim, execute, report.
+  int64_t claimed_id = 0;
+  char payload[256];
+  ASSERT_EQ(osprey_query_task(client_, 1, "c_pool", 0.01, 1.0, &claimed_id,
+                              payload, sizeof(payload)),
+            OSPREY_OK);
+  EXPECT_EQ(claimed_id, task_id);
+  EXPECT_STREQ(payload, "[1.5, 2.5]");
+  ASSERT_EQ(osprey_task_status(client_, task_id, &status), OSPREY_OK);
+  EXPECT_EQ(status, OSPREY_TASK_RUNNING);
+
+  ASSERT_EQ(osprey_report_task(client_, claimed_id, 1, "{\"y\": 4.25}"),
+            OSPREY_OK);
+
+  // ME side: retrieve the result.
+  char result[256];
+  ASSERT_EQ(osprey_query_result(client_, task_id, 0.01, 1.0, result,
+                                sizeof(result)),
+            OSPREY_OK);
+  EXPECT_STREQ(result, "{\"y\": 4.25}");
+  ASSERT_EQ(osprey_task_status(client_, task_id, &status), OSPREY_OK);
+  EXPECT_EQ(status, OSPREY_TASK_COMPLETE);
+}
+
+TEST_F(CApiTest, QueryTaskTimesOut) {
+  int64_t id = 0;
+  char payload[64];
+  EXPECT_EQ(osprey_query_task(client_, 1, "p", 0.005, 0.02, &id, payload,
+                              sizeof(payload)),
+            OSPREY_E_TIMEOUT);
+}
+
+TEST_F(CApiTest, BufferTooSmallFailsWithoutOverflow) {
+  int64_t task_id = 0;
+  ASSERT_EQ(osprey_submit_task(client_, "exp", 1,
+                               "[1234567890, 1234567890, 1234567890]", 0,
+                               nullptr, &task_id),
+            OSPREY_OK);
+  int64_t claimed = 0;
+  char tiny[4];
+  EXPECT_EQ(osprey_query_task(client_, 1, "p", 0.005, 0.05, &claimed, tiny,
+                              sizeof(tiny)),
+            OSPREY_E_INVALID_ARGUMENT);
+}
+
+TEST_F(CApiTest, CancelAndReprioritizeBatches) {
+  int64_t ids[3];
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(osprey_submit_task(client_, "exp", 1, "[1]", 0, nullptr,
+                                 &ids[i]),
+              OSPREY_OK);
+  }
+  // Element-wise priorities: invert the order.
+  int priorities[3] = {1, 2, 3};
+  size_t updated = 0;
+  ASSERT_EQ(osprey_update_priorities(client_, ids, 3, priorities, 3, &updated),
+            OSPREY_OK);
+  EXPECT_EQ(updated, 3u);
+  // Highest priority pops first.
+  int64_t claimed = 0;
+  char payload[32];
+  ASSERT_EQ(osprey_query_task(client_, 1, "p", 0.005, 0.5, &claimed, payload,
+                              sizeof(payload)),
+            OSPREY_OK);
+  EXPECT_EQ(claimed, ids[2]);
+
+  size_t canceled = 0;
+  ASSERT_EQ(osprey_cancel_tasks(client_, ids, 3, &canceled), OSPREY_OK);
+  // cancel covers both queued tasks and the running (claimed) one.
+  EXPECT_EQ(canceled, 3u);
+  int status = -1;
+  ASSERT_EQ(osprey_task_status(client_, ids[2], &status), OSPREY_OK);
+  EXPECT_EQ(status, OSPREY_TASK_CANCELED);
+}
+
+TEST_F(CApiTest, NullArgumentsRejected) {
+  int64_t id = 0;
+  EXPECT_EQ(osprey_submit_task(nullptr, "e", 1, "[1]", 0, nullptr, &id),
+            OSPREY_E_INVALID_ARGUMENT);
+  EXPECT_EQ(osprey_submit_task(client_, nullptr, 1, "[1]", 0, nullptr, &id),
+            OSPREY_E_INVALID_ARGUMENT);
+  EXPECT_EQ(osprey_submit_task(client_, "e", 1, "[1]", 0, nullptr, nullptr),
+            OSPREY_E_INVALID_ARGUMENT);
+  EXPECT_EQ(osprey_report_task(client_, 1, 1, nullptr),
+            OSPREY_E_INVALID_ARGUMENT);
+  EXPECT_EQ(osprey_client_connect(nullptr), nullptr);
+}
+
+TEST_F(CApiTest, TwoClientsShareTheQueue) {
+  // A producer client and a consumer client, as two language runtimes
+  // sharing one EMEWS service would.
+  osprey_client* producer = osprey_client_connect(service_);
+  osprey_client* consumer = osprey_client_connect(service_);
+  ASSERT_NE(producer, nullptr);
+  ASSERT_NE(consumer, nullptr);
+  int64_t task_id = 0;
+  ASSERT_EQ(osprey_submit_task(producer, "x", 7, "[9]", 0, nullptr, &task_id),
+            OSPREY_OK);
+  int64_t claimed = 0;
+  char payload[32];
+  ASSERT_EQ(osprey_query_task(consumer, 7, "w", 0.005, 0.5, &claimed, payload,
+                              sizeof(payload)),
+            OSPREY_OK);
+  EXPECT_EQ(claimed, task_id);
+  osprey_client_destroy(producer);
+  osprey_client_destroy(consumer);
+}
+
+}  // namespace

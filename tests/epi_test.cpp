@@ -1,0 +1,327 @@
+// Tests for the epidemic-model substrate: SEIR dynamics, ABM behaviour,
+// synthetic surveillance, and calibration losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "osprey/epi/abm.h"
+#include "osprey/json/json.h"
+#include "osprey/epi/calibrate.h"
+#include "osprey/epi/data.h"
+#include "osprey/epi/seir.h"
+
+namespace osprey::epi {
+namespace {
+
+SeirParams standard_params() {
+  SeirParams p;
+  p.beta = 0.5;
+  p.sigma = 0.25;
+  p.gamma = 0.125;  // R0 = 4
+  p.population = 1e6;
+  p.initial_infected = 20;
+  return p;
+}
+
+// --- SEIR -----------------------------------------------------------------------
+
+TEST(SeirTest, ConservesPopulation) {
+  auto series = run_seir(standard_params(), 200).value();
+  for (int day = 0; day <= 200; ++day) {
+    auto d = static_cast<std::size_t>(day);
+    double total = series.s[d] + series.e[d] + series.i[d] + series.r[d];
+    EXPECT_NEAR(total, 1e6, 1e-3) << "day " << day;
+  }
+}
+
+TEST(SeirTest, EpidemicRisesPeaksAndDeclines) {
+  auto series = run_seir(standard_params(), 300).value();
+  int peak = series.peak_day();
+  EXPECT_GT(peak, 10);
+  EXPECT_LT(peak, 200);
+  EXPECT_GT(series.peak_infected(), 1e4);
+  // Declines after the peak to near-extinction.
+  EXPECT_LT(series.i.back(), series.peak_infected() * 0.01);
+  // High R0 => most of the population is eventually infected.
+  EXPECT_GT(series.attack_rate(), 0.9);
+}
+
+TEST(SeirTest, SubcriticalEpidemicDiesOut) {
+  SeirParams p = standard_params();
+  p.beta = 0.05;  // R0 = 0.4
+  auto series = run_seir(p, 200).value();
+  EXPECT_LT(series.attack_rate(), 0.01);
+  EXPECT_LT(series.i.back(), p.initial_infected);
+}
+
+TEST(SeirTest, HigherBetaMeansEarlierLargerPeak) {
+  SeirParams low = standard_params();
+  SeirParams high = standard_params();
+  high.beta = 0.8;
+  auto series_low = run_seir(low, 300).value();
+  auto series_high = run_seir(high, 300).value();
+  EXPECT_LT(series_high.peak_day(), series_low.peak_day());
+  EXPECT_GT(series_high.peak_infected(), series_low.peak_infected());
+}
+
+TEST(SeirTest, IncidenceSumsToAttackRate) {
+  auto series = run_seir(standard_params(), 400).value();
+  double total_incidence = std::accumulate(series.daily_incidence.begin(),
+                                           series.daily_incidence.end(), 0.0);
+  // Attack rate counts the initially seeded infections; daily incidence
+  // only counts post-t0 infections.
+  double seeded = standard_params().initial_infected / 1e6;
+  EXPECT_NEAR(total_incidence / 1e6 + seeded, series.attack_rate(), 1e-6);
+}
+
+TEST(SeirTest, FinerStepsConverge) {
+  auto coarse = run_seir(standard_params(), 100, 4).value();
+  auto fine = run_seir(standard_params(), 100, 50).value();
+  EXPECT_NEAR(coarse.i[50], fine.i[50], fine.i[50] * 0.01);
+}
+
+TEST(SeirTest, RejectsInvalidParameters) {
+  SeirParams p = standard_params();
+  p.beta = 0;
+  EXPECT_FALSE(run_seir(p, 100).ok());
+  p = standard_params();
+  p.population = -5;
+  EXPECT_FALSE(run_seir(p, 100).ok());
+  p = standard_params();
+  p.initial_infected = 2e6;
+  EXPECT_FALSE(run_seir(p, 100).ok());
+  EXPECT_FALSE(run_seir(standard_params(), 0).ok());
+}
+
+TEST(SeirTest, R0Computation) {
+  EXPECT_DOUBLE_EQ(r0(standard_params()), 4.0);
+}
+
+// --- intervention scenarios (scenario-modeling workload, §I refs) ------------------
+
+TEST(InterventionTest, ScheduleFactorsCompose) {
+  InterventionSchedule schedule({{10, 20, 0.5}, {15, 30, 0.8}});
+  EXPECT_DOUBLE_EQ(schedule.factor_on(5), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.factor_on(10), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.factor_on(15), 0.4);  // overlapping: 0.5 * 0.8
+  EXPECT_DOUBLE_EQ(schedule.factor_on(25), 0.8);
+  EXPECT_DOUBLE_EQ(schedule.factor_on(30), 1.0);  // end is exclusive
+  EXPECT_TRUE(schedule.validate().is_ok());
+}
+
+TEST(InterventionTest, ValidationRejectsBadRanges) {
+  EXPECT_FALSE(InterventionSchedule({{5, 5, 0.5}}).validate().is_ok());
+  EXPECT_FALSE(InterventionSchedule({{5, 10, 0.0}}).validate().is_ok());
+  EXPECT_FALSE(run_seir_with_interventions(standard_params(),
+                                           InterventionSchedule({{5, 2, 0.5}}),
+                                           50)
+                   .ok());
+}
+
+TEST(InterventionTest, EmptyScheduleMatchesPlainSeir) {
+  auto plain = run_seir(standard_params(), 100).value();
+  auto scheduled = run_seir_with_interventions(standard_params(),
+                                               InterventionSchedule{}, 100)
+                       .value();
+  EXPECT_EQ(plain.i, scheduled.i);
+}
+
+TEST(InterventionTest, SustainedLockdownFlattensTheCurve) {
+  // A sustained 60%-transmission-reduction (effective R0 4 -> 1.6): the
+  // peak must be much lower and the attack rate smaller than unmitigated.
+  SeirParams p = standard_params();
+  auto unmitigated = run_seir(p, 300).value();
+  InterventionSchedule lockdown({{20, 300, 0.4}});
+  auto mitigated = run_seir_with_interventions(p, lockdown, 300).value();
+  EXPECT_LT(mitigated.peak_infected(), unmitigated.peak_infected() * 0.5);
+  EXPECT_LT(mitigated.attack_rate(), unmitigated.attack_rate());
+}
+
+TEST(InterventionTest, TemporaryLockdownOnlyDelaysTheWave) {
+  // The classic scenario-modeling result: lifting a lockdown while most of
+  // the population is still susceptible only postpones a near-full peak.
+  SeirParams p = standard_params();
+  auto unmitigated = run_seir(p, 300).value();
+  auto temporary = run_seir_with_interventions(
+                       p, InterventionSchedule({{20, 80, 0.4}}), 300).value();
+  EXPECT_GT(temporary.peak_day(), unmitigated.peak_day() + 30);
+  EXPECT_GT(temporary.peak_infected(), unmitigated.peak_infected() * 0.8);
+}
+
+TEST(InterventionTest, EarlierSustainedLockdownIsMoreEffective) {
+  SeirParams p = standard_params();
+  auto early = run_seir_with_interventions(
+                   p, InterventionSchedule({{10, 300, 0.4}}), 300).value();
+  auto late = run_seir_with_interventions(
+                  p, InterventionSchedule({{40, 300, 0.4}}), 300).value();
+  EXPECT_LT(early.peak_infected(), late.peak_infected());
+}
+
+TEST(InterventionTest, ReopeningCausesSecondWave) {
+  // Strong lockdown, then full reopening: infections rebound after the end
+  // of the intervention window.
+  SeirParams p = standard_params();
+  InterventionSchedule lockdown_then_reopen({{15, 90, 0.2}});
+  auto series = run_seir_with_interventions(p, lockdown_then_reopen, 300).value();
+  // Infections at the end of lockdown are low; a later peak exceeds them.
+  double at_reopen = series.i[90];
+  double later_peak = 0;
+  for (int d = 100; d <= 300; ++d) {
+    later_peak = std::max(later_peak, series.i[static_cast<std::size_t>(d)]);
+  }
+  EXPECT_GT(later_peak, at_reopen * 3);
+}
+
+// --- ABM ------------------------------------------------------------------------
+
+TEST(AbmTest, DeterministicPerSeed) {
+  AbmParams p;
+  p.seed = 42;
+  auto a = run_abm(p, 60).value();
+  auto b = run_abm(p, 60).value();
+  EXPECT_EQ(a.i, b.i);
+  p.seed = 43;
+  auto c = run_abm(p, 60).value();
+  EXPECT_NE(a.i, c.i);  // different seeds give different epidemics
+}
+
+TEST(AbmTest, ConservesPopulation) {
+  AbmParams p;
+  auto series = run_abm(p, 80).value();
+  for (std::size_t d = 0; d < series.s.size(); ++d) {
+    EXPECT_EQ(series.s[d] + series.i[d] + series.r[d], p.population);
+  }
+}
+
+TEST(AbmTest, SupercriticalEpidemicTakesOff) {
+  AbmParams p;  // R0 = 0.05 * 10 * 7 = 3.5
+  auto series = run_abm(p, 120).value();
+  EXPECT_GT(series.total_infected(), p.population / 2);
+  EXPECT_GT(series.peak_infected(), p.population / 20);
+}
+
+TEST(AbmTest, SubcriticalEpidemicFizzles) {
+  AbmParams p;
+  p.transmission_prob = 0.005;  // R0 = 0.35
+  auto series = run_abm(p, 120).value();
+  EXPECT_LT(series.total_infected(), p.population / 20);
+}
+
+TEST(AbmTest, StochasticVarianceAcrossSeeds) {
+  AbmParams p;
+  p.population = 2000;
+  std::vector<int> totals;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    p.seed = seed;
+    totals.push_back(run_abm(p, 100).value().total_infected());
+  }
+  int min_total = *std::min_element(totals.begin(), totals.end());
+  int max_total = *std::max_element(totals.begin(), totals.end());
+  EXPECT_GT(max_total - min_total, 10);  // genuinely stochastic
+}
+
+TEST(AbmTest, RejectsInvalidParameters) {
+  AbmParams p;
+  p.population = 0;
+  EXPECT_FALSE(run_abm(p, 10).ok());
+  p = AbmParams{};
+  p.transmission_prob = 1.5;
+  EXPECT_FALSE(run_abm(p, 10).ok());
+  p = AbmParams{};
+  p.initial_infected = 1e7;
+  EXPECT_FALSE(run_abm(p, 10).ok());
+}
+
+// --- surveillance ------------------------------------------------------------------
+
+TEST(SurveillanceTest, UnderReportsTruth) {
+  auto truth = run_seir(standard_params(), 150).value();
+  ReportingModel model;
+  model.report_rate = 0.25;
+  model.weekend_effect = false;
+  Surveillance observed = synthesize_surveillance(truth.daily_incidence, model);
+  double true_total = std::accumulate(truth.daily_incidence.begin(),
+                                      truth.daily_incidence.end(), 0.0);
+  EXPECT_NEAR(observed.total() / true_total, 0.25, 0.02);
+}
+
+TEST(SurveillanceTest, WeekendEffectSuppressesDays5And6) {
+  std::vector<double> flat(70, 10000.0);
+  ReportingModel model;
+  model.report_rate = 1.0;
+  model.weekend_factor = 0.5;
+  Surveillance observed = synthesize_surveillance(flat, model);
+  double weekday = 0, weekend = 0;
+  int weekday_n = 0, weekend_n = 0;
+  for (int d = 0; d < 70; ++d) {
+    if (d % 7 == 5 || d % 7 == 6) {
+      weekend += observed.reported_cases[static_cast<std::size_t>(d)];
+      ++weekend_n;
+    } else {
+      weekday += observed.reported_cases[static_cast<std::size_t>(d)];
+      ++weekday_n;
+    }
+  }
+  EXPECT_NEAR((weekend / weekend_n) / (weekday / weekday_n), 0.5, 0.05);
+}
+
+TEST(SurveillanceTest, DeterministicPerSeed) {
+  std::vector<double> incidence(30, 100.0);
+  ReportingModel model;
+  Surveillance a = synthesize_surveillance(incidence, model);
+  Surveillance b = synthesize_surveillance(incidence, model);
+  EXPECT_EQ(a.reported_cases, b.reported_cases);
+}
+
+// --- calibration --------------------------------------------------------------------
+
+TEST(CalibrateTest, LossesAreZeroForPerfectFit) {
+  std::vector<double> data{10, 20, 30};
+  EXPECT_DOUBLE_EQ(rmse(data, data), 0.0);
+  EXPECT_NEAR(poisson_deviance(data, data), 0.0, 1e-9);
+}
+
+TEST(CalibrateTest, LossesGrowWithError) {
+  std::vector<double> observed{10, 20, 30};
+  std::vector<double> close{11, 19, 31};
+  std::vector<double> far{40, 5, 90};
+  EXPECT_LT(rmse(observed, close), rmse(observed, far));
+  EXPECT_LT(poisson_deviance(observed, close), poisson_deviance(observed, far));
+}
+
+TEST(CalibrateTest, TruthIsNearLossMinimum) {
+  SeirParams truth = standard_params();
+  ReportingModel reporting;
+  CalibrationProblem problem = make_synthetic_problem(truth, 120, reporting);
+  double at_truth = problem.loss(truth.beta, truth.sigma, truth.gamma);
+  // Perturbed parameters fit worse.
+  EXPECT_GT(problem.loss(truth.beta * 1.5, truth.sigma, truth.gamma), at_truth);
+  EXPECT_GT(problem.loss(truth.beta, truth.sigma * 2.0, truth.gamma), at_truth);
+  EXPECT_GT(problem.loss(truth.beta, truth.sigma, truth.gamma * 0.5), at_truth);
+}
+
+TEST(CalibrateTest, InvalidParametersGetInfiniteLoss) {
+  CalibrationProblem problem =
+      make_synthetic_problem(standard_params(), 60, ReportingModel{});
+  EXPECT_TRUE(std::isinf(problem.loss(-1.0, 0.25, 0.1)));
+}
+
+TEST(CalibrateTest, RunnerEvaluatesPayloadProtocol) {
+  CalibrationProblem problem =
+      make_synthetic_problem(standard_params(), 60, ReportingModel{});
+  auto runner = calibration_sim_runner(problem, 5.0, 0.3);
+  Rng rng(1);
+  eqsql::TaskHandle good{1, 1, "[0.5, 0.25, 0.125]"};
+  auto outcome = runner(good, rng);
+  auto parsed = json::parse(outcome.result).value();
+  EXPECT_TRUE(parsed.contains("y"));
+  EXPECT_GT(outcome.runtime, 0.0);
+
+  eqsql::TaskHandle bad{2, 1, "[0.5]"};
+  outcome = runner(bad, rng);
+  EXPECT_TRUE(json::parse(outcome.result).value().contains("error"));
+}
+
+}  // namespace
+}  // namespace osprey::epi

@@ -1,0 +1,245 @@
+// Tests for the funcX-like federated FaaS: auth, registry, endpoints, and
+// the cloud service's fire-and-forget retry semantics.
+#include <gtest/gtest.h>
+
+#include "osprey/faas/service.h"
+
+namespace osprey::faas {
+namespace {
+
+class FaasTest : public ::testing::Test {
+ protected:
+  FaasTest()
+      : network_(net::Network::testbed()),
+        auth_(sim_),
+        service_(sim_, network_, auth_),
+        bebop_("bebop-ep", "bebop") {
+    token_ = auth_.issue("modeler");
+    EXPECT_TRUE(bebop_.registry()
+                    .register_function(
+                        "double",
+                        [](const json::Value& v) -> Result<json::Value> {
+                          return json::Value(v["x"].as_double() * 2);
+                        })
+                    .is_ok());
+    EXPECT_TRUE(service_.register_endpoint(bebop_).is_ok());
+  }
+
+  sim::Simulation sim_;
+  net::Network network_;
+  AuthService auth_;
+  FaaSService service_;
+  Endpoint bebop_;
+  Token token_;
+};
+
+// --- auth ---------------------------------------------------------------------
+
+TEST_F(FaasTest, AuthIssueValidateRevoke) {
+  Token t = auth_.issue("alice", 100.0);
+  EXPECT_EQ(auth_.validate(t).value(), "alice");
+  auth_.revoke(t);
+  EXPECT_EQ(auth_.validate(t).code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(auth_.validate("bogus").code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(FaasTest, AuthTokensExpireAndRefresh) {
+  Token t = auth_.issue("alice", 10.0);
+  sim_.schedule_at(5.0, [] {});
+  sim_.run();
+  EXPECT_TRUE(auth_.validate(t).ok());
+  ASSERT_TRUE(auth_.refresh(t, 10.0).is_ok());
+  sim_.schedule_at(14.0, [] {});
+  sim_.run();
+  EXPECT_TRUE(auth_.validate(t).ok());  // refreshed at t=5 for 10s
+  sim_.schedule_at(30.0, [] {});
+  sim_.run();
+  EXPECT_EQ(auth_.validate(t).code(), ErrorCode::kPermissionDenied);
+  EXPECT_FALSE(auth_.refresh(t).is_ok());
+}
+
+// --- registry -------------------------------------------------------------------
+
+TEST_F(FaasTest, RegistryRejectsDuplicatesAndEmpty) {
+  FunctionRegistry reg;
+  ASSERT_TRUE(reg.register_function("f", [](const json::Value&) {
+    return Result<json::Value>(json::Value(1));
+  }).is_ok());
+  EXPECT_EQ(reg.register_function("f", [](const json::Value&) {
+    return Result<json::Value>(json::Value(2));
+  }).code(), ErrorCode::kConflict);
+  EXPECT_EQ(reg.register_function("g", {}).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(reg.invoke("missing", json::Value()).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FaasTest, RegistryDurationModel) {
+  FunctionRegistry reg;
+  ASSERT_TRUE(reg.register_function(
+      "train",
+      [](const json::Value&) { return Result<json::Value>(json::Value(0)); },
+      [](const json::Value& p) { return 0.01 * p["n"].as_double(); }).is_ok());
+  EXPECT_DOUBLE_EQ(reg.duration("train", json::parse_or_die(R"({"n":500})")).value(),
+                   5.0);
+}
+
+// --- service: happy path ---------------------------------------------------------
+
+TEST_F(FaasTest, RemoteCallRoundTrip) {
+  json::Value payload;
+  payload["x"] = json::Value(21.0);
+  auto id = service_.submit(token_, "bebop-ep", "double", payload);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(service_.state(id.value()), FaaSTaskState::kPending);
+  sim_.run();
+  EXPECT_EQ(service_.state(id.value()), FaaSTaskState::kSucceeded);
+  auto result = service_.retrieve(id.value());
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().as_double(), 42.0);
+  // Results are stored until retrieved, then dropped.
+  EXPECT_EQ(service_.retrieve(id.value()).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FaasTest, ControlLatencyFollowsNetworkModel) {
+  double completed_at = -1;
+  SubmitOptions options;
+  options.caller_site = "laptop";
+  options.on_complete = [&](FaaSTaskId, const Result<json::Value>&) {
+    completed_at = sim_.now();
+  };
+  json::Value payload;
+  payload["x"] = json::Value(1.0);
+  ASSERT_TRUE(service_.submit(token_, "bebop-ep", "double", payload,
+                              options).ok());
+  sim_.run();
+  // laptop->cloud + cloud->bebop + bebop->cloud, zero execution time.
+  double expected = network_.latency("laptop", net::kCloudSite) +
+                    network_.latency(net::kCloudSite, "bebop") +
+                    network_.latency("bebop", net::kCloudSite);
+  EXPECT_NEAR(completed_at, expected, 1e-9);
+}
+
+TEST_F(FaasTest, DeclaredDurationDelaysCompletion) {
+  ASSERT_TRUE(bebop_.registry().register_function(
+      "slow",
+      [](const json::Value&) { return Result<json::Value>(json::Value(1)); },
+      [](const json::Value&) { return 10.0; }).is_ok());
+  auto id = service_.submit(token_, "bebop-ep", "slow", json::Value()).value();
+  sim_.run();
+  EXPECT_EQ(service_.state(id), FaaSTaskState::kSucceeded);
+  EXPECT_GT(sim_.now(), 10.0);
+  EXPECT_LT(sim_.now(), 11.0);
+}
+
+// --- service: failure paths -------------------------------------------------------
+
+TEST_F(FaasTest, RejectsBadTokenUnknownEndpointOversizePayload) {
+  json::Value payload;
+  payload["x"] = json::Value(1.0);
+  EXPECT_EQ(service_.submit("bad", "bebop-ep", "double", payload).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_EQ(service_.submit(token_, "nowhere", "double", payload).code(),
+            ErrorCode::kNotFound);
+  json::Value big;
+  big["blob"] = json::Value(std::string(11 * 1024 * 1024, 'x'));
+  EXPECT_EQ(service_.submit(token_, "bebop-ep", "double", big).code(),
+            ErrorCode::kPayloadTooLarge);
+}
+
+TEST_F(FaasTest, OversizeResultFailsTask) {
+  ASSERT_TRUE(bebop_.registry().register_function(
+      "huge_result", [](const json::Value&) -> Result<json::Value> {
+        return json::Value(std::string(11 * 1024 * 1024, 'y'));
+      }).is_ok());
+  auto id = service_.submit(token_, "bebop-ep", "huge_result",
+                            json::Value()).value();
+  sim_.run();
+  EXPECT_EQ(service_.state(id), FaaSTaskState::kFailed);
+  EXPECT_EQ(service_.retrieve(id).code(), ErrorCode::kPayloadTooLarge);
+}
+
+TEST_F(FaasTest, UnknownFunctionIsPermanentFailure) {
+  auto id = service_.submit(token_, "bebop-ep", "nope", json::Value()).value();
+  sim_.run();
+  EXPECT_EQ(service_.state(id), FaaSTaskState::kFailed);
+  EXPECT_EQ(service_.retrieve(id).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FaasTest, OfflineEndpointHoldsTaskUntilOnline) {
+  // "Fire-and-forget execution by storing and retrying tasks in the event an
+  // endpoint is offline" (§IV-B). Offline time must not consume retries.
+  bebop_.set_online(false);
+  json::Value payload;
+  payload["x"] = json::Value(2.0);
+  SubmitOptions options;
+  options.max_retries = 0;  // would fail instantly if offline consumed budget
+  auto id = service_.submit(token_, "bebop-ep", "double", payload,
+                            options).value();
+  sim_.schedule_at(60.0, [this] { bebop_.set_online(true); });
+  sim_.run();
+  EXPECT_EQ(service_.state(id), FaaSTaskState::kSucceeded);
+  EXPECT_GE(sim_.now(), 60.0);
+  EXPECT_DOUBLE_EQ(service_.retrieve(id).value().as_double(), 4.0);
+}
+
+TEST_F(FaasTest, TransientFailuresRetryWithBackoff) {
+  bebop_.fail_next(2);
+  json::Value payload;
+  payload["x"] = json::Value(3.0);
+  auto id = service_.submit(token_, "bebop-ep", "double", payload).value();
+  sim_.run();
+  EXPECT_EQ(service_.state(id), FaaSTaskState::kSucceeded);
+  EXPECT_EQ(service_.total_retries(), 2u);
+  // Backoff 1s + 2s plus control latencies.
+  EXPECT_GT(sim_.now(), 3.0);
+  EXPECT_DOUBLE_EQ(service_.retrieve(id).value().as_double(), 6.0);
+}
+
+TEST_F(FaasTest, RetriesExhaustedIsPermanentFailure) {
+  bebop_.fail_next(100);
+  SubmitOptions options;
+  options.max_retries = 3;
+  bool failed = false;
+  options.on_complete = [&](FaaSTaskId, const Result<json::Value>& r) {
+    failed = !r.ok() && r.code() == ErrorCode::kUnavailable;
+  };
+  json::Value payload;
+  payload["x"] = json::Value(1.0);
+  auto id = service_.submit(token_, "bebop-ep", "double", payload,
+                            options).value();
+  sim_.run();
+  EXPECT_EQ(service_.state(id), FaaSTaskState::kFailed);
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(service_.in_flight(), 0u);
+}
+
+TEST_F(FaasTest, ServiceStartsRemoteProcessesPattern) {
+  // The §IV-B usage pattern: funcX starts the EMEWS DB / service / pools.
+  // Model it as a registered function with a side effect.
+  bool service_started = false;
+  ASSERT_TRUE(bebop_.registry().register_function(
+      "start_emews_service",
+      [&](const json::Value&) -> Result<json::Value> {
+        service_started = true;
+        json::Value out;
+        out["status"] = json::Value("started");
+        return out;
+      }).is_ok());
+  auto id = service_.submit(token_, "bebop-ep", "start_emews_service",
+                            json::Value()).value();
+  sim_.run();
+  EXPECT_TRUE(service_started);
+  EXPECT_EQ(service_.retrieve(id).value()["status"].as_string(), "started");
+}
+
+TEST_F(FaasTest, EndpointStatsCount) {
+  bebop_.fail_next(1);
+  json::Value payload;
+  payload["x"] = json::Value(1.0);
+  service_.submit(token_, "bebop-ep", "double", payload).value();
+  sim_.run();
+  EXPECT_EQ(bebop_.executions(), 1u);
+  EXPECT_EQ(bebop_.failures(), 1u);
+}
+
+}  // namespace
+}  // namespace osprey::faas

@@ -1,0 +1,332 @@
+// Tests for data ingestion, curation, and artifact management (§II-B2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "osprey/epi/data.h"
+#include "osprey/epi/seir.h"
+#include "osprey/ingest/catalog.h"
+#include "osprey/ingest/curate.h"
+#include "osprey/ingest/stream.h"
+
+namespace osprey::ingest {
+namespace {
+
+// --- stream ingestion ------------------------------------------------------------
+
+class StreamTest : public ::testing::Test {
+ protected:
+  StreamTest()
+      : truth_{100, 120, 140, 160, 180, 200, 220, 240, 260, 280},
+        source_(truth_, LaggedSource::Config{}),
+        ingestor_(clock_) {}
+
+  std::vector<double> truth_;
+  LaggedSource source_;
+  ManualClock clock_;
+  StreamIngestor ingestor_;
+};
+
+TEST_F(StreamTest, FirstPublicationUndercounts) {
+  Publication day0 = source_.publish(0, 0.0);
+  ASSERT_EQ(day0.records.size(), 1u);
+  EXPECT_EQ(day0.records[0].revision, 0);
+  EXPECT_LT(day0.records[0].value, truth_[0]);
+  EXPECT_NEAR(day0.records[0].value, truth_[0] * 0.6, 1.0);
+}
+
+TEST_F(StreamTest, RevisionsConvergeTowardTruth) {
+  // Ingest every daily publication; early days get revised upward.
+  for (int day = 0; day < source_.days(); ++day) {
+    clock_.set(day);
+    ASSERT_TRUE(ingestor_.ingest(source_.publish(day, clock_.now())).is_ok());
+  }
+  auto history = ingestor_.history(0);
+  ASSERT_GE(history.size(), 2u);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_GE(history[i].value, history[i - 1].value);
+  }
+  // Day 0's final revision (revision 4: completeness 1 - 0.4*0.5^4 = 97.5%)
+  // is within a few counts of the truth.
+  EXPECT_NEAR(history.back().value, truth_[0], 4.0);
+  // The most recent day is still incomplete.
+  auto view = ingestor_.current_view();
+  EXPECT_LT(view.back(), truth_.back());
+  EXPECT_FALSE(ingestor_.revised_days().empty());
+}
+
+TEST_F(StreamTest, StaleRedeliveriesAreDropped) {
+  Publication day3 = source_.publish(3, 3.0);
+  ASSERT_TRUE(ingestor_.ingest(day3).is_ok());
+  std::size_t history_before = ingestor_.history(3).size();
+  ASSERT_TRUE(ingestor_.ingest(day3).is_ok());  // duplicate delivery
+  EXPECT_EQ(ingestor_.history(3).size(), history_before);
+  EXPECT_GT(ingestor_.stale_records_dropped(), 0u);
+}
+
+TEST_F(StreamTest, IngestTracksTimeAndCounts) {
+  clock_.set(42.0);
+  ASSERT_TRUE(ingestor_.ingest(source_.publish(1, clock_.now())).is_ok());
+  EXPECT_EQ(ingestor_.publications_ingested(), 1u);
+  EXPECT_DOUBLE_EQ(ingestor_.last_ingest_at(), 42.0);
+  Publication anonymous;
+  EXPECT_FALSE(ingestor_.ingest(anonymous).is_ok());
+}
+
+// --- curation stages -------------------------------------------------------------
+
+TEST(CurateTest, FillMissingInterpolates) {
+  Stage stage = fill_missing_stage();
+  Series in{10, std::nan(""), std::nan(""), 40, -5, 60};
+  auto out = stage.apply(in).take();
+  EXPECT_DOUBLE_EQ(out[1], 20.0);
+  EXPECT_DOUBLE_EQ(out[2], 30.0);
+  EXPECT_DOUBLE_EQ(out[4], 50.0);
+  // Valid entries untouched.
+  EXPECT_DOUBLE_EQ(out[0], 10.0);
+  EXPECT_DOUBLE_EQ(out[5], 60.0);
+}
+
+TEST(CurateTest, FillMissingEdgeCases) {
+  Stage stage = fill_missing_stage();
+  auto lead = stage.apply({std::nan(""), 5, 6}).take();
+  EXPECT_DOUBLE_EQ(lead[0], 5.0);  // extend from the right
+  auto all_bad = stage.apply({std::nan(""), std::nan("")}).take();
+  EXPECT_DOUBLE_EQ(all_bad[0], 0.0);
+}
+
+TEST(CurateTest, WeekdayDebiasRemovesWeekendDip) {
+  // Flat truth of 1000/day observed with the surveillance weekend effect.
+  std::vector<double> flat(70, 1000.0);
+  epi::ReportingModel model;
+  model.report_rate = 1.0;
+  model.weekend_factor = 0.5;
+  epi::Surveillance observed = epi::synthesize_surveillance(flat, model);
+
+  Stage stage = weekday_debias_stage();
+  Series debiased = stage.apply(observed.reported_cases).take();
+
+  // After de-biasing, weekend days are no longer systematically low.
+  auto weekend_ratio = [](const Series& s) {
+    double weekend = 0, weekday = 0;
+    int we_n = 0, wd_n = 0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (i % 7 == 5 || i % 7 == 6) {
+        weekend += s[i];
+        ++we_n;
+      } else {
+        weekday += s[i];
+        ++wd_n;
+      }
+    }
+    return (weekend / we_n) / (weekday / wd_n);
+  };
+  EXPECT_LT(weekend_ratio(observed.reported_cases), 0.6);
+  EXPECT_NEAR(weekend_ratio(debiased), 1.0, 0.1);
+}
+
+TEST(CurateTest, WeekdayDebiasNeedsTwoWeeks) {
+  Stage stage = weekday_debias_stage();
+  EXPECT_FALSE(stage.apply(Series(10, 1.0)).ok());
+}
+
+TEST(CurateTest, SmoothReducesVariance) {
+  Rng rng(3);
+  Series noisy(100);
+  for (double& v : noisy) v = 100.0 + rng.normal(0, 20);
+  Stage stage = smooth_stage(7);
+  Series smooth = stage.apply(noisy).take();
+  auto variance = [](const Series& s) {
+    double mean = std::accumulate(s.begin(), s.end(), 0.0) / s.size();
+    double var = 0;
+    for (double v : s) var += (v - mean) * (v - mean);
+    return var / s.size();
+  };
+  EXPECT_LT(variance(smooth), variance(noisy) / 3);
+  EXPECT_FALSE(smooth_stage(4).apply(noisy).ok());  // even window rejected
+}
+
+TEST(CurateTest, OutlierClipSuppressesSpikes) {
+  Series in(50, 100.0);
+  in[20] = 10000.0;  // a reporting glitch
+  Stage stage = outlier_clip_stage(5.0);
+  Series out = stage.apply(in).take();
+  EXPECT_LT(out[20], 1000.0);
+  // Normal points untouched.
+  EXPECT_DOUBLE_EQ(out[10], 100.0);
+}
+
+TEST(CurateTest, PipelineRecordsProvenanceChain) {
+  ManualClock clock(5.0);
+  CurationPipeline pipeline = standard_surveillance_pipeline(clock);
+  EXPECT_EQ(pipeline.stage_count(), 4u);
+
+  Series raw(28);
+  Rng rng(9);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = 200 + rng.normal(0, 10);
+    if (i % 7 == 6) raw[i] *= 0.5;
+  }
+  std::vector<ProvenanceRecord> provenance;
+  auto curated = pipeline.run(raw, &provenance);
+  ASSERT_TRUE(curated.ok());
+  ASSERT_EQ(provenance.size(), 4u);
+  // The chain links: each stage's input checksum is the previous output.
+  EXPECT_EQ(provenance[0].input_checksum, series_checksum(raw));
+  for (std::size_t i = 1; i < provenance.size(); ++i) {
+    EXPECT_EQ(provenance[i].input_checksum, provenance[i - 1].output_checksum);
+  }
+  EXPECT_EQ(provenance.back().output_checksum,
+            series_checksum(curated.value()));
+  for (const auto& record : provenance) {
+    EXPECT_DOUBLE_EQ(record.applied_at, 5.0);
+  }
+  // Serialization shape.
+  const json::Value doc = CurationPipeline::provenance_to_json(provenance);
+  EXPECT_EQ(doc["provenance"].size(), 4u);
+  EXPECT_EQ(doc["provenance"][0]["stage"].as_string(), "fill_missing");
+}
+
+TEST(CurateTest, PipelineStageErrorIsAttributed) {
+  ManualClock clock;
+  CurationPipeline pipeline(clock);
+  pipeline.add_stage(weekday_debias_stage());
+  auto result = pipeline.run(Series(5, 1.0), nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("weekday_debias"), std::string::npos);
+}
+
+// --- artifact catalog --------------------------------------------------------------
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : catalog_(store_, clock_) {}
+
+  proxystore::LocalStore store_;
+  ManualClock clock_;
+  ArtifactCatalog catalog_;
+};
+
+TEST_F(CatalogTest, PutFetchAndVersioning) {
+  clock_.set(1.0);
+  auto v1 = catalog_.put("chicago_cases", "dataset", "raw bytes v1");
+  ASSERT_TRUE(v1.ok());
+  clock_.set(2.0);
+  auto v2 = catalog_.put("chicago_cases", "dataset", "raw bytes v2");
+  ASSERT_TRUE(v2.ok());
+
+  auto latest = catalog_.latest("chicago_cases").value();
+  EXPECT_EQ(latest.id, v2.value());
+  EXPECT_EQ(latest.version, 2);
+  EXPECT_DOUBLE_EQ(latest.created_at, 2.0);
+  EXPECT_EQ(catalog_.fetch(v1.value()).value(), "raw bytes v1");
+  EXPECT_EQ(catalog_.version("chicago_cases", 1).value().id, v1.value());
+  EXPECT_EQ(catalog_.version("chicago_cases", 3).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(catalog_.latest("nope").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(CatalogTest, LineageTracksDerivation) {
+  auto raw = catalog_.put("raw", "dataset", "raw").value();
+  auto curated = catalog_.put("curated", "dataset", "curated", {raw}).value();
+  auto model =
+      catalog_.put("gpr", "gpr_model", "weights", {curated}).value();
+
+  auto lineage = catalog_.lineage(model).value();
+  ASSERT_EQ(lineage.size(), 2u);
+  EXPECT_EQ(lineage[0].id, curated);  // nearest first
+  EXPECT_EQ(lineage[1].id, raw);
+
+  // Parents cannot be evicted while referenced.
+  EXPECT_EQ(catalog_.evict(raw).code(), ErrorCode::kConflict);
+  ASSERT_TRUE(catalog_.evict(model).is_ok());
+  ASSERT_TRUE(catalog_.evict(curated).is_ok());
+  ASSERT_TRUE(catalog_.evict(raw).is_ok());
+  EXPECT_EQ(catalog_.size(), 0u);
+}
+
+TEST_F(CatalogTest, RejectsBadInput) {
+  EXPECT_EQ(catalog_.put("", "dataset", "x").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(catalog_.put("a", "", "x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(catalog_.put("a", "dataset", "x", {999}).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(catalog_.fetch(42).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(catalog_.evict(42).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(CatalogTest, ByTypeListsCreationOrder) {
+  catalog_.put("a", "checkpoint", "1").value();
+  catalog_.put("b", "dataset", "2").value();
+  catalog_.put("c", "checkpoint", "3").value();
+  auto checkpoints = catalog_.by_type("checkpoint");
+  ASSERT_EQ(checkpoints.size(), 2u);
+  EXPECT_EQ(checkpoints[0].name, "a");
+  EXPECT_EQ(checkpoints[1].name, "c");
+}
+
+// --- end-to-end: ingest -> curate -> catalog -> calibration-ready ------------------
+
+TEST(IngestIntegrationTest, SurveillanceStreamToCalibrationDataset) {
+  // Ground truth epidemic observed through a lagged, weekend-biased portal;
+  // the pipeline recovers a clean series and the catalog records lineage.
+  epi::SeirParams truth;
+  truth.beta = 0.4;
+  truth.sigma = 0.25;
+  truth.gamma = 0.125;
+  auto epidemic = epi::run_seir(truth, 56).value();
+  epi::ReportingModel reporting;
+  reporting.report_rate = 0.5;
+  reporting.weekend_factor = 0.5;
+  epi::Surveillance observed =
+      epi::synthesize_surveillance(epidemic.daily_incidence, reporting);
+
+  ManualClock clock;
+  LaggedSource::Config source_config;
+  LaggedSource source(observed.reported_cases, source_config);
+  StreamIngestor ingestor(clock);
+  for (int day = 0; day < source.days(); ++day) {
+    clock.set(day);
+    ASSERT_TRUE(ingestor.ingest(source.publish(day, clock.now())).is_ok());
+  }
+
+  CurationPipeline pipeline = standard_surveillance_pipeline(clock);
+  std::vector<ProvenanceRecord> provenance;
+  auto curated = pipeline.run(ingestor.current_view(), &provenance);
+  ASSERT_TRUE(curated.ok());
+
+  proxystore::LocalStore store;
+  ArtifactCatalog catalog(store, clock);
+  auto raw_id = catalog.put("cases_raw", "dataset",
+                            json::array_of(ingestor.current_view()).dump())
+                    .value();
+  auto curated_id =
+      catalog.put("cases_curated", "dataset",
+                  json::array_of(curated.value()).dump(), {raw_id},
+                  CurationPipeline::provenance_to_json(provenance))
+          .value();
+
+  // The curated artifact's lineage reaches the raw artifact, and its
+  // metadata carries the full provenance chain.
+  auto lineage = catalog.lineage(curated_id).value();
+  ASSERT_EQ(lineage.size(), 1u);
+  EXPECT_EQ(lineage[0].id, raw_id);
+  auto meta = catalog.info(curated_id).value();
+  EXPECT_EQ(meta.metadata["provenance"].size(), 4u);
+
+  // The curated series is smoother than the raw view (weekend artifacts and
+  // noise suppressed).
+  const Series raw = ingestor.current_view();
+  const Series& clean = curated.value();
+  auto roughness = [](const Series& s) {
+    double sum = 0;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      sum += std::fabs(s[i] - s[i - 1]);
+    }
+    return sum;
+  };
+  EXPECT_LT(roughness(clean), roughness(raw) * 0.6);
+}
+
+}  // namespace
+}  // namespace osprey::ingest

@@ -1,0 +1,336 @@
+// Cross-module integration tests: whole-campaign scenarios exercising the
+// public API end to end on the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include "osprey/epi/calibrate.h"
+#include "osprey/eqsql/schema.h"
+#include "osprey/eqsql/service.h"
+#include "osprey/faas/service.h"
+#include "osprey/json/json.h"
+#include "osprey/me/async_driver.h"
+#include "osprey/me/sampler.h"
+#include "osprey/me/task_runners.h"
+#include "osprey/proxystore/proxy.h"
+#include "osprey/sched/scheduler.h"
+
+namespace osprey {
+namespace {
+
+constexpr WorkType kSimWork = 1;
+constexpr WorkType kGpuWork = 2;
+
+pool::SimPoolConfig sim_pool_config(const PoolId& name, WorkType type,
+                                    int workers) {
+  pool::SimPoolConfig c;
+  c.name = name;
+  c.work_type = type;
+  c.num_workers = workers;
+  c.batch_size = workers;
+  c.threshold = 1;
+  c.query_cost = 0.3;
+  c.query_jitter = 0.0;
+  c.idle_shutdown = 10.0;
+  return c;
+}
+
+// --- multi-work-type: the §IV-D CPU/GPU example --------------------------------
+
+TEST(IntegrationTest, CpuAndGpuPoolsConsumeOnlyTheirWorkType) {
+  // "An ME algorithm may have two types of tasks ... 1) a multi-process
+  // MPI-based simulation model; and 2) an optimization component that most
+  // efficiently runs on a GPU. Two worker pools can be launched and
+  // configured on resources appropriate for these two different work types."
+  sim::Simulation sim;
+  db::Database db;
+  db::sql::Connection conn(db);
+  ASSERT_TRUE(eqsql::create_schema(conn).is_ok());
+  eqsql::EQSQL api(db, sim);
+
+  std::vector<std::string> sim_payloads(60, json::array_of({1.0, 2.0}).dump());
+  std::vector<std::string> gpu_payloads(20, json::array_of({3.0}).dump());
+  ASSERT_TRUE(api.submit_tasks("mixed", kSimWork, sim_payloads).ok());
+  ASSERT_TRUE(api.submit_tasks("mixed", kGpuWork, gpu_payloads).ok());
+
+  // A CPU pool (many slow workers) and a GPU pool (few fast workers).
+  pool::SimWorkerPool cpu_pool(sim, api,
+                               sim_pool_config("cpu_pool", kSimWork, 16),
+                               me::ackley_sim_runner(10.0, 0.4), 1);
+  pool::SimWorkerPool gpu_pool(sim, api,
+                               sim_pool_config("gpu_pool", kGpuWork, 4),
+                               me::ackley_sim_runner(2.0, 0.2), 2);
+  ASSERT_TRUE(cpu_pool.start().is_ok());
+  ASSERT_TRUE(gpu_pool.start().is_ok());
+  sim.run();
+
+  EXPECT_EQ(cpu_pool.tasks_completed(), 60u);
+  EXPECT_EQ(gpu_pool.tasks_completed(), 20u);
+  // Ownership is recorded per pool in the tasks table.
+  auto ids = api.experiment_tasks("mixed").value();
+  for (TaskId id : ids) {
+    auto record = api.task_record(id).value();
+    ASSERT_TRUE(record.worker_pool.has_value());
+    if (record.eq_type == kSimWork) {
+      EXPECT_EQ(*record.worker_pool, "cpu_pool");
+    } else {
+      EXPECT_EQ(*record.worker_pool, "gpu_pool");
+    }
+  }
+}
+
+// --- crash recovery mid-campaign ------------------------------------------------
+
+TEST(IntegrationTest, PoolCrashMidCampaignRecoversWithoutLosingTasks) {
+  sim::Simulation sim;
+  db::Database db;
+  db::sql::Connection conn(db);
+  ASSERT_TRUE(eqsql::create_schema(conn).is_ok());
+  eqsql::EQSQL api(db, sim);
+
+  std::vector<std::string> payloads(100, json::array_of({1.0}).dump());
+  auto ids = api.submit_tasks("crashy", kSimWork, payloads).value();
+
+  auto doomed = std::make_unique<pool::SimWorkerPool>(
+      sim, api, sim_pool_config("doomed", kSimWork, 8),
+      me::ackley_sim_runner(10.0, 0.3), 3);
+  ASSERT_TRUE(doomed->start().is_ok());
+
+  // Crash the pool mid-flight; a monitor notices and requeues its tasks,
+  // then a replacement pool finishes the campaign (§IV-B: tasks "can be
+  // executed if not yet running or restarted if necessary").
+  sim.schedule_at(25.0, [&] { doomed->crash(); });
+  sim.schedule_at(40.0, [&] {
+    auto recovered = api.requeue_pool_tasks("doomed");
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_GT(recovered.value(), 0u);
+  });
+  auto rescue = std::make_unique<pool::SimWorkerPool>(
+      sim, api, sim_pool_config("rescue", kSimWork, 8),
+      me::ackley_sim_runner(10.0, 0.3), 4);
+  sim.schedule_at(45.0, [&] { ASSERT_TRUE(rescue->start().is_ok()); });
+  sim.run();
+
+  // Every task completed exactly once; none stuck or duplicated.
+  std::size_t complete = 0;
+  for (TaskId id : ids) {
+    auto status = api.task_status(id).value();
+    EXPECT_EQ(status, eqsql::TaskStatus::kComplete) << "task " << id;
+    if (status == eqsql::TaskStatus::kComplete) ++complete;
+  }
+  EXPECT_EQ(complete, ids.size());
+  EXPECT_EQ(doomed->tasks_completed() + rescue->tasks_completed(), 100u);
+}
+
+// --- checkpoint / resume on another "resource" ----------------------------------
+
+TEST(IntegrationTest, CheckpointMidCampaignResumesElsewhere) {
+  // Phase 1: run a campaign to ~half completion on "bebop", checkpoint.
+  ManualClock clock;
+  eqsql::EmewsService bebop_service(clock);
+  ASSERT_TRUE(bebop_service.start().is_ok());
+  auto api = bebop_service.connect().take();
+  std::vector<std::string> payloads(40, json::array_of({1.0, 2.0}).dump());
+  auto ids = api->submit_tasks("movable", kSimWork, payloads).value();
+  // Execute half the tasks "on bebop".
+  auto handles = api->try_query_tasks(kSimWork, 20, "bebop_pool").value();
+  for (const auto& h : handles) {
+    ASSERT_TRUE(api->report_task(h.eq_task_id, kSimWork, "{\"y\":1.0}").is_ok());
+  }
+  json::Value snapshot = bebop_service.checkpoint();
+  ASSERT_TRUE(bebop_service.stop().is_ok());
+
+  // Phase 2: restore on "theta" (a fresh service), finish the campaign.
+  eqsql::EmewsService theta_service(clock);
+  ASSERT_TRUE(theta_service.restore(snapshot).is_ok());
+  auto api2 = theta_service.connect().take();
+  EXPECT_EQ(api2->queued_count(kSimWork).value(), 20);
+  auto rest = api2->try_query_tasks(kSimWork, 20, "theta_pool").value();
+  EXPECT_EQ(rest.size(), 20u);
+  for (const auto& h : rest) {
+    ASSERT_TRUE(api2->report_task(h.eq_task_id, kSimWork, "{\"y\":2.0}").is_ok());
+  }
+  for (TaskId id : ids) {
+    EXPECT_EQ(api2->task_status(id).value(), eqsql::TaskStatus::kComplete);
+  }
+  // Results reported before the move are still retrievable after it.
+  EXPECT_EQ(api2->try_query_result(ids.front()).value(), "{\"y\":1.0}");
+}
+
+// --- cancellation under load -----------------------------------------------------
+
+TEST(IntegrationTest, MidCampaignCancellationStopsQueuedWork) {
+  sim::Simulation sim;
+  db::Database db;
+  db::sql::Connection conn(db);
+  ASSERT_TRUE(eqsql::create_schema(conn).is_ok());
+  eqsql::EQSQL api(db, sim);
+
+  std::vector<std::string> payloads(100, json::array_of({1.0}).dump());
+  auto ids = api.submit_tasks("cancelable", kSimWork, payloads).value();
+  pool::SimWorkerPool pool(sim, api, sim_pool_config("p", kSimWork, 4),
+                           me::ackley_sim_runner(10.0, 0.0), 5);
+  ASSERT_TRUE(pool.start().is_ok());
+  // At t=35 (pool holds 4 running + up to 4 requeried), cancel everything.
+  std::size_t canceled_count = 0;
+  sim.schedule_at(35.0, [&] {
+    auto canceled = api.cancel_tasks(ids);
+    ASSERT_TRUE(canceled.ok());
+    canceled_count = canceled.value();
+  });
+  sim.run();
+
+  EXPECT_GT(canceled_count, 50u);
+  // Everything ends terminal: complete or canceled; nothing queued/running.
+  std::size_t complete = 0;
+  std::size_t canceled_status = 0;
+  for (TaskId id : ids) {
+    switch (api.task_status(id).value()) {
+      case eqsql::TaskStatus::kComplete: ++complete; break;
+      case eqsql::TaskStatus::kCanceled: ++canceled_status; break;
+      default: FAIL() << "task " << id << " not terminal";
+    }
+  }
+  EXPECT_EQ(complete + canceled_status, 100u);
+  // Tasks running at cancel time still executed to completion in the pool
+  // (their late reports were dropped with kCanceled), so the pool's count
+  // can exceed the DB's completed count by up to the worker count.
+  EXPECT_GE(pool.tasks_completed(), complete);
+  EXPECT_LE(pool.tasks_completed() - complete, 4u);
+  EXPECT_EQ(api.queued_count(kSimWork).value(), 0);
+}
+
+// --- the epi campaign end-to-end with remote retraining ---------------------------
+
+TEST(IntegrationTest, EpiCalibrationWithRemoteRetrainAndProxies) {
+  sim::Simulation sim;
+  net::Network network = net::Network::testbed();
+  faas::AuthService auth(sim);
+  faas::FaaSService faas_service(sim, network, auth);
+  faas::Token token = auth.issue("epi-modeler");
+  transfer::TransferService transfers(sim, network);
+  proxystore::GlobusStore globus(transfers, "bebop");
+
+  db::Database db;
+  db::sql::Connection conn(db);
+  ASSERT_TRUE(eqsql::create_schema(conn).is_ok());
+  eqsql::EQSQL api(db, sim);
+
+  epi::SeirParams truth;
+  truth.beta = 0.4;
+  truth.sigma = 0.2;
+  truth.gamma = 0.1;
+  epi::CalibrationProblem problem =
+      epi::make_synthetic_problem(truth, 90, epi::ReportingModel{});
+
+  faas::Endpoint theta("theta-ep", "theta");
+  ASSERT_TRUE(faas_service.register_endpoint(theta).is_ok());
+  int remote_retrains = 0;
+  ASSERT_TRUE(theta.registry()
+                  .register_function(
+                      "retrain",
+                      [&](const json::Value& payload) -> Result<json::Value> {
+                        ++remote_retrains;
+                        proxystore::Proxy<json::Value> proxy(
+                            globus, payload["key"].as_string(),
+                            proxystore::json_codec());
+                        auto data = proxy.resolve();
+                        if (!data.ok()) return data.error();
+                        std::vector<me::Point> x;
+                        std::vector<double> y;
+                        for (const auto& row :
+                             data.value().get()["x"].as_array()) {
+                          x.push_back(json::to_doubles(row).value());
+                        }
+                        for (const auto& v : data.value().get()["y"].as_array()) {
+                          y.push_back(v.as_double());
+                        }
+                        std::vector<me::Point> remaining;
+                        for (const auto& row : payload["remaining"].as_array()) {
+                          remaining.push_back(json::to_doubles(row).value());
+                        }
+                        me::GprConfig cfg;
+                        cfg.lengthscale = 0.3;
+                        cfg.noise = 1e-3;
+                        me::GPR model(cfg);
+                        if (Status s = model.fit(x, y); !s.is_ok()) {
+                          return s.error();
+                        }
+                        auto priorities =
+                            me::promising_first_priorities(model, remaining);
+                        json::Array out;
+                        for (Priority p : priorities) {
+                          out.emplace_back(std::int64_t{p});
+                        }
+                        json::Value result;
+                        result["priorities"] = json::Value(std::move(out));
+                        return result;
+                      },
+                      [](const json::Value&) { return 5.0; })
+                  .is_ok());
+
+  me::RetrainExecutor executor =
+      [&](const std::vector<me::Point>& x, const std::vector<double>& y,
+          const std::vector<me::Point>& remaining,
+          std::function<void(std::vector<Priority>)> done) {
+        json::Value train;
+        json::Array xs;
+        for (const auto& p : x) xs.push_back(json::array_of(p));
+        train["x"] = json::Value(std::move(xs));
+        train["y"] = json::array_of(y);
+        static int key_counter = 0;
+        std::string key = "epi_train_" + std::to_string(++key_counter);
+        ASSERT_TRUE(proxystore::Proxy<json::Value>::create(
+                        globus, key, train, proxystore::json_codec())
+                        .ok());
+        json::Value payload;
+        payload["key"] = json::Value(key);
+        json::Array rem;
+        for (const auto& p : remaining) rem.push_back(json::array_of(p));
+        payload["remaining"] = json::Value(std::move(rem));
+        faas::SubmitOptions options;
+        options.on_complete = [done](faas::FaaSTaskId,
+                                     const Result<json::Value>& r) {
+          std::vector<Priority> priorities;
+          if (r.ok()) {
+            for (const auto& v : r.value()["priorities"].as_array()) {
+              priorities.push_back(static_cast<Priority>(v.as_int()));
+            }
+          }
+          done(std::move(priorities));
+        };
+        ASSERT_TRUE(
+            faas_service.submit(token, "theta-ep", "retrain", payload, options)
+                .ok());
+      };
+
+  me::AsyncDriverConfig driver_config;
+  driver_config.exp_id = "epi";
+  driver_config.work_type = kSimWork;
+  driver_config.retrain_after = 25;
+  me::AsyncGprDriver driver(sim, api, driver_config, executor);
+
+  Rng rng(5);
+  auto unit = me::latin_hypercube(rng, 100, 3, 0.0, 1.0);
+  std::vector<me::Point> candidates;
+  for (const auto& u : unit) {
+    candidates.push_back(
+        {0.1 + u[0] * 0.9, 0.05 + u[1] * 0.45, 0.05 + u[2] * 0.45});
+  }
+  ASSERT_TRUE(driver.run(candidates).is_ok());
+
+  pool::SimWorkerPool pool(
+      sim, api, sim_pool_config("bebop_pool", kSimWork, 16),
+      epi::calibration_sim_runner(problem, 15.0, 0.4, /*log_loss=*/true), 6);
+  ASSERT_TRUE(pool.start().is_ok());
+  sim.run();
+
+  EXPECT_TRUE(driver.finished());
+  EXPECT_EQ(driver.completed(), 100u);
+  EXPECT_GE(remote_retrains, 2);
+  EXPECT_GE(driver.retrains().size(), 2u);
+  // The search found something no worse than a few times the truth's loss.
+  double truth_loss = problem.loss(truth.beta, truth.sigma, truth.gamma);
+  EXPECT_LT(driver.best_value(), std::log1p(truth_loss) + 4.0);
+}
+
+}  // namespace
+}  // namespace osprey

@@ -1,0 +1,159 @@
+// Tests for the pool monitor (§VII: active monitoring and termination).
+#include <gtest/gtest.h>
+
+#include "osprey/eqsql/schema.h"
+#include "osprey/json/json.h"
+#include "osprey/me/task_runners.h"
+#include "osprey/pool/monitor.h"
+#include "osprey/pool/sim_pool.h"
+
+namespace osprey::pool {
+namespace {
+
+constexpr WorkType kWork = 1;
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  MonitorTest() {
+    db::sql::Connection conn(db_);
+    EXPECT_TRUE(eqsql::create_schema(conn).is_ok());
+    api_ = std::make_unique<eqsql::EQSQL>(db_, sim_);
+  }
+
+  void submit(int n) {
+    std::vector<std::string> payloads(
+        static_cast<std::size_t>(n), json::array_of({1.0}).dump());
+    ASSERT_TRUE(api_->submit_tasks("m", kWork, payloads).ok());
+  }
+
+  SimPoolConfig pool_config(const PoolId& name) {
+    SimPoolConfig c;
+    c.name = name;
+    c.work_type = kWork;
+    c.num_workers = 4;
+    c.batch_size = 4;
+    c.threshold = 1;
+    c.query_cost = 0.2;
+    c.query_jitter = 0.0;
+    c.idle_shutdown = 10.0;
+    return c;
+  }
+
+  MonitorConfig monitor_config() {
+    MonitorConfig c;
+    c.check_interval = 5.0;
+    c.stall_timeout = 30.0;
+    return c;
+  }
+
+  sim::Simulation sim_;
+  db::Database db_;
+  std::unique_ptr<eqsql::EQSQL> api_;
+};
+
+TEST_F(MonitorTest, WatchValidation) {
+  PoolMonitor monitor(sim_, *api_, monitor_config());
+  EXPECT_TRUE(monitor.watch("p1").is_ok());
+  EXPECT_EQ(monitor.watch("p1").code(), ErrorCode::kConflict);
+  EXPECT_EQ(monitor.watch("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(monitor.start().is_ok());
+  EXPECT_EQ(monitor.start().code(), ErrorCode::kConflict);
+  monitor.unwatch("p1");
+  EXPECT_EQ(monitor.watched_count(), 0u);
+  monitor.stop();
+}
+
+TEST_F(MonitorTest, HealthyPoolIsNeverFlagged) {
+  submit(50);
+  SimWorkerPool pool(sim_, *api_, pool_config("healthy"),
+                     me::ackley_sim_runner(5.0, 0.3), 1);
+  ASSERT_TRUE(pool.start().is_ok());
+  PoolMonitor monitor(sim_, *api_, monitor_config());
+  ASSERT_TRUE(monitor.watch("healthy").is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+  sim_.run_until(200.0);
+  monitor.stop();
+  sim_.run();
+  EXPECT_EQ(monitor.stalls_detected(), 0u);
+  EXPECT_EQ(pool.tasks_completed(), 50u);
+}
+
+TEST_F(MonitorTest, IdlePoolIsNotAStall) {
+  // A watched pool with an empty queue owns nothing: never flagged.
+  PoolMonitor monitor(sim_, *api_, monitor_config());
+  ASSERT_TRUE(monitor.watch("not_started").is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+  sim_.run_until(300.0);
+  monitor.stop();
+  sim_.run();
+  EXPECT_EQ(monitor.stalls_detected(), 0u);
+  EXPECT_EQ(monitor.watched_count(), 1u);
+}
+
+TEST_F(MonitorTest, CrashedPoolIsDetectedRequeuedAndRelaunched) {
+  submit(60);
+  auto doomed = std::make_unique<SimWorkerPool>(
+      sim_, *api_, pool_config("doomed"), me::ackley_sim_runner(8.0, 0.2), 2);
+  ASSERT_TRUE(doomed->start().is_ok());
+
+  PoolMonitor monitor(sim_, *api_, monitor_config());
+  std::unique_ptr<SimWorkerPool> replacement;
+  std::size_t requeued_count = 0;
+  ASSERT_TRUE(monitor
+                  .watch("doomed",
+                         [&](const PoolId& pool, std::size_t requeued) {
+                           EXPECT_EQ(pool, "doomed");
+                           requeued_count = requeued;
+                           // Relaunch capacity under a new name.
+                           replacement = std::make_unique<SimWorkerPool>(
+                               sim_, *api_, pool_config("replacement"),
+                               me::ackley_sim_runner(8.0, 0.2), 3);
+                           ASSERT_TRUE(replacement->start().is_ok());
+                           ASSERT_TRUE(monitor.watch("replacement").is_ok());
+                         })
+                  .is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+
+  sim_.schedule_at(20.0, [&] { doomed->crash(); });
+  sim_.run_until(600.0);
+  monitor.stop();
+  sim_.run();
+
+  EXPECT_EQ(monitor.stalls_detected(), 1u);
+  EXPECT_EQ(requeued_count, 4u);  // the 4 tasks running at the crash
+  ASSERT_NE(replacement, nullptr);
+  // Nothing lost: every task completed.
+  EXPECT_EQ(doomed->tasks_completed() + replacement->tasks_completed(), 60u);
+  auto ids = api_->experiment_tasks("m").value();
+  for (TaskId id : ids) {
+    EXPECT_EQ(api_->task_status(id).value(), eqsql::TaskStatus::kComplete);
+  }
+}
+
+TEST_F(MonitorTest, StallDetectionLatencyIsBounded) {
+  submit(10);
+  auto doomed = std::make_unique<SimWorkerPool>(
+      sim_, *api_, pool_config("doomed"), me::ackley_sim_runner(8.0, 0.2), 4);
+  ASSERT_TRUE(doomed->start().is_ok());
+  PoolMonitor monitor(sim_, *api_, monitor_config());
+  double detected_at = -1;
+  ASSERT_TRUE(monitor
+                  .watch("doomed",
+                         [&](const PoolId&, std::size_t) {
+                           detected_at = sim_.now();
+                         })
+                  .is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+  const double crash_time = 12.0;
+  sim_.schedule_at(crash_time, [&] { doomed->crash(); });
+  sim_.run_until(400.0);
+  monitor.stop();
+  sim_.run();
+  ASSERT_GT(detected_at, 0.0);
+  // Detection within stall_timeout + check_interval + one progress window.
+  MonitorConfig c = monitor_config();
+  EXPECT_LE(detected_at, crash_time + c.stall_timeout + 2 * c.check_interval);
+}
+
+}  // namespace
+}  // namespace osprey::pool

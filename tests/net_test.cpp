@@ -1,0 +1,61 @@
+// Tests for the simulated wide-area network model.
+#include <gtest/gtest.h>
+
+#include "osprey/net/network.h"
+
+namespace osprey::net {
+namespace {
+
+TEST(NetworkTest, SitesRegister) {
+  Network n;
+  n.add_site("a");
+  n.add_site("a");  // idempotent
+  EXPECT_TRUE(n.has_site("a"));
+  EXPECT_FALSE(n.has_site("b"));
+  EXPECT_EQ(n.sites().size(), 1u);
+}
+
+TEST(NetworkTest, LinksAreSymmetric) {
+  Network n;
+  n.set_link("a", "b", {0.010, 1e6});
+  EXPECT_DOUBLE_EQ(n.latency("a", "b"), 0.010);
+  EXPECT_DOUBLE_EQ(n.latency("b", "a"), 0.010);
+  EXPECT_TRUE(n.has_site("a"));  // auto-registered
+}
+
+TEST(NetworkTest, IntraSiteIsFree) {
+  Network n;
+  n.add_site("a");
+  EXPECT_DOUBLE_EQ(n.latency("a", "a"), 0.0);
+  EXPECT_LT(n.transfer_duration("a", "a", 1ull << 30), 0.01);
+}
+
+TEST(NetworkTest, DefaultLinkForUnknownPairs) {
+  Network n;
+  n.set_default_link({0.2, 1e6});
+  EXPECT_DOUBLE_EQ(n.latency("x", "y"), 0.2);
+}
+
+TEST(NetworkTest, TransferDurationIsLatencyPlusBytesOverBandwidth) {
+  Network n;
+  n.set_link("a", "b", {0.5, 1000.0});
+  EXPECT_DOUBLE_EQ(n.transfer_duration("a", "b", 2000), 0.5 + 2.0);
+}
+
+TEST(NetworkTest, TestbedTopologyShape) {
+  Network t = Network::testbed();
+  for (const char* site : {"laptop", "bebop", "midway2", "theta", kCloudSite}) {
+    EXPECT_TRUE(t.has_site(site)) << site;
+  }
+  // The laptop uplink is slower than lab-to-lab paths: a 1 GiB artifact
+  // takes far longer from the laptop than between labs.
+  Bytes gib = 1ull << 30;
+  EXPECT_GT(t.transfer_duration("laptop", "theta", gib),
+            10 * t.transfer_duration("bebop", "theta", gib));
+  // Latency ordering: lab-lab < lab-cloud < laptop-anything.
+  EXPECT_LT(t.latency("bebop", "theta"), t.latency("bebop", kCloudSite));
+  EXPECT_LT(t.latency("bebop", kCloudSite), t.latency("laptop", "bebop") + 1e-9);
+}
+
+}  // namespace
+}  // namespace osprey::net

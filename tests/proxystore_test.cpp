@@ -1,0 +1,155 @@
+// Tests for the ProxyStore-like data fabric: store plugins and lazy proxies.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "osprey/proxystore/proxy.h"
+
+namespace osprey::proxystore {
+namespace {
+
+TEST(LocalStoreTest, PutGetEvict) {
+  LocalStore store;
+  ASSERT_TRUE(store.put("k", "bytes").is_ok());
+  EXPECT_TRUE(store.exists("k"));
+  EXPECT_EQ(store.get("k").value(), "bytes");
+  EXPECT_DOUBLE_EQ(store.access_cost("k", "anywhere"), 0.0);
+  ASSERT_TRUE(store.evict("k").is_ok());
+  EXPECT_FALSE(store.exists("k"));
+  EXPECT_EQ(store.get("k").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store.evict("k").code(), ErrorCode::kNotFound);
+}
+
+TEST(FileStoreTest, PersistsToDirectory) {
+  const std::string dir = "/tmp/osprey_filestore_test";
+  std::filesystem::remove_all(dir);
+  {
+    FileStore store(dir);
+    ASSERT_TRUE(store.put("weird key/with:chars", "payload").is_ok());
+    EXPECT_TRUE(store.exists("weird key/with:chars"));
+  }
+  {
+    FileStore store(dir);  // a second process sees the same shared FS
+    EXPECT_EQ(store.get("weird key/with:chars").value(), "payload");
+    ASSERT_TRUE(store.evict("weird key/with:chars").is_ok());
+    EXPECT_FALSE(store.exists("weird key/with:chars"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RedisStoreTest, CostReflectsHostDistance) {
+  net::Network network = net::Network::testbed();
+  RedisStore store(network, "bebop");
+  ASSERT_TRUE(store.put("k", std::string(1 << 20, 'x')).is_ok());
+  // Access from the host site is cheap; from the laptop it is not.
+  EXPECT_LT(store.access_cost("k", "bebop"), 1e-4);
+  EXPECT_GT(store.access_cost("k", "laptop"), 0.05);
+  EXPECT_EQ(store.get("k").value().size(), std::size_t{1 << 20});
+}
+
+class GlobusStoreTest : public ::testing::Test {
+ protected:
+  GlobusStoreTest()
+      : network_(net::Network::testbed()),
+        transfers_(sim_, network_),
+        store_(transfers_, "theta") {}
+
+  sim::Simulation sim_;
+  net::Network network_;
+  transfer::TransferService transfers_;
+  GlobusStore store_;
+};
+
+TEST_F(GlobusStoreTest, BlobsLiveAtHomeSite) {
+  ASSERT_TRUE(store_.put("gpr", "weights").is_ok());
+  EXPECT_TRUE(transfers_.store().exists("theta", "gpr"));
+  EXPECT_EQ(store_.get("gpr").value(), "weights");
+  // Cross-site access costs a WAN transfer; home-site access is ~free.
+  EXPECT_GT(store_.access_cost("gpr", "bebop"), 0.0);
+  EXPECT_LT(store_.access_cost("gpr", "theta"), 1e-6);
+  ASSERT_TRUE(store_.evict("gpr").is_ok());
+  EXPECT_FALSE(store_.exists("gpr"));
+}
+
+// --- Proxy ---------------------------------------------------------------------
+
+TEST(ProxyTest, LazyResolutionCachesOnce) {
+  LocalStore store;
+  json::Value model;
+  // Non-integral doubles keep their JSON type through the encode/decode
+  // round trip (1.0 would serialize as "1" and parse back as an int).
+  model["weights"] = json::array_of({1.5, 2.5, 3.5});
+  auto proxy = Proxy<json::Value>::create(store, "model", model, json_codec());
+  ASSERT_TRUE(proxy.ok());
+  Proxy<json::Value> p = proxy.value();
+  EXPECT_FALSE(p.resolved());
+  EXPECT_GT(p.stored_bytes(), 0u);
+
+  auto resolved = p.resolve();
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved.value().get(), model);
+  EXPECT_TRUE(p.resolved());
+
+  // Copies share the cache: resolving through a copy after eviction still
+  // works because the bytes were already fetched.
+  Proxy<json::Value> copy = p;
+  ASSERT_TRUE(p.evict().is_ok());
+  auto resolved_again = copy.resolve();
+  ASSERT_TRUE(resolved_again.ok());
+  EXPECT_EQ(resolved_again.value().get(), model);
+}
+
+TEST(ProxyTest, UnresolvedProxyOfEvictedBlobFails) {
+  LocalStore store;
+  auto proxy =
+      Proxy<std::string>::create(store, "k", "data", bytes_codec()).value();
+  ASSERT_TRUE(proxy.evict().is_ok());
+  EXPECT_EQ(proxy.resolve().code(), ErrorCode::kNotFound);
+}
+
+TEST(ProxyTest, ResolveCostDropsToZeroAfterResolution) {
+  net::Network network = net::Network::testbed();
+  sim::Simulation sim;
+  transfer::TransferService transfers(sim, network);
+  GlobusStore store(transfers, "theta");
+  auto proxy = Proxy<std::string>::create(store, "gpr",
+                                          std::string(10 << 20, 'w'),
+                                          bytes_codec()).value();
+  // "Proxies are resolved only when needed": the WAN cost is paid once.
+  double first_cost = proxy.resolve_cost("bebop");
+  EXPECT_GT(first_cost, 0.01);
+  ASSERT_TRUE(proxy.resolve().ok());
+  EXPECT_DOUBLE_EQ(proxy.resolve_cost("bebop"), 0.0);
+}
+
+TEST(ProxyTest, DoublesCodecRoundTrip) {
+  LocalStore store;
+  std::vector<double> xs{0.5, -1.5, 3.25e10};
+  auto proxy =
+      Proxy<std::vector<double>>::create(store, "xs", xs, doubles_codec())
+          .value();
+  EXPECT_EQ(proxy.stored_bytes(), xs.size() * sizeof(double));
+  EXPECT_EQ(proxy.resolve().value().get(), xs);
+
+  // Corrupt blob: not a multiple of sizeof(double).
+  ASSERT_TRUE(store.put("bad", "123").is_ok());
+  Proxy<std::vector<double>> bad(store, "bad", doubles_codec());
+  EXPECT_EQ(bad.resolve().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ProxyTest, InvalidProxyErrors) {
+  Proxy<std::string> p;
+  EXPECT_FALSE(p.valid());
+  EXPECT_EQ(p.resolve().code(), ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(p.evict().is_ok());
+}
+
+TEST(ProxyTest, JsonCodecRejectsGarbage) {
+  LocalStore store;
+  ASSERT_TRUE(store.put("bad", "{not json").is_ok());
+  Proxy<json::Value> p(store, "bad", json_codec());
+  EXPECT_EQ(p.resolve().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace osprey::proxystore

@@ -1,0 +1,177 @@
+// Tests for remote EMEWS control over FaaS (§IV-B) and the SSH transport
+// alternative.
+#include <gtest/gtest.h>
+
+#include "osprey/eqsql/remote.h"
+#include "osprey/faas/service.h"
+#include "osprey/faas/ssh.h"
+#include "osprey/proxystore/proxy.h"
+
+namespace osprey {
+namespace {
+
+class RemoteControlTest : public ::testing::Test {
+ protected:
+  RemoteControlTest()
+      : network_(net::Network::testbed()),
+        auth_(sim_),
+        faas_(sim_, network_, auth_),
+        bebop_("bebop-ep", "bebop"),
+        emews_(sim_) {
+    token_ = auth_.issue("modeler");
+    EXPECT_TRUE(faas_.register_endpoint(bebop_).is_ok());
+    EXPECT_TRUE(
+        eqsql::register_emews_functions(bebop_, emews_, &store_).is_ok());
+  }
+
+  Result<json::Value> call(const std::string& function,
+                           const json::Value& payload = {}) {
+    auto id = faas_.submit(token_, "bebop-ep", function, payload);
+    if (!id.ok()) return id.error();
+    sim_.run();
+    return faas_.retrieve(id.value());
+  }
+
+  sim::Simulation sim_;
+  net::Network network_;
+  faas::AuthService auth_;
+  faas::FaaSService faas_;
+  faas::Endpoint bebop_;
+  eqsql::EmewsService emews_;
+  proxystore::LocalStore store_;
+  faas::Token token_;
+};
+
+TEST_F(RemoteControlTest, StartStopRemotely) {
+  // The §IV-B pattern: the laptop starts the EMEWS service on bebop via the
+  // FaaS fabric, later stops it the same way.
+  auto started = call("emews_start");
+  ASSERT_TRUE(started.ok());
+  EXPECT_TRUE(started.value()["ok"].as_bool());
+  EXPECT_TRUE(emews_.running());
+
+  // Idempotence error comes back as data, not a FaaS failure.
+  auto again = call("emews_start");
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value()["ok"].as_bool());
+
+  auto stopped = call("emews_stop");
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_TRUE(stopped.value()["ok"].as_bool());
+  EXPECT_FALSE(emews_.running());
+}
+
+TEST_F(RemoteControlTest, RemoteStatsReflectQueueState) {
+  ASSERT_TRUE(call("emews_start").ok());
+  auto api = emews_.connect().take();
+  api->submit_task("exp", 1, "[1]").value();
+  api->submit_task("exp", 1, "[2]").value();
+  auto handles = api->try_query_tasks(1, 1).value();
+  ASSERT_TRUE(api->report_task(handles[0].eq_task_id, 1, "{}").is_ok());
+
+  auto stats = call("emews_stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value()["tasks_total"].as_int(), 2);
+  EXPECT_EQ(stats.value()["tasks_complete"].as_int(), 1);
+  EXPECT_EQ(stats.value()["tasks_queued"].as_int(), 1);
+  EXPECT_EQ(stats.value()["output_queue_depth"].as_int(), 1);
+}
+
+TEST_F(RemoteControlTest, RemoteCheckpointGoesThroughTheStore) {
+  ASSERT_TRUE(call("emews_start").ok());
+  auto api = emews_.connect().take();
+  api->submit_task("exp", 1, "[42]").value();
+
+  json::Value payload;
+  payload["key"] = json::Value("ckpt1");
+  auto result = call("emews_checkpoint", payload);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value()["bytes"].as_int(), 0);
+  ASSERT_TRUE(store_.exists("ckpt1"));
+
+  // The stored snapshot restores into a fresh service elsewhere.
+  auto snapshot = json::parse(store_.get("ckpt1").value());
+  ASSERT_TRUE(snapshot.ok());
+  sim::Simulation other_sim;
+  eqsql::EmewsService restored(other_sim);
+  ASSERT_TRUE(restored.restore(snapshot.value()).is_ok());
+  EXPECT_EQ(restored.stats().value().tasks_queued, 1);
+
+  // Missing key is an argument error.
+  auto bad = call("emews_checkpoint", json::Value(json::Object{}));
+  EXPECT_FALSE(bad.ok());
+}
+
+// --- SSH transport -----------------------------------------------------------------
+
+class SshTest : public ::testing::Test {
+ protected:
+  SshTest()
+      : network_(net::Network::testbed()),
+        ssh_(sim_, network_),
+        bebop_("bebop-host", "bebop") {
+    EXPECT_TRUE(bebop_.registry()
+                    .register_function(
+                        "echo",
+                        [](const json::Value& v) -> Result<json::Value> {
+                          return v;
+                        })
+                    .is_ok());
+  }
+
+  sim::Simulation sim_;
+  net::Network network_;
+  faas::SshChannel ssh_;
+  faas::Endpoint bebop_;
+};
+
+TEST_F(SshTest, RunsRemoteFunctionWithSessionCost) {
+  json::Value payload;
+  payload["x"] = json::Value(5);
+  Result<json::Value> outcome(Error(ErrorCode::kInternal, "not called"));
+  ssh_.run("laptop", bebop_, "echo", payload,
+           [&](Result<json::Value> r) { outcome = std::move(r); });
+  sim_.run();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value()["x"].as_int(), 5);
+  EXPECT_EQ(ssh_.sessions_opened(), 1u);
+  // Session setup dominates: 3 round trips of laptop<->bebop latency.
+  EXPECT_GE(sim_.now(), ssh_.handshake_cost("laptop", "bebop"));
+}
+
+TEST_F(SshTest, OfflineHostFailsImmediatelyNoRetry) {
+  // The §IV-B contrast: funcX stores-and-retries; SSH just fails.
+  bebop_.set_online(false);
+  Result<json::Value> outcome(json::Value(0));
+  ssh_.run("laptop", bebop_, "echo", json::Value(),
+           [&](Result<json::Value> r) { outcome = std::move(r); });
+  // Bring the host back shortly after — too late for SSH.
+  sim_.schedule_at(10.0, [&] { bebop_.set_online(true); });
+  sim_.run();
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(bebop_.executions(), 0u);
+}
+
+TEST_F(SshTest, FaaSRecoversWhereSshFails) {
+  // Same offline window, both transports: SSH fails, FaaS completes.
+  bebop_.set_online(false);
+  faas::AuthService auth(sim_);
+  faas::FaaSService faas_service(sim_, network_, auth);
+  faas::Token token = auth.issue("modeler");
+  ASSERT_TRUE(faas_service.register_endpoint(bebop_).is_ok());
+
+  Result<json::Value> ssh_outcome(json::Value(0));
+  ssh_.run("laptop", bebop_, "echo", json::Value(1),
+           [&](Result<json::Value> r) { ssh_outcome = std::move(r); });
+  auto faas_id = faas_service.submit(token, "bebop-host", "echo",
+                                     json::Value(1)).value();
+  sim_.schedule_at(30.0, [&] { bebop_.set_online(true); });
+  sim_.run();
+
+  EXPECT_FALSE(ssh_outcome.ok());
+  EXPECT_EQ(faas_service.state(faas_id), faas::FaaSTaskState::kSucceeded);
+}
+
+}  // namespace
+}  // namespace osprey

@@ -1,0 +1,201 @@
+// Tests for the batch scheduler simulation: queueing, backfill, walltime,
+// cancellation, preemption, and submission-overhead delays.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osprey/sched/scheduler.h"
+
+namespace osprey::sched {
+namespace {
+
+SchedulerConfig no_overhead(int nodes) {
+  SchedulerConfig config;
+  config.total_nodes = nodes;
+  config.submit_overhead_median = 0.0;  // deterministic starts for tests
+  return config;
+}
+
+TEST(SchedulerTest, JobStartsWhenNodesAvailable) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(4));
+  bool started = false;
+  JobSpec spec;
+  spec.name = "pool";
+  spec.nodes = 2;
+  spec.on_start = [&](JobId) { started = true; };
+  auto id = sched.submit(spec).value();
+  sim.run_until(1.0);  // bounded: sim.run() would fire the walltime kill
+  EXPECT_TRUE(started);
+  EXPECT_EQ(sched.state(id), JobState::kRunning);
+  EXPECT_EQ(sched.nodes_free(), 2);
+  EXPECT_DOUBLE_EQ(sched.queue_wait(id).value(), 0.0);
+}
+
+TEST(SchedulerTest, RejectsImpossibleJobs) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(4));
+  JobSpec spec;
+  spec.nodes = 5;
+  EXPECT_EQ(sched.submit(spec).code(), ErrorCode::kInvalidArgument);
+  spec.nodes = 0;
+  EXPECT_EQ(sched.submit(spec).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(SchedulerTest, QueuedJobWaitsForNodes) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(2));
+  std::vector<double> starts;
+  auto make = [&](int nodes) {
+    JobSpec spec;
+    spec.nodes = nodes;
+    spec.on_start = [&starts, &sim](JobId) { starts.push_back(sim.now()); };
+    return spec;
+  };
+  JobId a = sched.submit(make(2)).value();
+  JobId b = sched.submit(make(2)).value();
+  sim.schedule_at(50.0, [&] { ASSERT_TRUE(sched.complete(a).is_ok()); });
+  sim.run();
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_DOUBLE_EQ(starts[0], 0.0);
+  EXPECT_DOUBLE_EQ(starts[1], 50.0);  // b waited for a's nodes
+  EXPECT_DOUBLE_EQ(sched.queue_wait(b).value(), 50.0);
+  EXPECT_EQ(sched.state(a), JobState::kComplete);
+}
+
+TEST(SchedulerTest, EasyBackfillLetsSmallJobsPass) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(4));
+  std::vector<std::string> started;
+  auto make = [&](const std::string& name, int nodes) {
+    JobSpec spec;
+    spec.name = name;
+    spec.nodes = nodes;
+    spec.on_start = [&started, name](JobId) { started.push_back(name); };
+    return spec;
+  };
+  sched.submit(make("big_running", 3)).value();
+  sched.submit(make("blocked_head", 4)).value();   // cannot fit now
+  sched.submit(make("small_backfill", 1)).value(); // fits the free node
+  sim.run_until(1.0);  // bounded: walltime expiry would free the nodes
+  ASSERT_EQ(started.size(), 2u);
+  EXPECT_EQ(started[0], "big_running");
+  EXPECT_EQ(started[1], "small_backfill");
+  EXPECT_EQ(sched.queue_depth(), 1u);
+}
+
+TEST(SchedulerTest, WalltimeKillsJob) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(1));
+  EndReason reason = EndReason::kFinished;
+  JobSpec spec;
+  spec.nodes = 1;
+  spec.walltime = 100.0;
+  spec.on_end = [&](JobId, EndReason r) { reason = r; };
+  auto id = sched.submit(spec).value();
+  sim.run();
+  EXPECT_EQ(reason, EndReason::kWalltime);
+  EXPECT_EQ(sched.state(id), JobState::kComplete);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+  EXPECT_EQ(sched.nodes_free(), 1);
+}
+
+TEST(SchedulerTest, CompleteBeforeWalltimeCancelsTheKill) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(1));
+  int end_calls = 0;
+  JobSpec spec;
+  spec.nodes = 1;
+  spec.walltime = 100.0;
+  spec.on_end = [&](JobId, EndReason) { ++end_calls; };
+  auto id = sched.submit(spec).value();
+  sim.schedule_at(10.0, [&] { ASSERT_TRUE(sched.complete(id).is_ok()); });
+  sim.run();
+  EXPECT_EQ(end_calls, 1);  // the walltime event must not fire a second end
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(SchedulerTest, CancelQueuedAndRunning) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(1));
+  JobSpec spec;
+  spec.nodes = 1;
+  auto running = sched.submit(spec).value();
+  auto queued = sched.submit(spec).value();
+  sim.run_until(1.0);
+  EXPECT_EQ(sched.state(running), JobState::kRunning);
+  EXPECT_EQ(sched.state(queued), JobState::kQueued);
+  ASSERT_TRUE(sched.cancel(queued).is_ok());
+  EXPECT_EQ(sched.state(queued), JobState::kCanceled);
+  ASSERT_TRUE(sched.cancel(running).is_ok());
+  EXPECT_EQ(sched.state(running), JobState::kCanceled);
+  EXPECT_EQ(sched.cancel(running).code(), ErrorCode::kConflict);
+  EXPECT_EQ(sched.nodes_free(), 1);
+}
+
+TEST(SchedulerTest, PreemptionRequeuesAndRestarts) {
+  sim::Simulation sim;
+  Scheduler sched(sim, no_overhead(1));
+  std::vector<EndReason> reasons;
+  int starts = 0;
+  JobSpec spec;
+  spec.nodes = 1;
+  spec.on_start = [&](JobId) { ++starts; };
+  spec.on_end = [&](JobId, EndReason r) { reasons.push_back(r); };
+  auto id = sched.submit(spec).value();
+  sim.schedule_at(5.0, [&] { ASSERT_TRUE(sched.preempt(id).is_ok()); });
+  sim.schedule_at(20.0, [&] { ASSERT_TRUE(sched.complete(id).is_ok()); });
+  sim.run();
+  EXPECT_EQ(starts, 2);  // preempted then restarted (nodes were free again)
+  ASSERT_EQ(reasons.size(), 2u);
+  EXPECT_EQ(reasons[0], EndReason::kPreempted);
+  EXPECT_EQ(reasons[1], EndReason::kFinished);
+}
+
+TEST(SchedulerTest, SubmissionOverheadDelaysStart) {
+  // This is the mechanism behind Fig 4's "pools do not immediately start".
+  sim::Simulation sim;
+  SchedulerConfig config;
+  config.total_nodes = 8;
+  config.submit_overhead_median = 20.0;
+  config.submit_overhead_sigma = 0.4;
+  Scheduler sched(sim, config);
+  std::vector<double> waits;
+  for (int i = 0; i < 10; ++i) {
+    JobSpec spec;
+    spec.nodes = 1;
+    auto id = sched.submit(spec).value();
+    // Run far enough to cover any submission overhead, but not the 24h
+    // default walltime kill.
+    sim.run_until(sim.now() + 1000.0);
+    waits.push_back(sched.queue_wait(id).value());
+    ASSERT_TRUE(sched.complete(id).is_ok());
+  }
+  for (double w : waits) EXPECT_GT(w, 0.0);
+  // Median-ish spread: not all identical.
+  EXPECT_NE(waits.front(), waits.back());
+}
+
+TEST(SchedulerTest, ManyJobsContendDeterministically) {
+  auto run_once = [] {
+    sim::Simulation sim;
+    Scheduler sched(sim, no_overhead(4));
+    std::vector<double> starts;
+    for (int i = 0; i < 20; ++i) {
+      JobSpec spec;
+      spec.nodes = 1 + i % 3;
+      spec.walltime = 10.0 + i;
+      spec.on_start = [&starts, &sim](JobId) { starts.push_back(sim.now()); };
+      sched.submit(spec).value();
+    }
+    sim.run();
+    return starts;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace osprey::sched

@@ -1,0 +1,143 @@
+// Tests for the discrete-event simulation engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osprey/sim/sim.h"
+
+namespace osprey::sim {
+namespace {
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulationTest, TiesRunInInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulationTest, ScheduleInIsRelative) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(2.5, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 12.5);
+}
+
+TEST(SimulationTest, PastEventsClampToNow) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_at(3.0, [&] { fired_at = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  EventId id = sim.schedule_at(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizon) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  EXPECT_EQ(sim.run_until(2.5), 2u);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);  // clock advances to the horizon
+  EXPECT_EQ(sim.pending(), 2u);
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulation sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run_until(50.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+}
+
+TEST(SimulationTest, RunBoundedLimitsEventCount) {
+  Simulation sim;
+  int count = 0;
+  // Self-perpetuating event chain would run forever without the bound.
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule_in(1.0, tick);
+  };
+  sim.schedule_in(1.0, tick);
+  EXPECT_EQ(sim.run_bounded(100), 100u);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(1);
+    sim.schedule_at(1.0, [&] { order.push_back(2); });  // same timestamp
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulationTest, PendingCountsExcludeCanceled) {
+  Simulation sim;
+  EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulationTest, CancelInsideEarlierEvent) {
+  Simulation sim;
+  bool ran = false;
+  EventId later = sim.schedule_at(2.0, [&] { ran = true; });
+  sim.schedule_at(1.0, [&] { sim.cancel(later); });
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, ManyEventsStressDeterminism) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<std::pair<double, int>> log;
+    for (int i = 0; i < 2000; ++i) {
+      double t = static_cast<double>((i * 7919) % 100);
+      sim.schedule_at(t, [&log, t, i] { log.emplace_back(t, i); });
+    }
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace osprey::sim

@@ -1,0 +1,267 @@
+// Tests for the mini-SQL front end: lexer, parser, executor, transactions.
+#include <gtest/gtest.h>
+
+#include "osprey/db/sql_exec.h"
+#include "osprey/db/sql_lexer.h"
+#include "osprey/db/sql_parser.h"
+
+namespace osprey::db::sql {
+namespace {
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(SqlLexerTest, KeywordsCaseInsensitive) {
+  auto toks = tokenize("select Foo FROM bar");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(toks.value()[0].text, "SELECT");
+  EXPECT_EQ(toks.value()[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks.value()[1].text, "Foo");  // identifiers keep case
+  EXPECT_EQ(toks.value()[2].text, "FROM");
+}
+
+TEST(SqlLexerTest, StringsWithEscapes) {
+  auto toks = tokenize("'it''s a ''test'''");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks.value()[0].text, "it's a 'test'");
+}
+
+TEST(SqlLexerTest, NumbersAndSymbols) {
+  auto toks = tokenize("42 3.5 1e-3 <= <> != ?");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks.value()[1].kind, TokenKind::kReal);
+  EXPECT_EQ(toks.value()[2].kind, TokenKind::kReal);
+  EXPECT_EQ(toks.value()[3].text, "<=");
+  EXPECT_EQ(toks.value()[4].text, "<>");
+  EXPECT_EQ(toks.value()[5].text, "!=");
+  EXPECT_EQ(toks.value()[6].kind, TokenKind::kParam);
+}
+
+TEST(SqlLexerTest, LineComments) {
+  auto toks = tokenize("SELECT -- the output queue\n * FROM q");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks.value()[1].text, "*");
+}
+
+TEST(SqlLexerTest, RejectsBadInput) {
+  EXPECT_FALSE(tokenize("SELECT 'unterminated").ok());
+  EXPECT_FALSE(tokenize("a ! b").ok());
+  EXPECT_FALSE(tokenize("SELECT @x").ok());
+}
+
+// --- Parser ------------------------------------------------------------------
+
+TEST(SqlParserTest, ParsesSelectWithAllClauses) {
+  auto stmt = parse_statement(
+      "SELECT eq_task_id, priority FROM output_queue "
+      "WHERE eq_type = ? AND priority >= 0 "
+      "ORDER BY priority DESC, eq_task_id ASC LIMIT 5;");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = std::get<SelectStmt>(stmt.value());
+  EXPECT_EQ(select.table, "output_queue");
+  EXPECT_EQ(select.columns, (std::vector<std::string>{"eq_task_id", "priority"}));
+  ASSERT_TRUE(select.where);
+  ASSERT_EQ(select.order_by.size(), 2u);
+  EXPECT_FALSE(select.order_by[0].ascending);
+  EXPECT_TRUE(select.order_by[1].ascending);
+  ASSERT_TRUE(select.limit.has_value());
+  EXPECT_EQ(*select.limit, 5);
+}
+
+TEST(SqlParserTest, ParsesCountStar) {
+  auto stmt = parse_statement("SELECT COUNT(*) FROM tasks WHERE status = 'queued'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(std::get<SelectStmt>(stmt.value()).count);
+}
+
+TEST(SqlParserTest, ParamNumbering) {
+  auto stmt = parse_statement(
+      "SELECT * FROM t WHERE a = ? AND b = ? LIMIT ?");
+  ASSERT_TRUE(stmt.ok());
+  const auto& select = std::get<SelectStmt>(stmt.value());
+  EXPECT_TRUE(select.limit_is_param);
+  EXPECT_EQ(select.limit_param_index, 2);
+}
+
+TEST(SqlParserTest, RejectsMalformedStatements) {
+  EXPECT_FALSE(parse_statement("").ok());
+  EXPECT_FALSE(parse_statement("SELEKT * FROM t").ok());
+  EXPECT_FALSE(parse_statement("SELECT * FROM").ok());
+  EXPECT_FALSE(parse_statement("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(parse_statement("INSERT INTO t VALUES (1,").ok());
+  EXPECT_FALSE(parse_statement("UPDATE t SET").ok());
+  EXPECT_FALSE(parse_statement("SELECT * FROM t extra").ok());
+  EXPECT_FALSE(parse_statement("CREATE TABLE t (x BOGUS)").ok());
+}
+
+// --- Executor ---------------------------------------------------------------
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  SqlExecTest() : conn_(db_) {
+    exec("CREATE TABLE tasks (eq_task_id INTEGER PRIMARY KEY, "
+         "status TEXT NOT NULL, priority INTEGER, payload TEXT)");
+    exec("CREATE INDEX ON tasks (status)");
+  }
+
+  ExecResult exec(const std::string& sql, const std::vector<Value>& params = {}) {
+    auto r = conn_.execute(sql, params);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << (r.ok() ? "" : r.error().to_string());
+    return r.ok() ? std::move(r).take() : ExecResult{};
+  }
+
+  Database db_;
+  Connection conn_;
+};
+
+TEST_F(SqlExecTest, InsertAndSelectStar) {
+  exec("INSERT INTO tasks VALUES (1, 'queued', 0, '{}')");
+  exec("INSERT INTO tasks (eq_task_id, status) VALUES (2, 'queued')");
+  ExecResult r = exec("SELECT * FROM tasks ORDER BY eq_task_id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.column_names.size(), 4u);
+  EXPECT_TRUE(r.rows[1][2].is_null());  // unspecified column defaults NULL
+}
+
+TEST_F(SqlExecTest, ParameterizedInsertAndQuery) {
+  exec("INSERT INTO tasks VALUES (?, ?, ?, ?)",
+       {Value(std::int64_t{7}), Value("queued"), Value(std::int64_t{3}),
+        Value("{\"x\":1}")});
+  ExecResult r = exec("SELECT payload FROM tasks WHERE eq_task_id = ?",
+                      {Value(std::int64_t{7})});
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].as_text(), "{\"x\":1}");
+}
+
+TEST_F(SqlExecTest, PriorityPopPattern) {
+  // The §IV-C output-queue pop expressed in SQL.
+  for (int i = 1; i <= 5; ++i) {
+    exec("INSERT INTO tasks VALUES (?, 'queued', ?, '{}')",
+         {Value(std::int64_t{i}), Value(std::int64_t{i % 3})});
+  }
+  ExecResult top = exec(
+      "SELECT eq_task_id FROM tasks WHERE status = 'queued' "
+      "ORDER BY priority DESC, eq_task_id ASC LIMIT 1");
+  ASSERT_EQ(top.rows.size(), 1u);
+  std::int64_t popped = top.rows[0][0].as_int();
+  EXPECT_EQ(popped, 2);  // priority 2 is max, lowest id wins the tie
+  ExecResult upd = exec("UPDATE tasks SET status = 'running' WHERE eq_task_id = ?",
+                        {Value(popped)});
+  EXPECT_EQ(upd.affected, 1u);
+  ExecResult count = exec("SELECT COUNT(*) FROM tasks WHERE status = 'queued'");
+  EXPECT_EQ(count.rows[0][0].as_int(), 4);
+}
+
+TEST_F(SqlExecTest, UpdateWithArithmetic) {
+  exec("INSERT INTO tasks VALUES (1, 'queued', 10, '{}')");
+  exec("UPDATE tasks SET priority = priority + 5 WHERE eq_task_id = 1");
+  ExecResult r = exec("SELECT priority FROM tasks");
+  EXPECT_EQ(r.rows[0][0].as_int(), 15);
+}
+
+TEST_F(SqlExecTest, DeleteWithInList) {
+  for (int i = 1; i <= 5; ++i) {
+    exec("INSERT INTO tasks VALUES (?, 'queued', 0, '{}')",
+         {Value(std::int64_t{i})});
+  }
+  ExecResult r = exec("DELETE FROM tasks WHERE eq_task_id IN (2, 4)");
+  EXPECT_EQ(r.affected, 2u);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks").rows[0][0].as_int(), 3);
+}
+
+TEST_F(SqlExecTest, IsNullAndNotIn) {
+  exec("INSERT INTO tasks (eq_task_id, status) VALUES (1, 'queued')");
+  exec("INSERT INTO tasks VALUES (2, 'queued', 5, '{}')");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks WHERE priority IS NULL")
+                .rows[0][0].as_int(), 1);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks WHERE priority IS NOT NULL")
+                .rows[0][0].as_int(), 1);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks WHERE eq_task_id NOT IN (1)")
+                .rows[0][0].as_int(), 1);
+}
+
+TEST_F(SqlExecTest, Aggregates) {
+  exec("INSERT INTO tasks VALUES (1, 'queued', 5, '{}')");
+  exec("INSERT INTO tasks VALUES (2, 'queued', 2, '{}')");
+  exec("INSERT INTO tasks (eq_task_id, status) VALUES (3, 'running')");
+  // NULL priority (task 3) is skipped by all aggregates.
+  EXPECT_EQ(exec("SELECT MIN(priority) FROM tasks").rows[0][0].as_int(), 2);
+  EXPECT_EQ(exec("SELECT MAX(priority) FROM tasks").rows[0][0].as_int(), 5);
+  EXPECT_EQ(exec("SELECT SUM(priority) FROM tasks").rows[0][0].as_int(), 7);
+  EXPECT_DOUBLE_EQ(exec("SELECT AVG(priority) FROM tasks").rows[0][0].as_real(),
+                   3.5);
+  // Aggregates respect WHERE.
+  EXPECT_EQ(exec("SELECT MAX(priority) FROM tasks WHERE eq_task_id < 2")
+                .rows[0][0].as_int(), 5);
+  // Empty input yields NULL.
+  EXPECT_TRUE(exec("SELECT MIN(priority) FROM tasks WHERE eq_task_id > 99")
+                  .rows[0][0].is_null());
+  // MIN/MAX work on text too.
+  EXPECT_EQ(exec("SELECT MIN(status) FROM tasks").rows[0][0].as_text(),
+            "queued");
+  // SUM over text is an error.
+  EXPECT_EQ(conn_.execute("SELECT SUM(status) FROM tasks").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(conn_.execute("SELECT SUM(nope) FROM tasks").code(),
+            ErrorCode::kInvalidArgument);
+  // Malformed aggregate syntax.
+  EXPECT_FALSE(conn_.execute("SELECT SUM(*) FROM tasks").ok());
+}
+
+TEST_F(SqlExecTest, TransactionCommitAndRollbackViaSql) {
+  exec("BEGIN");
+  exec("INSERT INTO tasks VALUES (1, 'queued', 0, '{}')");
+  exec("COMMIT");
+  exec("BEGIN");
+  exec("INSERT INTO tasks VALUES (2, 'queued', 0, '{}')");
+  exec("ROLLBACK");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks").rows[0][0].as_int(), 1);
+}
+
+TEST_F(SqlExecTest, TransactionErrors) {
+  EXPECT_FALSE(conn_.execute("COMMIT").ok());
+  EXPECT_FALSE(conn_.execute("ROLLBACK").ok());
+  ASSERT_TRUE(conn_.execute("BEGIN").ok());
+  EXPECT_FALSE(conn_.execute("BEGIN").ok());  // no nesting
+  ASSERT_TRUE(conn_.execute("ROLLBACK").ok());
+}
+
+TEST_F(SqlExecTest, ErrorsSurfaceAsResults) {
+  EXPECT_EQ(conn_.execute("SELECT * FROM missing").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(conn_.execute("SELECT nope FROM tasks").code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(conn_.execute("INSERT INTO tasks VALUES (1)").code(),
+            ErrorCode::kInvalidArgument);
+  exec("INSERT INTO tasks VALUES (1, 'queued', 0, '{}')");
+  EXPECT_EQ(conn_.execute("INSERT INTO tasks VALUES (1, 'dup', 0, '{}')").code(),
+            ErrorCode::kConflict);
+}
+
+TEST_F(SqlExecTest, LimitAsParameter) {
+  for (int i = 1; i <= 10; ++i) {
+    exec("INSERT INTO tasks VALUES (?, 'queued', ?, '{}')",
+         {Value(std::int64_t{i}), Value(std::int64_t{i})});
+  }
+  ExecResult r = exec(
+      "SELECT eq_task_id FROM tasks ORDER BY priority DESC LIMIT ?",
+      {Value(std::int64_t{3})});
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].as_int(), 10);
+}
+
+TEST_F(SqlExecTest, NegativeNumbersAndPrecedence) {
+  exec("INSERT INTO tasks VALUES (1, 'queued', -5, '{}')");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks WHERE priority = -5")
+                .rows[0][0].as_int(), 1);
+  // AND binds tighter than OR.
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks WHERE status = 'x' AND priority = -5 "
+                 "OR eq_task_id = 1").rows[0][0].as_int(), 1);
+  // Arithmetic precedence: 1 + 2 * 3 = 7.
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM tasks WHERE 1 + 2 * 3 = 7")
+                .rows[0][0].as_int(), 1);
+}
+
+}  // namespace
+}  // namespace osprey::db::sql

@@ -1,0 +1,172 @@
+// Concurrency stress tests on the real-thread stack: multiple producer
+// threads, multiple threaded worker pools, and a concurrent canceller all
+// hammering one EMEWS database. These are the §II-B1c "scalable,
+// fault-tolerant task execution" properties under genuine OS-thread
+// interleaving (the sim-based tests cover the same logic deterministically).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "osprey/eqsql/future.h"
+#include "osprey/eqsql/schema.h"
+#include "osprey/json/json.h"
+#include "osprey/me/task_runners.h"
+#include "osprey/pool/threaded_pool.h"
+
+namespace osprey {
+namespace {
+
+constexpr WorkType kWork = 1;
+
+class StressTest : public ::testing::Test {
+ protected:
+  StressTest() {
+    db::sql::Connection conn(db_);
+    EXPECT_TRUE(eqsql::create_schema(conn).is_ok());
+    api_ = std::make_unique<eqsql::EQSQL>(db_, clock_);
+  }
+
+  pool::PoolConfig pool_config(const PoolId& name, int workers) {
+    pool::PoolConfig c;
+    c.name = name;
+    c.work_type = kWork;
+    c.num_workers = workers;
+    c.batch_size = workers;
+    c.threshold = 1;
+    c.poll_interval = 0.002;
+    c.idle_shutdown = 0.15;
+    return c;
+  }
+
+  db::Database db_;
+  RealClock clock_;
+  std::unique_ptr<eqsql::EQSQL> api_;
+};
+
+TEST_F(StressTest, ConcurrentProducersAndTwoPools) {
+  // 3 producers x 40 tasks, 2 pools x 3 workers, everything concurrent.
+  constexpr int kProducers = 3;
+  constexpr int kTasksPerProducer = 40;
+  constexpr int kTotal = kProducers * kTasksPerProducer;
+
+  pool::ThreadedWorkerPool pool1(*api_, pool_config("sp1", 3),
+                                 me::ackley_threaded_runner(0.002, 0.5, 1));
+  pool::ThreadedWorkerPool pool2(*api_, pool_config("sp2", 3),
+                                 me::ackley_threaded_runner(0.002, 0.5, 2));
+  ASSERT_TRUE(pool1.start().is_ok());
+  ASSERT_TRUE(pool2.start().is_ok());
+
+  std::vector<std::thread> producers;
+  std::atomic<int> submit_failures{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([this, p, &submit_failures] {
+      // Each producer has its own client API handle (like a separate
+      // language runtime would).
+      eqsql::EQSQL producer_api(db_, clock_);
+      Rng rng(static_cast<std::uint64_t>(p) + 100);
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        std::vector<double> point{rng.uniform(-5, 5), rng.uniform(-5, 5)};
+        auto id = producer_api.submit_task("stress_" + std::to_string(p),
+                                           kWork, json::array_of(point).dump());
+        if (!id.ok()) ++submit_failures;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(submit_failures.load(), 0);
+
+  EXPECT_TRUE(pool1.wait_until_shutdown(30.0));
+  EXPECT_TRUE(pool2.wait_until_shutdown(30.0));
+
+  // Exactly kTotal completions, no task lost or duplicated.
+  EXPECT_EQ(pool1.tasks_completed() + pool2.tasks_completed(),
+            static_cast<std::uint64_t>(kTotal));
+  std::set<TaskId> ids;
+  for (int p = 0; p < kProducers; ++p) {
+    auto exp = api_->experiment_tasks("stress_" + std::to_string(p)).value();
+    for (TaskId id : exp) {
+      EXPECT_TRUE(ids.insert(id).second) << "duplicate id " << id;
+      EXPECT_EQ(api_->task_status(id).value(), eqsql::TaskStatus::kComplete);
+    }
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kTotal));
+  EXPECT_EQ(api_->input_queue_depth().value(), kTotal);
+}
+
+TEST_F(StressTest, ConcurrentCancellationNeverCorruptsState) {
+  // A pool consumes while another thread cancels random tasks; afterwards
+  // every task is terminal and the books balance.
+  constexpr int kTotal = 150;
+  std::vector<std::string> payloads(kTotal, json::array_of({1.0}).dump());
+  auto ids = api_->submit_tasks("cancel_stress", kWork, payloads).value();
+
+  pool::ThreadedWorkerPool pool(*api_, pool_config("cp", 4),
+                                me::ackley_threaded_runner(0.004, 0.5, 3));
+  ASSERT_TRUE(pool.start().is_ok());
+
+  std::thread canceller([this, &ids] {
+    eqsql::EQSQL cancel_api(db_, clock_);
+    Rng rng(7);
+    for (int round = 0; round < 30; ++round) {
+      std::vector<TaskId> batch;
+      for (TaskId id : ids) {
+        if (rng.bernoulli(0.05)) batch.push_back(id);
+      }
+      ASSERT_TRUE(cancel_api.cancel_tasks(batch).ok());
+      RealClock::sleep_for(0.003);
+    }
+  });
+  canceller.join();
+  EXPECT_TRUE(pool.wait_until_shutdown(30.0));
+
+  std::size_t complete = 0;
+  std::size_t canceled = 0;
+  for (TaskId id : ids) {
+    switch (api_->task_status(id).value()) {
+      case eqsql::TaskStatus::kComplete: ++complete; break;
+      case eqsql::TaskStatus::kCanceled: ++canceled; break;
+      default: FAIL() << "task " << id << " left non-terminal";
+    }
+  }
+  EXPECT_EQ(complete + canceled, static_cast<std::size_t>(kTotal));
+  EXPECT_GT(canceled, 0u);  // the canceller did something
+  EXPECT_GT(complete, 0u);  // and the pool did too
+  EXPECT_EQ(api_->queued_count(kWork).value(), 0);
+}
+
+TEST_F(StressTest, ConcurrentReprioritizationWhilePoolConsumes) {
+  constexpr int kTotal = 120;
+  std::vector<std::string> payloads(kTotal, json::array_of({2.0}).dump());
+  auto futures =
+      eqsql::submit_task_futures(*api_, "prio_stress", kWork, payloads).value();
+
+  pool::ThreadedWorkerPool pool(*api_, pool_config("pp", 3),
+                                me::ackley_threaded_runner(0.003, 0.5, 4));
+  ASSERT_TRUE(pool.start().is_ok());
+
+  // The ME thread keeps re-ranking while workers consume.
+  std::thread reprioritizer([&futures] {
+    Rng rng(11);
+    for (int round = 0; round < 25; ++round) {
+      std::vector<Priority> priorities;
+      priorities.reserve(futures.size());
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        priorities.push_back(static_cast<Priority>(rng.uniform_int(-50, 50)));
+      }
+      ASSERT_TRUE(eqsql::update_priority(futures, priorities).ok());
+      RealClock::sleep_for(0.004);
+    }
+  });
+  reprioritizer.join();
+  EXPECT_TRUE(pool.wait_until_shutdown(30.0));
+  EXPECT_EQ(pool.tasks_completed(), static_cast<std::uint64_t>(kTotal));
+  // Every future resolves.
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.try_result().ok());
+  }
+}
+
+}  // namespace
+}  // namespace osprey

@@ -1,0 +1,129 @@
+// Tests for the Globus-like third-party transfer service and site stores.
+#include <gtest/gtest.h>
+
+#include "osprey/transfer/transfer.h"
+
+namespace osprey::transfer {
+namespace {
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() : network_(net::Network::testbed()), service_(sim_, network_) {
+    EXPECT_TRUE(
+        service_.store().put("bebop", "model.bin", std::string(1 << 20, 'm'))
+            .is_ok());
+  }
+
+  sim::Simulation sim_;
+  net::Network network_;
+  TransferService service_;
+};
+
+TEST_F(TransferTest, SiteStoreBasics) {
+  SiteStore store;
+  ASSERT_TRUE(store.put("a", "k", "hello").is_ok());
+  EXPECT_TRUE(store.exists("a", "k"));
+  EXPECT_FALSE(store.exists("b", "k"));  // namespaced per site
+  EXPECT_EQ(store.get("a", "k").value(), "hello");
+  EXPECT_EQ(store.size("a", "k").value(), 5u);
+  EXPECT_EQ(store.get("b", "k").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(store.erase("a", "k").is_ok());
+  EXPECT_FALSE(store.exists("a", "k"));
+  EXPECT_EQ(store.erase("a", "k").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(TransferTest, ChecksumIsStableAndDiscriminating) {
+  EXPECT_EQ(SiteStore::checksum("abc"), SiteStore::checksum("abc"));
+  EXPECT_NE(SiteStore::checksum("abc"), SiteStore::checksum("abd"));
+  EXPECT_NE(SiteStore::checksum(""), SiteStore::checksum(std::string(1, '\0')));
+}
+
+TEST_F(TransferTest, ThirdPartyTransferMovesBlob) {
+  bool done = false;
+  TransferOptions options;
+  options.on_complete = [&](TransferId, Status s) { done = s.is_ok(); };
+  auto id = service_.submit("bebop", "theta", "model.bin", options);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(service_.state(id.value()), TransferState::kActive);
+  EXPECT_EQ(service_.active_count(), 1u);
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(service_.state(id.value()), TransferState::kSucceeded);
+  EXPECT_TRUE(service_.store().exists("theta", "model.bin"));
+  EXPECT_TRUE(service_.store().exists("bebop", "model.bin"));  // copy, not move
+  // Elapsed time matches the cost model.
+  EXPECT_NEAR(sim_.now(), service_.estimate("bebop", "theta", 1 << 20), 1e-9);
+}
+
+TEST_F(TransferTest, MissingSourceFailsImmediately) {
+  EXPECT_EQ(service_.submit("bebop", "theta", "nope").code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(TransferTest, CorruptionIsCaughtByChecksumAndRetried) {
+  service_.set_corruption_probability(1.0);
+  TransferOptions options;
+  options.max_retries = 2;
+  Status final = Status::ok();
+  options.on_complete = [&](TransferId, Status s) { final = s; };
+  auto id = service_.submit("bebop", "theta", "model.bin", options).value();
+  sim_.run();
+  EXPECT_EQ(service_.state(id), TransferState::kFailed);
+  EXPECT_EQ(final.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(service_.total_retries(), 2u);
+  EXPECT_FALSE(service_.store().exists("theta", "model.bin"));
+}
+
+TEST_F(TransferTest, TransientCorruptionEventuallySucceeds) {
+  service_.set_corruption_probability(0.5);
+  int succeeded = 0;
+  for (int i = 0; i < 20; ++i) {
+    TransferOptions options;
+    options.max_retries = 5;
+    options.on_complete = [&](TransferId, Status s) {
+      if (s.is_ok()) ++succeeded;
+    };
+    ASSERT_TRUE(service_.submit("bebop", "theta", "model.bin", options).ok());
+  }
+  sim_.run();
+  EXPECT_EQ(succeeded, 20);  // p=0.5^6 per task; 20 tasks virtually always pass
+  EXPECT_GT(service_.total_retries(), 0u);
+}
+
+TEST_F(TransferTest, UnverifiedCorruptionLandsCorrupted) {
+  service_.set_corruption_probability(1.0);
+  TransferOptions options;
+  options.verify_checksum = false;
+  auto id = service_.submit("bebop", "theta", "model.bin", options).value();
+  sim_.run();
+  EXPECT_EQ(service_.state(id), TransferState::kSucceeded);
+  // The blob arrived, but it is not byte-identical: checksums differ.
+  auto src = service_.store().get("bebop", "model.bin").value();
+  auto dst = service_.store().get("theta", "model.bin").value();
+  EXPECT_NE(SiteStore::checksum(src), SiteStore::checksum(dst));
+}
+
+TEST_F(TransferTest, EstimateScalesWithSizeAndLink) {
+  Bytes small = 1 << 10;
+  Bytes large = 1 << 30;
+  EXPECT_LT(service_.estimate("bebop", "theta", small),
+            service_.estimate("bebop", "theta", large));
+  EXPECT_LT(service_.estimate("bebop", "theta", large),
+            service_.estimate("laptop", "theta", large));
+}
+
+TEST_F(TransferTest, ConcurrentTransfersAllComplete) {
+  for (int i = 0; i < 10; ++i) {
+    std::string key = "chunk" + std::to_string(i);
+    ASSERT_TRUE(service_.store().put("bebop", key, std::string(1000, 'x')).is_ok());
+    ASSERT_TRUE(service_.submit("bebop", "midway2", key).ok());
+  }
+  sim_.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(service_.store().exists("midway2", "chunk" + std::to_string(i)));
+  }
+  EXPECT_EQ(service_.active_count(), 0u);
+}
+
+}  // namespace
+}  // namespace osprey::transfer
