@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_staging.dir/bench_data_staging.cpp.o"
+  "CMakeFiles/bench_data_staging.dir/bench_data_staging.cpp.o.d"
+  "bench_data_staging"
+  "bench_data_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eqsql_throughput.dir/bench_eqsql_throughput.cpp.o"
+  "CMakeFiles/bench_eqsql_throughput.dir/bench_eqsql_throughput.cpp.o.d"
+  "bench_eqsql_throughput"
+  "bench_eqsql_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eqsql_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

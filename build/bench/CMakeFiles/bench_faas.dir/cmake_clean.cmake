@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_faas.dir/bench_faas.cpp.o"
+  "CMakeFiles/bench_faas.dir/bench_faas.cpp.o.d"
+  "bench_faas"
+  "bench_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_futures.dir/bench_futures.cpp.o"
+  "CMakeFiles/bench_futures.dir/bench_futures.cpp.o.d"
+  "bench_futures"
+  "bench_futures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_futures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gpr.dir/bench_gpr.cpp.o"
+  "CMakeFiles/bench_gpr.dir/bench_gpr.cpp.o.d"
+  "bench_gpr"
+  "bench_gpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ackley_optimization.dir/ackley_optimization.cpp.o"
+  "CMakeFiles/example_ackley_optimization.dir/ackley_optimization.cpp.o.d"
+  "example_ackley_optimization"
+  "example_ackley_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ackley_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

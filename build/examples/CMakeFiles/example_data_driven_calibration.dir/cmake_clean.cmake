@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_data_driven_calibration.dir/data_driven_calibration.cpp.o"
+  "CMakeFiles/example_data_driven_calibration.dir/data_driven_calibration.cpp.o.d"
+  "example_data_driven_calibration"
+  "example_data_driven_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_data_driven_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_data_driven_calibration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_data_driven_calibration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_federated_workflow.dir/federated_workflow.cpp.o"
+  "CMakeFiles/example_federated_workflow.dir/federated_workflow.cpp.o.d"
+  "example_federated_workflow"
+  "example_federated_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_federated_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_seir_calibration.dir/seir_calibration.cpp.o"
+  "CMakeFiles/example_seir_calibration.dir/seir_calibration.cpp.o.d"
+  "example_seir_calibration"
+  "example_seir_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_seir_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

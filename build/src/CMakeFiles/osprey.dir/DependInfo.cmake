@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osprey/capi/osprey_c.cpp" "src/CMakeFiles/osprey.dir/osprey/capi/osprey_c.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/capi/osprey_c.cpp.o.d"
+  "/root/repo/src/osprey/core/clock.cpp" "src/CMakeFiles/osprey.dir/osprey/core/clock.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/core/clock.cpp.o.d"
+  "/root/repo/src/osprey/core/log.cpp" "src/CMakeFiles/osprey.dir/osprey/core/log.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/core/log.cpp.o.d"
+  "/root/repo/src/osprey/core/rng.cpp" "src/CMakeFiles/osprey.dir/osprey/core/rng.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/core/rng.cpp.o.d"
+  "/root/repo/src/osprey/db/database.cpp" "src/CMakeFiles/osprey.dir/osprey/db/database.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/database.cpp.o.d"
+  "/root/repo/src/osprey/db/dump.cpp" "src/CMakeFiles/osprey.dir/osprey/db/dump.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/dump.cpp.o.d"
+  "/root/repo/src/osprey/db/expr.cpp" "src/CMakeFiles/osprey.dir/osprey/db/expr.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/expr.cpp.o.d"
+  "/root/repo/src/osprey/db/sql_exec.cpp" "src/CMakeFiles/osprey.dir/osprey/db/sql_exec.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/sql_exec.cpp.o.d"
+  "/root/repo/src/osprey/db/sql_lexer.cpp" "src/CMakeFiles/osprey.dir/osprey/db/sql_lexer.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/sql_lexer.cpp.o.d"
+  "/root/repo/src/osprey/db/sql_parser.cpp" "src/CMakeFiles/osprey.dir/osprey/db/sql_parser.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/sql_parser.cpp.o.d"
+  "/root/repo/src/osprey/db/table.cpp" "src/CMakeFiles/osprey.dir/osprey/db/table.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/table.cpp.o.d"
+  "/root/repo/src/osprey/db/value.cpp" "src/CMakeFiles/osprey.dir/osprey/db/value.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/db/value.cpp.o.d"
+  "/root/repo/src/osprey/epi/abm.cpp" "src/CMakeFiles/osprey.dir/osprey/epi/abm.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/epi/abm.cpp.o.d"
+  "/root/repo/src/osprey/epi/calibrate.cpp" "src/CMakeFiles/osprey.dir/osprey/epi/calibrate.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/epi/calibrate.cpp.o.d"
+  "/root/repo/src/osprey/epi/data.cpp" "src/CMakeFiles/osprey.dir/osprey/epi/data.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/epi/data.cpp.o.d"
+  "/root/repo/src/osprey/epi/seir.cpp" "src/CMakeFiles/osprey.dir/osprey/epi/seir.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/epi/seir.cpp.o.d"
+  "/root/repo/src/osprey/eqsql/db_api.cpp" "src/CMakeFiles/osprey.dir/osprey/eqsql/db_api.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/eqsql/db_api.cpp.o.d"
+  "/root/repo/src/osprey/eqsql/future.cpp" "src/CMakeFiles/osprey.dir/osprey/eqsql/future.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/eqsql/future.cpp.o.d"
+  "/root/repo/src/osprey/eqsql/remote.cpp" "src/CMakeFiles/osprey.dir/osprey/eqsql/remote.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/eqsql/remote.cpp.o.d"
+  "/root/repo/src/osprey/eqsql/schema.cpp" "src/CMakeFiles/osprey.dir/osprey/eqsql/schema.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/eqsql/schema.cpp.o.d"
+  "/root/repo/src/osprey/eqsql/service.cpp" "src/CMakeFiles/osprey.dir/osprey/eqsql/service.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/eqsql/service.cpp.o.d"
+  "/root/repo/src/osprey/faas/auth.cpp" "src/CMakeFiles/osprey.dir/osprey/faas/auth.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/faas/auth.cpp.o.d"
+  "/root/repo/src/osprey/faas/endpoint.cpp" "src/CMakeFiles/osprey.dir/osprey/faas/endpoint.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/faas/endpoint.cpp.o.d"
+  "/root/repo/src/osprey/faas/registry.cpp" "src/CMakeFiles/osprey.dir/osprey/faas/registry.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/faas/registry.cpp.o.d"
+  "/root/repo/src/osprey/faas/service.cpp" "src/CMakeFiles/osprey.dir/osprey/faas/service.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/faas/service.cpp.o.d"
+  "/root/repo/src/osprey/faas/ssh.cpp" "src/CMakeFiles/osprey.dir/osprey/faas/ssh.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/faas/ssh.cpp.o.d"
+  "/root/repo/src/osprey/ingest/catalog.cpp" "src/CMakeFiles/osprey.dir/osprey/ingest/catalog.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/ingest/catalog.cpp.o.d"
+  "/root/repo/src/osprey/ingest/curate.cpp" "src/CMakeFiles/osprey.dir/osprey/ingest/curate.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/ingest/curate.cpp.o.d"
+  "/root/repo/src/osprey/ingest/stream.cpp" "src/CMakeFiles/osprey.dir/osprey/ingest/stream.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/ingest/stream.cpp.o.d"
+  "/root/repo/src/osprey/json/json.cpp" "src/CMakeFiles/osprey.dir/osprey/json/json.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/json/json.cpp.o.d"
+  "/root/repo/src/osprey/me/acquisition.cpp" "src/CMakeFiles/osprey.dir/osprey/me/acquisition.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/acquisition.cpp.o.d"
+  "/root/repo/src/osprey/me/async_driver.cpp" "src/CMakeFiles/osprey.dir/osprey/me/async_driver.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/async_driver.cpp.o.d"
+  "/root/repo/src/osprey/me/functions.cpp" "src/CMakeFiles/osprey.dir/osprey/me/functions.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/functions.cpp.o.d"
+  "/root/repo/src/osprey/me/gpr.cpp" "src/CMakeFiles/osprey.dir/osprey/me/gpr.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/gpr.cpp.o.d"
+  "/root/repo/src/osprey/me/linalg.cpp" "src/CMakeFiles/osprey.dir/osprey/me/linalg.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/linalg.cpp.o.d"
+  "/root/repo/src/osprey/me/sampler.cpp" "src/CMakeFiles/osprey.dir/osprey/me/sampler.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/sampler.cpp.o.d"
+  "/root/repo/src/osprey/me/sync_driver.cpp" "src/CMakeFiles/osprey.dir/osprey/me/sync_driver.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/sync_driver.cpp.o.d"
+  "/root/repo/src/osprey/me/task_runners.cpp" "src/CMakeFiles/osprey.dir/osprey/me/task_runners.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/me/task_runners.cpp.o.d"
+  "/root/repo/src/osprey/net/network.cpp" "src/CMakeFiles/osprey.dir/osprey/net/network.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/net/network.cpp.o.d"
+  "/root/repo/src/osprey/pool/monitor.cpp" "src/CMakeFiles/osprey.dir/osprey/pool/monitor.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/pool/monitor.cpp.o.d"
+  "/root/repo/src/osprey/pool/policy.cpp" "src/CMakeFiles/osprey.dir/osprey/pool/policy.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/pool/policy.cpp.o.d"
+  "/root/repo/src/osprey/pool/sim_pool.cpp" "src/CMakeFiles/osprey.dir/osprey/pool/sim_pool.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/pool/sim_pool.cpp.o.d"
+  "/root/repo/src/osprey/pool/threaded_pool.cpp" "src/CMakeFiles/osprey.dir/osprey/pool/threaded_pool.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/pool/threaded_pool.cpp.o.d"
+  "/root/repo/src/osprey/pool/trace.cpp" "src/CMakeFiles/osprey.dir/osprey/pool/trace.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/pool/trace.cpp.o.d"
+  "/root/repo/src/osprey/proxystore/proxy.cpp" "src/CMakeFiles/osprey.dir/osprey/proxystore/proxy.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/proxystore/proxy.cpp.o.d"
+  "/root/repo/src/osprey/proxystore/store.cpp" "src/CMakeFiles/osprey.dir/osprey/proxystore/store.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/proxystore/store.cpp.o.d"
+  "/root/repo/src/osprey/sched/scheduler.cpp" "src/CMakeFiles/osprey.dir/osprey/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/sched/scheduler.cpp.o.d"
+  "/root/repo/src/osprey/sim/sim.cpp" "src/CMakeFiles/osprey.dir/osprey/sim/sim.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/sim/sim.cpp.o.d"
+  "/root/repo/src/osprey/transfer/transfer.cpp" "src/CMakeFiles/osprey.dir/osprey/transfer/transfer.cpp.o" "gcc" "src/CMakeFiles/osprey.dir/osprey/transfer/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/acquisition_test.cpp" "tests/CMakeFiles/osprey_tests.dir/acquisition_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/acquisition_test.cpp.o.d"
+  "/root/repo/tests/capi_test.cpp" "tests/CMakeFiles/osprey_tests.dir/capi_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/capi_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/osprey_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/db_test.cpp" "tests/CMakeFiles/osprey_tests.dir/db_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/db_test.cpp.o.d"
+  "/root/repo/tests/epi_test.cpp" "tests/CMakeFiles/osprey_tests.dir/epi_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/epi_test.cpp.o.d"
+  "/root/repo/tests/eqsql_test.cpp" "tests/CMakeFiles/osprey_tests.dir/eqsql_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/eqsql_test.cpp.o.d"
+  "/root/repo/tests/faas_test.cpp" "tests/CMakeFiles/osprey_tests.dir/faas_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/faas_test.cpp.o.d"
+  "/root/repo/tests/ingest_test.cpp" "tests/CMakeFiles/osprey_tests.dir/ingest_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/ingest_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/osprey_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/osprey_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/me_test.cpp" "tests/CMakeFiles/osprey_tests.dir/me_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/me_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/osprey_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/osprey_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/pool_test.cpp" "tests/CMakeFiles/osprey_tests.dir/pool_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/pool_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/osprey_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/proxystore_test.cpp" "tests/CMakeFiles/osprey_tests.dir/proxystore_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/proxystore_test.cpp.o.d"
+  "/root/repo/tests/remote_test.cpp" "tests/CMakeFiles/osprey_tests.dir/remote_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/remote_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/osprey_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/osprey_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/sql_test.cpp" "tests/CMakeFiles/osprey_tests.dir/sql_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/sql_test.cpp.o.d"
+  "/root/repo/tests/stress_test.cpp" "tests/CMakeFiles/osprey_tests.dir/stress_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/stress_test.cpp.o.d"
+  "/root/repo/tests/transfer_test.cpp" "tests/CMakeFiles/osprey_tests.dir/transfer_test.cpp.o" "gcc" "tests/CMakeFiles/osprey_tests.dir/transfer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/osprey.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
