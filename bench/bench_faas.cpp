@@ -52,8 +52,8 @@ SweepRow run_sweep(double failure_probability) {
   for (int i = 0; i < kCalls; ++i) {
     faas::SubmitOptions options;
     options.caller_site = "laptop";
-    options.max_retries = 4;
-    options.retry_backoff = 1.0;
+    options.retry.max_attempts = 5;  // 4 retries
+    options.retry.initial_backoff = 1.0;
     double submitted_at = sim.now();
     options.on_complete = [&latency_sum, succeeded, failed, submitted_at, &sim](
                               faas::FaaSTaskId, const Result<json::Value>& r) {
@@ -111,7 +111,7 @@ int main() {
   double last_completion = 0;
   for (int i = 0; i < 50; ++i) {
     faas::SubmitOptions options;
-    options.max_retries = 0;
+    options.retry = RetryPolicy::none();
     options.offline_poll = 5.0;
     options.on_complete = [&](faas::FaaSTaskId, const Result<json::Value>& r) {
       if (r.ok() && sim.now() >= 60.0) {

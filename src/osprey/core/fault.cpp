@@ -1,0 +1,181 @@
+#include "osprey/core/fault.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace osprey {
+
+namespace {
+
+/// FNV-1a over the point name: combined with the registry seed it gives each
+/// point its own RNG stream, independent of registration or query order of
+/// other points.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+FaultRegistry::FaultRegistry(const Clock& clock, std::uint64_t seed)
+    : clock_(clock), seed_(seed) {}
+
+bool FaultRegistry::Point::active_at(TimePoint t) const {
+  if (latched) return true;
+  for (const auto& [start, end] : windows) {
+    if (t >= start && t < end) return true;
+  }
+  return false;
+}
+
+FaultRegistry::Point& FaultRegistry::point_locked(const std::string& name) {
+  return points_[name];
+}
+
+Rng& FaultRegistry::rng_locked(const std::string& name, Point& p) {
+  if (!p.rng) {
+    SeedSequence seeds(seed_ ^ fnv1a(name));
+    p.rng = std::make_unique<Rng>(seeds.next());
+  }
+  return *p.rng;
+}
+
+void FaultRegistry::set_probability(const std::string& point, double p) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  point_locked(point).probability = std::clamp(p, 0.0, 1.0);
+}
+
+void FaultRegistry::fail_next(const std::string& point, int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  point_locked(point).fail_next = std::max(n, 0);
+}
+
+void FaultRegistry::add_window(const std::string& point, TimePoint start,
+                               TimePoint end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (end <= start) return;
+  point_locked(point).windows.emplace_back(start, end);
+}
+
+void FaultRegistry::set_active(const std::string& point, bool active) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  point_locked(point).latched = active;
+}
+
+void FaultRegistry::set_magnitude(const std::string& point, double magnitude) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  point_locked(point).magnitude = magnitude;
+}
+
+void FaultRegistry::clear(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return;
+  Point& p = it->second;
+  p.probability = 0.0;
+  p.fail_next = 0;
+  p.latched = false;
+  p.magnitude = 1.0;
+  p.windows.clear();
+}
+
+void FaultRegistry::clear_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, p] : points_) {
+    p.probability = 0.0;
+    p.fail_next = 0;
+    p.latched = false;
+    p.magnitude = 1.0;
+    p.windows.clear();
+  }
+}
+
+bool FaultRegistry::active(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it != points_.end() && it->second.active_at(clock_.now());
+}
+
+double FaultRegistry::magnitude(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  if (it == points_.end() || !it->second.active_at(clock_.now())) return 1.0;
+  return it->second.magnitude;
+}
+
+bool FaultRegistry::should_fire(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Point& p = point_locked(point);
+  ++p.checks;
+  bool fire = false;
+  if (p.active_at(clock_.now())) {
+    fire = true;
+  } else if (p.fail_next > 0) {
+    --p.fail_next;
+    fire = true;
+  } else if (p.probability > 0.0) {
+    fire = rng_locked(point, p).bernoulli(p.probability);
+  }
+  if (fire) ++p.fires;
+  return fire;
+}
+
+std::uint64_t FaultRegistry::checks(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.checks;
+}
+
+std::uint64_t FaultRegistry::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultRegistry::points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(points_.size());
+  for (const auto& [name, _] : points_) out.push_back(name);
+  return out;
+}
+
+std::string FaultRegistry::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, p] : points_) {
+    out << name << ": " << p.fires << "/" << p.checks << "\n";
+  }
+  return out.str();
+}
+
+namespace fault_point {
+
+std::string endpoint(const std::string& name) {
+  return "faas.endpoint." + name;
+}
+
+std::string endpoint_offline(const std::string& name) {
+  return "faas.endpoint." + name + ".offline";
+}
+
+std::string partition(const std::string& a, const std::string& b) {
+  return a < b ? "net.partition." + a + "|" + b
+               : "net.partition." + b + "|" + a;
+}
+
+std::string slow_link(const std::string& a, const std::string& b) {
+  return a < b ? "net.slow." + a + "|" + b : "net.slow." + b + "|" + a;
+}
+
+std::string pool_stall(const std::string& pool) {
+  return "pool." + pool + ".stall";
+}
+
+}  // namespace fault_point
+
+}  // namespace osprey

@@ -1,0 +1,140 @@
+// Deterministic, seeded fault-injection plane.
+//
+// The paper's robustness story (§IV-B fire-and-forget retry, §IV-C task
+// state in the EMEWS DB, §VII stalled-task detection) is only credible if it
+// can be *exercised*: a chaos run must be able to kill an endpoint at t=30s,
+// partition a link at t=60s, and stall five workers — and replay that exact
+// scenario bit-identically. The FaultRegistry is the single switchboard for
+// that: instrumented components ask it "does fault point X fire now?" and
+// every answer is a deterministic function of (seed, point name, query
+// sequence, clock), so the same scenario on the DES engine reproduces the
+// same failures, retries, and requeues every run.
+//
+// Fault points are plain strings chosen by the instrumented code, typically
+// instance-qualified: "faas.endpoint.theta-ep", "net.partition.bebop|theta",
+// "transfer.corrupt", "pool.worker_pool_1.stall". Triggers per point:
+//  - probability p: each should_fire() draw fails with probability p, from a
+//    per-point RNG stream (seeded from the registry seed and the point name,
+//    so streams are independent of cross-point query interleaving);
+//  - fail_next(n): the next n should_fire() queries fire unconditionally;
+//  - windows [start, end): the point is *active* during scheduled intervals
+//    of the injected Clock — the mechanism behind offline windows and link
+//    partitions;
+//  - a manual latch (set_active) for open-ended outages;
+//  - a magnitude (e.g. a latency multiplier) consumed while active.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/rng.h"
+
+namespace osprey {
+
+class FaultRegistry {
+ public:
+  /// `clock` drives scheduled windows; `seed` fixes every probability draw.
+  explicit FaultRegistry(const Clock& clock, std::uint64_t seed = 0xfa171);
+
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  // --- arming triggers -------------------------------------------------------
+
+  /// Each should_fire(point) fires with probability `p` (0 disarms).
+  void set_probability(const std::string& point, double p);
+
+  /// The next `n` should_fire(point) queries fire unconditionally.
+  void fail_next(const std::string& point, int n);
+
+  /// The point is active (fires, and reports active()) during [start, end)
+  /// of the registry clock. Windows accumulate.
+  void add_window(const std::string& point, TimePoint start, TimePoint end);
+
+  /// Manual latch: the point is active until released (open-ended outage).
+  void set_active(const std::string& point, bool active);
+
+  /// Scale factor reported while the point is active (latency spikes);
+  /// inactive points always report 1.0.
+  void set_magnitude(const std::string& point, double magnitude);
+
+  /// Disarm one point / every point. Statistics are kept.
+  void clear(const std::string& point);
+  void clear_all();
+
+  // --- queries ---------------------------------------------------------------
+
+  /// True while the point is latched or inside a scheduled window. Pure:
+  /// consumes no randomness and does not count as a should_fire check.
+  bool active(const std::string& point) const;
+
+  /// The point's magnitude while active, 1.0 otherwise.
+  double magnitude(const std::string& point) const;
+
+  /// Does the fault fire for this query? Active latch/window => yes;
+  /// else consumes a pending fail_next; else draws the point's probability.
+  bool should_fire(const std::string& point);
+
+  // --- statistics (chaos-suite accounting) -----------------------------------
+
+  /// should_fire queries / fires observed at a point.
+  std::uint64_t checks(const std::string& point) const;
+  std::uint64_t fires(const std::string& point) const;
+
+  /// Names of every point ever armed or queried, sorted.
+  std::vector<std::string> points() const;
+
+  /// "point: fires/checks" lines, sorted by point — a scenario's footprint.
+  std::string report() const;
+
+ private:
+  struct Point {
+    double probability = 0.0;
+    int fail_next = 0;
+    bool latched = false;
+    double magnitude = 1.0;
+    std::vector<std::pair<TimePoint, TimePoint>> windows;
+    std::unique_ptr<Rng> rng;  // created lazily, seeded from (seed, name)
+    std::uint64_t checks = 0;
+    std::uint64_t fires = 0;
+
+    bool active_at(TimePoint t) const;
+  };
+
+  Point& point_locked(const std::string& name);
+  Rng& rng_locked(const std::string& name, Point& p);
+
+  const Clock& clock_;
+  std::uint64_t seed_;
+  mutable std::mutex mutex_;  // threaded pools may query concurrently
+  std::map<std::string, Point> points_;
+};
+
+/// Canonical fault-point names used by the instrumented OSPREY modules, so
+/// scenarios and components agree on spelling.
+namespace fault_point {
+
+/// Transient execution failure at a FaaS endpoint.
+std::string endpoint(const std::string& name);
+/// Endpoint unreachable (offline window), §IV-B fire-and-forget hold.
+std::string endpoint_offline(const std::string& name);
+/// Link partition between two sites (order-insensitive).
+std::string partition(const std::string& a, const std::string& b);
+/// Degraded link (latency multiplied by the point magnitude).
+std::string slow_link(const std::string& a, const std::string& b);
+/// In-flight payload corruption in the transfer service.
+inline const char* transfer_corrupt() { return "transfer.corrupt"; }
+/// Mid-transfer abort in the transfer service.
+inline const char* transfer_abort() { return "transfer.abort"; }
+/// A worker of the named pool hangs without reporting its task.
+std::string pool_stall(const std::string& pool);
+
+}  // namespace fault_point
+
+}  // namespace osprey

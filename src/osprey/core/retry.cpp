@@ -1,0 +1,80 @@
+#include "osprey/core/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace osprey {
+
+Duration RetryPolicy::backoff(int failures) const {
+  if (failures <= 0 || initial_backoff <= 0.0) return std::max(initial_backoff, 0.0);
+  double base = initial_backoff * std::pow(multiplier, failures - 1);
+  if (max_backoff > 0.0) base = std::min(base, max_backoff);
+  return base;
+}
+
+Duration RetryPolicy::backoff(int failures, Rng& rng) const {
+  if (failures <= 0 || initial_backoff <= 0.0) return std::max(initial_backoff, 0.0);
+  double base = initial_backoff * std::pow(multiplier, failures - 1);
+  if (max_backoff > 0.0 && base >= max_backoff) {
+    // Plateaued: return the cap exactly, consuming no randomness, so the
+    // delay sequence stays monotone once it reaches the cap.
+    return max_backoff;
+  }
+  if (jitter > 0.0) base *= 1.0 + jitter * rng.uniform();
+  if (max_backoff > 0.0) base = std::min(base, max_backoff);
+  return base;
+}
+
+Status RetryPolicy::validate() const {
+  if (max_attempts < 1) {
+    return Status(ErrorCode::kInvalidArgument, "max_attempts must be >= 1");
+  }
+  if (initial_backoff < 0.0 || max_backoff < 0.0 || budget < 0.0) {
+    return Status(ErrorCode::kInvalidArgument, "backoff durations must be >= 0");
+  }
+  if (multiplier < 1.0) {
+    return Status(ErrorCode::kInvalidArgument, "multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter > multiplier - 1.0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "jitter must be in [0, multiplier - 1] to keep backoff "
+                  "monotone non-decreasing");
+  }
+  return Status::ok();
+}
+
+RetryState::RetryState(RetryPolicy policy, std::uint64_t seed)
+    : policy_(policy), rng_(seed) {}
+
+bool RetryState::next_delay(Duration* delay) {
+  ++failures_;
+  if (failures_ >= policy_.max_attempts) return false;
+  Duration d = policy_.jitter > 0.0 ? policy_.backoff(failures_, rng_)
+                                    : policy_.backoff(failures_);
+  if (policy_.budget > 0.0 && waited_ + d > policy_.budget) return false;
+  waited_ += d;
+  trace_.push_back(d);
+  if (delay) *delay = d;
+  return true;
+}
+
+Status retry_call(const RetryPolicy& policy, std::uint64_t seed,
+                  const std::function<Status()>& op,
+                  const std::function<void(Duration)>& sleep,
+                  const OnRetry& on_retry) {
+  RetryState state(policy, seed);
+  while (true) {
+    Status status = op();
+    if (status.is_ok()) return status;
+    if (status.code() != ErrorCode::kUnavailable &&
+        status.code() != ErrorCode::kTimeout) {
+      return status;  // non-retryable
+    }
+    Duration delay = 0.0;
+    if (!state.next_delay(&delay)) return status;
+    if (on_retry) on_retry(state.failures(), delay);
+    if (delay > 0.0 && sleep) sleep(delay);
+  }
+}
+
+}  // namespace osprey

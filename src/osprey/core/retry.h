@@ -1,0 +1,107 @@
+// Unified retry/backoff policy.
+//
+// Before this, every layer hand-rolled its own loop: the FaaS service
+// computed `backoff * 2^(attempt-1)` inline (§IV-B bounded retries), the
+// transfer service retried immediately with a bare counter, and the EQSQL
+// polling queries slept a fixed delay. RetryPolicy is the single place that
+// backoff arithmetic lives; the DES services drive it event-by-event via
+// RetryState, threaded/blocking callers wrap an operation with retry_call.
+//
+// Determinism: jitter draws come from an explicitly seeded Rng, so an
+// attempt trace (the sequence of backoff delays) is a pure function of
+// (policy, seed). Two runs with the same seed produce identical traces —
+// the property the chaos suite and the property tests assert.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "osprey/core/error.h"
+#include "osprey/core/rng.h"
+#include "osprey/core/types.h"
+
+namespace osprey {
+
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 4;
+  /// Delay before the first retry (the second attempt).
+  Duration initial_backoff = 1.0;
+  /// Backoff growth per retry (>= 1).
+  double multiplier = 2.0;
+  /// Per-delay cap; once the base reaches it, delays plateau exactly here.
+  Duration max_backoff = 60.0;
+  /// Deterministic jitter: each pre-cap delay is scaled by (1 + jitter * u),
+  /// u uniform in [0, 1). Delays stay monotone non-decreasing as long as
+  /// jitter <= multiplier - 1 (validate() enforces this).
+  double jitter = 0.0;
+  /// Total backoff budget across all retries; 0 = unlimited. An operation
+  /// whose accumulated delay would exceed the budget stops retrying.
+  Duration budget = 0.0;
+
+  /// No retries at all.
+  static RetryPolicy none() { return {1, 0.0, 1.0, 0.0, 0.0, 0.0}; }
+
+  /// `attempts` attempts with zero backoff (the transfer service's historic
+  /// immediate-retry behavior, now expressed in the shared policy).
+  static RetryPolicy immediate(int attempts) {
+    return {attempts, 0.0, 1.0, 0.0, 0.0, 0.0};
+  }
+
+  /// Backoff delay after the `failures`-th failure (1-based), without
+  /// jitter. Pure: delay = min(initial * multiplier^(failures-1), cap).
+  Duration backoff(int failures) const;
+
+  /// Jittered variant: pre-cap delays are scaled by (1 + jitter * u) with u
+  /// drawn from `rng`, then clamped to max_backoff; capped delays consume no
+  /// randomness and equal max_backoff exactly (keeps the plateau monotone).
+  Duration backoff(int failures, Rng& rng) const;
+
+  /// Reject nonsensical configurations (including jitter > multiplier - 1,
+  /// which would break backoff monotonicity).
+  Status validate() const;
+};
+
+/// Per-operation retry bookkeeping: counts failures, accumulates waited
+/// backoff, and records the delay trace. Event-driven (DES) callers ask
+/// next_delay() after each failure and schedule the retry themselves.
+class RetryState {
+ public:
+  explicit RetryState(RetryPolicy policy, std::uint64_t seed = 0);
+
+  /// Record a failure. Returns true and sets *delay to the next backoff if
+  /// the policy allows another attempt; false when attempts or budget are
+  /// exhausted (*delay untouched).
+  bool next_delay(Duration* delay);
+
+  /// Failures recorded so far.
+  int failures() const { return failures_; }
+  /// Total backoff handed out so far.
+  Duration waited() const { return waited_; }
+  /// Every delay handed out, in order (the deterministic attempt trace).
+  const std::vector<Duration>& trace() const { return trace_; }
+
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int failures_ = 0;
+  Duration waited_ = 0.0;
+  std::vector<Duration> trace_;
+};
+
+/// Invoked before each retry: (failures so far, upcoming backoff delay).
+using OnRetry = std::function<void(int, Duration)>;
+
+/// Blocking wrapper: run `op` under `policy`, sleeping via `sleep` between
+/// attempts. Returns the first OK status, or the last error once the policy
+/// is exhausted or a non-retryable error (anything but kUnavailable and
+/// kTimeout) occurs.
+Status retry_call(const RetryPolicy& policy, std::uint64_t seed,
+                  const std::function<Status()>& op,
+                  const std::function<void(Duration)>& sleep,
+                  const OnRetry& on_retry = {});
+
+}  // namespace osprey

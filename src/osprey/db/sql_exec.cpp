@@ -195,7 +195,8 @@ Result<ExecResult> Connection::run_select(const SelectStmt& stmt,
     std::int64_t non_null = 0;
     bool all_int = true;
     for (RowId id : ids.value()) {
-      const Value& cell = (*t->get(id))[ci];
+      std::optional<Row> row = t->get(id);
+      const Value& cell = (*row)[ci];
       if (cell.is_null()) continue;
       ++non_null;
       switch (stmt.aggregate) {

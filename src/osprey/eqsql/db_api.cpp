@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <unordered_map>
 
 #include "osprey/core/log.h"
+#include "osprey/core/retry.h"
 #include "osprey/eqsql/schema.h"
 
 namespace osprey::eqsql {
@@ -27,6 +29,20 @@ std::vector<db::Value> id_params(const std::vector<TaskId>& ids) {
   params.reserve(ids.size());
   for (TaskId id : ids) params.emplace_back(id);
   return params;
+}
+
+/// Poll delays as a RetryState over the shared RetryPolicy: the k-th empty
+/// poll waits delay * backoff^(k-1), capped at max_delay. Attempts are
+/// unbounded — the caller's deadline is what ends the loop.
+RetryState poll_waiter(const PollSpec& poll) {
+  RetryPolicy policy;
+  policy.max_attempts = std::numeric_limits<int>::max();
+  policy.initial_backoff = poll.delay;
+  policy.multiplier = poll.backoff;
+  policy.max_backoff = poll.max_delay;
+  policy.jitter = 0.0;
+  policy.budget = 0.0;
+  return RetryState(policy);
 }
 
 }  // namespace
@@ -189,17 +205,20 @@ Result<std::vector<TaskHandle>> EQSQL::query_task(WorkType eq_type, int n,
                                                   const PoolId& worker_pool,
                                                   PollSpec poll) {
   const TimePoint deadline = clock_.now() + poll.timeout;
+  RetryState waiter = poll_waiter(poll);
   while (true) {
     Result<std::vector<TaskHandle>> handles =
         try_query_tasks(eq_type, n, worker_pool);
     if (!handles.ok()) return handles;
     if (!handles.value().empty()) return handles;
-    if (clock_.now() + poll.delay > deadline) {
+    Duration delay = poll.delay;
+    waiter.next_delay(&delay);
+    if (clock_.now() + delay > deadline) {
       return Error(ErrorCode::kTimeout,
                    "no task of type " + std::to_string(eq_type) + " within " +
                        std::to_string(poll.timeout) + "s");
     }
-    sleeper_(poll.delay);
+    sleeper_(delay);
   }
 }
 
@@ -221,6 +240,15 @@ Status EQSQL::report_task(TaskId eq_task_id, WorkType eq_type,
     txn.commit();
     return Status(ErrorCode::kCanceled,
                   "task " + std::to_string(eq_task_id) + " was canceled");
+  }
+  if (current != "running") {
+    // Exactly-once guard: a task that was lease-requeued (back to 'queued')
+    // or already reported ('complete') must not be completed again — the
+    // late report loses the race and is dropped.
+    txn.commit();
+    return Status(ErrorCode::kConflict,
+                  "task " + std::to_string(eq_task_id) + " is " + current +
+                      ", not running; dropping late report");
   }
   auto upd = conn_.execute(
       "UPDATE eq_tasks SET eq_status = 'complete', json_in = ?, time_stop = ? "
@@ -265,18 +293,21 @@ Result<std::string> EQSQL::try_query_result(TaskId eq_task_id) {
 
 Result<std::string> EQSQL::query_result(TaskId eq_task_id, PollSpec poll) {
   const TimePoint deadline = clock_.now() + poll.timeout;
+  RetryState waiter = poll_waiter(poll);
   while (true) {
     Result<std::string> r = try_query_result(eq_task_id);
     if (r.ok() || (r.code() != ErrorCode::kNotFound)) return r;
     // kNotFound means "not complete yet" — unless the task truly does not
     // exist, which polling will never fix; bail out for nonexistent ids.
     if (r.error().message.find("not complete") == std::string::npos) return r;
-    if (clock_.now() + poll.delay > deadline) {
+    Duration delay = poll.delay;
+    waiter.next_delay(&delay);
+    if (clock_.now() + delay > deadline) {
       return Error(ErrorCode::kTimeout,
                    "task " + std::to_string(eq_task_id) + " not complete within " +
                        std::to_string(poll.timeout) + "s");
     }
-    sleeper_(poll.delay);
+    sleeper_(delay);
   }
 }
 
@@ -412,6 +443,22 @@ Result<std::size_t> EQSQL::requeue_pool_tasks(const PoolId& pool) {
       "SELECT eq_task_id FROM eq_tasks WHERE eq_status = 'running' "
       "AND worker_pool = ?",
       {db::Value(pool)});
+  if (!rows.ok()) return rows.error();
+  std::vector<TaskId> ids;
+  ids.reserve(rows.value().rows.size());
+  for (const db::Row& row : rows.value().rows) ids.push_back(row[0].as_int());
+  return requeue_tasks(ids);
+}
+
+Result<std::size_t> EQSQL::requeue_stalled_tasks(Duration lease) {
+  if (lease <= 0.0) {
+    return Error(ErrorCode::kInvalidArgument, "lease must be > 0");
+  }
+  const TimePoint cutoff = clock_.now() - lease;
+  auto rows = conn_.execute(
+      "SELECT eq_task_id FROM eq_tasks WHERE eq_status = 'running' "
+      "AND time_start <= ?",
+      {db::Value(cutoff)});
   if (!rows.ok()) return rows.error();
   std::vector<TaskId> ids;
   ids.reserve(rows.value().rows.size());

@@ -80,6 +80,10 @@ class EQSQL {
 
   /// Report a completed task: stores the result payload, marks the task
   /// complete with its stop time, and pushes it onto the input queue.
+  /// Only running tasks are reportable: kCanceled for canceled tasks,
+  /// kConflict when the task was requeued or already completed (a late
+  /// report from a worker that lost its lease is dropped, keeping task
+  /// completion exactly-once).
   Status report_task(TaskId eq_task_id, WorkType eq_type,
                      const std::string& result);
 
@@ -124,6 +128,12 @@ class EQSQL {
 
   /// Crash recovery: requeue every running task owned by `pool`.
   Result<std::size_t> requeue_pool_tasks(const PoolId& pool);
+
+  /// Lease expiry (§VII stalled-task detection): requeue every running task,
+  /// in any pool, whose start time is more than `lease` seconds old. A hung
+  /// worker never reports, so its task's only way back to the queue is this
+  /// reaper; pick a lease comfortably above the longest legitimate runtime.
+  Result<std::size_t> requeue_stalled_tasks(Duration lease);
 
   // --- introspection ----------------------------------------------------------
 

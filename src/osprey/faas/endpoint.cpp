@@ -5,9 +5,15 @@ namespace osprey::faas {
 Endpoint::Endpoint(std::string name, net::SiteName site, std::uint64_t seed)
     : name_(std::move(name)), site_(std::move(site)), rng_(seed) {}
 
+bool Endpoint::online() const {
+  if (!online_) return false;
+  return faults_ == nullptr ||
+         !faults_->active(fault_point::endpoint_offline(name_));
+}
+
 Result<json::Value> Endpoint::execute(const std::string& function,
                                       const json::Value& payload) {
-  if (!online_) {
+  if (!online()) {
     ++failures_;
     return Error(ErrorCode::kUnavailable,
                  "endpoint '" + name_ + "' is offline");
@@ -22,6 +28,12 @@ Result<json::Value> Endpoint::execute(const std::string& function,
     ++failures_;
     return Error(ErrorCode::kUnavailable,
                  "endpoint '" + name_ + "' transient failure");
+  }
+  if (faults_ != nullptr &&
+      faults_->should_fire(fault_point::endpoint(name_))) {
+    ++failures_;
+    return Error(ErrorCode::kUnavailable,
+                 "endpoint '" + name_ + "' injected transient failure");
   }
   ++executions_;
   return registry_.invoke(function, payload);

@@ -1,14 +1,19 @@
 // A FaaS endpoint: the per-resource agent users deploy "to make it
 // accessible for remote computation" (§IV-B).
 //
-// The endpoint owns a function registry (the code available at that site),
-// an online/offline state (resources go down; the cloud service retries),
-// and a failure injector so tests and benches can exercise the
-// fire-and-forget retry path deterministically.
+// The endpoint owns a function registry (the code available at that site)
+// and an online/offline state (resources go down; the cloud service
+// retries). Failure injection runs through the process-wide fault plane
+// (core/fault.h): attach a FaultRegistry and the endpoint consults its
+// fault_point::endpoint / fault_point::endpoint_offline points, so chaos
+// scenarios coordinate endpoint crashes with link partitions and worker
+// stalls under one seed. The legacy per-endpoint injector knobs
+// (set_failure_probability / fail_next) remain as convenience wrappers.
 #pragma once
 
 #include <string>
 
+#include "osprey/core/fault.h"
 #include "osprey/core/rng.h"
 #include "osprey/faas/registry.h"
 #include "osprey/net/network.h"
@@ -27,8 +32,16 @@ class Endpoint {
   FunctionRegistry& registry() { return registry_; }
   const FunctionRegistry& registry() const { return registry_; }
 
-  bool online() const { return online_; }
+  /// Reachable right now: online, and no fault_point::endpoint_offline
+  /// window/latch active in the attached registry.
+  bool online() const;
   void set_online(bool online) { online_ = online; }
+
+  /// Attach the coordinated fault plane. The endpoint fires its
+  /// fault_point::endpoint(name) point per execution (transient failure)
+  /// and honors fault_point::endpoint_offline(name) windows (§IV-B offline
+  /// hold). nullptr detaches.
+  void set_fault_registry(FaultRegistry* faults) { faults_ = faults; }
 
   /// Failure injection: each execution fails with probability `p`
   /// (UNAVAILABLE, retryable). Deterministic given the endpoint seed.
@@ -50,6 +63,7 @@ class Endpoint {
   net::SiteName site_;
   FunctionRegistry registry_;
   bool online_ = true;
+  FaultRegistry* faults_ = nullptr;
   double failure_probability_ = 0.0;
   int forced_failures_ = 0;
   Rng rng_;

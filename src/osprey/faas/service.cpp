@@ -58,6 +58,7 @@ Result<FaaSTaskId> FaaSService::submit(const Token& token,
   entry.endpoint = endpoint;
   entry.function = function;
   entry.payload = payload;
+  entry.retry = RetryState(options.retry, id);
   entry.options = std::move(options);
   tasks_.emplace(id, std::move(entry));
 
@@ -74,12 +75,14 @@ void FaaSService::deliver(FaaSTaskId id) {
   if (it == tasks_.end()) return;
   TaskEntry& task = it->second;
   Endpoint* ep = endpoints_.at(task.endpoint);
-  if (!ep->online()) {
-    // Fire-and-forget: hold the task and re-poll the endpoint. Offline time
-    // does not consume the retry budget (§IV-B: stored until the endpoint
-    // is reachable).
+  if (!ep->online() ||
+      network_.partitioned(net::kCloudSite, ep->site())) {
+    // Fire-and-forget: hold the task and re-poll the endpoint. Offline or
+    // partitioned time does not consume the retry budget (§IV-B: stored
+    // until the endpoint is reachable).
     OSPREY_LOG(kDebug, "faas") << "task " << id << ": endpoint '"
-                               << task.endpoint << "' offline; re-polling";
+                               << task.endpoint
+                               << "' unreachable; re-polling";
     sim_.schedule_in(task.options.offline_poll, [this, id] { deliver(id); });
     return;
   }
@@ -100,22 +103,20 @@ void FaaSService::execute(FaaSTaskId id) {
   Result<json::Value> outcome = ep->execute(task.function, task.payload);
 
   if (!outcome.ok() && outcome.code() == ErrorCode::kUnavailable) {
-    // Transient failure: bounded retries with exponential backoff.
-    if (task.attempts < task.options.max_retries) {
-      ++task.attempts;
+    // Transient failure: bounded retries under the shared RetryPolicy.
+    Duration backoff = 0.0;
+    if (task.retry.next_delay(&backoff)) {
       ++total_retries_;
       task.state = FaaSTaskState::kPending;
-      Duration backoff =
-          task.options.retry_backoff * static_cast<double>(1 << (task.attempts - 1));
       OSPREY_LOG(kDebug, "faas")
-          << "task " << id << " attempt " << task.attempts << " failed; retry in "
-          << backoff << "s";
+          << "task " << id << " attempt " << task.retry.failures()
+          << " failed; retry in " << backoff << "s";
       sim_.schedule_in(backoff, [this, id] { deliver(id); });
       return;
     }
     finish(id, Error(ErrorCode::kUnavailable,
                      "retries exhausted after " +
-                         std::to_string(task.attempts + 1) + " attempts"));
+                         std::to_string(task.retry.failures()) + " attempts"));
     return;
   }
 
@@ -129,10 +130,23 @@ void FaaSService::execute(FaaSTaskId id) {
     }
   }
 
+  return_result(id, std::move(outcome));
+}
+
+void FaaSService::return_result(FaaSTaskId id, Result<json::Value> outcome) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return;
+  Endpoint* ep = endpoints_.at(it->second.endpoint);
+  if (network_.partitioned(ep->site(), net::kCloudSite)) {
+    // The result is safe at the endpoint; ship it once the partition heals.
+    Duration poll = it->second.options.offline_poll;
+    sim_.schedule_in(poll, [this, id, outcome = std::move(outcome)]() mutable {
+      return_result(id, std::move(outcome));
+    });
+    return;
+  }
   // Result returns endpoint site -> cloud before it is visible to the user.
-  Endpoint* endpoint_ptr = ep;
-  Duration return_latency =
-      network_.latency(endpoint_ptr->site(), net::kCloudSite);
+  Duration return_latency = network_.latency(ep->site(), net::kCloudSite);
   sim_.schedule_in(return_latency, [this, id, outcome = std::move(outcome)] {
     finish(id, outcome);
   });

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "osprey/core/retry.h"
 #include "osprey/faas/auth.h"
 #include "osprey/faas/endpoint.h"
 #include "osprey/net/network.h"
@@ -45,11 +46,15 @@ const char* faas_task_state_name(FaaSTaskState s);
 struct SubmitOptions {
   /// Site the submit call originates from (affects control latency).
   net::SiteName caller_site = "laptop";
-  /// Transient-failure retries before the task fails permanently.
-  int max_retries = 3;
-  /// Backoff between retries (doubles per attempt).
-  Duration retry_backoff = 1.0;
-  /// How often the cloud re-checks an offline endpoint (fire-and-forget).
+  /// Transient-failure (kUnavailable) retry policy. The default preserves
+  /// the historic behavior: 4 total attempts with 1s/2s/4s backoff.
+  /// Offline/partition holds never consume this budget (§IV-B: tasks are
+  /// stored until the endpoint is reachable).
+  RetryPolicy retry{/*max_attempts=*/4, /*initial_backoff=*/1.0,
+                    /*multiplier=*/2.0, /*max_backoff=*/60.0,
+                    /*jitter=*/0.0, /*budget=*/0.0};
+  /// How often the cloud re-checks an offline or partitioned endpoint
+  /// (fire-and-forget).
   Duration offline_poll = 5.0;
   /// Invoked (in simulation time) when the task reaches a terminal state.
   std::function<void(FaaSTaskId, const Result<json::Value>&)> on_complete;
@@ -96,12 +101,17 @@ class FaaSService {
     json::Value payload;
     SubmitOptions options;
     FaaSTaskState state = FaaSTaskState::kPending;
-    int attempts = 0;
+    /// Shared retry bookkeeping (attempt count, backoff trace), seeded per
+    /// task so jittered policies stay deterministic.
+    RetryState retry{RetryPolicy::none()};
     std::optional<Result<json::Value>> outcome;
   };
 
   void deliver(FaaSTaskId id);
   void execute(FaaSTaskId id);
+  /// Ship a finished outcome endpoint-site -> cloud, holding it while the
+  /// link is partitioned (results live at the endpoint until reachable).
+  void return_result(FaaSTaskId id, Result<json::Value> outcome);
   void finish(FaaSTaskId id, Result<json::Value> outcome);
 
   sim::Simulation& sim_;

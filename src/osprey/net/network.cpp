@@ -35,14 +35,25 @@ LinkSpec Network::link(const SiteName& a, const SiteName& b) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
+bool Network::partitioned(const SiteName& a, const SiteName& b) const {
+  if (a == b || faults_ == nullptr) return false;
+  return faults_->active(fault_point::partition(a, b));
+}
+
+double Network::degradation(const SiteName& a, const SiteName& b) const {
+  if (a == b || faults_ == nullptr) return 1.0;
+  return faults_->magnitude(fault_point::slow_link(a, b));
+}
+
 Duration Network::latency(const SiteName& a, const SiteName& b) const {
-  return link(a, b).latency;
+  return link(a, b).latency * degradation(a, b);
 }
 
 Duration Network::transfer_duration(const SiteName& a, const SiteName& b,
                                     Bytes bytes) const {
   LinkSpec spec = link(a, b);
-  return spec.latency + static_cast<double>(bytes) / spec.bandwidth;
+  return (spec.latency + static_cast<double>(bytes) / spec.bandwidth) *
+         degradation(a, b);
 }
 
 Network Network::testbed() {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "osprey/core/error.h"
+#include "osprey/core/fault.h"
 #include "osprey/core/types.h"
 
 namespace osprey::net {
@@ -48,12 +49,25 @@ class Network {
   /// communication is free (zero latency, infinite bandwidth).
   LinkSpec link(const SiteName& a, const SiteName& b) const;
 
-  /// One-way message latency between sites.
+  /// One-way message latency between sites. While the link's slow_link
+  /// fault point is active, the base latency is scaled by its magnitude.
   Duration latency(const SiteName& a, const SiteName& b) const;
 
-  /// Time to move `bytes` from `a` to `b`: latency + bytes / bandwidth.
+  /// Time to move `bytes` from `a` to `b`: latency + bytes / bandwidth
+  /// (both degraded by an active slow_link fault's magnitude).
   Duration transfer_duration(const SiteName& a, const SiteName& b,
                              Bytes bytes) const;
+
+  /// Attach the fault plane. Link partitions and latency spikes are driven
+  /// by the registry's fault_point::partition / fault_point::slow_link
+  /// points; nullptr detaches (no faults).
+  void set_fault_registry(FaultRegistry* faults) { faults_ = faults; }
+  FaultRegistry* fault_registry() const { return faults_; }
+
+  /// True while the fault_point::partition window/latch for this site pair
+  /// is active. Services treat a partitioned link like an offline resource:
+  /// hold and re-poll rather than deliver into the void.
+  bool partitioned(const SiteName& a, const SiteName& b) const;
 
   /// The standard OSPREY testbed topology used by examples and benches:
   /// laptop, bebop, midway2, theta, and the FaaS cloud, with internet-like
@@ -61,9 +75,13 @@ class Network {
   static Network testbed();
 
  private:
+  /// The slow_link degradation factor for a pair (1.0 when healthy).
+  double degradation(const SiteName& a, const SiteName& b) const;
+
   std::map<SiteName, bool> sites_;
   std::map<std::pair<SiteName, SiteName>, LinkSpec> links_;
   LinkSpec default_link_;
+  FaultRegistry* faults_ = nullptr;
 };
 
 }  // namespace osprey::net

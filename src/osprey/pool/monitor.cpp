@@ -1,5 +1,8 @@
 #include "osprey/pool/monitor.h"
 
+#include <utility>
+#include <vector>
+
 #include "osprey/core/log.h"
 
 namespace osprey::pool {
@@ -15,6 +18,7 @@ Status PoolMonitor::watch(const PoolId& pool, OnStall on_stall) {
   Watched watched;
   watched.on_stall = std::move(on_stall);
   watched.last_progress_at = sim_.now();
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = watched_.emplace(pool, std::move(watched));
   (void)it;
   if (!inserted) {
@@ -23,54 +27,103 @@ Status PoolMonitor::watch(const PoolId& pool, OnStall on_stall) {
   return Status::ok();
 }
 
-void PoolMonitor::unwatch(const PoolId& pool) { watched_.erase(pool); }
+void PoolMonitor::unwatch(const PoolId& pool) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watched_.erase(pool);
+}
 
 Status PoolMonitor::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (started_) return Status(ErrorCode::kConflict, "monitor already started");
   started_ = true;
   sim_.schedule_in(config_.check_interval, [this] { check(); });
   return Status::ok();
 }
 
-void PoolMonitor::stop() { stopped_ = true; }
+void PoolMonitor::stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stopped_ = true;
+}
+
+bool PoolMonitor::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return started_ && !stopped_;
+}
+
+std::size_t PoolMonitor::watched_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watched_.size();
+}
+
+std::size_t PoolMonitor::stalls_detected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_detected_;
+}
+
+std::size_t PoolMonitor::lease_requeues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lease_requeues_;
+}
 
 void PoolMonitor::check() {
-  if (stopped_) return;
-  std::vector<PoolId> stalled;
-  for (auto& [pool, watched] : watched_) {
-    Result<std::int64_t> completed = api_.pool_completed_count(pool);
-    Result<std::int64_t> running = api_.pool_running_count(pool);
-    if (!completed.ok() || !running.ok()) continue;
+  // Callbacks collected under the lock, invoked outside it: a stall handler
+  // is free to re-watch a relaunched pool without deadlocking.
+  std::vector<std::pair<PoolId, std::size_t>> fired;
+  std::vector<OnStall> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    std::vector<PoolId> stalled;
+    for (auto& [pool, watched] : watched_) {
+      Result<std::int64_t> completed = api_.pool_completed_count(pool);
+      Result<std::int64_t> running = api_.pool_running_count(pool);
+      if (!completed.ok() || !running.ok()) continue;
 
-    if (completed.value() > watched.last_completed) {
-      watched.last_completed = completed.value();
-      watched.last_progress_at = sim_.now();
-      watched.ever_active = true;
-      continue;
+      if (completed.value() > watched.last_completed) {
+        watched.last_completed = completed.value();
+        watched.last_progress_at = sim_.now();
+        watched.ever_active = true;
+        continue;
+      }
+      if (running.value() == 0) {
+        // Nothing owned: idle or not started yet — not a stall.
+        watched.last_progress_at = sim_.now();
+        continue;
+      }
+      // Owns running tasks, no completions since last progress.
+      if (sim_.now() - watched.last_progress_at >= config_.stall_timeout) {
+        stalled.push_back(pool);
+      }
     }
-    if (running.value() == 0) {
-      // Nothing owned: idle or not started yet — not a stall.
-      watched.last_progress_at = sim_.now();
-      continue;
+
+    for (const PoolId& pool : stalled) {
+      Result<std::size_t> requeued = api_.requeue_pool_tasks(pool);
+      std::size_t count = requeued.ok() ? requeued.value() : 0;
+      ++stalls_detected_;
+      OSPREY_LOG(kWarn, "monitor")
+          << "pool '" << pool << "' stalled; requeued " << count << " tasks";
+      auto it = watched_.find(pool);
+      if (it != watched_.end()) {
+        fired.emplace_back(pool, count);
+        callbacks.push_back(std::move(it->second.on_stall));
+        watched_.erase(it);  // a stalled pool is no longer watched
+      }
     }
-    // Owns running tasks, no completions since last progress.
-    if (sim_.now() - watched.last_progress_at >= config_.stall_timeout) {
-      stalled.push_back(pool);
+
+    if (config_.task_lease > 0) {
+      Result<std::size_t> reaped =
+          api_.requeue_stalled_tasks(config_.task_lease);
+      if (reaped.ok() && reaped.value() > 0) {
+        lease_requeues_ += reaped.value();
+        OSPREY_LOG(kWarn, "monitor")
+            << "lease expired on " << reaped.value() << " running tasks; "
+            << "requeued";
+      }
     }
   }
 
-  for (const PoolId& pool : stalled) {
-    Result<std::size_t> requeued = api_.requeue_pool_tasks(pool);
-    std::size_t count = requeued.ok() ? requeued.value() : 0;
-    ++stalls_detected_;
-    OSPREY_LOG(kWarn, "monitor")
-        << "pool '" << pool << "' stalled; requeued " << count << " tasks";
-    auto it = watched_.find(pool);
-    if (it != watched_.end()) {
-      OnStall callback = it->second.on_stall;
-      watched_.erase(it);  // a stalled pool is no longer watched
-      if (callback) callback(pool, count);
-    }
+  for (std::size_t i = 0; i < callbacks.size(); ++i) {
+    if (callbacks[i]) callbacks[i](fired[i].first, fired[i].second);
   }
 
   sim_.schedule_in(config_.check_interval, [this] { check(); });

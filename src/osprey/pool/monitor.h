@@ -10,10 +10,20 @@
 // On detection the monitor requeues the pool's stranded tasks (§IV-B fault
 // tolerance) and invokes the failure callback so the workflow can relaunch
 // capacity.
+//
+// Independently of per-pool stall detection, a `task_lease` turns the
+// monitor into a lease reaper: any task 'running' longer than the lease is
+// requeued, recovering tasks held by individual hung workers inside an
+// otherwise-progressing pool (the fault_point::pool_stall injection).
+//
+// Thread safety: watch/unwatch/stop may be called from any thread while
+// checks run (the threaded pools churn the same DB); the watch list is
+// mutex-protected and stall callbacks are invoked outside the lock.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "osprey/eqsql/db_api.h"
@@ -25,6 +35,10 @@ struct MonitorConfig {
   Duration check_interval = 10.0;
   /// Running-but-no-progress time after which a pool is declared stalled.
   Duration stall_timeout = 60.0;
+  /// Requeue any task 'running' longer than this (per-task lease expiry,
+  /// catching hung workers inside live pools). <= 0 disables. Pick a lease
+  /// comfortably above the longest legitimate task runtime.
+  Duration task_lease = 0.0;
 };
 
 class PoolMonitor {
@@ -48,9 +62,11 @@ class PoolMonitor {
   /// Stop all monitoring.
   void stop();
 
-  bool running() const { return started_ && !stopped_; }
-  std::size_t watched_count() const { return watched_.size(); }
-  std::size_t stalls_detected() const { return stalls_detected_; }
+  bool running() const;
+  std::size_t watched_count() const;
+  std::size_t stalls_detected() const;
+  /// Tasks recovered by lease expiry (task_lease > 0).
+  std::size_t lease_requeues() const;
 
  private:
   struct Watched {
@@ -65,10 +81,12 @@ class PoolMonitor {
   sim::Simulation& sim_;
   eqsql::EQSQL& api_;
   MonitorConfig config_;
+  mutable std::mutex mutex_;
   std::map<PoolId, Watched> watched_;
   bool started_ = false;
   bool stopped_ = false;
   std::size_t stalls_detected_ = 0;
+  std::size_t lease_requeues_ = 0;
 };
 
 }  // namespace osprey::pool

@@ -67,6 +67,12 @@ struct PoolConfig {
   int threshold = 1;
   /// How long to wait between queries when the output queue is empty.
   Duration poll_interval = 0.5;
+  /// Per-consecutive-empty-poll growth factor for the poll interval (shared
+  /// RetryPolicy semantics; 1.0 = fixed interval). An idle pool backs off
+  /// instead of hammering the EMEWS DB; the first claimed task resets it.
+  double poll_backoff = 1.0;
+  /// Cap on the grown poll interval; 0 = uncapped.
+  Duration poll_max_interval = 0.0;
   /// Shut the pool down after this long with nothing owned and an empty
   /// queue (pilot jobs exit when the work dries up). <=0 disables.
   Duration idle_shutdown = 0.0;

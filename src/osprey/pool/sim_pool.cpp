@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "osprey/core/log.h"
+#include "osprey/core/retry.h"
 
 namespace osprey::pool {
 
@@ -110,6 +111,7 @@ void SimWorkerPool::query_arrived(int requested) {
     schedule_poll();
     return;
   }
+  if (!handles.value().empty()) empty_polls_ = 0;
   for (eqsql::TaskHandle& h : handles.value()) {
     cache_.push_back(std::move(h));
   }
@@ -128,7 +130,18 @@ void SimWorkerPool::query_arrived(int requested) {
 
 void SimWorkerPool::schedule_poll() {
   if (stopped_ || poll_event_ != 0) return;
-  poll_event_ = sim_.schedule_in(config_.poll_interval, [this] {
+  // Consecutive empty polls back off under the shared RetryPolicy schedule
+  // (poll_backoff = 1.0 keeps the paper's fixed poll_interval).
+  Duration delay = config_.poll_interval;
+  if (config_.poll_backoff > 1.0) {
+    RetryPolicy policy;
+    policy.initial_backoff = config_.poll_interval;
+    policy.multiplier = config_.poll_backoff;
+    policy.max_backoff = config_.poll_max_interval;
+    delay = policy.backoff(empty_polls_ + 1);
+  }
+  ++empty_polls_;
+  poll_event_ = sim_.schedule_in(delay, [this] {
     poll_event_ = 0;
     maybe_idle_shutdown();
     if (stopped_) return;
@@ -163,13 +176,31 @@ void SimWorkerPool::start_task(eqsql::TaskHandle handle) {
 void SimWorkerPool::finish_task(const eqsql::TaskHandle& handle,
                                 const std::string& result) {
   if (crashed_) return;  // dead pools report nothing
+  if (faults_ != nullptr &&
+      faults_->should_fire(fault_point::pool_stall(config_.name))) {
+    // The worker hangs instead of reporting: its task stays 'running' in the
+    // DB (recovered by the lease reaper) and the worker slot is lost —
+    // running_ stays elevated so the pool claims less, exactly like a hung
+    // node eating pilot-job capacity.
+    ++stalled_workers_;
+    OSPREY_LOG(kWarn, "pool")
+        << config_.name << " worker hung holding task " << handle.eq_task_id;
+    return;
+  }
   Status reported = api_.report_task(handle.eq_task_id, handle.eq_type, result);
-  if (!reported.is_ok() && reported.code() != ErrorCode::kCanceled) {
-    OSPREY_LOG(kError, "pool") << config_.name << " report failed: "
-                               << reported.to_string();
+  if (reported.code() == ErrorCode::kConflict) {
+    // Lost the exactly-once race: the task was requeued (lease expiry) or
+    // completed elsewhere. Free the worker without counting a completion.
+    OSPREY_LOG(kInfo, "pool") << config_.name << " dropped late report for task "
+                              << handle.eq_task_id;
+  } else {
+    if (!reported.is_ok() && reported.code() != ErrorCode::kCanceled) {
+      OSPREY_LOG(kError, "pool") << config_.name << " report failed: "
+                                 << reported.to_string();
+    }
+    ++tasks_completed_;
   }
   --running_;
-  ++tasks_completed_;
   trace_.record(sim_.now(), running_);
   in_completion_context_ = true;
   maybe_start_cached();

@@ -20,6 +20,7 @@
 #include <functional>
 #include <string>
 
+#include "osprey/core/fault.h"
 #include "osprey/core/rng.h"
 #include "osprey/eqsql/db_api.h"
 #include "osprey/pool/policy.h"
@@ -80,6 +81,16 @@ class SimWorkerPool {
   /// Invoked when the pool shuts down (idle timeout or stop()).
   void set_on_shutdown(std::function<void()> fn) { on_shutdown_ = std::move(fn); }
 
+  /// Attach the coordinated fault plane: fault_point::pool_stall(name) hangs
+  /// the worker that would have reported its task — the task stays 'running'
+  /// in the DB and the worker is lost until relaunch (the stall the lease
+  /// reaper and PoolMonitor exist to recover from). nullptr detaches.
+  void set_fault_registry(FaultRegistry* faults) { faults_ = faults; }
+
+  /// Workers lost to injected stalls (they hold a DB-visible running task
+  /// and will never report it).
+  int stalled_workers() const { return stalled_workers_; }
+
  private:
   int owned() const { return running_ + static_cast<int>(cache_.size()); }
   void issue_query();
@@ -97,6 +108,7 @@ class SimWorkerPool {
   QueryPolicy policy_;
   SimTaskRunner runner_;
   Rng rng_;
+  FaultRegistry* faults_ = nullptr;
 
   bool started_ = false;
   bool stopped_ = false;
@@ -109,6 +121,8 @@ class SimWorkerPool {
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t queries_issued_ = 0;
   std::uint64_t cache_hits_ = 0;
+  int stalled_workers_ = 0;
+  int empty_polls_ = 0;
   bool in_completion_context_ = false;
   TimePoint started_at_ = 0;
   TimePoint idle_since_ = 0;

@@ -128,14 +128,17 @@ void ThreadedWorkerPool::worker_loop() {
     std::string result = runner_(handle);
     Status reported =
         api_.report_task(handle.eq_task_id, handle.eq_type, result);
-    if (!reported.is_ok() && reported.code() != ErrorCode::kCanceled) {
+    if (!reported.is_ok() && reported.code() != ErrorCode::kCanceled &&
+        reported.code() != ErrorCode::kConflict) {
       OSPREY_LOG(kError, "pool") << config_.name << " report failed: "
                                  << reported.to_string();
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_count_;
-      ++tasks_completed_;
+      // A kConflict report lost the exactly-once race (the task was
+      // lease-requeued); it is not this pool's completion.
+      if (reported.code() != ErrorCode::kConflict) ++tasks_completed_;
       record_locked();
     }
     control_cv_.notify_one();  // completion opens a deficit

@@ -70,8 +70,9 @@ Result<TransferId> TransferService::submit(const net::SiteName& src,
                  "no blob '" + key + "' at site '" + src + "'");
   }
   TransferId id = next_id_++;
-  transfers_.emplace(
-      id, Entry{src, dst, key, std::move(options), TransferState::kActive, 0});
+  RetryState retry(options.retry, id);
+  transfers_.emplace(id, Entry{src, dst, key, std::move(options),
+                               TransferState::kActive, std::move(retry)});
   attempt(id);
   return id;
 }
@@ -80,6 +81,12 @@ void TransferService::attempt(TransferId id) {
   auto it = transfers_.find(id);
   if (it == transfers_.end()) return;
   Entry& entry = it->second;
+  if (network_.partitioned(entry.src, entry.dst)) {
+    // Third-party semantics: the service holds the request and re-checks the
+    // link. Waiting out a partition costs no retry budget.
+    sim_.schedule_in(entry.options.partition_poll, [this, id] { attempt(id); });
+    return;
+  }
   Result<Bytes> bytes = store_.size(entry.src, entry.key);
   if (!bytes.ok()) {
     // Source disappeared between retries.
@@ -87,8 +94,19 @@ void TransferService::attempt(TransferId id) {
     return;
   }
   Duration duration = estimate(entry.src, entry.dst, bytes.value());
-  bool corrupted = corruption_probability_ > 0.0 &&
-                   rng_.bernoulli(corruption_probability_);
+  if (faults_ != nullptr &&
+      faults_->should_fire(fault_point::transfer_abort())) {
+    // Mid-transfer abort: the attempt dies halfway; nothing lands at dst.
+    sim_.schedule_in(duration / 2, [this, id] {
+      fail_attempt(id, Status(ErrorCode::kUnavailable,
+                              "transfer aborted mid-flight"));
+    });
+    return;
+  }
+  bool corrupted = (corruption_probability_ > 0.0 &&
+                    rng_.bernoulli(corruption_probability_)) ||
+                   (faults_ != nullptr &&
+                    faults_->should_fire(fault_point::transfer_corrupt()));
   sim_.schedule_in(duration, [this, id, corrupted] { arrive(id, corrupted); });
 }
 
@@ -108,24 +126,32 @@ void TransferService::arrive(TransferId id, bool corrupted) {
                      SiteStore::checksum(payload) ==
                          SiteStore::checksum(data.value());
   if (!checksum_ok) {
-    if (entry.attempts < entry.options.max_retries) {
-      ++entry.attempts;
-      ++total_retries_;
-      OSPREY_LOG(kDebug, "transfer")
-          << "transfer " << id << " checksum mismatch; retry "
-          << entry.attempts;
-      attempt(id);
-      return;
-    }
-    finish(id, Status(ErrorCode::kUnavailable,
-                      "checksum failed after " +
-                          std::to_string(entry.attempts + 1) + " attempts"));
+    fail_attempt(id, Status(ErrorCode::kUnavailable, "checksum mismatch"));
     return;
   }
   // Unverified corrupted payloads land corrupted — that is the point of
   // checksum verification, and the tests assert this difference.
   store_.put(entry.dst, entry.key, std::move(payload));
   finish(id, Status::ok());
+}
+
+void TransferService::fail_attempt(TransferId id, Status status) {
+  auto it = transfers_.find(id);
+  if (it == transfers_.end()) return;
+  Entry& entry = it->second;
+  Duration backoff = 0.0;
+  if (entry.retry.next_delay(&backoff)) {
+    ++total_retries_;
+    OSPREY_LOG(kDebug, "transfer")
+        << "transfer " << id << " attempt " << entry.retry.failures()
+        << " failed (" << status.to_string() << "); retry in " << backoff
+        << "s";
+    sim_.schedule_in(backoff, [this, id] { attempt(id); });
+    return;
+  }
+  finish(id, Status(status.code(),
+                    status.error().message + " after " +
+                        std::to_string(entry.retry.failures()) + " attempts"));
 }
 
 void TransferService::finish(TransferId id, Status status) {

@@ -5,7 +5,9 @@
 // connections to those locations." We model that: each site has a named-blob
 // store; a transfer is submitted to the service and proceeds on its own
 // (simulation events) — the submitting party holds no connection. Transfers
-// carry checksums, can fail with injected probability, and retry.
+// carry checksums, can fail via the coordinated fault plane (checksum
+// corruption, mid-transfer aborts, link partitions), and retry under the
+// shared RetryPolicy.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "osprey/core/fault.h"
+#include "osprey/core/retry.h"
 #include "osprey/core/rng.h"
 #include "osprey/net/network.h"
 #include "osprey/sim/sim.h"
@@ -45,10 +49,16 @@ using TransferId = std::uint64_t;
 enum class TransferState { kActive, kSucceeded, kFailed };
 
 struct TransferOptions {
-  int max_retries = 2;
+  /// Retry policy for failed attempts (checksum mismatch, mid-transfer
+  /// abort). The default keeps the historic behavior: 3 total attempts,
+  /// retried immediately.
+  RetryPolicy retry = RetryPolicy::immediate(3);
   /// Verify the destination checksum after each attempt (detects the
   /// injected corruption) — Globus's checksum-verified transfer mode.
   bool verify_checksum = true;
+  /// How often to re-check a partitioned link. Partition holds do not
+  /// consume the retry budget (the transfer waits, it does not fail).
+  Duration partition_poll = 5.0;
   std::function<void(TransferId, Status)> on_complete;
 };
 
@@ -76,6 +86,12 @@ class TransferService {
   /// (checksum verification catches it and triggers a retry).
   void set_corruption_probability(double p) { corruption_probability_ = p; }
 
+  /// Attach the coordinated fault plane: fault_point::transfer_corrupt()
+  /// corrupts an attempt in flight, fault_point::transfer_abort() aborts it
+  /// halfway, and net partition points hold attempts entirely. nullptr
+  /// detaches.
+  void set_fault_registry(FaultRegistry* faults) { faults_ = faults; }
+
   std::uint64_t total_retries() const { return total_retries_; }
   std::size_t active_count() const;
 
@@ -86,17 +102,20 @@ class TransferService {
     std::string key;
     TransferOptions options;
     TransferState state = TransferState::kActive;
-    int attempts = 0;
+    RetryState retry{RetryPolicy::none()};
   };
 
   void attempt(TransferId id);
   void arrive(TransferId id, bool corrupted);
+  /// A failed attempt: retry under the entry's policy or finish failed.
+  void fail_attempt(TransferId id, Status status);
   void finish(TransferId id, Status status);
 
   sim::Simulation& sim_;
   const net::Network& network_;
   SiteStore store_;
   Rng rng_;
+  FaultRegistry* faults_ = nullptr;
   std::map<TransferId, Entry> transfers_;
   TransferId next_id_ = 1;
   double corruption_probability_ = 0.0;

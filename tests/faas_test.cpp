@@ -171,7 +171,7 @@ TEST_F(FaasTest, OfflineEndpointHoldsTaskUntilOnline) {
   json::Value payload;
   payload["x"] = json::Value(2.0);
   SubmitOptions options;
-  options.max_retries = 0;  // would fail instantly if offline consumed budget
+  options.retry = RetryPolicy::none();  // would fail instantly if offline consumed budget
   auto id = service_.submit(token_, "bebop-ep", "double", payload,
                             options).value();
   sim_.schedule_at(60.0, [this] { bebop_.set_online(true); });
@@ -197,7 +197,7 @@ TEST_F(FaasTest, TransientFailuresRetryWithBackoff) {
 TEST_F(FaasTest, RetriesExhaustedIsPermanentFailure) {
   bebop_.fail_next(100);
   SubmitOptions options;
-  options.max_retries = 3;
+  options.retry.max_attempts = 4;  // 3 retries
   bool failed = false;
   options.on_complete = [&](FaaSTaskId, const Result<json::Value>& r) {
     failed = !r.ok() && r.code() == ErrorCode::kUnavailable;

@@ -1,0 +1,174 @@
+// Tests for the deterministic fault-injection plane (FaultRegistry).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osprey/core/fault.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : faults_(sim_, 42) {}
+
+  sim::Simulation sim_;
+  FaultRegistry faults_;
+};
+
+TEST_F(FaultTest, UnarmedPointNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(faults_.should_fire("nothing.armed"));
+  }
+  EXPECT_FALSE(faults_.active("nothing.armed"));
+  EXPECT_DOUBLE_EQ(faults_.magnitude("nothing.armed"), 1.0);
+  EXPECT_EQ(faults_.checks("nothing.armed"), 100u);
+  EXPECT_EQ(faults_.fires("nothing.armed"), 0u);
+}
+
+TEST_F(FaultTest, ProbabilityZeroAndOne) {
+  faults_.set_probability("always", 1.0);
+  faults_.set_probability("never", 0.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(faults_.should_fire("always"));
+    EXPECT_FALSE(faults_.should_fire("never"));
+  }
+  EXPECT_EQ(faults_.fires("always"), 50u);
+  EXPECT_EQ(faults_.fires("never"), 0u);
+}
+
+TEST_F(FaultTest, ProbabilityIsRoughlyHonored) {
+  faults_.set_probability("p30", 0.3);
+  int fired = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (faults_.should_fire("p30")) ++fired;
+  }
+  EXPECT_GT(fired, 2000 * 0.3 - 100);
+  EXPECT_LT(fired, 2000 * 0.3 + 100);
+  EXPECT_EQ(faults_.fires("p30"), static_cast<std::uint64_t>(fired));
+}
+
+TEST_F(FaultTest, FailNextConsumesExactly) {
+  faults_.fail_next("burst", 3);
+  EXPECT_TRUE(faults_.should_fire("burst"));
+  EXPECT_TRUE(faults_.should_fire("burst"));
+  EXPECT_TRUE(faults_.should_fire("burst"));
+  EXPECT_FALSE(faults_.should_fire("burst"));
+  // active() is pure: a pending fail_next does not make the point active.
+  faults_.fail_next("burst", 1);
+  EXPECT_FALSE(faults_.active("burst"));
+  EXPECT_TRUE(faults_.should_fire("burst"));
+}
+
+TEST_F(FaultTest, ScheduledWindowsFollowTheClock) {
+  faults_.add_window("outage", 10.0, 20.0);
+  faults_.add_window("outage", 30.0, 35.0);
+  EXPECT_FALSE(faults_.active("outage"));  // t = 0
+  sim_.schedule_at(15.0, [&] {
+    EXPECT_TRUE(faults_.active("outage"));
+    EXPECT_TRUE(faults_.should_fire("outage"));
+  });
+  sim_.schedule_at(20.0, [&] {
+    EXPECT_FALSE(faults_.active("outage"));  // [start, end): end excluded
+  });
+  sim_.schedule_at(32.0, [&] { EXPECT_TRUE(faults_.active("outage")); });
+  sim_.schedule_at(40.0, [&] { EXPECT_FALSE(faults_.active("outage")); });
+  sim_.run();
+}
+
+TEST_F(FaultTest, LatchAndMagnitude) {
+  faults_.set_magnitude("net.slow.a|b", 8.0);
+  // Magnitude only applies while active.
+  EXPECT_DOUBLE_EQ(faults_.magnitude("net.slow.a|b"), 1.0);
+  faults_.set_active("net.slow.a|b", true);
+  EXPECT_DOUBLE_EQ(faults_.magnitude("net.slow.a|b"), 8.0);
+  EXPECT_TRUE(faults_.should_fire("net.slow.a|b"));  // active => fires
+  faults_.set_active("net.slow.a|b", false);
+  EXPECT_DOUBLE_EQ(faults_.magnitude("net.slow.a|b"), 1.0);
+}
+
+TEST_F(FaultTest, ClearDisarmsButKeepsStatistics) {
+  faults_.set_probability("x", 1.0);
+  EXPECT_TRUE(faults_.should_fire("x"));
+  faults_.clear("x");
+  EXPECT_FALSE(faults_.should_fire("x"));
+  EXPECT_EQ(faults_.checks("x"), 2u);
+  EXPECT_EQ(faults_.fires("x"), 1u);
+
+  faults_.set_active("y", true);
+  faults_.clear_all();
+  EXPECT_FALSE(faults_.active("y"));
+  EXPECT_FALSE(faults_.should_fire("x"));
+}
+
+TEST_F(FaultTest, PerPointStreamsAreIndependentOfInterleaving) {
+  // Querying other points between draws must not change a point's sequence:
+  // streams are seeded per (registry seed, point name), not shared.
+  sim::Simulation sim2;
+  FaultRegistry isolated(sim2, 42);
+  std::vector<bool> alone;
+  isolated.set_probability("target", 0.5);
+  for (int i = 0; i < 64; ++i) alone.push_back(isolated.should_fire("target"));
+
+  faults_.set_probability("target", 0.5);
+  faults_.set_probability("noise", 0.5);
+  std::vector<bool> interleaved;
+  for (int i = 0; i < 64; ++i) {
+    (void)faults_.should_fire("noise");
+    interleaved.push_back(faults_.should_fire("target"));
+    (void)faults_.should_fire("noise");
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST_F(FaultTest, SameSeedReplaysIdentically) {
+  sim::Simulation sim2;
+  FaultRegistry replay(sim2, 42);
+  faults_.set_probability("p", 0.37);
+  replay.set_probability("p", 0.37);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_EQ(faults_.should_fire("p"), replay.should_fire("p")) << "draw " << i;
+  }
+  sim::Simulation sim3;
+  FaultRegistry other_seed(sim3, 43);
+  other_seed.set_probability("p", 0.37);
+  int disagreements = 0;
+  sim::Simulation sim4;
+  FaultRegistry base(sim4, 42);
+  base.set_probability("p", 0.37);
+  for (int i = 0; i < 256; ++i) {
+    if (base.should_fire("p") != other_seed.should_fire("p")) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);  // a different seed is a different scenario
+}
+
+TEST_F(FaultTest, ReportListsEveryTouchedPoint) {
+  faults_.set_probability("a", 1.0);
+  (void)faults_.should_fire("a");
+  (void)faults_.should_fire("b");
+  auto names = faults_.points();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  std::string report = faults_.report();
+  EXPECT_NE(report.find("a: 1/1"), std::string::npos);
+  EXPECT_NE(report.find("b: 0/1"), std::string::npos);
+}
+
+TEST(FaultPointNames, CanonicalSpellings) {
+  EXPECT_EQ(fault_point::endpoint("theta-ep"), "faas.endpoint.theta-ep");
+  EXPECT_EQ(fault_point::endpoint_offline("theta-ep"),
+            "faas.endpoint.theta-ep.offline");
+  // Link points are order-insensitive: both spellings name one point.
+  EXPECT_EQ(fault_point::partition("bebop", "theta"),
+            fault_point::partition("theta", "bebop"));
+  EXPECT_EQ(fault_point::partition("bebop", "theta"), "net.partition.bebop|theta");
+  EXPECT_EQ(fault_point::slow_link("theta", "bebop"), "net.slow.bebop|theta");
+  EXPECT_EQ(fault_point::pool_stall("p1"), "pool.p1.stall");
+  EXPECT_STREQ(fault_point::transfer_corrupt(), "transfer.corrupt");
+  EXPECT_STREQ(fault_point::transfer_abort(), "transfer.abort");
+}
+
+}  // namespace
+}  // namespace osprey

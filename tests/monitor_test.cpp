@@ -1,11 +1,16 @@
 // Tests for the pool monitor (§VII: active monitoring and termination).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
+#include "osprey/core/fault.h"
 #include "osprey/eqsql/schema.h"
 #include "osprey/json/json.h"
 #include "osprey/me/task_runners.h"
 #include "osprey/pool/monitor.h"
 #include "osprey/pool/sim_pool.h"
+#include "osprey/pool/threaded_pool.h"
 
 namespace osprey::pool {
 namespace {
@@ -150,9 +155,98 @@ TEST_F(MonitorTest, StallDetectionLatencyIsBounded) {
   monitor.stop();
   sim_.run();
   ASSERT_GT(detected_at, 0.0);
-  // Detection within stall_timeout + check_interval + one progress window.
   MonitorConfig c = monitor_config();
+  // Never flagged before the stall timeout has elapsed since the last check
+  // that observed progress (at most one interval before the crash)...
+  EXPECT_GE(detected_at, crash_time + c.stall_timeout - c.check_interval);
+  // ...and detected within stall_timeout + check intervals after the crash.
   EXPECT_LE(detected_at, crash_time + c.stall_timeout + 2 * c.check_interval);
+}
+
+TEST_F(MonitorTest, HungWorkerIsLeaseRequeuedAndTaskCompletes) {
+  // A single worker hangs inside an otherwise-progressing pool: per-pool
+  // stall detection never fires (the pool keeps completing), so only the
+  // task lease recovers the held task.
+  submit(20);
+  FaultRegistry faults(sim_, 7);
+  faults.fail_next(fault_point::pool_stall("live"), 1);
+  SimWorkerPool pool(sim_, *api_, pool_config("live"),
+                     me::ackley_sim_runner(5.0, 0.0), 5);
+  pool.set_fault_registry(&faults);
+  ASSERT_TRUE(pool.start().is_ok());
+
+  MonitorConfig mc = monitor_config();
+  mc.task_lease = 30.0;  // well above the 5 s task runtime
+  PoolMonitor monitor(sim_, *api_, mc);
+  ASSERT_TRUE(monitor.watch("live").is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+
+  sim_.run_until(400.0);
+
+  EXPECT_EQ(pool.stalled_workers(), 1);
+  EXPECT_EQ(monitor.lease_requeues(), 1u);
+  EXPECT_EQ(monitor.stalls_detected(), 0u);  // the pool as a whole never stalled
+  // The requeued task was re-claimed and completed: nothing lost.
+  EXPECT_EQ(pool.tasks_completed(), 20u);
+  auto ids = api_->experiment_tasks("m").value();
+  for (TaskId id : ids) {
+    EXPECT_EQ(api_->task_status(id).value(), eqsql::TaskStatus::kComplete);
+  }
+}
+
+TEST_F(MonitorTest, UnwatchAndStopAreRaceFreeUnderThreadedPool) {
+  // Real OS threads churn the same DB the monitor scans while another
+  // thread hammers unwatch/accessors: no crashes, no torn state.
+  RealClock clock;
+  eqsql::EQSQL api(db_, clock);
+  std::vector<std::string> payloads(60, json::array_of({1.0}).dump());
+  ASSERT_TRUE(api.submit_tasks("m", kWork, payloads).ok());
+
+  PoolConfig pc;
+  pc.name = "tp";
+  pc.work_type = kWork;
+  pc.num_workers = 3;
+  pc.batch_size = 3;
+  pc.threshold = 1;
+  pc.poll_interval = 0.002;
+  pc.idle_shutdown = 0.05;
+  ThreadedWorkerPool pool(api, pc, me::ackley_threaded_runner(0.002, 0.0, 5));
+
+  MonitorConfig mc;
+  mc.check_interval = 0.01;
+  mc.stall_timeout = 1e9;  // progress timing is wall-clock noise: never flag
+  // Like a remote PSI/J monitor, use a separate DB client handle.
+  eqsql::EQSQL monitor_api(db_, clock);
+  PoolMonitor monitor(sim_, monitor_api, mc);
+  ASSERT_TRUE(monitor.watch("tp").is_ok());
+  ASSERT_TRUE(monitor.start().is_ok());
+
+  std::atomic<bool> done{false};
+  std::thread churn([&] {
+    while (!done.load()) {
+      monitor.unwatch("ghost");
+      (void)monitor.watched_count();
+      (void)monitor.stalls_detected();
+      (void)monitor.lease_requeues();
+    }
+  });
+
+  ASSERT_TRUE(pool.start().is_ok());
+  for (int i = 0; i < 50; ++i) {
+    // Fire monitor checks (virtual time) interleaved with real pool work;
+    // re-watching races against the churn thread's unwatch.
+    sim_.run_until(sim_.now() + mc.check_interval);
+    (void)monitor.watch("ghost");
+    RealClock::sleep_for(0.002);
+  }
+  ASSERT_TRUE(pool.wait_until_shutdown(30.0));
+  done.store(true);
+  churn.join();
+  monitor.stop();
+  pool.stop();
+
+  EXPECT_EQ(pool.tasks_completed(), 60u);
+  EXPECT_EQ(monitor.stalls_detected(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+// Tests for the unified RetryPolicy / RetryState, including the property
+// tests the issue calls for: eventual success under transient failure,
+// monotone non-decreasing backoff, and seed-identical attempt traces.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "osprey/core/retry.h"
+#include "osprey/core/rng.h"
+
+namespace osprey {
+namespace {
+
+TEST(RetryPolicyTest, ValidateRejectsNonsense) {
+  RetryPolicy ok;
+  EXPECT_TRUE(ok.validate().is_ok());
+  RetryPolicy bad = ok;
+  bad.max_attempts = 0;
+  EXPECT_EQ(bad.validate().code(), ErrorCode::kInvalidArgument);
+  bad = ok;
+  bad.initial_backoff = -1.0;
+  EXPECT_EQ(bad.validate().code(), ErrorCode::kInvalidArgument);
+  bad = ok;
+  bad.multiplier = 0.5;
+  EXPECT_EQ(bad.validate().code(), ErrorCode::kInvalidArgument);
+  bad = ok;
+  bad.jitter = bad.multiplier;  // > multiplier - 1 breaks monotonicity
+  EXPECT_EQ(bad.validate().code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(RetryPolicy::none().validate().is_ok());
+  EXPECT_TRUE(RetryPolicy::immediate(5).validate().is_ok());
+}
+
+TEST(RetryPolicyTest, BackoffGrowsGeometricallyAndCaps) {
+  RetryPolicy policy{6, 1.0, 2.0, 5.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(policy.backoff(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(2), 2.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(3), 4.0);
+  EXPECT_DOUBLE_EQ(policy.backoff(4), 5.0);  // capped
+  EXPECT_DOUBLE_EQ(policy.backoff(5), 5.0);  // plateau
+}
+
+TEST(RetryStateTest, CountsAttemptsLikeTheHistoricLoops) {
+  // max_attempts = 4 means the first attempt plus 3 retries: delays 1, 2, 4.
+  RetryState state({4, 1.0, 2.0, 60.0, 0.0, 0.0});
+  Duration d = 0;
+  ASSERT_TRUE(state.next_delay(&d));
+  EXPECT_DOUBLE_EQ(d, 1.0);
+  ASSERT_TRUE(state.next_delay(&d));
+  EXPECT_DOUBLE_EQ(d, 2.0);
+  ASSERT_TRUE(state.next_delay(&d));
+  EXPECT_DOUBLE_EQ(d, 4.0);
+  EXPECT_FALSE(state.next_delay(&d));
+  EXPECT_EQ(state.failures(), 4);
+  EXPECT_DOUBLE_EQ(state.waited(), 7.0);
+  EXPECT_EQ(state.trace().size(), 3u);
+}
+
+TEST(RetryStateTest, BudgetStopsRetriesEarly) {
+  // 1 + 2 = 3 fits a budget of 4; the third delay (4) would exceed it.
+  RetryState state({10, 1.0, 2.0, 60.0, 0.0, 4.0});
+  Duration d = 0;
+  EXPECT_TRUE(state.next_delay(&d));
+  EXPECT_TRUE(state.next_delay(&d));
+  EXPECT_FALSE(state.next_delay(&d));
+  EXPECT_DOUBLE_EQ(state.waited(), 3.0);
+}
+
+TEST(RetryStateTest, PropertyBackoffIsMonotoneNonDecreasing) {
+  // Random jittered policies: the delay trace never decreases, including
+  // across the plateau at max_backoff (jitter <= multiplier - 1).
+  Rng meta(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    RetryPolicy policy;
+    policy.max_attempts = 2 + static_cast<int>(meta.uniform_int(0, 10));
+    policy.initial_backoff = meta.uniform(0.01, 5.0);
+    policy.multiplier = meta.uniform(1.0, 4.0);
+    policy.max_backoff = meta.uniform(1.0, 50.0);
+    policy.jitter = meta.uniform(0.0, policy.multiplier - 1.0);
+    ASSERT_TRUE(policy.validate().is_ok());
+    RetryState state(policy, meta.engine()());
+    Duration prev = 0.0;
+    Duration d = 0.0;
+    while (state.next_delay(&d)) {
+      EXPECT_GE(d, prev) << "trial " << trial << " failure "
+                         << state.failures();
+      EXPECT_LE(d, policy.max_backoff + 1e-12);
+      prev = d;
+    }
+  }
+}
+
+TEST(RetryStateTest, PropertySameSeedSameTrace) {
+  Rng meta(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    RetryPolicy policy;
+    policy.max_attempts = 8;
+    policy.initial_backoff = meta.uniform(0.1, 2.0);
+    policy.multiplier = 2.0;
+    policy.max_backoff = 30.0;
+    policy.jitter = meta.uniform(0.0, 1.0);
+    std::uint64_t seed = meta.engine()();
+    RetryState a(policy, seed);
+    RetryState b(policy, seed);
+    Duration d = 0.0;
+    while (a.next_delay(&d)) {
+    }
+    while (b.next_delay(&d)) {
+    }
+    EXPECT_EQ(a.trace(), b.trace()) << "trial " << trial;
+
+    RetryState c(policy, seed + 1);
+    while (c.next_delay(&d)) {
+    }
+    if (policy.jitter > 0.0 && a.trace() != c.trace()) {
+      SUCCEED();  // different seeds usually differ (not required every time)
+    }
+  }
+}
+
+TEST(RetryCallTest, PropertyEventualSuccessWithinBudget) {
+  // An op failing with p < 1 succeeds within the attempt budget virtually
+  // always when the budget comfortably covers the failure rate.
+  Rng meta(99);
+  int exhausted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    double p = meta.uniform(0.0, 0.5);
+    Rng op_rng(meta.engine()());
+    RetryPolicy policy = RetryPolicy::immediate(12);  // p^12 <= 2.4e-4
+    Status result = retry_call(
+        policy, trial,
+        [&]() -> Status {
+          if (op_rng.bernoulli(p)) {
+            return Status(ErrorCode::kUnavailable, "flaky");
+          }
+          return Status::ok();
+        },
+        /*sleep=*/{});
+    if (!result.is_ok()) ++exhausted;
+  }
+  EXPECT_LE(exhausted, 1);  // ~0.07 expected failures over 300 trials
+}
+
+TEST(RetryCallTest, NonRetryableErrorsPassThrough) {
+  int calls = 0;
+  Status result = retry_call(
+      RetryPolicy::immediate(5), 0,
+      [&]() -> Status {
+        ++calls;
+        return Status(ErrorCode::kInvalidArgument, "bad input");
+      },
+      {});
+  EXPECT_EQ(result.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);  // no retry on a non-transient error
+}
+
+TEST(RetryCallTest, SleepsAndCallbacksSeeEveryRetry) {
+  std::vector<Duration> slept;
+  std::vector<int> attempts_seen;
+  int calls = 0;
+  Status result = retry_call(
+      {4, 1.0, 2.0, 60.0, 0.0, 0.0}, 0,
+      [&]() -> Status {
+        ++calls;
+        return Status(ErrorCode::kTimeout, "always late");
+      },
+      [&](Duration d) { slept.push_back(d); },
+      [&](int failures, Duration d) {
+        attempts_seen.push_back(failures);
+        EXPECT_GT(d, 0.0);
+      });
+  EXPECT_EQ(result.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(calls, 4);
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_DOUBLE_EQ(slept[0], 1.0);
+  EXPECT_DOUBLE_EQ(slept[1], 2.0);
+  EXPECT_DOUBLE_EQ(slept[2], 4.0);
+  EXPECT_EQ(attempts_seen, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace osprey

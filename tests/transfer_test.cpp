@@ -63,7 +63,7 @@ TEST_F(TransferTest, MissingSourceFailsImmediately) {
 TEST_F(TransferTest, CorruptionIsCaughtByChecksumAndRetried) {
   service_.set_corruption_probability(1.0);
   TransferOptions options;
-  options.max_retries = 2;
+  options.retry = RetryPolicy::immediate(3);  // 2 retries
   Status final = Status::ok();
   options.on_complete = [&](TransferId, Status s) { final = s; };
   auto id = service_.submit("bebop", "theta", "model.bin", options).value();
@@ -79,7 +79,7 @@ TEST_F(TransferTest, TransientCorruptionEventuallySucceeds) {
   int succeeded = 0;
   for (int i = 0; i < 20; ++i) {
     TransferOptions options;
-    options.max_retries = 5;
+    options.retry = RetryPolicy::immediate(6);  // 5 retries
     options.on_complete = [&](TransferId, Status s) {
       if (s.is_ok()) ++succeeded;
     };
