@@ -135,6 +135,24 @@ inline const char* transfer_abort() { return "transfer.abort"; }
 /// A worker of the named pool hangs without reporting its task.
 std::string pool_stall(const std::string& pool);
 
+// Write-ahead-log device faults (db/wal SimLogDevice). Each names an instant
+// in the append/sync protocol at which the simulated device dies, so the
+// kill-point matrix can crash a campaign at every stage of a commit.
+/// Device dies before an append lands anywhere.
+inline const char* wal_crash_before_append() { return "wal.crash_before_append"; }
+/// Device dies after the append reached the volatile write cache.
+inline const char* wal_crash_after_append() { return "wal.crash_after_append"; }
+/// Device dies before a sync flushes the cache.
+inline const char* wal_crash_before_sync() { return "wal.crash_before_sync"; }
+/// Sync persists only a prefix of the cache (fraction = point magnitude),
+/// then the device dies — the canonical torn-write.
+inline const char* wal_partial_flush() { return "wal.partial_flush"; }
+/// Sync fully persists, then the device dies before acknowledging.
+inline const char* wal_crash_after_sync() { return "wal.crash_after_sync"; }
+/// On power loss a prefix of the volatile cache (fraction = point magnitude)
+/// survives to the medium, leaving a torn tail for recovery to truncate.
+inline const char* wal_torn_tail() { return "wal.torn_tail"; }
+
 }  // namespace fault_point
 
 }  // namespace osprey

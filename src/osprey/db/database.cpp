@@ -12,12 +12,26 @@ Transaction::~Transaction() {
   if (!finished_) rollback();
 }
 
-void Transaction::commit() {
+Status Transaction::commit() {
   assert(!finished_ && "commit on finished transaction");
+  if (finished_) {
+    return Status(ErrorCode::kConflict, "commit on finished transaction");
+  }
+  if (db_.observer_ && !journal_.empty()) {
+    // Durability gate: the observer (WAL) must persist the mutations before
+    // they are acknowledged. On failure the transaction rolls back so memory
+    // never gets ahead of the log.
+    Status logged = db_.observer_->on_commit(db_, journal_);
+    if (!logged.is_ok()) {
+      rollback();
+      return logged;
+    }
+  }
   db_.detach_journal();
   journal_.clear();
   committed_ = true;
   finished_ = true;
+  return Status::ok();
 }
 
 void Transaction::rollback() {
@@ -34,6 +48,15 @@ Result<Table*> Database::create_table(const std::string& name, Schema schema) {
     return Error(ErrorCode::kConflict, "table '" + name + "' already exists");
   }
   auto table = std::make_unique<Table>(name, std::move(schema));
+  if (observer_) {
+    Status logged = observer_->on_create_table(*table);
+    if (!logged.is_ok()) return logged.error();
+  }
+  // Index creations on this table report back here so the observer sees
+  // them (the implicit primary-key index is part of create_table itself).
+  table->set_index_hook([this, name](const std::string& column) {
+    return observer_ ? observer_->on_create_index(name, column) : Status::ok();
+  });
   Table* ptr = table.get();
   tables_.emplace(name, std::move(table));
   return ptr;
@@ -41,10 +64,26 @@ Result<Table*> Database::create_table(const std::string& name, Schema schema) {
 
 Status Database::drop_table(const std::string& name) {
   std::lock_guard<std::recursive_mutex> guard(mutex_);
-  if (tables_.erase(name) == 0) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
     return Status(ErrorCode::kNotFound, "no table '" + name + "'");
   }
+  if (observer_) {
+    Status logged = observer_->on_drop_table(name);
+    if (!logged.is_ok()) return logged;
+  }
+  tables_.erase(it);
   return Status::ok();
+}
+
+void Database::set_commit_observer(CommitObserver* observer) {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  observer_ = observer;
+}
+
+bool Database::in_transaction() const {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  return journal_attached_;
 }
 
 Table* Database::table(const std::string& name) {
@@ -69,10 +108,12 @@ std::vector<std::string> Database::table_names() const {
 
 void Database::attach_journal(std::vector<UndoRecord>* journal) {
   for (auto& [_, table] : tables_) table->attach_journal(journal);
+  journal_attached_ = true;
 }
 
 void Database::detach_journal() {
   for (auto& [_, table] : tables_) table->detach_journal();
+  journal_attached_ = false;
 }
 
 void Database::apply_undo(const std::vector<UndoRecord>& journal) {
@@ -84,6 +125,7 @@ void Database::apply_undo(const std::vector<UndoRecord>& journal) {
     switch (it->kind) {
       case UndoRecord::Kind::kInsert:
         t->erase_row(it->row_id);
+        t->release_row_id(it->row_id);
         break;
       case UndoRecord::Kind::kUpdate: {
         Status s = t->update_row(it->row_id, it->old_row);

@@ -21,6 +21,33 @@ namespace osprey::db {
 
 class Database;
 
+/// Observer of committed mutations and DDL, installed via
+/// Database::set_commit_observer. The write-ahead log (db/wal) implements
+/// this to make committed state durable before it is acknowledged.
+///
+/// Every callback runs under the database mutex. on_commit is invoked from
+/// Transaction::commit() while the transaction's mutations are still in
+/// place (so the observer can read the post-state of every touched row) and
+/// may veto the commit by returning an error, in which case the transaction
+/// rolls back and commit() reports the error instead.
+class CommitObserver {
+ public:
+  virtual ~CommitObserver() = default;
+
+  /// A transaction with at least one mutation is about to commit. `journal`
+  /// lists the mutations in execution order.
+  virtual Status on_commit(Database& db,
+                           const std::vector<UndoRecord>& journal) = 0;
+
+  /// DDL notifications. These fire before the change takes effect; a non-OK
+  /// return aborts the DDL operation. DDL is not transactional (as in most
+  /// SQL engines), so these are logged immediately rather than at commit.
+  virtual Status on_create_table(const Table& table) = 0;
+  virtual Status on_drop_table(const std::string& name) = 0;
+  virtual Status on_create_index(const std::string& table,
+                                 const std::string& column) = 0;
+};
+
 /// RAII transaction guard. Holds the database lock for its lifetime; commit()
 /// keeps the mutations, destruction without commit rolls them back.
 class Transaction {
@@ -31,8 +58,11 @@ class Transaction {
   Transaction(const Transaction&) = delete;
   Transaction& operator=(const Transaction&) = delete;
 
-  /// Keep all mutations made during this transaction.
-  void commit();
+  /// Keep all mutations made during this transaction. When a CommitObserver
+  /// is installed it sees the journal first and may veto: on veto the
+  /// mutations are rolled back and the observer's error is returned, so a
+  /// write that cannot be made durable is never acknowledged.
+  Status commit();
 
   /// Undo all mutations made so far (also done on destruction if not
   /// committed).
@@ -67,6 +97,17 @@ class Database {
 
   std::vector<std::string> table_names() const;
 
+  /// Install (or with nullptr remove) the commit/DDL observer — the hook the
+  /// write-ahead log uses to see every committed mutation. The observer must
+  /// outlive the database or be detached first.
+  void set_commit_observer(CommitObserver* observer);
+  CommitObserver* commit_observer() const { return observer_; }
+
+  /// True while a Transaction is open (its undo journal is attached). Used
+  /// by the SQL layer to decide whether a standalone DML statement must wrap
+  /// itself in an implicit transaction.
+  bool in_transaction() const;
+
   /// The database-wide lock. Public so single statements outside an explicit
   /// Transaction can serialize themselves (execute() does this).
   std::recursive_mutex& mutex() const { return mutex_; }
@@ -80,6 +121,8 @@ class Database {
 
   std::map<std::string, std::unique_ptr<Table>> tables_;
   mutable std::recursive_mutex mutex_;
+  CommitObserver* observer_ = nullptr;
+  bool journal_attached_ = false;
 };
 
 }  // namespace osprey::db

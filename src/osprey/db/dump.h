@@ -15,8 +15,16 @@
 
 namespace osprey::db {
 
-/// Serialize all tables to a JSON document.
+/// Serialize all tables to a JSON document. Row ids are preserved in the
+/// snapshot (per-table "row_ids" + "next_row_id") so a restored database is
+/// id-identical to the original — required for WAL replay on top of a
+/// checkpoint, where redo records reference rows by id.
 json::Value dump_database(const Database& db);
+
+/// Schema <-> JSON (the "columns" array of the snapshot format). Shared with
+/// the WAL's create-table records.
+json::Value schema_to_json(const Schema& schema);
+Result<Schema> schema_from_json(const json::Value& columns);
 
 /// Recreate tables into an empty database from a dump. Fails with
 /// kInvalidArgument on malformed documents and kConflict when a table

@@ -19,6 +19,16 @@ const Statement* Connection::cached_parse(const std::string& sql, Error* error) 
   return &inserted->second;
 }
 
+namespace {
+
+bool statement_mutates(const Statement& stmt) {
+  return std::holds_alternative<InsertStmt>(stmt) ||
+         std::holds_alternative<UpdateStmt>(stmt) ||
+         std::holds_alternative<DeleteStmt>(stmt);
+}
+
+}  // namespace
+
 Result<ExecResult> Connection::execute(const std::string& sql,
                                        const std::vector<Value>& params) {
   Error parse_error;
@@ -27,6 +37,16 @@ Result<ExecResult> Connection::execute(const std::string& sql,
   // Serialize with any concurrent connections; recursive so statements
   // inside our own open transaction (which holds the lock) still run.
   std::lock_guard<std::recursive_mutex> guard(db_.mutex());
+  if (statement_mutates(*stmt) && !db_.in_transaction()) {
+    // Standalone DML auto-commits as its own transaction, so a multi-row
+    // statement is atomic and the commit observer (WAL) sees the mutation.
+    Transaction auto_txn(db_);
+    Result<ExecResult> result = run(*stmt, params);
+    if (!result.ok()) return result;
+    Status committed = auto_txn.commit();
+    if (!committed.is_ok()) return committed.error();
+    return result;
+  }
   return run(*stmt, params);
 }
 
@@ -40,9 +60,9 @@ Status Connection::begin() {
 
 Status Connection::commit() {
   if (!txn_) return Status(ErrorCode::kConflict, "no open transaction");
-  txn_->commit();
+  Status committed = txn_->commit();
   txn_.reset();
-  return Status::ok();
+  return committed;
 }
 
 Status Connection::rollback() {

@@ -24,6 +24,10 @@ Status Table::create_index(const std::string& column) {
                   "no column '" + column + "' in table '" + name_ + "'");
   }
   if (indexes_.count(column)) return Status::ok();  // idempotent
+  if (index_hook_) {
+    Status logged = index_hook_(column);
+    if (!logged.is_ok()) return logged;
+  }
   IndexMap index;
   for (const auto& [id, row] : rows_) {
     index.emplace(row[static_cast<std::size_t>(idx)], id);

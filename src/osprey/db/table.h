@@ -45,7 +45,14 @@ class Table {
   std::size_t row_count() const { return rows_.size(); }
 
   /// Create a secondary index on `column`. Existing rows are indexed.
+  /// When an index hook is installed (by the owning Database, so DDL reaches
+  /// its CommitObserver) a hook failure aborts the creation.
   Status create_index(const std::string& column);
+
+  /// Installed by Database::create_table to route index DDL to the commit
+  /// observer. Standalone tables have no hook.
+  using IndexHook = std::function<Status(const std::string& column)>;
+  void set_index_hook(IndexHook hook) { index_hook_ = std::move(hook); }
   bool has_index(const std::string& column) const;
   std::vector<std::string> indexed_columns() const;
 
@@ -92,8 +99,23 @@ class Table {
   void attach_journal(std::vector<UndoRecord>* journal) { journal_ = journal; }
   void detach_journal() { journal_ = nullptr; }
 
-  /// Re-insert a row under a specific id (rollback of a delete).
+  /// Re-insert a row under a specific id (rollback of a delete, WAL replay,
+  /// snapshot restore with preserved ids).
   Status restore_row(RowId id, Row row);
+
+  /// Never assign ids below `next` (snapshot restore of a table whose
+  /// highest-id rows were deleted before the dump).
+  void reserve_next_row_id(RowId next) {
+    if (next > next_row_id_) next_row_id_ = next;
+  }
+  RowId next_row_id() const { return next_row_id_; }
+
+  /// Un-burn the id of an undone insert (rollback runs the journal in
+  /// reverse, so a transaction's allocations unwind completely). Keeps a
+  /// rolled-back transaction fully invisible — snapshots record next_row_id.
+  void release_row_id(RowId id) {
+    if (id + 1 == next_row_id_) next_row_id_ = id;
+  }
 
   /// Cumulative scan statistics — exposed so benches can verify that indexed
   /// queries do not degrade into full scans.
@@ -121,6 +143,7 @@ class Table {
   RowId next_row_id_ = 1;
   std::map<std::string, IndexMap> indexes_;  // column name -> index
   std::vector<UndoRecord>* journal_ = nullptr;
+  IndexHook index_hook_;
   mutable std::uint64_t full_scans_ = 0;
   mutable std::uint64_t index_lookups_ = 0;
 };

@@ -1,0 +1,1077 @@
+#include "osprey/db/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include "osprey/db/dump.h"
+
+namespace osprey::db::wal {
+
+namespace {
+
+// Segment headers: 8-byte magic + u64 first LSN (wal) / nothing (ckpt, whose
+// single frame carries its LSN).
+constexpr char kWalMagic[8] = {'O', 'S', 'P', 'W', 'A', 'L', 'v', '1'};
+constexpr char kCkptMagic[8] = {'O', 'S', 'P', 'C', 'K', 'P', 'T', '1'};
+constexpr std::size_t kWalHeaderBytes = sizeof(kWalMagic) + 8;
+
+constexpr const char* kWalPrefix = "wal-";
+constexpr const char* kCkptPrefix = "ckpt-";
+
+// --- little-endian primitives ----------------------------------------------
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+// Bounded little-endian reader; any overrun marks the cursor failed.
+struct Reader {
+  const std::string& buf;
+  std::size_t pos;
+  std::size_t end;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (!ok || end - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v |= static_cast<std::uint16_t>(static_cast<unsigned char>(buf[pos++])) << (8 * i);
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[pos++])) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[pos++])) << (8 * i);
+    return v;
+  }
+  std::string str() {
+    std::uint32_t n = u32();
+    if (!need(n)) return {};
+    std::string s = buf.substr(pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+// --- cell codec (tag + payload) --------------------------------------------
+
+enum : std::uint8_t { kCellNull = 0, kCellInt = 1, kCellReal = 2, kCellText = 3 };
+
+void put_cell(std::string& out, const Value& v) {
+  if (v.is_null()) {
+    out.push_back(static_cast<char>(kCellNull));
+  } else if (v.is_int()) {
+    out.push_back(static_cast<char>(kCellInt));
+    put_u64(out, static_cast<std::uint64_t>(v.as_int()));
+  } else if (v.is_real()) {
+    out.push_back(static_cast<char>(kCellReal));
+    double d = v.as_real();
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    put_u64(out, bits);
+  } else {
+    out.push_back(static_cast<char>(kCellText));
+    put_str(out, v.as_text());
+  }
+}
+
+Value get_cell(Reader& r) {
+  if (!r.need(1)) return Value(nullptr);
+  auto tag = static_cast<std::uint8_t>(r.buf[r.pos++]);
+  switch (tag) {
+    case kCellNull:
+      return Value(nullptr);
+    case kCellInt:
+      return Value(static_cast<std::int64_t>(r.u64()));
+    case kCellReal: {
+      std::uint64_t bits = r.u64();
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case kCellText:
+      return Value(r.str());
+    default:
+      r.ok = false;
+      return Value(nullptr);
+  }
+}
+
+std::string hex16(Lsn lsn) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = digits[lsn & 0xf];
+    lsn >>= 4;
+  }
+  return s;
+}
+
+bool parse_hex16(const std::string& s, Lsn* out) {
+  if (s.size() != 16) return false;
+  Lsn v = 0;
+  for (char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<Lsn>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<Lsn>(c - 'a' + 10);
+    else return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string wal_segment_name(Lsn first) { return kWalPrefix + hex16(first); }
+std::string ckpt_segment_name(Lsn lsn) { return kCkptPrefix + hex16(lsn); }
+
+}  // namespace
+
+// --- CRC32 ------------------------------------------------------------------
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// --- record codec -----------------------------------------------------------
+
+std::string encode_record(const Record& record) {
+  std::string payload;
+  put_u64(payload, record.lsn);
+  payload.push_back(static_cast<char>(record.type));
+  switch (record.type) {
+    case RecordType::kInsert:
+    case RecordType::kUpdate:
+      put_str(payload, record.table);
+      put_u64(payload, record.row_id);
+      put_u16(payload, static_cast<std::uint16_t>(record.row.size()));
+      for (const Value& cell : record.row) put_cell(payload, cell);
+      break;
+    case RecordType::kDelete:
+      put_str(payload, record.table);
+      put_u64(payload, record.row_id);
+      break;
+    case RecordType::kCommit:
+      put_u32(payload, record.txn_records);
+      break;
+    case RecordType::kCreateTable:
+      put_str(payload, record.table);
+      put_str(payload, record.schema_json);
+      break;
+    case RecordType::kDropTable:
+      put_str(payload, record.table);
+      break;
+    case RecordType::kCreateIndex:
+      put_str(payload, record.table);
+      put_str(payload, record.column);
+      break;
+  }
+  std::string frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32(frame, crc32(payload.data(), payload.size()));
+  frame += payload;
+  return frame;
+}
+
+DecodeStatus decode_record(const std::string& buffer, std::size_t offset,
+                           Record* out, std::size_t* consumed) {
+  if (offset >= buffer.size()) return DecodeStatus::kEndOfLog;
+  if (buffer.size() - offset < 8) return DecodeStatus::kTruncated;
+  Reader head{buffer, offset, buffer.size()};
+  std::uint32_t len = head.u32();
+  std::uint32_t crc = head.u32();
+  if (buffer.size() - head.pos < len) return DecodeStatus::kTruncated;
+  if (len < 9) return DecodeStatus::kCorrupt;  // payload is at least lsn+type
+  if (crc32(buffer.data() + head.pos, len) != crc) return DecodeStatus::kCorrupt;
+
+  Reader r{buffer, head.pos, head.pos + len};
+  Record record;
+  record.lsn = r.u64();
+  if (!r.need(1)) return DecodeStatus::kCorrupt;
+  auto type = static_cast<std::uint8_t>(r.buf[r.pos++]);
+  if (type < 1 || type > 7) return DecodeStatus::kCorrupt;
+  record.type = static_cast<RecordType>(type);
+  switch (record.type) {
+    case RecordType::kInsert:
+    case RecordType::kUpdate: {
+      record.table = r.str();
+      record.row_id = r.u64();
+      std::uint16_t cells = r.u16();
+      record.row.reserve(cells);
+      for (std::uint16_t i = 0; i < cells && r.ok; ++i) {
+        record.row.push_back(get_cell(r));
+      }
+      break;
+    }
+    case RecordType::kDelete:
+      record.table = r.str();
+      record.row_id = r.u64();
+      break;
+    case RecordType::kCommit:
+      record.txn_records = r.u32();
+      break;
+    case RecordType::kCreateTable:
+      record.table = r.str();
+      record.schema_json = r.str();
+      break;
+    case RecordType::kDropTable:
+      record.table = r.str();
+      break;
+    case RecordType::kCreateIndex:
+      record.table = r.str();
+      record.column = r.str();
+      break;
+  }
+  if (!r.ok || r.pos != r.end) return DecodeStatus::kCorrupt;
+  *out = std::move(record);
+  *consumed = r.end - offset;  // full frame: 8-byte header + payload
+  return DecodeStatus::kOk;
+}
+
+// --- FileLogDevice ----------------------------------------------------------
+
+FileLogDevice::FileLogDevice(std::string directory) : dir_(std::move(directory)) {
+  ::mkdir(dir_.c_str(), 0755);  // best effort; append reports real failures
+}
+
+FileLogDevice::~FileLogDevice() {
+  for (auto& [_, fd] : fds_) ::close(fd);
+}
+
+int FileLogDevice::fd_locked(const std::string& segment, std::string* error) {
+  auto it = fds_.find(segment);
+  if (it != fds_.end()) return it->second;
+  std::string path = dir_ + "/" + segment;
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    *error = "open '" + path + "': " + std::strerror(errno);
+    return -1;
+  }
+  fds_.emplace(segment, fd);
+  return fd;
+}
+
+void FileLogDevice::close_locked(const std::string& segment) {
+  auto it = fds_.find(segment);
+  if (it != fds_.end()) {
+    ::close(it->second);
+    fds_.erase(it);
+  }
+}
+
+Status FileLogDevice::append(const std::string& segment, const std::string& data) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::string error;
+  int fd = fd_locked(segment, &error);
+  if (fd < 0) return Status(ErrorCode::kUnavailable, error);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status(ErrorCode::kUnavailable,
+                    "write '" + segment + "': " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Status FileLogDevice::sync(const std::string& segment) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::string error;
+  int fd = fd_locked(segment, &error);
+  if (fd < 0) return Status(ErrorCode::kUnavailable, error);
+  if (::fsync(fd) != 0) {
+    return Status(ErrorCode::kUnavailable,
+                  "fsync '" + segment + "': " + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+Result<std::string> FileLogDevice::read(const std::string& segment) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::string path = dir_ + "/" + segment;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Error(ErrorCode::kNotFound,
+                 "open '" + path + "': " + std::strerror(errno));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Error error(ErrorCode::kUnavailable,
+                  "read '" + path + "': " + std::strerror(errno));
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status FileLogDevice::truncate(const std::string& segment, std::uint64_t size) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  close_locked(segment);  // O_APPEND fd offsets are per-write; reopen cleanly
+  std::string path = dir_ + "/" + segment;
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Status(ErrorCode::kUnavailable,
+                  "truncate '" + path + "': " + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+Status FileLogDevice::remove(const std::string& segment) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  close_locked(segment);
+  std::string path = dir_ + "/" + segment;
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status(ErrorCode::kUnavailable,
+                  "unlink '" + path + "': " + std::strerror(errno));
+  }
+  return Status::ok();
+}
+
+Result<std::vector<std::string>> FileLogDevice::list() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  DIR* dir = ::opendir(dir_.c_str());
+  if (!dir) {
+    return Error(ErrorCode::kUnavailable,
+                 "opendir '" + dir_ + "': " + std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// --- SimLogDevice -----------------------------------------------------------
+
+SimLogDevice::SimLogDevice(std::shared_ptr<SimDisk> disk, FaultRegistry* faults)
+    : disk_(std::move(disk)), faults_(faults) {}
+
+Status SimLogDevice::fail_if_dead_locked(const char* op) {
+  if (dead_) {
+    return Status(ErrorCode::kUnavailable,
+                  std::string("log device dead (") + op + ")");
+  }
+  return Status::ok();
+}
+
+Status SimLogDevice::append(const std::string& segment, const std::string& data) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Status alive = fail_if_dead_locked("append");
+  if (!alive.is_ok()) return alive;
+  if (faults_ && faults_->should_fire(fault_point::wal_crash_before_append())) {
+    dead_ = true;
+    return Status(ErrorCode::kUnavailable, "device crashed before append");
+  }
+  pending_[segment] += data;
+  ++appends_;
+  bytes_appended_ += data.size();
+  if (faults_ && faults_->should_fire(fault_point::wal_crash_after_append())) {
+    dead_ = true;  // landed in the write cache only; lost at crash()
+    return Status(ErrorCode::kUnavailable, "device crashed after append");
+  }
+  return Status::ok();
+}
+
+Status SimLogDevice::sync(const std::string& segment) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Status alive = fail_if_dead_locked("sync");
+  if (!alive.is_ok()) return alive;
+  if (faults_ && faults_->should_fire(fault_point::wal_crash_before_sync())) {
+    dead_ = true;
+    return Status(ErrorCode::kUnavailable, "device crashed before sync");
+  }
+  for (volatile std::uint64_t spin = 0; spin < sync_spin_; ++spin) {
+  }
+  auto it = pending_.find(segment);
+  if (faults_ && faults_->should_fire(fault_point::wal_partial_flush())) {
+    // A prefix of the cache reaches the medium, then the device dies — the
+    // canonical torn write the recovery scan must truncate.
+    if (it != pending_.end()) {
+      double f = faults_->magnitude(fault_point::wal_partial_flush());
+      f = std::min(std::max(f, 0.0), 1.0);
+      auto keep = static_cast<std::size_t>(
+          static_cast<double>(it->second.size()) * f);
+      disk_->segments[segment] += it->second.substr(0, keep);
+      pending_.erase(it);
+    }
+    dead_ = true;
+    return Status(ErrorCode::kUnavailable, "device crashed mid-flush");
+  }
+  if (it != pending_.end()) {
+    disk_->segments[segment] += it->second;
+    pending_.erase(it);
+  }
+  ++syncs_;
+  if (faults_ && faults_->should_fire(fault_point::wal_crash_after_sync())) {
+    dead_ = true;  // durable, but the acknowledgement is lost
+    return Status(ErrorCode::kUnavailable, "device crashed after sync");
+  }
+  return Status::ok();
+}
+
+Result<std::string> SimLogDevice::read(const std::string& segment) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Status alive = fail_if_dead_locked("read");
+  if (!alive.is_ok()) return alive.error();
+  std::string out;
+  auto durable = disk_->segments.find(segment);
+  if (durable != disk_->segments.end()) out = durable->second;
+  auto pending = pending_.find(segment);
+  if (pending != pending_.end()) out += pending->second;
+  if (out.empty() && durable == disk_->segments.end() &&
+      pending == pending_.end()) {
+    return Error(ErrorCode::kNotFound, "no segment '" + segment + "'");
+  }
+  return out;
+}
+
+Status SimLogDevice::truncate(const std::string& segment, std::uint64_t size) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Status alive = fail_if_dead_locked("truncate");
+  if (!alive.is_ok()) return alive;
+  pending_.erase(segment);  // recovery-only operation; cache is stale anyway
+  auto it = disk_->segments.find(segment);
+  if (it == disk_->segments.end()) {
+    return Status(ErrorCode::kNotFound, "no segment '" + segment + "'");
+  }
+  if (size < it->second.size()) it->second.resize(size);
+  return Status::ok();
+}
+
+Status SimLogDevice::remove(const std::string& segment) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Status alive = fail_if_dead_locked("remove");
+  if (!alive.is_ok()) return alive;
+  pending_.erase(segment);
+  disk_->segments.erase(segment);
+  return Status::ok();
+}
+
+Result<std::vector<std::string>> SimLogDevice::list() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Status alive = fail_if_dead_locked("list");
+  if (!alive.is_ok()) return alive.error();
+  std::vector<std::string> names;
+  for (const auto& [name, _] : disk_->segments) names.push_back(name);
+  for (const auto& [name, _] : pending_) {
+    if (!disk_->segments.count(name)) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void SimLogDevice::crash() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto& [segment, tail] : pending_) {
+    if (faults_ && !tail.empty() &&
+        faults_->should_fire(fault_point::wal_torn_tail())) {
+      double f = faults_->magnitude(fault_point::wal_torn_tail());
+      f = std::min(std::max(f, 0.0), 1.0);
+      auto keep =
+          static_cast<std::size_t>(static_cast<double>(tail.size()) * f);
+      disk_->segments[segment] += tail.substr(0, keep);
+    }
+  }
+  pending_.clear();
+  dead_ = true;
+}
+
+bool SimLogDevice::dead() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return dead_;
+}
+
+void SimLogDevice::set_sync_spin(std::uint64_t iterations) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  sync_spin_ = iterations;
+}
+
+std::uint64_t SimLogDevice::appends() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return appends_;
+}
+
+std::uint64_t SimLogDevice::syncs() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return syncs_;
+}
+
+std::uint64_t SimLogDevice::bytes_appended() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return bytes_appended_;
+}
+
+std::uint64_t SimLogDevice::bytes_durable() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [_, data] : disk_->segments) total += data.size();
+  return total;
+}
+
+// --- recovery ---------------------------------------------------------------
+
+namespace {
+
+struct CheckpointData {
+  Lsn lsn = 0;
+  json::Value snapshot;
+  bool found = false;
+};
+
+// Read and validate the newest intact checkpoint; invalid ones (torn during
+// their own write) are skipped in favour of older ones.
+CheckpointData load_latest_checkpoint(LogDevice& device,
+                                      const std::vector<std::string>& names) {
+  CheckpointData best;
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    if (!has_prefix(*it, kCkptPrefix)) continue;
+    Lsn lsn = 0;
+    if (!parse_hex16(it->substr(std::strlen(kCkptPrefix)), &lsn)) continue;
+    Result<std::string> data = device.read(*it);
+    if (!data.ok()) continue;
+    const std::string& buf = data.value();
+    if (buf.size() < sizeof(kCkptMagic) + 8) continue;
+    if (std::memcmp(buf.data(), kCkptMagic, sizeof(kCkptMagic)) != 0) continue;
+    Reader r{buf, sizeof(kCkptMagic), buf.size()};
+    std::uint32_t len = r.u32();
+    std::uint32_t crc = r.u32();
+    if (!r.ok || buf.size() - r.pos < len) continue;
+    if (crc32(buf.data() + r.pos, len) != crc) continue;
+    Reader body{buf, r.pos, r.pos + len};
+    Lsn body_lsn = body.u64();
+    Result<json::Value> doc = json::parse(buf.substr(body.pos, len - 8));
+    if (!doc.ok()) continue;
+    best.lsn = body_lsn;
+    best.snapshot = std::move(doc).take();
+    best.found = true;
+    return best;
+  }
+  return best;
+}
+
+Status apply_dml(Database& db, const Record& r) {
+  Table* t = db.table(r.table);
+  if (!t) {
+    return Status(ErrorCode::kInternal,
+                  "redo record for unknown table '" + r.table + "'");
+  }
+  switch (r.type) {
+    case RecordType::kInsert:
+    case RecordType::kUpdate:
+      // Full post-images make replay idempotent-converging: overwrite when
+      // present, materialize when absent.
+      if (t->get(r.row_id)) return t->update_row(r.row_id, r.row);
+      return t->restore_row(r.row_id, r.row);
+    case RecordType::kDelete:
+      t->erase_row(r.row_id);  // no-op when already gone
+      return Status::ok();
+    default:
+      return Status(ErrorCode::kInternal, "apply_dml on non-DML record");
+  }
+}
+
+Status apply_ddl(Database& db, const Record& r, std::size_t* applied) {
+  switch (r.type) {
+    case RecordType::kCreateTable: {
+      if (db.table(r.table)) return Status::ok();  // idempotent
+      Result<json::Value> columns = json::parse(r.schema_json);
+      if (!columns.ok()) return columns.error();
+      Result<Schema> schema = schema_from_json(columns.value());
+      if (!schema.ok()) return schema.error();
+      Result<Table*> created =
+          db.create_table(r.table, std::move(schema).take());
+      if (!created.ok()) return created.error();
+      ++*applied;
+      return Status::ok();
+    }
+    case RecordType::kDropTable: {
+      if (!db.table(r.table)) return Status::ok();
+      Status s = db.drop_table(r.table);
+      if (s.is_ok()) ++*applied;
+      return s;
+    }
+    case RecordType::kCreateIndex: {
+      Table* t = db.table(r.table);
+      if (!t) {
+        return Status(ErrorCode::kInternal,
+                      "index record for unknown table '" + r.table + "'");
+      }
+      Status s = t->create_index(r.column);  // idempotent
+      if (s.is_ok()) ++*applied;
+      return s;
+    }
+    default:
+      return Status(ErrorCode::kInternal, "apply_ddl on non-DDL record");
+  }
+}
+
+bool is_dml(RecordType t) {
+  return t == RecordType::kInsert || t == RecordType::kUpdate ||
+         t == RecordType::kDelete;
+}
+
+bool is_ddl(RecordType t) {
+  return t == RecordType::kCreateTable || t == RecordType::kDropTable ||
+         t == RecordType::kCreateIndex;
+}
+
+}  // namespace
+
+Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
+  if (!db.table_names().empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "recover() requires an empty database");
+  }
+  Result<std::vector<std::string>> names = device.list();
+  if (!names.ok()) return names.error();
+
+  RecoveryInfo info;
+  CheckpointData ckpt = load_latest_checkpoint(device, names.value());
+  if (ckpt.found) {
+    Status restored = restore_database(db, ckpt.snapshot);
+    if (!restored.is_ok()) return restored.error();
+    info.used_checkpoint = true;
+    info.checkpoint_lsn = ckpt.lsn;
+    info.last_lsn = ckpt.lsn;
+  }
+
+  // Replay wal segments in LSN order. A transaction's records buffer until
+  // its commit marker; an uncommitted or torn tail is discarded and the
+  // segment physically truncated so the writer can resume cleanly.
+  std::vector<Record> txn;
+  bool log_ended = false;
+  for (const std::string& name : names.value()) {
+    if (!has_prefix(name, kWalPrefix)) continue;
+    if (log_ended) {
+      // Everything after a torn segment is unreachable in LSN order.
+      device.remove(name);
+      continue;
+    }
+    Result<std::string> data = device.read(name);
+    if (!data.ok()) return data.error();
+    const std::string& buf = data.value();
+    ++info.segments_scanned;
+    if (buf.size() < kWalHeaderBytes ||
+        std::memcmp(buf.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+      // Header itself torn (crash during rotation): the segment carries no
+      // records; drop it.
+      info.bytes_truncated += buf.size();
+      device.remove(name);
+      log_ended = true;
+      continue;
+    }
+    std::size_t offset = kWalHeaderBytes;
+    while (true) {
+      Record record;
+      std::size_t frame_bytes = 0;
+      DecodeStatus status = decode_record(buf, offset, &record, &frame_bytes);
+      if (status == DecodeStatus::kEndOfLog) break;
+      if (status != DecodeStatus::kOk) {
+        Status truncated =
+            device.truncate(name, static_cast<std::uint64_t>(offset));
+        if (!truncated.is_ok()) return truncated.error();
+        info.bytes_truncated += buf.size() - offset;
+        log_ended = true;
+        break;
+      }
+      if (record.lsn > info.last_lsn) info.last_lsn = record.lsn;
+      if (is_dml(record.type)) {
+        txn.push_back(std::move(record));
+      } else if (record.type == RecordType::kCommit) {
+        if (record.txn_records != txn.size()) {
+          // Marker disagrees with its transaction: treat the frame as torn.
+          Status truncated =
+              device.truncate(name, static_cast<std::uint64_t>(offset));
+          if (!truncated.is_ok()) return truncated.error();
+          info.bytes_truncated += buf.size() - offset;
+          log_ended = true;
+          break;
+        }
+        bool replayed = false;
+        for (const Record& r : txn) {
+          if (r.lsn <= info.checkpoint_lsn) continue;  // already in snapshot
+          Status applied = apply_dml(db, r);
+          if (!applied.is_ok()) return applied.error();
+          ++info.records_replayed;
+          replayed = true;
+        }
+        if (replayed) ++info.transactions_replayed;
+        txn.clear();
+      } else if (is_ddl(record.type)) {
+        if (record.lsn > info.checkpoint_lsn) {
+          Status applied = apply_ddl(db, record, &info.ddl_replayed);
+          if (!applied.is_ok()) return applied.error();
+        }
+      }
+      offset += frame_bytes;
+    }
+  }
+  info.records_discarded = txn.size();
+  return info;
+}
+
+// --- WalManager -------------------------------------------------------------
+
+WalManager::WalManager(LogDevice& device, WalOptions options)
+    : device_(device), options_(options) {}
+
+Status WalManager::open() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Result<std::vector<std::string>> names = device_.list();
+  if (!names.ok()) return names.error();
+
+  Lsn max_lsn = 0;
+  for (const std::string& name : names.value()) {
+    if (!has_prefix(name, kCkptPrefix)) continue;
+    Lsn lsn = 0;
+    if (parse_hex16(name.substr(std::strlen(kCkptPrefix)), &lsn)) {
+      max_lsn = std::max(max_lsn, lsn);
+    }
+  }
+
+  // Scan wal segments for the true end of log; repair torn tails so the
+  // writer never appends after garbage.
+  std::string tail_segment;
+  std::uint64_t tail_size = 0;
+  bool log_ended = false;
+  for (const std::string& name : names.value()) {
+    if (!has_prefix(name, kWalPrefix)) continue;
+    if (log_ended) {
+      Status removed = device_.remove(name);
+      if (!removed.is_ok()) return removed;
+      continue;
+    }
+    Result<std::string> data = device_.read(name);
+    if (!data.ok()) return data.error();
+    const std::string& buf = data.value();
+    if (buf.size() < kWalHeaderBytes ||
+        std::memcmp(buf.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+      Status removed = device_.remove(name);
+      if (!removed.is_ok()) return removed;
+      log_ended = true;
+      continue;
+    }
+    std::size_t offset = kWalHeaderBytes;
+    while (true) {
+      Record record;
+      std::size_t frame_bytes = 0;
+      DecodeStatus status = decode_record(buf, offset, &record, &frame_bytes);
+      if (status == DecodeStatus::kEndOfLog) break;
+      if (status != DecodeStatus::kOk) {
+        Status truncated =
+            device_.truncate(name, static_cast<std::uint64_t>(offset));
+        if (!truncated.is_ok()) return truncated;
+        log_ended = true;
+        break;
+      }
+      max_lsn = std::max(max_lsn, record.lsn);
+      offset += frame_bytes;
+    }
+    tail_segment = name;
+    tail_size = offset;
+  }
+
+  next_lsn_ = max_lsn + 1;
+  if (!tail_segment.empty() && tail_size < options_.segment_bytes) {
+    segment_ = tail_segment;
+    segment_size_ = tail_size;
+  } else {
+    segment_.clear();
+    segment_size_ = 0;
+  }
+  unsynced_commits_ = 0;
+  unsynced_bytes_ = 0;
+  return Status::ok();
+}
+
+void WalManager::attach(Database& db) {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    db_ = &db;
+  }
+  db.set_commit_observer(this);
+}
+
+void WalManager::detach() {
+  Database* db;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    db = db_;
+    db_ = nullptr;
+  }
+  if (db && db->commit_observer() == this) db->set_commit_observer(nullptr);
+}
+
+Status WalManager::rotate_locked(Lsn first_lsn) {
+  if (!segment_.empty()) {
+    // Leave no unsynced tail behind in a segment we will never touch again.
+    Status synced = maybe_sync_locked(unsynced_bytes_ > 0);
+    if (!synced.is_ok()) return synced;
+  }
+  std::string header(kWalMagic, sizeof(kWalMagic));
+  put_u64(header, first_lsn);
+  std::string name = wal_segment_name(first_lsn);
+  Status appended = device_.append(name, header);
+  if (!appended.is_ok()) return appended;
+  segment_ = name;
+  segment_size_ = header.size();
+  ++stats_.rotations;
+  return Status::ok();
+}
+
+Status WalManager::append_frames_locked(const std::string& frames,
+                                        Lsn first_lsn) {
+  if (segment_.empty() || segment_size_ >= options_.segment_bytes) {
+    Status rotated = rotate_locked(first_lsn);
+    if (!rotated.is_ok()) return rotated;
+  }
+  Status appended = device_.append(segment_, frames);
+  if (!appended.is_ok()) return appended;
+  segment_size_ += frames.size();
+  unsynced_bytes_ += frames.size();
+  stats_.bytes_logged += frames.size();
+  return Status::ok();
+}
+
+Status WalManager::maybe_sync_locked(bool force) {
+  bool due = force;
+  if (!due && options_.group_commit_txns == 1) due = unsynced_commits_ > 0;
+  if (!due && options_.group_commit_txns > 1) {
+    due = unsynced_commits_ >= options_.group_commit_txns ||
+          (options_.group_commit_bytes > 0 &&
+           unsynced_bytes_ >= options_.group_commit_bytes);
+  }
+  if (!due || unsynced_bytes_ == 0) {
+    if (due) unsynced_commits_ = 0;
+    return Status::ok();
+  }
+  Status synced = device_.sync(segment_);
+  if (!synced.is_ok()) return synced;
+  ++stats_.syncs;
+  unsynced_commits_ = 0;
+  unsynced_bytes_ = 0;
+  return Status::ok();
+}
+
+Status WalManager::on_commit(Database& db,
+                             const std::vector<UndoRecord>& journal) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const Lsn first_lsn = next_lsn_;
+  std::string frames;
+  std::uint32_t dml = 0;
+  for (const UndoRecord& undo : journal) {
+    Table* table = db.table(undo.table);
+    if (!table) continue;  // table dropped mid-txn; the DDL record covers it
+    Record record;
+    record.table = undo.table;
+    record.row_id = undo.row_id;
+    if (undo.kind == UndoRecord::Kind::kDelete) {
+      record.type = RecordType::kDelete;
+    } else {
+      // Redo is the row's post-image, read from the still-in-place mutation.
+      std::optional<Row> row = table->get(undo.row_id);
+      if (!row) continue;  // inserted/updated then deleted in the same txn
+      record.type = undo.kind == UndoRecord::Kind::kInsert
+                        ? RecordType::kInsert
+                        : RecordType::kUpdate;
+      record.row = std::move(*row);
+    }
+    record.lsn = next_lsn_++;
+    frames += encode_record(record);
+    ++dml;
+  }
+  if (dml == 0) return Status::ok();  // nothing survived the journal
+
+  Record commit;
+  commit.type = RecordType::kCommit;
+  commit.txn_records = dml;
+  commit.lsn = next_lsn_++;
+  frames += encode_record(commit);
+
+  Status appended = append_frames_locked(frames, first_lsn);
+  if (!appended.is_ok()) {
+    next_lsn_ = first_lsn;  // nothing acknowledged; keep LSNs dense
+    return appended;
+  }
+  ++stats_.commits_logged;
+  stats_.records_logged += dml;
+  ++unsynced_commits_;
+  return maybe_sync_locked(false);
+}
+
+Status WalManager::on_create_table(const Table& table) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Record record;
+  record.type = RecordType::kCreateTable;
+  record.table = table.name();
+  record.schema_json = schema_to_json(table.schema()).dump();
+  record.lsn = next_lsn_++;
+  Status appended = append_frames_locked(encode_record(record), record.lsn);
+  if (!appended.is_ok()) {
+    --next_lsn_;
+    return appended;
+  }
+  ++stats_.ddl_logged;
+  return maybe_sync_locked(options_.group_commit_txns == 1);
+}
+
+Status WalManager::on_drop_table(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Record record;
+  record.type = RecordType::kDropTable;
+  record.table = name;
+  record.lsn = next_lsn_++;
+  Status appended = append_frames_locked(encode_record(record), record.lsn);
+  if (!appended.is_ok()) {
+    --next_lsn_;
+    return appended;
+  }
+  ++stats_.ddl_logged;
+  return maybe_sync_locked(options_.group_commit_txns == 1);
+}
+
+Status WalManager::on_create_index(const std::string& table,
+                                   const std::string& column) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Record record;
+  record.type = RecordType::kCreateIndex;
+  record.table = table;
+  record.column = column;
+  record.lsn = next_lsn_++;
+  Status appended = append_frames_locked(encode_record(record), record.lsn);
+  if (!appended.is_ok()) {
+    --next_lsn_;
+    return appended;
+  }
+  ++stats_.ddl_logged;
+  return maybe_sync_locked(options_.group_commit_txns == 1);
+}
+
+Status WalManager::flush() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return maybe_sync_locked(true);
+}
+
+Result<Lsn> WalManager::checkpoint(Database& db) {
+  // Order matters: the database lock first (as every commit path does), then
+  // the wal lock — checkpointing between transactions, never inside one.
+  std::lock_guard<std::recursive_mutex> db_guard(db.mutex());
+  std::lock_guard<std::mutex> guard(mutex_);
+
+  const Lsn ckpt_lsn = next_lsn_ - 1;
+  std::string body;
+  put_u64(body, ckpt_lsn);
+  body += dump_database(db).dump();
+
+  std::string out(kCkptMagic, sizeof(kCkptMagic));
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  put_u32(out, crc32(body.data(), body.size()));
+  out += body;
+
+  const std::string name = ckpt_segment_name(ckpt_lsn);
+  device_.remove(name);  // re-checkpoint at the same LSN overwrites
+  Status written = device_.append(name, out);
+  if (written.is_ok()) written = device_.sync(name);
+  if (!written.is_ok()) {
+    device_.remove(name);  // best effort; old log is still intact
+    return written.error();
+  }
+
+  // The snapshot covers everything logged: drop all wal segments and any
+  // older checkpoints. Recovery cost is now bounded by what commits next.
+  Result<std::vector<std::string>> names = device_.list();
+  if (names.ok()) {
+    for (const std::string& segment : names.value()) {
+      if (segment == name) continue;
+      if (has_prefix(segment, kWalPrefix) || has_prefix(segment, kCkptPrefix)) {
+        device_.remove(segment);
+      }
+    }
+  }
+  segment_.clear();
+  segment_size_ = 0;
+  unsynced_commits_ = 0;
+  unsynced_bytes_ = 0;
+  ++stats_.checkpoints;
+  return ckpt_lsn;
+}
+
+Lsn WalManager::next_lsn() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return next_lsn_;
+}
+
+WalStats WalManager::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace osprey::db::wal

@@ -130,7 +130,8 @@ Result<std::vector<TaskId>> EQSQL::submit_tasks(
     }
     ids.push_back(id);
   }
-  txn.commit();
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed.error();
   return ids;
 }
 
@@ -185,7 +186,13 @@ Result<std::vector<TaskHandle>> EQSQL::try_query_tasks(
   db::Transaction txn(db_);
   Result<std::vector<TaskHandle>> handles =
       claim_tasks_locked(eq_type, n, worker_pool);
-  if (handles.ok()) txn.commit();
+  if (handles.ok()) {
+    Status committed = txn.commit();
+    // A claim that cannot be made durable never happened: the rollback put
+    // the tasks back in the output queue, so report the failure instead of
+    // handing out leases the log does not know about.
+    if (!committed.is_ok()) return committed.error();
+  }
   return handles;
 }
 
@@ -259,8 +266,7 @@ Status EQSQL::report_task(TaskId eq_task_id, WorkType eq_type,
       "INSERT INTO eq_input_queue VALUES (?, ?)",
       {db::Value(eq_task_id), db::Value(std::int64_t{eq_type})});
   if (!push.ok()) return push.error();
-  txn.commit();
-  return Status::ok();
+  return txn.commit();
 }
 
 Result<std::string> EQSQL::try_query_result(TaskId eq_task_id) {
@@ -286,7 +292,8 @@ Result<std::string> EQSQL::try_query_result(TaskId eq_task_id) {
   auto pop = conn_.execute("DELETE FROM eq_input_queue WHERE eq_task_id = ?",
                            {db::Value(eq_task_id)});
   if (!pop.ok()) return pop.error();
-  txn.commit();
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed.error();
   return row.value().rows[0][1].is_null() ? std::string{}
                                           : row.value().rows[0][1].as_text();
 }
@@ -338,7 +345,8 @@ Result<std::vector<TaskId>> EQSQL::try_query_completed(
         id_params(found));
     if (!pop.ok()) return pop.error();
   }
-  txn.commit();
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed.error();
   return found;
 }
 
@@ -361,7 +369,8 @@ Result<std::size_t> EQSQL::cancel_tasks(const std::vector<TaskId>& ids) {
         return params;
       }());
   if (!upd.ok()) return upd.error();
-  txn.commit();
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed.error();
   return upd.value().affected;
 }
 
@@ -407,7 +416,8 @@ Result<std::size_t> EQSQL::update_priorities(
       repositioned += q.value().affected;
     }
   }
-  txn.commit();
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed.error();
   return repositioned;
 }
 
@@ -434,7 +444,8 @@ Result<std::size_t> EQSQL::requeue_tasks(const std::vector<TaskId>& ids) {
     if (!ins.ok()) return ins.error();
     ++requeued;
   }
-  txn.commit();
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed.error();
   return requeued;
 }
 
@@ -443,6 +454,16 @@ Result<std::size_t> EQSQL::requeue_pool_tasks(const PoolId& pool) {
       "SELECT eq_task_id FROM eq_tasks WHERE eq_status = 'running' "
       "AND worker_pool = ?",
       {db::Value(pool)});
+  if (!rows.ok()) return rows.error();
+  std::vector<TaskId> ids;
+  ids.reserve(rows.value().rows.size());
+  for (const db::Row& row : rows.value().rows) ids.push_back(row[0].as_int());
+  return requeue_tasks(ids);
+}
+
+Result<std::size_t> EQSQL::requeue_running_tasks() {
+  auto rows = conn_.execute(
+      "SELECT eq_task_id FROM eq_tasks WHERE eq_status = 'running'");
   if (!rows.ok()) return rows.error();
   std::vector<TaskId> ids;
   ids.reserve(rows.value().rows.size());

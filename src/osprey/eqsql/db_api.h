@@ -129,6 +129,13 @@ class EQSQL {
   /// Crash recovery: requeue every running task owned by `pool`.
   Result<std::size_t> requeue_pool_tasks(const PoolId& pool);
 
+  /// Resource-loss recovery (§IV-B): requeue every running task in every
+  /// pool. After a crash is recovered from a checkpoint or the WAL, the
+  /// pools that held leases are gone with the old resource — their in-flight
+  /// tasks must be offered to the pools of the new one. Returns the number
+  /// requeued.
+  Result<std::size_t> requeue_running_tasks();
+
   /// Lease expiry (§VII stalled-task detection): requeue every running task,
   /// in any pool, whose start time is more than `lease` seconds old. A hung
   /// worker never reports, so its task's only way back to the queue is this
@@ -177,7 +184,6 @@ class EQSQL {
   const Clock& clock_;
   Sleeper sleeper_;
   db::sql::Connection conn_;
-  TaskId next_task_id_ = 1;
 };
 
 }  // namespace osprey::eqsql

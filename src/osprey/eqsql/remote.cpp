@@ -63,6 +63,38 @@ Status register_emews_functions(faas::Endpoint& endpoint,
           json::Value out;
           out["key"] = json::Value(key);
           out["bytes"] = json::Value(static_cast<std::int64_t>(size));
+          // With a WAL attached the remote checkpoint is also a durable one:
+          // snapshot-to-device plus truncation of the covered log, reported
+          // back as the checkpoint LSN the campaign can resume from.
+          if (service.wal_enabled()) {
+            Result<db::wal::Lsn> lsn = service.checkpoint_durable();
+            if (!lsn.ok()) return lsn.error();
+            out["checkpoint_lsn"] =
+                json::Value(static_cast<std::int64_t>(lsn.value()));
+          }
+          return out;
+        });
+    if (!s.is_ok()) return s;
+
+    s = endpoint.registry().register_function(
+        "emews_restore",
+        [&service, checkpoint_store](
+            const json::Value& payload) -> Result<json::Value> {
+          std::string key = payload["key"].get_string("");
+          if (key.empty()) {
+            return Error(ErrorCode::kInvalidArgument,
+                         "emews_restore needs a 'key'");
+          }
+          Result<std::string> snapshot = checkpoint_store->get(key);
+          if (!snapshot.ok()) return snapshot.error();
+          Result<json::Value> doc = json::parse(snapshot.value());
+          if (!doc.ok()) return doc.error();
+          Status restored = service.restore(doc.value());
+          if (!restored.is_ok()) return restored.error();
+          json::Value out;
+          out["key"] = json::Value(key);
+          out["requeued"] = json::Value(
+              static_cast<std::int64_t>(service.recovered_requeues()));
           return out;
         });
     if (!s.is_ok()) return s;

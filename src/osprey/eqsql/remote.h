@@ -10,6 +10,11 @@
 //   emews_stop    -> stop it (task state is retained)
 //   emews_stats   -> the §IV-C queue/task counts, as JSON
 //   emews_checkpoint -> snapshot the task database into a ProxyStore key
+//                       (a durable checkpoint + WAL truncation when the
+//                       service has a write-ahead log attached)
+//   emews_restore -> load a snapshot from a ProxyStore key into a fresh
+//                    service on this resource and resume the campaign,
+//                    requeueing the tasks whose leases died with the old one
 // The ME algorithm drives these through FaaSService::submit from any site.
 #pragma once
 
@@ -20,8 +25,9 @@
 namespace osprey::eqsql {
 
 /// Install the EMEWS control functions on `endpoint`, bound to `service`.
-/// `checkpoint_store`, when non-null, enables emews_checkpoint (snapshots
-/// are written there under the key given in the call payload).
+/// `checkpoint_store`, when non-null, enables emews_checkpoint and
+/// emews_restore (snapshots move through the store under the key given in
+/// the call payload, bypassing the FaaS payload limit).
 /// The service and store must outlive the endpoint.
 Status register_emews_functions(faas::Endpoint& endpoint, EmewsService& service,
                                 proxystore::Store* checkpoint_store = nullptr);

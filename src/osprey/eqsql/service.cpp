@@ -8,6 +8,12 @@ namespace osprey::eqsql {
 
 EmewsService::EmewsService(const Clock& clock) : clock_(clock) {}
 
+EmewsService::~EmewsService() {
+  // The database outlives the wal_ member (declaration order), so detach
+  // the observer before the manager goes away.
+  if (wal_) wal_->detach();
+}
+
 Status EmewsService::start() {
   if (running_) {
     return Status(ErrorCode::kConflict, "EMEWS service already running");
@@ -85,7 +91,71 @@ Status EmewsService::restore(const json::Value& snapshot) {
   }
   schema_created_ = true;
   running_ = true;
+  // The snapshot may hold tasks that were running on the old resource; their
+  // pools are gone, so put them back in the output queue for the new one.
+  EQSQL eq(db_, clock_);
+  Result<std::size_t> requeued = eq.requeue_running_tasks();
+  if (!requeued.ok()) return requeued.error();
+  recovered_requeues_ = requeued.value();
   return Status::ok();
+}
+
+Status EmewsService::enable_wal(db::wal::LogDevice& device,
+                                db::wal::WalOptions options) {
+  if (wal_) {
+    return Status(ErrorCode::kConflict, "WAL already enabled");
+  }
+  auto manager = std::make_unique<db::wal::WalManager>(device, options);
+  Status opened = manager->open();
+  if (!opened.is_ok()) return opened;
+  manager->attach(db_);
+  wal_ = std::move(manager);
+  if (!db_.table_names().empty()) {
+    // State created before the log existed (enable_wal on a live campaign):
+    // checkpoint it, otherwise recovery would replay onto nothing.
+    Result<db::wal::Lsn> ckpt = wal_->checkpoint(db_);
+    if (!ckpt.ok()) {
+      wal_->detach();
+      wal_.reset();
+      return ckpt.error();
+    }
+  }
+  return Status::ok();
+}
+
+Result<db::wal::Lsn> EmewsService::checkpoint_durable() {
+  if (!wal_) {
+    return Error(ErrorCode::kUnavailable, "WAL not enabled on this service");
+  }
+  return wal_->checkpoint(db_);
+}
+
+Result<db::wal::RecoveryInfo> EmewsService::recover_from_wal(
+    db::wal::LogDevice& device, db::wal::WalOptions options) {
+  if (schema_created_ || running_ || wal_) {
+    return Error(ErrorCode::kConflict,
+                 "recover_from_wal requires a fresh service instance");
+  }
+  Result<db::wal::RecoveryInfo> info = db::wal::recover(device, db_);
+  if (!info.ok()) return info;
+  if (!schema_exists(db_)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "log does not contain an EMEWS schema");
+  }
+  auto manager = std::make_unique<db::wal::WalManager>(device, options);
+  Status opened = manager->open();
+  if (!opened.is_ok()) return opened.error();
+  manager->attach(db_);
+  wal_ = std::move(manager);
+  schema_created_ = true;
+  running_ = true;
+  // Requeue after the log is attached: the lease release is itself a
+  // committed, durable transaction, so a crash during recovery replays it.
+  EQSQL eq(db_, clock_);
+  Result<std::size_t> requeued = eq.requeue_running_tasks();
+  if (!requeued.ok()) return requeued.error();
+  recovered_requeues_ = requeued.value();
+  return info;
 }
 
 }  // namespace osprey::eqsql

@@ -13,6 +13,7 @@
 
 #include "osprey/core/clock.h"
 #include "osprey/db/database.h"
+#include "osprey/db/wal.h"
 #include "osprey/eqsql/db_api.h"
 #include "osprey/json/json.h"
 
@@ -57,16 +58,51 @@ class EmewsService {
   json::Value checkpoint() const;
 
   /// Restore a checkpoint into this (fresh, never-started) service and mark
-  /// it running.
+  /// it running. Tasks that were running when the snapshot was taken lost
+  /// their worker pools with the old resource, so they are requeued
+  /// (recovered_requeues() reports how many).
   Status restore(const json::Value& snapshot);
 
+  // --- durability (db/wal) ---------------------------------------------------
+
+  /// Attach a write-ahead log: from here on every committed transaction is
+  /// made durable on `device` before it is acknowledged. If the database
+  /// already holds state (enable_wal on a live campaign) an initial durable
+  /// checkpoint is written first, so the device alone always reconstructs
+  /// the full task state. The device must outlive the service.
+  Status enable_wal(db::wal::LogDevice& device, db::wal::WalOptions options = {});
+  bool wal_enabled() const { return wal_ != nullptr; }
+
+  /// Durable checkpoint: snapshot + checkpoint-LSN on the log device, then
+  /// truncation of the covered WAL segments. Requires enable_wal.
+  Result<db::wal::Lsn> checkpoint_durable();
+
+  /// Crash recovery onto a new resource: rebuild this fresh service's
+  /// database from the device (latest checkpoint plus the committed WAL
+  /// tail, torn tail truncated), re-attach the log, requeue the running
+  /// tasks whose leases died with the old resource, and mark the service
+  /// running. The requeue itself is logged, so a crash during recovery is
+  /// recoverable again.
+  Result<db::wal::RecoveryInfo> recover_from_wal(db::wal::LogDevice& device,
+                                             db::wal::WalOptions options = {});
+
+  /// Tasks requeued by the last recover_from_wal() / restore().
+  std::size_t recovered_requeues() const { return recovered_requeues_; }
+
+  /// The attached log manager (nullptr when WAL is disabled).
+  db::wal::WalManager* wal() { return wal_.get(); }
+
   db::Database& database() { return db_; }
+
+  ~EmewsService();
 
  private:
   const Clock& clock_;
   db::Database db_;
+  std::unique_ptr<db::wal::WalManager> wal_;
   bool running_ = false;
   bool schema_created_ = false;
+  std::size_t recovered_requeues_ = 0;
 };
 
 }  // namespace osprey::eqsql

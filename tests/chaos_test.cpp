@@ -25,7 +25,10 @@
 #include <vector>
 
 #include "osprey/core/fault.h"
+#include "osprey/db/dump.h"
+#include "osprey/db/wal.h"
 #include "osprey/eqsql/schema.h"
+#include "osprey/eqsql/service.h"
 #include "osprey/faas/service.h"
 #include "osprey/json/json.h"
 #include "osprey/me/async_driver.h"
@@ -338,6 +341,166 @@ TEST(ChaosTest, DifferentSeedIsADifferentScenario) {
   EXPECT_EQ(c.db_complete, kTasks);
   // ...but the stochastic texture differs (fires, timing).
   EXPECT_NE(a.fault_report, c.fault_report);
+}
+
+// --- crash / resume: the campaign loses its resource mid-flight --------------
+//
+// Phase 1 runs the 750-task campaign on an EMEWS service whose database
+// writes through a WAL on a simulated crashable device; mid-campaign the
+// whole "resource" (simulation, service, pools) is lost and the device
+// power-fails. Phase 2 stands up a brand-new service on a new resource,
+// recovers the task state from the surviving medium (checkpoint + committed
+// WAL tail), requeues the tasks whose leases died with the old pools, and
+// drains the remainder — every task completing exactly once across the two
+// lives, bit-identically across reruns of the same seed.
+
+/// Everything the crash/resume determinism check compares.
+struct ResumeOutcome {
+  bool recovered = false;
+  bool used_checkpoint = false;
+  std::uint64_t phase1_completed = 0;  // pool-side completions before the cut
+  std::uint64_t phase2_completed = 0;
+  std::size_t requeued = 0;            // leases lost with the old resource
+  std::int64_t db_complete = 0;
+  std::int64_t db_queued = 0;
+  std::int64_t db_running = 0;
+  std::string final_dump;              // full recovered+drained task state
+};
+
+ResumeOutcome run_crash_resume_campaign(std::uint64_t master_seed) {
+  constexpr double kCutTime = 100.0;
+  ResumeOutcome outcome;
+  SeedSequence seeds(master_seed);
+  auto disk = std::make_shared<db::wal::SimDisk>();
+
+  // --- phase 1: the original resource ---------------------------------------
+  std::uint64_t pool_seeds[4] = {seeds.next(), seeds.next(), seeds.next(),
+                                 seeds.next()};
+  std::uint64_t sample_seed = seeds.next();
+  {
+    sim::Simulation sim;
+    eqsql::EmewsService service(sim);
+    EXPECT_TRUE(service.start().is_ok());
+    db::wal::SimLogDevice device(disk);
+    // Per-commit sync: every acknowledged commit must survive the crash —
+    // that is what makes the pool-side completion counters add up exactly.
+    EXPECT_TRUE(service.enable_wal(device).is_ok());
+
+    eqsql::EQSQL api(service.database(), sim);
+    Rng sample_rng(sample_seed);
+    auto samples = me::uniform_samples(sample_rng, kTasks, 4, -32.768, 32.768);
+    std::vector<std::string> payloads;
+    payloads.reserve(samples.size());
+    for (const auto& p : samples) payloads.push_back(json::array_of(p).dump());
+    EXPECT_TRUE(api.submit_tasks("resume", kWork, payloads).ok());
+
+    std::vector<std::unique_ptr<pool::SimWorkerPool>> pools;
+    for (int i = 0; i < 2; ++i) {
+      pool::SimPoolConfig c;
+      c.name = "resume_pool_" + std::to_string(i + 1);
+      c.work_type = kWork;
+      c.num_workers = kWorkers;
+      c.batch_size = kWorkers;
+      c.threshold = 1;
+      c.query_cost = 0.6;
+      c.query_jitter = 0.15;
+      pools.push_back(std::make_unique<pool::SimWorkerPool>(
+          sim, api, c, me::ackley_sim_runner(kMedianRuntime, kRuntimeSigma),
+          pool_seeds[i]));
+      EXPECT_TRUE(pools.back()->start().is_ok());
+    }
+    // A routine durable checkpoint partway in: recovery replays snapshot +
+    // tail, not the whole campaign history.
+    sim.schedule_at(kCutTime / 2, [&] {
+      EXPECT_TRUE(service.checkpoint_durable().ok());
+    });
+
+    sim.run_until(kCutTime);  // ...and the resource is gone.
+    for (const auto& p : pools) outcome.phase1_completed += p->tasks_completed();
+    device.crash();
+  }
+
+  // --- phase 2: a new resource recovers from the medium ----------------------
+  sim::Simulation sim;
+  eqsql::EmewsService service(sim);
+  db::wal::SimLogDevice device(disk);
+  Result<db::wal::RecoveryInfo> info = service.recover_from_wal(device);
+  EXPECT_TRUE(info.ok());
+  if (!info.ok()) return outcome;
+  outcome.recovered = true;
+  outcome.used_checkpoint = info.value().used_checkpoint;
+  outcome.requeued = service.recovered_requeues();
+
+  eqsql::EQSQL api(service.database(), sim);
+  std::vector<std::unique_ptr<pool::SimWorkerPool>> pools;
+  for (int i = 0; i < 2; ++i) {
+    pool::SimPoolConfig c;
+    c.name = "resume_pool_relaunch_" + std::to_string(i + 1);
+    c.work_type = kWork;
+    c.num_workers = kWorkers;
+    c.batch_size = kWorkers;
+    c.threshold = 1;
+    c.query_cost = 0.6;
+    c.query_jitter = 0.15;
+    pools.push_back(std::make_unique<pool::SimWorkerPool>(
+        sim, api, c, me::ackley_sim_runner(kMedianRuntime, kRuntimeSigma),
+        pool_seeds[2 + i]));
+    EXPECT_TRUE(pools.back()->start().is_ok());
+  }
+  sim.run_until(3000.0);
+  for (const auto& p : pools) outcome.phase2_completed += p->tasks_completed();
+
+  Result<eqsql::ServiceStats> stats = service.stats();
+  EXPECT_TRUE(stats.ok());
+  if (stats.ok()) {
+    outcome.db_complete = stats.value().tasks_complete;
+    outcome.db_queued = stats.value().tasks_queued;
+    outcome.db_running = stats.value().tasks_running;
+  }
+
+  // A straggler from the dead resource reports its long-lost result: the
+  // exactly-once guard drops it without touching the completed state.
+  auto task_ids = api.experiment_tasks("resume").value();
+  EXPECT_FALSE(task_ids.empty());
+  Status late = api.report_task(task_ids.front(), kWork, "{\"y\":0}");
+  EXPECT_EQ(late.error().code, ErrorCode::kConflict);
+
+  outcome.final_dump = db::dump_database(service.database()).dump();
+  return outcome;
+}
+
+TEST(ChaosTest, CampaignCrashResumesFromWalExactlyOnce) {
+  ResumeOutcome o = run_crash_resume_campaign(424242);
+
+  ASSERT_TRUE(o.recovered);
+  EXPECT_TRUE(o.used_checkpoint);  // the mid-campaign durable checkpoint
+  // The cut was genuinely mid-flight...
+  EXPECT_GT(o.phase1_completed, 0u);
+  EXPECT_LT(o.phase1_completed, static_cast<std::uint64_t>(kTasks));
+  // ...so running tasks lost their leases and were requeued on recovery.
+  EXPECT_GT(o.requeued, 0u);
+  // Every one of the 750 tasks completed, exactly once, across both lives:
+  // acknowledged completions survived the crash (they were synced before the
+  // ack), requeued ones ran again on the new resource, and nothing ran twice.
+  EXPECT_EQ(o.db_complete, kTasks);
+  EXPECT_EQ(o.db_queued, 0);
+  EXPECT_EQ(o.db_running, 0);
+  EXPECT_EQ(o.phase1_completed + o.phase2_completed,
+            static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ChaosTest, CrashResumeReplaysBitIdentically) {
+  ResumeOutcome a = run_crash_resume_campaign(777);
+  ResumeOutcome b = run_crash_resume_campaign(777);
+
+  ASSERT_TRUE(a.recovered);
+  ASSERT_TRUE(b.recovered);
+  EXPECT_EQ(a.phase1_completed, b.phase1_completed);
+  EXPECT_EQ(a.phase2_completed, b.phase2_completed);
+  EXPECT_EQ(a.requeued, b.requeued);
+  EXPECT_EQ(a.db_complete, b.db_complete);
+  // The entire recovered-and-drained task database, byte for byte.
+  EXPECT_EQ(a.final_dump, b.final_dump);
 }
 
 }  // namespace

@@ -435,5 +435,176 @@ TEST(DumpTest, RejectsMalformedSnapshots) {
       restore_database(db, json::parse_or_die(R"({"format":"wrong"})")).is_ok());
 }
 
+TEST(DumpTest, PreservesRowIdsAndIdAllocatorAcrossDeletes) {
+  Database db;
+  Table* t = db.create_table("tasks", task_schema()).value();
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(t->insert(make_task(i, "queued", i, "{}")).ok());
+  }
+  // Punch holes, including the highest id: a restore that renumbered rows
+  // (or re-derived the allocator from the survivors) would hand id 5 out
+  // again, colliding with redo records that reference the original ids.
+  ScanOptions kill;
+  kill.where = eq("eq_task_id", Value(std::int64_t{2}));
+  ASSERT_TRUE(t->erase(kill).ok());
+  kill.where = eq("eq_task_id", Value(std::int64_t{5}));
+  ASSERT_TRUE(t->erase(kill).ok());
+  std::vector<RowId> original_ids = t->all_row_ids();
+
+  Database restored;
+  ASSERT_TRUE(restore_database(restored, dump_database(db)).is_ok());
+  Table* rt = restored.table("tasks");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->all_row_ids(), original_ids);
+  auto fresh = rt->insert(make_task(6, "queued", 6, "{}"));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value(), t->next_row_id());  // allocator carried over
+
+  // And the round trip is bit-identical, not merely equivalent.
+  EXPECT_EQ(dump_database(db).dump(),
+            [&] {
+              Database again;
+              EXPECT_TRUE(restore_database(again, dump_database(db)).is_ok());
+              return dump_database(again).dump();
+            }());
+}
+
+TEST(DumpTest, FieldByFieldRoundTripOfEveryValueShape) {
+  Database db;
+  Table* t = db.create_table("cells", Schema({
+                                          {"id", ColumnType::kInt, false, true},
+                                          {"i", ColumnType::kInt, true, false},
+                                          {"r", ColumnType::kReal, true, false},
+                                          {"s", ColumnType::kText, true, false},
+                                      }))
+                 .value();
+  std::vector<Row> rows = {
+      {Value(std::int64_t{1}), Value(std::int64_t{-9007199254740993}),
+       Value(0.1), Value("plain")},
+      {Value(std::int64_t{2}), Value(nullptr), Value(-1e300),
+       Value("quo\"te\nline")},
+      {Value(std::int64_t{3}), Value(std::int64_t{0}), Value(nullptr),
+       Value("")},
+      {Value(std::int64_t{4}), Value(std::int64_t{1}) , Value(3.0),
+       Value(std::string("nul\0byte-free", 3))},  // text stays exact
+  };
+  for (const Row& row : rows) ASSERT_TRUE(t->insert(row).ok());
+
+  Database restored;
+  ASSERT_TRUE(restore_database(restored, dump_database(db)).is_ok());
+  Table* rt = restored.table("cells");
+  ASSERT_NE(rt, nullptr);
+  ASSERT_EQ(rt->row_count(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::optional<Row> got = rt->get(static_cast<RowId>(i + 1));
+    ASSERT_TRUE(got.has_value()) << "row " << i + 1;
+    ASSERT_EQ(got->size(), rows[i].size());
+    for (std::size_t c = 0; c < rows[i].size(); ++c) {
+      EXPECT_EQ((*got)[c].compare(rows[i][c]), 0)
+          << "row " << i + 1 << " column " << c;
+    }
+  }
+}
+
+TEST(DumpTest, RestoreIntoPopulatedDatabaseFailsWithoutClobbering) {
+  Database db;
+  Table* t = db.create_table("tasks", task_schema()).value();
+  ASSERT_TRUE(t->insert(make_task(1, "running", 7, "{\"live\":true}")).ok());
+  std::string before = dump_database(db).dump();
+
+  Database other;
+  Table* ot = other.create_table("tasks", task_schema()).value();
+  ASSERT_TRUE(ot->insert(make_task(2, "queued", 1, "{}")).ok());
+  Status s = restore_database(db, dump_database(other));
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kConflict);
+  // The existing table was not replaced or merged into.
+  EXPECT_EQ(dump_database(db).dump(), before);
+}
+
+TEST(DumpTest, RejectsBadRowIdsAndBadRows) {
+  Database reference;
+  Table* t = reference.create_table("tasks", task_schema()).value();
+  ASSERT_TRUE(t->insert(make_task(1, "queued", 0, "{}")).ok());
+  json::Value good = dump_database(reference);
+
+  // A non-numeric row id is a malformed snapshot, not a silent renumber.
+  {
+    json::Value bad = good;
+    bad["tables"]["tasks"]["row_ids"].as_array()[0] = json::Value("one");
+    Database db;
+    Status s = restore_database(db, bad);
+    ASSERT_FALSE(s.is_ok());
+    EXPECT_EQ(s.error().code, ErrorCode::kInvalidArgument);
+  }
+  // A row that does not conform to the schema is rejected by the restore.
+  {
+    json::Value bad = good;
+    bad["tables"]["tasks"]["rows"].as_array()[0].as_array()[1] =
+        json::Value(std::int64_t{12});  // status must be text
+    Database db;
+    EXPECT_FALSE(restore_database(db, bad).is_ok());
+  }
+  // "tables" of the wrong shape is caught before any table is created.
+  {
+    Database db;
+    EXPECT_FALSE(
+        restore_database(
+            db, json::parse_or_die(
+                    R"({"format":"osprey-db-snapshot-v1","tables":[1]})"))
+            .is_ok());
+    EXPECT_TRUE(db.table_names().empty());
+  }
+}
+
+TEST(DumpTest, LegacySnapshotsWithoutRowIdsStillRestore) {
+  Database db;
+  Table* t = db.create_table("tasks", task_schema()).value();
+  for (int i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(t->insert(make_task(i, "queued", i, "{}")).ok());
+  }
+  json::Value snapshot = dump_database(db);
+  // A pre-v1.1 snapshot: no row_ids, no next_row_id.
+  snapshot["tables"]["tasks"].as_object().erase("row_ids");
+  snapshot["tables"]["tasks"].as_object().erase("next_row_id");
+
+  Database restored;
+  ASSERT_TRUE(restore_database(restored, snapshot).is_ok());
+  Table* rt = restored.table("tasks");
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->row_count(), 3u);
+  EXPECT_TRUE(rt->find_pk(Value(std::int64_t{2})).has_value());
+}
+
+TEST(DumpTest, DumpToFileIsAtomicAndLeavesNoTempFile) {
+  Database db;
+  Table* t = db.create_table("tasks", task_schema()).value();
+  ASSERT_TRUE(t->insert(make_task(1, "queued", 0, "{}")).ok());
+  const std::string path = "/tmp/osprey_dump_atomic_test.json";
+
+  // Overwrite an existing (garbage) file in place.
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("half-written garbage", f);
+    fclose(f);
+  }
+  ASSERT_TRUE(dump_to_file(db, path).is_ok());
+  {
+    FILE* tmp = fopen((path + ".tmp").c_str(), "r");
+    EXPECT_EQ(tmp, nullptr);  // the staging file was renamed away
+    if (tmp) fclose(tmp);
+  }
+  Database restored;
+  ASSERT_TRUE(restore_from_file(restored, path).is_ok());
+  EXPECT_EQ(restored.table("tasks")->row_count(), 1u);
+  std::remove(path.c_str());
+
+  // An unwritable destination surfaces as a Status, not a partial file.
+  Status s = dump_to_file(db, "/tmp/osprey_no_such_dir/dump.json");
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace osprey::db
