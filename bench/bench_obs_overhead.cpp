@@ -1,0 +1,88 @@
+// Telemetry overhead on the EQSQL throughput workload (DESIGN.md
+// §observability): the full §IV-C submit -> claim -> report -> query_result
+// cycle with the osprey::obs plane off vs on. The budget is < 5% relative
+// throughput regression with telemetry enabled; BM_RelativeOverhead times
+// both modes back to back and reports overhead_pct directly.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/schema.h"
+#include "osprey/obs/telemetry.h"
+
+using namespace osprey;
+using namespace osprey::eqsql;
+
+namespace {
+
+constexpr WorkType kWork = 1;
+
+struct Fixture {
+  Fixture() : conn(db) {
+    (void)create_schema(conn);
+    api = std::make_unique<EQSQL>(db, clock);
+  }
+  db::Database db;
+  db::sql::Connection conn;
+  ManualClock clock;
+  std::unique_ptr<EQSQL> api;
+};
+
+void full_cycle(Fixture& fx) {
+  TaskId id = fx.api->submit_task("bench", kWork, "[1]").value();
+  auto handles = fx.api->try_query_tasks(kWork, 1, "pool");
+  (void)fx.api->report_task(handles.value()[0].eq_task_id, kWork, "{\"y\":1}");
+  benchmark::DoNotOptimize(fx.api->try_query_result(id));
+}
+
+void BM_FullCycleTelemetryOff(benchmark::State& state) {
+  obs::ScopedTelemetry scoped(false);
+  Fixture fx;
+  for (auto _ : state) full_cycle(fx);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullCycleTelemetryOff);
+
+void BM_FullCycleTelemetryOn(benchmark::State& state) {
+  obs::ScopedTelemetry scoped(true);
+  Fixture fx;
+  for (auto _ : state) full_cycle(fx);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullCycleTelemetryOn);
+
+/// Seconds for `cycles` full task cycles with telemetry in the given mode.
+double time_cycles(bool telemetry_on, int cycles) {
+  obs::ScopedTelemetry scoped(telemetry_on);
+  Fixture fx;
+  auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < cycles; ++i) full_cycle(fx);
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+void BM_RelativeOverhead(benchmark::State& state) {
+  constexpr int kCycles = 5000;
+  double off = 0.0;
+  double on = 0.0;
+  for (auto _ : state) {
+    // Interleave the modes so clock drift and cache state hit both equally.
+    off += time_cycles(false, kCycles);
+    on += time_cycles(true, kCycles);
+  }
+  state.counters["off_us_per_cycle"] =
+      off / (kCycles * static_cast<double>(state.iterations())) * 1e6;
+  state.counters["on_us_per_cycle"] =
+      on / (kCycles * static_cast<double>(state.iterations())) * 1e6;
+  // The headline number: must stay under the 5% budget.
+  state.counters["overhead_pct"] = (on - off) / off * 100.0;
+}
+BENCHMARK(BM_RelativeOverhead)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,19 +8,32 @@
 // Task payloads are JSON arrays (points); the worker evaluates the Ackley
 // function over them with a small lognormal sleep, exactly the shape of the
 // paper's §VI example but scaled to finish in about a second.
+//
+// Set OSPREY_TELEMETRY_DIR=<dir> to run with the osprey::obs plane enabled:
+// the campaign's metrics (Prometheus text) and task trace (Chrome
+// trace_event JSON) are written to <dir>/metrics.prom and <dir>/trace.json
+// on exit. CI validates both with scripts/check_telemetry.py.
 #include <cstdio>
+#include <cstdlib>
 
 #include "osprey/core/clock.h"
 #include "osprey/eqsql/future.h"
 #include "osprey/eqsql/service.h"
 #include "osprey/json/json.h"
 #include "osprey/me/task_runners.h"
+#include "osprey/obs/telemetry.h"
 #include "osprey/pool/threaded_pool.h"
 
 using namespace osprey;
 
 int main() {
   constexpr WorkType kSimWork = 1;
+
+  const char* telemetry_dir = std::getenv("OSPREY_TELEMETRY_DIR");
+  if (telemetry_dir != nullptr) {
+    obs::set_enabled(true);
+    std::printf("telemetry enabled; exporting to %s\n", telemetry_dir);
+  }
 
   // The EMEWS service owns the task database (§IV-C). In the paper it is
   // started on the HPC login node via funcX; here we hold it in-process.
@@ -95,5 +108,15 @@ int main() {
               static_cast<unsigned long long>(pool.queries_issued()),
               static_cast<unsigned long long>(pool.tasks_completed()));
   service.stop();
+
+  if (telemetry_dir != nullptr) {
+    if (Status s = obs::dump_to_directory(telemetry_dir); !s.is_ok()) {
+      std::fprintf(stderr, "telemetry export failed: %s\n",
+                   s.to_string().c_str());
+      return 1;
+    }
+    std::printf("telemetry written to %s/metrics.prom and %s/trace.json\n",
+                telemetry_dir, telemetry_dir);
+  }
   return 0;
 }

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate a telemetry export directory (metrics.prom + trace.json).
+
+Usage: scripts/check_telemetry.py <dir>
+
+Checks, exiting nonzero on the first failure:
+  - metrics.prom parses as Prometheus text exposition: every sample line is
+    `name{labels} value` with a preceding `# TYPE` for its family, histogram
+    families carry _bucket/_sum/_count series, and bucket counts are
+    cumulative ending in le="+Inf".
+  - trace.json parses as a Chrome trace_event document: an object with a
+    traceEvents array whose entries have name/ph/ts/pid/tid, complete ("X")
+    events have a non-negative dur, and per-tid "X" events are well nested
+    (here: non-overlapping, since each task's spans chain end-to-start).
+  - The two agree on campaign totals: the number of "run" spans in the trace
+    equals osprey_eqsql_tasks_reported_total in the metrics.
+"""
+import json
+import re
+import sys
+from collections import defaultdict
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})?\s+'
+    r'(?P<value>[-+]?(\d+\.?\d*([eE][-+]?\d+)?|\d*\.\d+([eE][-+]?\d+)?|Inf|NaN))$'
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(msg):
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_family(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_metrics(path):
+    types = {}
+    samples = []  # (name, labels-dict, value)
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram"):
+                    fail(f"{path}:{lineno}: malformed TYPE line: {line!r}")
+                types[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            m = SAMPLE_RE.match(line)
+            if not m:
+                fail(f"{path}:{lineno}: malformed sample line: {line!r}")
+            labels = dict(LABEL_RE.findall(m.group("labels") or ""))
+            samples.append((m.group("name"), labels, float(m.group("value"))))
+
+    if not samples:
+        fail(f"{path}: no samples")
+
+    for name, _, value in samples:
+        family = base_family(name)
+        if family not in types and name not in types:
+            fail(f"{path}: sample {name} has no # TYPE line")
+        if value < 0 and types.get(family, types.get(name)) == "counter":
+            fail(f"{path}: counter {name} is negative")
+
+    # Histogram bucket series must be cumulative and end at +Inf.
+    buckets = defaultdict(list)  # (family, non-le labels) -> [(le, value)]
+    for name, labels, value in samples:
+        if not name.endswith("_bucket"):
+            continue
+        if "le" not in labels:
+            fail(f"{path}: {name} sample without le label")
+        key = (name[: -len("_bucket")],
+               tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+        le = labels["le"]
+        buckets[key].append((float("inf") if le == "+Inf" else float(le),
+                             value))
+    for (family, labels), series in buckets.items():
+        series.sort(key=lambda p: p[0])
+        if series[-1][0] != float("inf"):
+            fail(f"{path}: histogram {family}{dict(labels)} missing +Inf")
+        values = [v for _, v in series]
+        if any(b < a for a, b in zip(values, values[1:])):
+            fail(f"{path}: histogram {family}{dict(labels)} not cumulative")
+
+    print(f"check_telemetry: {path}: {len(samples)} samples, "
+          f"{len(types)} families, {len(buckets)} histogram series OK")
+    return samples
+
+
+def check_trace(path):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: not a Chrome trace_event document")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents empty or not an array")
+
+    spans_by_tid = defaultdict(list)
+    run_spans = 0
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(f"{path}: traceEvents[{i}] missing {key!r}")
+        if e["ph"] == "X":
+            if e.get("dur", -1) < 0:
+                fail(f"{path}: traceEvents[{i}] 'X' event with bad dur")
+            spans_by_tid[e["tid"]].append((e["ts"], e["ts"] + e["dur"]))
+            if e["name"] == "run":
+                run_spans += 1
+        elif e["ph"] != "i":
+            fail(f"{path}: traceEvents[{i}] unexpected phase {e['ph']!r}")
+
+    # Per-task spans chain end-to-start, so they must not overlap.
+    for tid, spans in spans_by_tid.items():
+        spans.sort()
+        for (_, a_end), (b_begin, _) in zip(spans, spans[1:]):
+            if b_begin < a_end - 1e-6:
+                fail(f"{path}: tid {tid} has overlapping spans")
+
+    print(f"check_telemetry: {path}: {len(events)} events across "
+          f"{len(spans_by_tid)} tasks OK")
+    return run_spans
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    directory = sys.argv[1].rstrip("/")
+    samples = check_metrics(f"{directory}/metrics.prom")
+    run_spans = check_trace(f"{directory}/trace.json")
+
+    reported = sum(v for name, _, v in samples
+                   if name == "osprey_eqsql_tasks_reported_total")
+    if reported != run_spans:
+        fail(f"metrics report {reported:.0f} completed runs but the trace "
+             f"holds {run_spans} 'run' spans")
+    print(f"check_telemetry: metrics and trace agree on "
+          f"{run_spans} completed runs")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "osprey/obs/telemetry.h"
+
 namespace osprey {
 
 namespace {
@@ -121,6 +123,18 @@ bool FaultRegistry::should_fire(const std::string& point) {
     fire = rng_locked(point, p).bernoulli(p.probability);
   }
   if (fire) ++p.fires;
+  if (obs::enabled()) {
+    // Handles stay valid across telemetry resets, so acquire them once per
+    // point and reuse under the registry lock.
+    if (p.checked_counter == nullptr) {
+      p.checked_counter = &obs::telemetry().metrics.counter(
+          "osprey_fault_checked_total", {{"point", point}});
+      p.fired_counter = &obs::telemetry().metrics.counter(
+          "osprey_fault_fired_total", {{"point", point}});
+    }
+    p.checked_counter->inc();
+    if (fire) p.fired_counter->inc();
+  }
   return fire;
 }
 

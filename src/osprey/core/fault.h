@@ -35,6 +35,10 @@
 #include "osprey/core/clock.h"
 #include "osprey/core/rng.h"
 
+namespace osprey::obs {
+class Counter;
+}  // namespace osprey::obs
+
 namespace osprey {
 
 class FaultRegistry {
@@ -103,6 +107,10 @@ class FaultRegistry {
     std::unique_ptr<Rng> rng;  // created lazily, seeded from (seed, name)
     std::uint64_t checks = 0;
     std::uint64_t fires = 0;
+    // Cached telemetry handles (osprey_fault_{checked,fired}_total{point=}),
+    // acquired lazily on the first check with telemetry enabled.
+    obs::Counter* checked_counter = nullptr;
+    obs::Counter* fired_counter = nullptr;
 
     bool active_at(TimePoint t) const;
   };

@@ -3,14 +3,22 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 
 namespace osprey {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 std::mutex g_mutex;
+LogSink g_sink;  // empty = stderr default; guarded by g_mutex
 
-const char* level_name(LogLevel level) {
+void stderr_sink(const LogRecord& record) {
+  std::fprintf(stderr, "[%-5s] %s: %s\n", log_level_name(record.level),
+               record.component.c_str(), record.flatten().c_str());
+}
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -20,17 +28,104 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+std::string LogRecord::flatten() const {
+  std::string out = message;
+  for (const LogField& f : fields) {
+    if (!out.empty()) out += ' ';
+    out += f.key;
+    out += '=';
+    out += f.value;
+  }
+  return out;
+}
+
+void log_record(LogRecord record) {
+  if (record.level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_sink) {
+    g_sink(record);
+  } else {
+    stderr_sink(record);
+  }
+}
 
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message) {
-  if (level < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%-5s] %s: %s\n", level_name(level),
-               component.c_str(), message.c_str());
+  log_record(LogRecord{level, component, message, {}});
+}
+
+void CaptureSink::install() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    installed_ = true;
+  }
+  set_log_sink([this](const LogRecord& record) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(record);
+  });
+}
+
+void CaptureSink::uninstall() {
+  bool was_installed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    was_installed = installed_;
+    installed_ = false;
+  }
+  if (was_installed) set_log_sink(nullptr);
+}
+
+std::vector<LogRecord> CaptureSink::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::size_t CaptureSink::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+std::size_t CaptureSink::count_at(LogLevel level) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const LogRecord& r : records_) {
+    if (r.level == level) ++n;
+  }
+  return n;
+}
+
+bool CaptureSink::contains(const std::string& needle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const LogRecord& r : records_) {
+    if (r.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string CaptureSink::field_value(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const LogRecord& r : records_) {
+    for (const LogField& f : r.fields) {
+      if (f.key == key) return f.value;
+    }
+  }
+  return {};
+}
+
+void CaptureSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
 }
 
 }  // namespace osprey

@@ -1,31 +1,120 @@
-// Minimal leveled, thread-safe logger.
+// Minimal leveled, thread-safe, structured logger.
 //
 // OSPREY components log control-plane events (pool start/stop, retries,
 // transfers). Logging defaults to kWarn so tests and benches stay quiet;
 // examples raise it to kInfo to narrate the workflow.
+//
+// Structure: besides the free-text message, a log line can carry typed
+// key=value fields (streamed with log_field) so events are machine-parseable.
+// Emission goes through a pluggable LogSink; the default sink prints
+// "[LEVEL] component: message key=value ..." to stderr, and tests install a
+// CaptureSink to assert on exactly what was logged. The global threshold is
+// an atomic — hot paths on many threads consult it with one relaxed load.
 #pragma once
 
+#include <cstddef>
+#include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace osprey {
 
 enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
 
-/// Global log threshold. Messages below this level are discarded.
+const char* log_level_name(LogLevel level);
+
+/// Global log threshold. Messages below this level are discarded. Reads and
+/// writes are atomic (threaded pools consult the threshold concurrently).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// One structured key=value field attached to a log line.
+struct LogField {
+  std::string key;
+  std::string value;
+};
+
+/// Build a field from any streamable value:
+///   OSPREY_LOG(kInfo, "pool") << "claimed" << log_field("pool", name);
+template <typename T>
+LogField log_field(std::string key, const T& value) {
+  std::ostringstream os;
+  os << value;
+  return LogField{std::move(key), os.str()};
+}
+inline LogField log_field(std::string key, std::string value) {
+  return LogField{std::move(key), std::move(value)};
+}
+
+/// A fully assembled log event as handed to the sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;
+  std::string message;
+  std::vector<LogField> fields;
+
+  /// "message key=value key2=value2" — the default sink's rendering.
+  std::string flatten() const;
+};
+
+/// Where log records go. The sink runs under the logger's mutex, so it needs
+/// no locking of its own but must not log re-entrantly.
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replace the global sink; an empty function restores the stderr default.
+void set_log_sink(LogSink sink);
 
 /// Emit one log line (thread-safe). Prefer the OSPREY_LOG macro.
 void log_message(LogLevel level, const std::string& component,
                  const std::string& message);
+
+/// Emit a fully structured record (threshold-checked like log_message).
+void log_record(LogRecord record);
+
+/// Test-visible sink: captures every record at or above the threshold while
+/// installed. Install/uninstall from the owning test only (the capture
+/// buffer itself is thread-safe against concurrent logging).
+class CaptureSink {
+ public:
+  ~CaptureSink() { uninstall(); }
+
+  /// Route the global sink into this capture buffer.
+  void install();
+  /// Restore the stderr default (idempotent).
+  void uninstall();
+
+  std::vector<LogRecord> records() const;
+  std::size_t count() const;
+  std::size_t count_at(LogLevel level) const;
+  /// Any captured record whose message contains `needle`.
+  bool contains(const std::string& needle) const;
+  /// First value of `key` among captured records' fields ("" when absent).
+  std::string field_value(const std::string& key) const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<LogRecord> records_;
+  bool installed_ = false;
+};
 
 namespace detail {
 class LogStream {
  public:
   LogStream(LogLevel level, std::string component)
       : level_(level), component_(std::move(component)) {}
-  ~LogStream() { log_message(level_, component_, stream_.str()); }
+  ~LogStream() {
+    log_record(LogRecord{level_, std::move(component_), stream_.str(),
+                         std::move(fields_)});
+  }
+
+  LogStream& operator<<(const LogField& field) {
+    fields_.push_back(field);
+    return *this;
+  }
 
   template <typename T>
   LogStream& operator<<(const T& v) {
@@ -37,12 +126,14 @@ class LogStream {
   LogLevel level_;
   std::string component_;
   std::ostringstream stream_;
+  std::vector<LogField> fields_;
 };
 }  // namespace detail
 
 }  // namespace osprey
 
-/// Usage: OSPREY_LOG(kInfo, "pool") << "worker " << id << " started";
+/// Usage: OSPREY_LOG(kInfo, "pool") << "worker " << id << " started"
+///                                  << osprey::log_field("pool", name);
 #define OSPREY_LOG(level, component)                                   \
   if (::osprey::LogLevel::level < ::osprey::log_level()) {             \
   } else                                                               \

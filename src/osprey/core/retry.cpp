@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "osprey/obs/telemetry.h"
 
 namespace osprey {
 
@@ -43,8 +46,9 @@ Status RetryPolicy::validate() const {
   return Status::ok();
 }
 
-RetryState::RetryState(RetryPolicy policy, std::uint64_t seed)
-    : policy_(policy), rng_(seed) {}
+RetryState::RetryState(RetryPolicy policy, std::uint64_t seed,
+                       std::string component)
+    : policy_(policy), rng_(seed), component_(std::move(component)) {}
 
 bool RetryState::next_delay(Duration* delay) {
   ++failures_;
@@ -55,14 +59,20 @@ bool RetryState::next_delay(Duration* delay) {
   waited_ += d;
   trace_.push_back(d);
   if (delay) *delay = d;
+  if (!component_.empty() && obs::enabled()) {
+    obs::telemetry()
+        .metrics
+        .counter("osprey_retry_attempts_total", {{"component", component_}})
+        .inc();
+  }
   return true;
 }
 
 Status retry_call(const RetryPolicy& policy, std::uint64_t seed,
                   const std::function<Status()>& op,
                   const std::function<void(Duration)>& sleep,
-                  const OnRetry& on_retry) {
-  RetryState state(policy, seed);
+                  const OnRetry& on_retry, std::string component) {
+  RetryState state(policy, seed, std::move(component));
   while (true) {
     Status status = op();
     if (status.is_ok()) return status;

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "osprey/core/error.h"
@@ -66,9 +67,14 @@ struct RetryPolicy {
 /// Per-operation retry bookkeeping: counts failures, accumulates waited
 /// backoff, and records the delay trace. Event-driven (DES) callers ask
 /// next_delay() after each failure and schedule the retry themselves.
+///
+/// A non-empty `component` (e.g. "faas", "transfer") attributes each granted
+/// retry to osprey_retry_attempts_total{component=...} while telemetry is
+/// enabled, so a campaign's retry pressure is visible per layer.
 class RetryState {
  public:
-  explicit RetryState(RetryPolicy policy, std::uint64_t seed = 0);
+  explicit RetryState(RetryPolicy policy, std::uint64_t seed = 0,
+                      std::string component = {});
 
   /// Record a failure. Returns true and sets *delay to the next backoff if
   /// the policy allows another attempt; false when attempts or budget are
@@ -87,6 +93,7 @@ class RetryState {
  private:
   RetryPolicy policy_;
   Rng rng_;
+  std::string component_;
   int failures_ = 0;
   Duration waited_ = 0.0;
   std::vector<Duration> trace_;
@@ -98,10 +105,10 @@ using OnRetry = std::function<void(int, Duration)>;
 /// Blocking wrapper: run `op` under `policy`, sleeping via `sleep` between
 /// attempts. Returns the first OK status, or the last error once the policy
 /// is exhausted or a non-retryable error (anything but kUnavailable and
-/// kTimeout) occurs.
+/// kTimeout) occurs. `component` attributes retries as in RetryState.
 Status retry_call(const RetryPolicy& policy, std::uint64_t seed,
                   const std::function<Status()>& op,
                   const std::function<void(Duration)>& sleep,
-                  const OnRetry& on_retry = {});
+                  const OnRetry& on_retry = {}, std::string component = {});
 
 }  // namespace osprey

@@ -12,10 +12,34 @@
 #include <cstring>
 
 #include "osprey/db/dump.h"
+#include "osprey/obs/telemetry.h"
 
 namespace osprey::db::wal {
 
 namespace {
+
+/// Durability-plane telemetry (DESIGN.md §observability): fsync latency, the
+/// group-commit batch-size distribution, and recovery work counters.
+struct WalObs {
+  obs::Histogram& fsync_latency;
+  obs::Histogram& group_commit_batch;
+  obs::Histogram& recovery_duration;
+  obs::Counter& records_replayed;
+  obs::Counter& bytes_truncated;
+};
+
+WalObs& wal_obs() {
+  static WalObs o{
+      obs::telemetry().metrics.histogram("osprey_wal_fsync_latency_seconds"),
+      obs::telemetry().metrics.histogram("osprey_wal_group_commit_batch", {},
+                                         obs::count_buckets()),
+      obs::telemetry().metrics.histogram(
+          "osprey_wal_recovery_duration_seconds"),
+      obs::telemetry().metrics.counter("osprey_wal_records_replayed_total"),
+      obs::telemetry().metrics.counter("osprey_wal_bytes_truncated_total"),
+  };
+  return o;
+}
 
 // Segment headers: 8-byte magic + u64 first LSN (wal) / nothing (ckpt, whose
 // single frame carries its LSN).
@@ -690,6 +714,7 @@ Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
     return Error(ErrorCode::kInvalidArgument,
                  "recover() requires an empty database");
   }
+  obs::Stopwatch recovery_latency;
   Result<std::vector<std::string>> names = device.list();
   if (!names.ok()) return names.error();
 
@@ -775,6 +800,11 @@ Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
     }
   }
   info.records_discarded = txn.size();
+  if (obs::enabled()) {
+    obs::observe_latency(wal_obs().recovery_duration, recovery_latency);
+    wal_obs().records_replayed.inc(info.records_replayed);
+    wal_obs().bytes_truncated.inc(info.bytes_truncated);
+  }
   return info;
 }
 
@@ -913,9 +943,15 @@ Status WalManager::maybe_sync_locked(bool force) {
     if (due) unsynced_commits_ = 0;
     return Status::ok();
   }
+  obs::Stopwatch fsync_latency;
   Status synced = device_.sync(segment_);
   if (!synced.is_ok()) return synced;
   ++stats_.syncs;
+  if (obs::enabled()) {
+    obs::observe_latency(wal_obs().fsync_latency, fsync_latency);
+    wal_obs().group_commit_batch.observe(
+        static_cast<double>(unsynced_commits_));
+  }
   unsynced_commits_ = 0;
   unsynced_bytes_ = 0;
   return Status::ok();

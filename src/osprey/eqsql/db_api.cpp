@@ -42,10 +42,38 @@ RetryState poll_waiter(const PollSpec& poll) {
   policy.max_backoff = poll.max_delay;
   policy.jitter = 0.0;
   policy.budget = 0.0;
-  return RetryState(policy);
+  return RetryState(policy, 0, "eqsql.poll");
 }
 
 }  // namespace
+
+EQSQL::ObsHandles::ObsHandles()
+    : submitted(obs::telemetry().metrics.counter(
+          "osprey_eqsql_tasks_submitted_total")),
+      claimed(
+          obs::telemetry().metrics.counter("osprey_eqsql_tasks_claimed_total")),
+      reported(obs::telemetry().metrics.counter(
+          "osprey_eqsql_tasks_reported_total")),
+      report_conflicts(obs::telemetry().metrics.counter(
+          "osprey_eqsql_report_conflicts_total")),
+      completed(obs::telemetry().metrics.counter(
+          "osprey_eqsql_results_picked_up_total")),
+      canceled(obs::telemetry().metrics.counter(
+          "osprey_eqsql_tasks_canceled_total")),
+      requeued(obs::telemetry().metrics.counter(
+          "osprey_eqsql_tasks_requeued_total")),
+      output_depth(
+          obs::telemetry().metrics.gauge("osprey_eqsql_output_queue_depth")),
+      input_depth(
+          obs::telemetry().metrics.gauge("osprey_eqsql_input_queue_depth")),
+      submit_latency(obs::telemetry().metrics.histogram(
+          "osprey_eqsql_submit_latency_seconds")),
+      claim_latency(obs::telemetry().metrics.histogram(
+          "osprey_eqsql_claim_latency_seconds")),
+      report_latency(obs::telemetry().metrics.histogram(
+          "osprey_eqsql_report_latency_seconds")),
+      result_latency(obs::telemetry().metrics.histogram(
+          "osprey_eqsql_result_latency_seconds")) {}
 
 const char* task_status_name(TaskStatus s) {
   switch (s) {
@@ -87,6 +115,7 @@ Result<std::vector<TaskId>> EQSQL::submit_tasks(
     const std::vector<std::string>& payloads, Priority priority,
     const std::string& tag) {
   if (payloads.empty()) return std::vector<TaskId>{};
+  obs::Stopwatch latency;
   db::Transaction txn(db_);
 
   // Allocate a contiguous id block from the sequence row.
@@ -132,6 +161,15 @@ Result<std::vector<TaskId>> EQSQL::submit_tasks(
   }
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  if (obs::enabled()) {
+    obs_.submitted.inc(ids.size());
+    obs_.output_depth.add(static_cast<double>(ids.size()));
+    obs::observe_latency(obs_.submit_latency, latency);
+    for (TaskId id : ids) {
+      obs::telemetry().trace.record(
+          {id, obs::TaskEventKind::kSubmitted, now, eq_type, "", exp_id});
+    }
+  }
   return ids;
 }
 
@@ -183,6 +221,7 @@ Result<std::vector<TaskHandle>> EQSQL::claim_tasks_locked(
 Result<std::vector<TaskHandle>> EQSQL::try_query_tasks(
     WorkType eq_type, int n, const PoolId& worker_pool) {
   if (n <= 0) return std::vector<TaskHandle>{};
+  obs::Stopwatch latency;
   db::Transaction txn(db_);
   Result<std::vector<TaskHandle>> handles =
       claim_tasks_locked(eq_type, n, worker_pool);
@@ -192,6 +231,17 @@ Result<std::vector<TaskHandle>> EQSQL::try_query_tasks(
     // the tasks back in the output queue, so report the failure instead of
     // handing out leases the log does not know about.
     if (!committed.is_ok()) return committed.error();
+    if (obs::enabled() && !handles.value().empty()) {
+      obs_.claimed.inc(handles.value().size());
+      obs_.output_depth.add(-static_cast<double>(handles.value().size()));
+      obs::observe_latency(obs_.claim_latency, latency);
+      const TimePoint now = clock_.now();
+      for (const TaskHandle& h : handles.value()) {
+        obs::telemetry().trace.record({h.eq_task_id,
+                                       obs::TaskEventKind::kClaimed, now,
+                                       h.eq_type, worker_pool, ""});
+      }
+    }
   }
   return handles;
 }
@@ -231,9 +281,10 @@ Result<std::vector<TaskHandle>> EQSQL::query_task(WorkType eq_type, int n,
 
 Status EQSQL::report_task(TaskId eq_task_id, WorkType eq_type,
                           const std::string& result) {
+  obs::Stopwatch latency;
   db::Transaction txn(db_);
   auto status = conn_.execute(
-      "SELECT eq_status FROM eq_tasks WHERE eq_task_id = ?",
+      "SELECT eq_status, worker_pool FROM eq_tasks WHERE eq_task_id = ?",
       {db::Value(eq_task_id)});
   if (!status.ok()) return status.error();
   if (status.value().rows.empty()) {
@@ -253,23 +304,36 @@ Status EQSQL::report_task(TaskId eq_task_id, WorkType eq_type,
     // or already reported ('complete') must not be completed again — the
     // late report loses the race and is dropped.
     txn.commit();
+    obs_.report_conflicts.inc();
     return Status(ErrorCode::kConflict,
                   "task " + std::to_string(eq_task_id) + " is " + current +
                       ", not running; dropping late report");
   }
+  const TimePoint now = clock_.now();
   auto upd = conn_.execute(
       "UPDATE eq_tasks SET eq_status = 'complete', json_in = ?, time_stop = ? "
       "WHERE eq_task_id = ?",
-      {db::Value(result), db::Value(clock_.now()), db::Value(eq_task_id)});
+      {db::Value(result), db::Value(now), db::Value(eq_task_id)});
   if (!upd.ok()) return upd.error();
   auto push = conn_.execute(
       "INSERT INTO eq_input_queue VALUES (?, ?)",
       {db::Value(eq_task_id), db::Value(std::int64_t{eq_type})});
   if (!push.ok()) return push.error();
-  return txn.commit();
+  Status committed = txn.commit();
+  if (committed.is_ok() && obs::enabled()) {
+    obs_.reported.inc();
+    obs_.input_depth.add(1.0);
+    obs::observe_latency(obs_.report_latency, latency);
+    const db::Value& pool = status.value().rows[0][1];
+    obs::telemetry().trace.record({eq_task_id, obs::TaskEventKind::kReported,
+                                   now, eq_type,
+                                   pool.is_null() ? "" : pool.as_text(), ""});
+  }
+  return committed;
 }
 
 Result<std::string> EQSQL::try_query_result(TaskId eq_task_id) {
+  obs::Stopwatch latency;
   db::Transaction txn(db_);
   auto row = conn_.execute(
       "SELECT eq_status, json_in FROM eq_tasks WHERE eq_task_id = ?",
@@ -294,6 +358,13 @@ Result<std::string> EQSQL::try_query_result(TaskId eq_task_id) {
   if (!pop.ok()) return pop.error();
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  if (obs::enabled()) {
+    obs_.completed.inc();
+    obs_.input_depth.add(-1.0);
+    obs::observe_latency(obs_.result_latency, latency);
+    obs::telemetry().trace.record(
+        {eq_task_id, obs::TaskEventKind::kCompleted, clock_.now(), 0, "", ""});
+  }
   return row.value().rows[0][1].is_null() ? std::string{}
                                           : row.value().rows[0][1].as_text();
 }
@@ -347,6 +418,15 @@ Result<std::vector<TaskId>> EQSQL::try_query_completed(
   }
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  if (obs::enabled() && !found.empty()) {
+    obs_.completed.inc(found.size());
+    obs_.input_depth.add(-static_cast<double>(found.size()));
+    const TimePoint now = clock_.now();
+    for (TaskId id : found) {
+      obs::telemetry().trace.record(
+          {id, obs::TaskEventKind::kCompleted, now, 0, "", ""});
+    }
+  }
   return found;
 }
 
@@ -354,6 +434,19 @@ Result<std::size_t> EQSQL::cancel_tasks(const std::vector<TaskId>& ids) {
   if (ids.empty()) return std::size_t{0};
   const std::string in = placeholders(ids.size());
   db::Transaction txn(db_);
+  // With tracing on, find which of the ids the cancel will actually reach
+  // (same predicate as the UPDATE below) so each gets its terminal event.
+  std::vector<TaskId> hit;
+  if (obs::enabled()) {
+    auto eligible = conn_.execute(
+        "SELECT eq_task_id FROM eq_tasks WHERE eq_status IN "
+        "('queued', 'running') AND eq_task_id IN (" + in + ")",
+        id_params(ids));
+    if (!eligible.ok()) return eligible.error();
+    for (const db::Row& row : eligible.value().rows) {
+      hit.push_back(row[0].as_int());
+    }
+  }
   // Queued tasks leave the output queue so no pool ever claims them.
   auto dequeue = conn_.execute(
       "DELETE FROM eq_output_queue WHERE eq_task_id IN (" + in + ")",
@@ -371,6 +464,15 @@ Result<std::size_t> EQSQL::cancel_tasks(const std::vector<TaskId>& ids) {
   if (!upd.ok()) return upd.error();
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  if (obs::enabled()) {
+    obs_.canceled.inc(upd.value().affected);
+    obs_.output_depth.add(-static_cast<double>(dequeue.value().affected));
+    const TimePoint now = clock_.now();
+    for (TaskId id : hit) {
+      obs::telemetry().trace.record(
+          {id, obs::TaskEventKind::kCanceled, now, 0, "", ""});
+    }
+  }
   return upd.value().affected;
 }
 
@@ -446,6 +548,17 @@ Result<std::size_t> EQSQL::requeue_tasks(const std::vector<TaskId>& ids) {
   }
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  if (obs::enabled() && requeued > 0) {
+    obs_.requeued.inc(requeued);
+    obs_.output_depth.add(static_cast<double>(requeued));
+    const TimePoint now = clock_.now();
+    for (const db::Row& row : rows.value().rows) {
+      obs::telemetry().trace.record({row[0].as_int(),
+                                     obs::TaskEventKind::kRequeued, now,
+                                     static_cast<WorkType>(row[1].as_int()),
+                                     "", ""});
+    }
+  }
   return requeued;
 }
 

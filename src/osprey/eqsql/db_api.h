@@ -25,6 +25,7 @@
 #include "osprey/core/clock.h"
 #include "osprey/db/sql_exec.h"
 #include "osprey/eqsql/task.h"
+#include "osprey/obs/telemetry.h"
 
 namespace osprey::eqsql {
 
@@ -180,10 +181,31 @@ class EQSQL {
   Result<std::vector<TaskHandle>> claim_tasks_locked(WorkType eq_type, int n,
                                                      const PoolId& worker_pool);
 
+  /// Telemetry handles (see DESIGN.md §observability). Acquired once at
+  /// construction; recording through them is lock-free and gated on the
+  /// global telemetry switch.
+  struct ObsHandles {
+    obs::Counter& submitted;
+    obs::Counter& claimed;
+    obs::Counter& reported;
+    obs::Counter& report_conflicts;
+    obs::Counter& completed;
+    obs::Counter& canceled;
+    obs::Counter& requeued;
+    obs::Gauge& output_depth;
+    obs::Gauge& input_depth;
+    obs::Histogram& submit_latency;
+    obs::Histogram& claim_latency;
+    obs::Histogram& report_latency;
+    obs::Histogram& result_latency;
+    ObsHandles();
+  };
+
   db::Database& db_;
   const Clock& clock_;
   Sleeper sleeper_;
   db::sql::Connection conn_;
+  ObsHandles obs_;
 };
 
 }  // namespace osprey::eqsql

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "osprey/core/log.h"
+#include "osprey/obs/telemetry.h"
 
 namespace osprey::faas {
 
@@ -58,9 +59,16 @@ Result<FaaSTaskId> FaaSService::submit(const Token& token,
   entry.endpoint = endpoint;
   entry.function = function;
   entry.payload = payload;
-  entry.retry = RetryState(options.retry, id);
+  entry.retry = RetryState(options.retry, id, "faas");
   entry.options = std::move(options);
+  entry.submitted_at = sim_.now();
   tasks_.emplace(id, std::move(entry));
+  if (obs::enabled()) {
+    obs::telemetry()
+        .metrics
+        .histogram("osprey_faas_payload_bytes", {}, obs::bytes_buckets())
+        .observe(static_cast<double>(payload_bytes));
+  }
 
   // Control path: caller site -> cloud -> endpoint site.
   const TaskEntry& stored = tasks_.at(id);
@@ -158,6 +166,16 @@ void FaaSService::finish(FaaSTaskId id, Result<json::Value> outcome) {
   TaskEntry& task = it->second;
   task.state = outcome.ok() ? FaaSTaskState::kSucceeded : FaaSTaskState::kFailed;
   task.outcome = outcome;
+  if (obs::enabled()) {
+    obs::telemetry()
+        .metrics
+        .counter("osprey_faas_tasks_total",
+                 {{"outcome", outcome.ok() ? "ok" : "failed"}})
+        .inc();
+    obs::telemetry()
+        .metrics.histogram("osprey_faas_roundtrip_seconds")
+        .observe(sim_.now() - task.submitted_at);
+  }
   if (task.options.on_complete) {
     task.options.on_complete(id, *task.outcome);
   }

@@ -105,6 +105,9 @@ class FaaSService {
     /// task so jittered policies stay deterministic.
     RetryState retry{RetryPolicy::none()};
     std::optional<Result<json::Value>> outcome;
+    /// Submission time on the simulation clock (drives the round-trip
+    /// latency histogram).
+    TimePoint submitted_at = 0.0;
   };
 
   void deliver(FaaSTaskId id);

@@ -1,0 +1,305 @@
+#include "osprey/obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace osprey::obs {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+
+/// Renders "name{k=\"v\"}" — both the registry key and the exposition form.
+std::string render_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+namespace detail {
+
+std::size_t shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+// --- Counter ----------------------------------------------------------------
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::reset() {
+  for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::string name, Labels labels, std::vector<double> bounds)
+    : name_(std::move(name)),
+      labels_(std::move(labels)),
+      bounds_(std::move(bounds)) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+         "histogram bounds must be increasing");
+  shards_.reserve(detail::kShards);
+  for (std::size_t i = 0; i < detail::kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::observe(double v) {
+  if (!enabled()) return;
+  // Linear scan: bucket ladders are ~10-20 entries and almost always hit an
+  // early (small-value) bucket, beating binary search's branch misses.
+  std::size_t bucket = bounds_.size();  // +Inf
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Shard& shard = *shards_[detail::shard_slot() % detail::kShards];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(shard.sum, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += shard->counts[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : bucket_counts()) total += c;
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += shard->sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      shard->counts[i].store(0, std::memory_order_relaxed);
+    }
+    shard->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& seconds_buckets() {
+  static const std::vector<double> buckets{
+      1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 0.01, 0.025,
+      0.05, 0.1,  0.25, 0.5,  1.0,  2.5,    5.0,  10.0, 30.0, 60.0};
+  return buckets;
+}
+
+const std::vector<double>& bytes_buckets() {
+  static const std::vector<double> buckets{
+      64,       256,       1024,       4096,       16384,     65536,
+      262144.0, 1048576.0, 4194304.0, 16777216.0, 67108864.0};
+  return buckets;
+}
+
+const std::vector<double>& count_buckets() {
+  static const std::vector<double> buckets{1,  2,  4,   8,   16,  32,
+                                           64, 128, 256, 512, 1024};
+  return buckets;
+}
+
+// --- snapshot ---------------------------------------------------------------
+
+namespace {
+template <typename Sample>
+const Sample* find_sample(const std::vector<Sample>& samples,
+                          const std::string& name, const Labels& labels) {
+  for (const Sample& s : samples) {
+    if (s.name == name && s.labels == labels) return &s;
+  }
+  return nullptr;
+}
+}  // namespace
+
+const CounterSample* MetricsSnapshot::find_counter(const std::string& name,
+                                                   const Labels& labels) const {
+  return find_sample(counters, name, labels);
+}
+
+const GaugeSample* MetricsSnapshot::find_gauge(const std::string& name,
+                                               const Labels& labels) const {
+  return find_sample(gauges, name, labels);
+}
+
+const HistogramSample* MetricsSnapshot::find_histogram(
+    const std::string& name, const Labels& labels) const {
+  return find_sample(histograms, name, labels);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const CounterSample* s = find_counter(name, labels);
+  return s ? s->value : 0;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name,
+                                    const Labels& labels) const {
+  const GaugeSample* s = find_gauge(name, labels);
+  return s ? s->value : 0.0;
+}
+
+std::string MetricsSnapshot::prometheus() const {
+  std::ostringstream out;
+  std::string last_family;
+  auto type_line = [&](const std::string& name, const char* type) {
+    if (name != last_family) {
+      out << "# TYPE " << name << ' ' << type << '\n';
+      last_family = name;
+    }
+  };
+  for (const CounterSample& c : counters) {
+    type_line(c.name, "counter");
+    out << render_key(c.name, c.labels) << ' ' << c.value << '\n';
+  }
+  for (const GaugeSample& g : gauges) {
+    type_line(g.name, "gauge");
+    out << render_key(g.name, g.labels) << ' ' << format_double(g.value)
+        << '\n';
+  }
+  for (const HistogramSample& h : histograms) {
+    type_line(h.name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      Labels bucket_labels = h.labels;
+      bucket_labels.emplace_back(
+          "le", i < h.bounds.size() ? format_double(h.bounds[i]) : "+Inf");
+      out << render_key(h.name + "_bucket", bucket_labels) << ' ' << cumulative
+          << '\n';
+    }
+    out << render_key(h.name + "_sum", h.labels) << ' ' << format_double(h.sum)
+        << '\n';
+    out << render_key(h.name + "_count", h.labels) << ' ' << h.count << '\n';
+  }
+  return out.str();
+}
+
+// --- registry ---------------------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = render_key(name, labels);
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::move(key),
+                      std::unique_ptr<Counter>(new Counter(name, labels)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = render_key(name, labels);
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::move(key),
+                      std::unique_ptr<Gauge>(new Gauge(name, labels)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string key = render_key(name, labels);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::move(key), std::unique_ptr<Histogram>(
+                                          new Histogram(name, labels, bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [_, c] : counters_) {
+    snap.counters.push_back({c->name(), c->labels(), c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [_, g] : gauges_) {
+    snap.gauges.push_back({g->name(), g->labels(), g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [_, h] : histograms_) {
+    HistogramSample s;
+    s.name = h->name();
+    s.labels = h->labels();
+    s.bounds = h->bounds();
+    s.buckets = h->bucket_counts();
+    s.count = 0;
+    for (std::uint64_t c : s.buckets) s.count += c;
+    s.sum = h->sum();
+    snap.histograms.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+}  // namespace osprey::obs

@@ -1,0 +1,238 @@
+// Metrics registry: the quantitative half of the osprey::obs telemetry plane.
+//
+// The paper's evidence is measurement — per-pool concurrency and task-latency
+// series (Figs. 3-4) — and funcX-style task fabrics live or die by built-in
+// monitoring of task states and endpoint load. This registry gives every
+// OSPREY layer named counters, gauges, and fixed-bucket histograms that are
+// cheap enough to leave compiled into the hot paths:
+//
+//  - Handles are acquired once (slow path: a map lookup under a mutex) and
+//    then recorded through lock-free. Counters and histogram buckets are
+//    sharded across cache-line-aligned atomics indexed by a per-thread slot,
+//    so many worker threads bumping the same metric never contend.
+//  - Recording is gated on the global telemetry switch (obs::enabled()): with
+//    telemetry off the cost is one relaxed atomic load per call.
+//  - Reads are snapshot-on-read: snapshot() sums the shards into plain
+//    structs, and prometheus() renders the standard text exposition so a
+//    campaign's metrics can be scraped or diffed with stock tooling.
+//
+// Naming scheme (see DESIGN.md §observability): osprey_<layer>_<what>_<unit>
+// with Prometheus-style labels for per-instance series, e.g.
+// osprey_pool_queue_wait_seconds{pool="pool_1"}.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "osprey/core/types.h"
+
+namespace osprey::obs {
+
+/// Global telemetry switch. All metric recording and task-event tracing is a
+/// near-no-op while disabled (one relaxed atomic load). Default: off.
+void set_enabled(bool on);
+bool enabled();
+
+/// Label set attached to a metric instance, rendered Prometheus-style in
+/// registration order: name{k="v",k2="v2"}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+/// Shards per metric: enough to keep a 33-worker pool from contending
+/// without bloating every counter.
+inline constexpr std::size_t kShards = 8;
+
+/// The calling thread's stable shard slot.
+std::size_t shard_slot();
+
+/// fetch_add for atomic<double> via CAS (portable across libstdc++ modes).
+void atomic_add(std::atomic<double>& a, double delta);
+
+struct alignas(64) CounterShard {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+/// Monotonic counter. inc() is lock-free and sharded.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::shard_slot() % detail::kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (snapshot-on-read).
+  std::uint64_t value() const;
+
+  /// Zero every shard (registry reset; handles stay valid).
+  void reset();
+
+  const std::string& name() const { return name_; }
+  const Labels& labels() const { return labels_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, Labels labels)
+      : name_(std::move(name)), labels_(std::move(labels)) {}
+
+  std::string name_;
+  Labels labels_;
+  std::array<detail::CounterShard, detail::kShards> shards_;
+};
+
+/// Last-writer-wins instantaneous value (queue depths, running counts).
+/// add() is the primitive for depth tracking from multiple threads.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled()) return;
+    detail::atomic_add(value_, delta);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const Labels& labels() const { return labels_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, Labels labels)
+      : name_(std::move(name)), labels_(std::move(labels)) {}
+
+  std::string name_;
+  Labels labels_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (cumulative Prometheus semantics on export).
+/// Bucket counts are sharded like counters; sum is a CAS-added double.
+class Histogram {
+ public:
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; the last entry is the +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+  void reset();
+
+  const std::string& name() const { return name_; }
+  const Labels& labels() const { return labels_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, Labels labels, std::vector<double> bounds);
+
+  struct alignas(64) Shard {
+    explicit Shard(std::size_t buckets)
+        : counts(new std::atomic<std::uint64_t>[buckets]) {
+      for (std::size_t i = 0; i < buckets; ++i) counts[i].store(0);
+    }
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  Labels labels_;
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Default bucket ladders for the three unit families the stack records.
+const std::vector<double>& seconds_buckets();  // 1us .. 60s
+const std::vector<double>& bytes_buckets();    // 64B .. 64MB
+const std::vector<double>& count_buckets();    // 1 .. 1024
+
+// --- snapshots --------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  // per-bucket, last = +Inf
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// A consistent-enough point-in-time read of every registered metric.
+/// (Writers may race individual shards; each metric's value is a sum of
+/// relaxed loads — fine for monitoring, asserted exact when quiesced.)
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* find_counter(const std::string& name,
+                                    const Labels& labels = {}) const;
+  const GaugeSample* find_gauge(const std::string& name,
+                                const Labels& labels = {}) const;
+  const HistogramSample* find_histogram(const std::string& name,
+                                        const Labels& labels = {}) const;
+
+  /// Counter value or 0 when absent (chaos assertions read this).
+  std::uint64_t counter_value(const std::string& name,
+                              const Labels& labels = {}) const;
+  /// Gauge value or 0.0 when absent.
+  double gauge_value(const std::string& name, const Labels& labels = {}) const;
+
+  /// Prometheus text exposition (sorted; # TYPE line per metric family).
+  std::string prometheus() const;
+};
+
+/// The registry: owns metric storage, hands out stable handles. Handle
+/// acquisition locks; recording through a handle never does.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Repeated calls with the same (name, labels) return the
+  /// same handle, which stays valid for the registry's lifetime (reset()
+  /// zeroes values but never invalidates handles).
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` applies on first registration only (strictly increasing).
+  Histogram& histogram(const std::string& name, const Labels& labels = {},
+                       const std::vector<double>& bounds = seconds_buckets());
+
+  MetricsSnapshot snapshot() const;
+  std::string prometheus() const { return snapshot().prometheus(); }
+
+  /// Zero every metric, keep every handle (per-test isolation).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace osprey::obs

@@ -1,0 +1,77 @@
+#include "osprey/obs/telemetry.h"
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace osprey::obs {
+
+Telemetry& telemetry() {
+  static Telemetry instance;
+  return instance;
+}
+
+ScopedTelemetry::ScopedTelemetry(bool enable) : previous_(enabled()) {
+  telemetry().reset();
+  set_enabled(enable);
+}
+
+ScopedTelemetry::~ScopedTelemetry() {
+  set_enabled(previous_);
+  telemetry().reset();
+}
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : start_ns_(enabled() ? now_ns() : 0) {}
+
+double Stopwatch::elapsed_seconds() const {
+  if (start_ns_ == 0) return 0.0;
+  return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+void observe_latency(Histogram& histogram, const Stopwatch& stopwatch) {
+  // An unarmed stopwatch (telemetry was off when the operation began) has no
+  // latency to report — recording its 0.0 would skew the histogram.
+  if (!enabled() || !stopwatch.armed()) return;
+  histogram.observe(stopwatch.elapsed_seconds());
+}
+
+std::string prometheus_text() { return telemetry().metrics.prometheus(); }
+
+json::Value chrome_trace_document() {
+  return chrome_trace(telemetry().trace.events());
+}
+
+namespace {
+Status write_file(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    return Status(ErrorCode::kUnavailable, "cannot open '" + path + "'");
+  }
+  std::size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int closed = std::fclose(f);
+  if (written != contents.size() || closed != 0) {
+    return Status(ErrorCode::kUnavailable, "short write to '" + path + "'");
+  }
+  return Status::ok();
+}
+}  // namespace
+
+Status dump_to_directory(const std::string& dir) {
+  ::mkdir(dir.c_str(), 0755);  // best effort; the writes report real failures
+  Status metrics = write_file(dir + "/metrics.prom", prometheus_text());
+  if (!metrics.is_ok()) return metrics;
+  return write_file(dir + "/trace.json",
+                    chrome_trace_document().dump_pretty() + "\n");
+}
+
+}  // namespace osprey::obs

@@ -1,0 +1,80 @@
+// The process-wide telemetry context: one metrics registry + one task-trace
+// recorder shared by every instrumented OSPREY layer.
+//
+// Components acquire metric handles from telemetry().metrics and emit task
+// events through telemetry().trace. Everything is compiled in and gated at
+// runtime on obs::set_enabled(): benches measure the overhead (see
+// bench_obs_overhead, budget < 5% on the EQSQL throughput workload) and tests
+// isolate themselves with ScopedTelemetry, which resets the shared state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "osprey/core/error.h"
+#include "osprey/obs/metrics.h"
+#include "osprey/obs/trace.h"
+
+namespace osprey::obs {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+
+  /// Zero every metric and drop every task event. Metric handles held by
+  /// live components stay valid.
+  void reset() {
+    metrics.reset();
+    trace.clear();
+  }
+};
+
+/// The process-global telemetry context.
+Telemetry& telemetry();
+
+/// RAII test/bench scope: resets the global context and sets the enabled
+/// flag on entry; restores the previous flag and resets again on exit, so a
+/// telemetry-using test leaves nothing behind for the next one.
+class ScopedTelemetry {
+ public:
+  explicit ScopedTelemetry(bool enable = true);
+  ~ScopedTelemetry();
+
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Wall-clock stopwatch for operation-latency histograms. Costs nothing when
+/// telemetry was off at construction (no clock read).
+class Stopwatch {
+ public:
+  Stopwatch();
+  /// Seconds since construction; 0.0 when telemetry was off at construction.
+  double elapsed_seconds() const;
+  /// False when telemetry was off at construction (no latency to report).
+  bool armed() const { return start_ns_ != 0; }
+
+ private:
+  std::uint64_t start_ns_;  // 0 = not armed
+};
+
+/// Observe the stopwatch's elapsed wall time into a latency histogram
+/// (no-op while telemetry is disabled or the stopwatch is unarmed).
+void observe_latency(Histogram& histogram, const Stopwatch& stopwatch);
+
+// --- campaign export --------------------------------------------------------
+
+/// Prometheus text exposition of the global registry.
+std::string prometheus_text();
+
+/// Chrome trace_event document assembled from the global trace recorder.
+json::Value chrome_trace_document();
+
+/// Write `dir`/metrics.prom and `dir`/trace.json (creating `dir` if needed):
+/// the "dump a campaign trace" quickstart path, validated in CI.
+Status dump_to_directory(const std::string& dir);
+
+}  // namespace osprey::obs

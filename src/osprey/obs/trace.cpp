@@ -1,0 +1,164 @@
+#include "osprey/obs/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "osprey/obs/metrics.h"
+
+namespace osprey::obs {
+
+const char* task_event_kind_name(TaskEventKind kind) {
+  switch (kind) {
+    case TaskEventKind::kSubmitted: return "submitted";
+    case TaskEventKind::kClaimed: return "claimed";
+    case TaskEventKind::kRunStart: return "run_start";
+    case TaskEventKind::kReported: return "reported";
+    case TaskEventKind::kRunEnd: return "run_end";
+    case TaskEventKind::kCompleted: return "completed";
+    case TaskEventKind::kRequeued: return "requeued";
+    case TaskEventKind::kCanceled: return "canceled";
+    case TaskEventKind::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+void TraceRecorder::record(const TaskEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TaskEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+namespace {
+
+/// Per-task assembly state: the timestamp of the last milestone of each kind,
+/// advanced as the task's events stream past in causal order.
+struct TaskCursor {
+  bool has_queue_start = false;  // submitted or requeued
+  TimePoint queue_start = 0.0;
+  bool has_claim = false;
+  TimePoint claim = 0.0;
+  bool has_run_start = false;
+  TimePoint run_start = 0.0;
+  bool has_report = false;
+  TimePoint report = 0.0;
+};
+
+}  // namespace
+
+std::vector<TaskSpan> assemble_spans(const std::vector<TaskEvent>& events) {
+  std::vector<TaskSpan> spans;
+  std::unordered_map<TaskId, TaskCursor> cursors;
+  for (const TaskEvent& e : events) {
+    TaskCursor& c = cursors[e.task_id];
+    switch (e.kind) {
+      case TaskEventKind::kSubmitted:
+        c.has_queue_start = true;
+        c.queue_start = e.time;
+        break;
+      case TaskEventKind::kRequeued:
+        // Back in the output queue: the next claim opens a fresh cycle.
+        c.has_queue_start = true;
+        c.queue_start = e.time;
+        c.has_claim = c.has_run_start = c.has_report = false;
+        break;
+      case TaskEventKind::kClaimed:
+        if (c.has_queue_start) {
+          spans.push_back({e.task_id, "queued", e.pool, c.queue_start, e.time});
+          c.has_queue_start = false;
+        }
+        c.has_claim = true;
+        c.claim = e.time;
+        break;
+      case TaskEventKind::kRunStart:
+        if (c.has_claim) {
+          spans.push_back({e.task_id, "cache_wait", e.pool, c.claim, e.time});
+          c.has_claim = false;
+        }
+        c.has_run_start = true;
+        c.run_start = e.time;
+        break;
+      case TaskEventKind::kReported:
+        if (c.has_run_start) {
+          spans.push_back({e.task_id, "run", e.pool, c.run_start, e.time});
+          c.has_run_start = false;
+        }
+        c.has_report = true;
+        c.report = e.time;
+        break;
+      case TaskEventKind::kCompleted:
+        if (c.has_report) {
+          spans.push_back(
+              {e.task_id, "await_result", e.pool, c.report, e.time});
+          c.has_report = false;
+        }
+        break;
+      case TaskEventKind::kRunEnd:
+      case TaskEventKind::kCanceled:
+      case TaskEventKind::kStalled:
+        // Concurrency bookkeeping / terminal markers; no span boundary.
+        break;
+    }
+  }
+  return spans;
+}
+
+json::Value chrome_trace(const std::vector<TaskEvent>& events) {
+  constexpr double kMicros = 1e6;
+  json::Array trace_events;
+  for (const TaskSpan& span : assemble_spans(events)) {
+    json::Object ev;
+    ev["name"] = span.name;
+    ev["cat"] = std::string("task");
+    ev["ph"] = std::string("X");
+    ev["ts"] = span.begin * kMicros;
+    ev["dur"] = (span.end - span.begin) * kMicros;
+    ev["pid"] = std::int64_t{1};
+    ev["tid"] = span.task_id;
+    json::Object args;
+    args["task_id"] = span.task_id;
+    if (!span.pool.empty()) args["pool"] = span.pool;
+    ev["args"] = std::move(args);
+    trace_events.emplace_back(std::move(ev));
+  }
+  for (const TaskEvent& e : events) {
+    if (e.kind != TaskEventKind::kRequeued &&
+        e.kind != TaskEventKind::kCanceled &&
+        e.kind != TaskEventKind::kStalled) {
+      continue;
+    }
+    json::Object ev;
+    ev["name"] = std::string(task_event_kind_name(e.kind));
+    ev["cat"] = std::string("task");
+    ev["ph"] = std::string("i");
+    ev["s"] = std::string("t");  // thread-scoped instant
+    ev["ts"] = e.time * kMicros;
+    ev["pid"] = std::int64_t{1};
+    ev["tid"] = e.task_id;
+    json::Object args;
+    args["task_id"] = e.task_id;
+    if (!e.pool.empty()) args["pool"] = e.pool;
+    ev["args"] = std::move(args);
+    trace_events.emplace_back(std::move(ev));
+  }
+  json::Object doc;
+  doc["traceEvents"] = std::move(trace_events);
+  doc["displayTimeUnit"] = std::string("ms");
+  return doc;
+}
+
+}  // namespace osprey::obs

@@ -1,0 +1,96 @@
+// Task-lifecycle tracing: the qualitative half of the osprey::obs plane.
+//
+// Every task crossing the stack emits lifecycle events — submitted at the ME
+// API, claimed by a pool's batched query, started/finished by a worker,
+// reported back to the EMEWS DB, completed when the ME picks up the result —
+// each stamped with the campaign clock and the ids the paper's task model
+// carries (task id, experiment id, work type, pool). The recorder keeps the
+// raw event stream in memory; from it we derive
+//
+//  - per-task spans (queued -> cache_wait -> run -> await_result) with
+//    monotonic per-hop timestamps, the data behind Fig. 4's latency series;
+//  - a Chrome trace_event JSON document, so a whole campaign opens in
+//    chrome://tracing / Perfetto with one row per task;
+//  - per-pool concurrency series (see pool::ConcurrencyFeed), unifying the
+//    Fig. 3 ConcurrencyTrace with the rest of the telemetry by construction.
+//
+// Events are recorded only while obs::enabled(); the recorder append is one
+// mutex-guarded push_back, insertion order is causal order (all mutating DB
+// operations serialize through the database, pools emit under their own
+// locks), and span assembly relies on that order rather than on timestamps,
+// which may tie under manual/simulated clocks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "osprey/core/types.h"
+#include "osprey/json/json.h"
+
+namespace osprey::obs {
+
+enum class TaskEventKind {
+  kSubmitted,  // ME submit_task -> eq_tasks + output-queue insert
+  kClaimed,    // pool's batched query popped the task (owned, cached)
+  kRunStart,   // a worker began executing
+  kReported,   // report_task stored the result (worker's compute done)
+  kRunEnd,     // the worker slot freed (after report bookkeeping)
+  kCompleted,  // ME picked the result off the input queue
+  kRequeued,   // lease expiry / pool stop returned the task to the queue
+  kCanceled,   // cancel_tasks reached it first
+  kStalled,    // a worker hung holding the task (fault plane)
+};
+
+const char* task_event_kind_name(TaskEventKind kind);
+
+struct TaskEvent {
+  TaskId task_id = 0;
+  TaskEventKind kind = TaskEventKind::kSubmitted;
+  TimePoint time = 0.0;  // campaign clock (sim or wall)
+  WorkType eq_type = 0;
+  PoolId pool;   // claim/run/report/stall events
+  ExpId exp_id;  // submit events
+};
+
+/// Append-only in-memory event log. Thread-safe; recording is a no-op while
+/// telemetry is disabled.
+class TraceRecorder {
+ public:
+  void record(const TaskEvent& event);
+
+  /// Snapshot of all events in insertion (= causal) order.
+  std::vector<TaskEvent> events() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TaskEvent> events_;
+};
+
+/// One hop of a task's life: [begin, end] on the campaign clock.
+/// Span names: "queued", "cache_wait", "run", "await_result".
+struct TaskSpan {
+  TaskId task_id = 0;
+  std::string name;
+  PoolId pool;  // the pool that owned the task during this hop (if any)
+  TimePoint begin = 0.0;
+  TimePoint end = 0.0;
+};
+
+/// Assemble per-task spans from an event stream. Events must be in causal
+/// order per task (TraceRecorder::events() guarantees this); tasks may
+/// interleave freely. Requeued tasks open a fresh "queued" span; spans with a
+/// missing predecessor hop are skipped rather than fabricated.
+std::vector<TaskSpan> assemble_spans(const std::vector<TaskEvent>& events);
+
+/// Render an event stream as a Chrome trace_event document:
+/// {"traceEvents": [...], "displayTimeUnit": "ms"} with one complete ("X")
+/// event per span (ts/dur in microseconds, tid = task id) and instant ("i")
+/// events for requeues, cancels, and stalls. The result round-trips through
+/// osprey::json and loads in chrome://tracing or Perfetto.
+json::Value chrome_trace(const std::vector<TaskEvent>& events);
+
+}  // namespace osprey::obs

@@ -16,7 +16,8 @@ SimWorkerPool::SimWorkerPool(sim::Simulation& sim, eqsql::EQSQL& api,
       config_(std::move(config)),
       policy_(config_.batch_size, config_.threshold),
       runner_(std::move(runner)),
-      rng_(seed) {
+      rng_(seed),
+      feed_(config_.name) {
   assert(runner_ && "pool needs a task runner");
 }
 
@@ -30,7 +31,7 @@ Status SimWorkerPool::start() {
   started_ = true;
   started_at_ = sim_.now();
   idle_since_ = sim_.now();
-  trace_.record(sim_.now(), 0);
+  feed_.mark(sim_.now());
   OSPREY_LOG(kInfo, "pool") << config_.name << " started (workers="
                             << config_.num_workers << " batch="
                             << config_.batch_size << " threshold="
@@ -51,7 +52,7 @@ void SimWorkerPool::stop() {
   if (!cache_.empty()) {
     std::vector<TaskId> ids;
     ids.reserve(cache_.size());
-    for (const eqsql::TaskHandle& h : cache_) ids.push_back(h.eq_task_id);
+    for (const CachedTask& t : cache_) ids.push_back(t.handle.eq_task_id);
     cache_.clear();
     auto requeued = api_.requeue_tasks(ids);
     if (requeued.ok()) {
@@ -77,7 +78,7 @@ void SimWorkerPool::crash() {
   }
   cache_.clear();
   running_ = 0;
-  trace_.record(sim_.now(), 0);
+  feed_.reset(sim_.now());
   OSPREY_LOG(kWarn, "pool") << config_.name << " crashed";
 }
 
@@ -102,6 +103,7 @@ void SimWorkerPool::query_arrived(int requested) {
   // so the claim reflects the pool's true capacity at claim time.
   (void)requested;
   const int claim_target = policy_.tasks_to_request(owned());
+  obs::Stopwatch claim_latency;
   auto handles = api_.try_query_tasks_batched(
       config_.work_type, config_.batch_size, config_.threshold, owned(),
       config_.name);
@@ -111,9 +113,13 @@ void SimWorkerPool::query_arrived(int requested) {
     schedule_poll();
     return;
   }
-  if (!handles.value().empty()) empty_polls_ = 0;
+  if (!handles.value().empty()) {
+    empty_polls_ = 0;
+    obs::observe_latency(feed_.claim_latency(), claim_latency);
+  }
+  const TimePoint claimed_at = obs::enabled() ? sim_.now() : 0.0;
   for (eqsql::TaskHandle& h : handles.value()) {
-    cache_.push_back(std::move(h));
+    cache_.push_back({std::move(h), claimed_at});
   }
   maybe_start_cached();
   if (owned() > 0) idle_since_ = sim_.now();
@@ -155,16 +161,21 @@ void SimWorkerPool::schedule_poll() {
 
 void SimWorkerPool::maybe_start_cached() {
   while (running_ < config_.num_workers && !cache_.empty()) {
-    eqsql::TaskHandle handle = std::move(cache_.front());
+    CachedTask cached = std::move(cache_.front());
     cache_.pop_front();
     if (in_completion_context_) ++cache_hits_;
-    start_task(std::move(handle));
+    start_task(std::move(cached.handle), cached.claimed_at);
   }
 }
 
-void SimWorkerPool::start_task(eqsql::TaskHandle handle) {
+void SimWorkerPool::start_task(eqsql::TaskHandle handle, TimePoint claimed_at) {
   ++running_;
-  trace_.record(sim_.now(), running_);
+  const TimePoint now = sim_.now();
+  if (obs::enabled() && claimed_at > 0.0) {
+    feed_.queue_wait().observe(now - claimed_at);
+  }
+  feed_.consume({handle.eq_task_id, obs::TaskEventKind::kRunStart, now,
+                 handle.eq_type, config_.name, ""});
   TaskOutcome outcome = runner_(handle, rng_);
   sim_.schedule_in(outcome.runtime,
                    [this, handle = std::move(handle),
@@ -183,8 +194,11 @@ void SimWorkerPool::finish_task(const eqsql::TaskHandle& handle,
     // running_ stays elevated so the pool claims less, exactly like a hung
     // node eating pilot-job capacity.
     ++stalled_workers_;
+    feed_.consume({handle.eq_task_id, obs::TaskEventKind::kStalled, sim_.now(),
+                   handle.eq_type, config_.name, ""});
     OSPREY_LOG(kWarn, "pool")
-        << config_.name << " worker hung holding task " << handle.eq_task_id;
+        << config_.name << " worker hung holding task " << handle.eq_task_id
+        << log_field("pool", config_.name);
     return;
   }
   Status reported = api_.report_task(handle.eq_task_id, handle.eq_type, result);
@@ -201,7 +215,8 @@ void SimWorkerPool::finish_task(const eqsql::TaskHandle& handle,
     ++tasks_completed_;
   }
   --running_;
-  trace_.record(sim_.now(), running_);
+  feed_.consume({handle.eq_task_id, obs::TaskEventKind::kRunEnd, sim_.now(),
+                 handle.eq_type, config_.name, ""});
   in_completion_context_ = true;
   maybe_start_cached();
   in_completion_context_ = false;

@@ -66,7 +66,7 @@ class SimWorkerPool {
 
   bool running() const { return started_ && !stopped_; }
   const SimPoolConfig& config() const { return config_; }
-  const ConcurrencyTrace& trace() const { return trace_; }
+  const ConcurrencyTrace& trace() const { return feed_.trace(); }
 
   int running_tasks() const { return running_; }
   int cached_tasks() const { return static_cast<int>(cache_.size()); }
@@ -92,12 +92,19 @@ class SimWorkerPool {
   int stalled_workers() const { return stalled_workers_; }
 
  private:
+  /// A claimed task parked in the in-pool cache; claimed_at (stamped while
+  /// telemetry is enabled) feeds the queue-wait histogram at start.
+  struct CachedTask {
+    eqsql::TaskHandle handle;
+    TimePoint claimed_at = 0.0;
+  };
+
   int owned() const { return running_ + static_cast<int>(cache_.size()); }
   void issue_query();
   void query_arrived(int requested);
   void schedule_poll();
   void maybe_start_cached();
-  void start_task(eqsql::TaskHandle handle);
+  void start_task(eqsql::TaskHandle handle, TimePoint claimed_at);
   void finish_task(const eqsql::TaskHandle& handle, const std::string& result);
   void maybe_idle_shutdown();
   void shutdown();
@@ -116,8 +123,8 @@ class SimWorkerPool {
   bool query_in_flight_ = false;
   sim::EventId poll_event_ = 0;
   int running_ = 0;
-  std::deque<eqsql::TaskHandle> cache_;
-  ConcurrencyTrace trace_;
+  std::deque<CachedTask> cache_;
+  ConcurrencyFeed feed_;
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t queries_issued_ = 0;
   std::uint64_t cache_hits_ = 0;

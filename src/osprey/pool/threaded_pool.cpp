@@ -18,7 +18,8 @@ ThreadedWorkerPool::ThreadedWorkerPool(eqsql::EQSQL& api, PoolConfig config,
     : api_(api),
       config_(std::move(config)),
       policy_(config_.batch_size, config_.threshold),
-      runner_(std::move(runner)) {
+      runner_(std::move(runner)),
+      feed_(config_.name) {
   assert(runner_ && "pool needs a task runner");
 }
 
@@ -32,7 +33,7 @@ Status ThreadedWorkerPool::start() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (started_) return Status(ErrorCode::kConflict, "pool already started");
     started_ = true;
-    trace_.record(api_.clock().now(), 0);
+    feed_.mark(api_.clock().now());
   }
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
@@ -62,6 +63,7 @@ void ThreadedWorkerPool::coordinator_loop() {
       }
       // The §IV-D batched pool query: deficit/threshold applied at claim
       // time against the current owned count.
+      obs::Stopwatch claim_latency;
       auto handles = api_.try_query_tasks_batched(
           config_.work_type, config_.batch_size, config_.threshold, owned_now,
           config_.name);
@@ -69,8 +71,11 @@ void ThreadedWorkerPool::coordinator_loop() {
         std::unique_lock<std::mutex> lock(mutex_);
         ++queries_issued_;
         if (handles.ok() && !handles.value().empty()) {
+          obs::observe_latency(feed_.claim_latency(), claim_latency);
+          const TimePoint claimed_at =
+              obs::enabled() ? api_.clock().now() : 0.0;
           for (eqsql::TaskHandle& h : handles.value()) {
-            cache_.push_back(std::move(h));
+            cache_.push_back({std::move(h), claimed_at});
           }
           idle_since = api_.clock().now();
           work_cv_.notify_all();
@@ -100,7 +105,7 @@ void ThreadedWorkerPool::coordinator_loop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
-    for (const eqsql::TaskHandle& h : cache_) to_requeue.push_back(h.eq_task_id);
+    for (const CachedTask& t : cache_) to_requeue.push_back(t.handle.eq_task_id);
     cache_.clear();
     work_cv_.notify_all();
   }
@@ -120,10 +125,16 @@ void ThreadedWorkerPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [this] { return stopping_ || !cache_.empty(); });
       if (cache_.empty()) return;  // stopping and drained
-      handle = std::move(cache_.front());
+      CachedTask cached = std::move(cache_.front());
       cache_.pop_front();
+      handle = std::move(cached.handle);
       ++running_count_;
-      record_locked();
+      const TimePoint now = api_.clock().now();
+      if (obs::enabled() && cached.claimed_at > 0.0) {
+        feed_.queue_wait().observe(now - cached.claimed_at);
+      }
+      feed_.consume({handle.eq_task_id, obs::TaskEventKind::kRunStart, now,
+                     handle.eq_type, config_.name, ""});
     }
     std::string result = runner_(handle);
     Status reported =
@@ -139,14 +150,11 @@ void ThreadedWorkerPool::worker_loop() {
       // A kConflict report lost the exactly-once race (the task was
       // lease-requeued); it is not this pool's completion.
       if (reported.code() != ErrorCode::kConflict) ++tasks_completed_;
-      record_locked();
+      feed_.consume({handle.eq_task_id, obs::TaskEventKind::kRunEnd,
+                     api_.clock().now(), handle.eq_type, config_.name, ""});
     }
     control_cv_.notify_one();  // completion opens a deficit
   }
-}
-
-void ThreadedWorkerPool::record_locked() {
-  trace_.record(api_.clock().now(), running_count_);
 }
 
 void ThreadedWorkerPool::stop() {
@@ -211,7 +219,7 @@ std::uint64_t ThreadedWorkerPool::queries_issued() const {
 
 ConcurrencyTrace ThreadedWorkerPool::trace_snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return trace_;
+  return feed_.trace();
 }
 
 }  // namespace osprey::pool

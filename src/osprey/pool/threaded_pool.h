@@ -54,12 +54,19 @@ class ThreadedWorkerPool {
   ConcurrencyTrace trace_snapshot() const;
 
  private:
+  /// A claimed task parked in the in-pool cache. claimed_at is stamped on
+  /// the campaign clock when telemetry is enabled (0 otherwise) and feeds
+  /// the queue-wait histogram when a worker picks the task up.
+  struct CachedTask {
+    eqsql::TaskHandle handle;
+    TimePoint claimed_at = 0.0;
+  };
+
   void coordinator_loop();
   void worker_loop();
   int owned_locked() const {
     return running_count_ + static_cast<int>(cache_.size());
   }
-  void record_locked();
 
   eqsql::EQSQL& api_;
   PoolConfig config_;
@@ -69,14 +76,14 @@ class ThreadedWorkerPool {
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;    // workers wait for cache items
   std::condition_variable control_cv_; // coordinator waits for changes
-  std::deque<eqsql::TaskHandle> cache_;
+  std::deque<CachedTask> cache_;
   int running_count_ = 0;
   bool started_ = false;
   bool stopping_ = false;
   bool shut_down_ = false;
   std::uint64_t tasks_completed_ = 0;
   std::uint64_t queries_issued_ = 0;
-  ConcurrencyTrace trace_;
+  ConcurrencyFeed feed_;
 
   std::thread coordinator_;
   std::vector<std::thread> workers_;

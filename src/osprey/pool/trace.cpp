@@ -99,4 +99,47 @@ std::string ConcurrencyTrace::sparkline(TimePoint t0, TimePoint t1, Duration dt,
   return row;
 }
 
+ConcurrencyFeed::ConcurrencyFeed(PoolId pool)
+    : pool_(std::move(pool)),
+      running_gauge_(obs::telemetry().metrics.gauge(
+          "osprey_pool_running_tasks", {{"pool", pool_}})),
+      started_(obs::telemetry().metrics.counter("osprey_pool_tasks_started_total",
+                                                {{"pool", pool_}})),
+      finished_(obs::telemetry().metrics.counter(
+          "osprey_pool_tasks_finished_total", {{"pool", pool_}})),
+      queue_wait_(obs::telemetry().metrics.histogram(
+          "osprey_pool_queue_wait_seconds", {{"pool", pool_}})),
+      claim_latency_(obs::telemetry().metrics.histogram(
+          "osprey_pool_claim_latency_seconds", {{"pool", pool_}})) {}
+
+void ConcurrencyFeed::consume(const obs::TaskEvent& event) {
+  switch (event.kind) {
+    case obs::TaskEventKind::kRunStart:
+      ++running_;
+      trace_.record(event.time, running_);
+      started_.inc();
+      running_gauge_.set(running_);
+      break;
+    case obs::TaskEventKind::kRunEnd:
+      --running_;
+      trace_.record(event.time, running_);
+      finished_.inc();
+      running_gauge_.set(running_);
+      break;
+    default:
+      // kStalled and friends: the worker slot stays consumed (or the event
+      // carries no concurrency change); nothing to trace.
+      break;
+  }
+  obs::telemetry().trace.record(event);
+}
+
+void ConcurrencyFeed::mark(TimePoint time) { trace_.record(time, running_); }
+
+void ConcurrencyFeed::reset(TimePoint time) {
+  running_ = 0;
+  trace_.record(time, 0);
+  running_gauge_.set(0.0);
+}
+
 }  // namespace osprey::pool

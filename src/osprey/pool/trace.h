@@ -3,12 +3,19 @@
 // A trace records (time, concurrently-running-task-count) steps for one
 // worker pool. The figure benches print these series and derive utilization
 // statistics from them (mean concurrency / worker count, task throughput).
+//
+// Pools do not call ConcurrencyTrace::record directly any more: they emit
+// obs::TaskEvents into a per-pool ConcurrencyFeed, which derives the trace
+// from run-start/run-end events and forwards the same events to the global
+// telemetry recorder — one event stream behind the Fig. 3 series, the
+// per-pool metrics, and the Chrome trace.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "osprey/core/types.h"
+#include "osprey/obs/telemetry.h"
 
 namespace osprey::pool {
 
@@ -53,6 +60,47 @@ class ConcurrencyTrace {
 
  private:
   std::vector<TracePoint> points_;  // non-decreasing time
+};
+
+/// Per-pool consumer of obs task events. Maintains the pool's running count
+/// and ConcurrencyTrace (always, telemetry on or off — Fig. 3 depends on it)
+/// and, while telemetry is enabled, keeps the pool's metrics in step and
+/// forwards every event to the global trace recorder.
+///
+/// Not internally synchronized: callers feed it under the pool's own lock
+/// (threaded) or from the single simulation thread (DES).
+class ConcurrencyFeed {
+ public:
+  explicit ConcurrencyFeed(PoolId pool);
+
+  /// Feed one lifecycle event (kRunStart/kRunEnd adjust the running count;
+  /// other kinds forward unchanged). `event.pool` should name this pool.
+  void consume(const obs::TaskEvent& event);
+
+  /// Record a baseline trace point (pool start) without a task event.
+  void mark(TimePoint time);
+
+  /// Crash: every running task is abandoned in one step.
+  void reset(TimePoint time);
+
+  int running() const { return running_; }
+  const ConcurrencyTrace& trace() const { return trace_; }
+  const PoolId& pool() const { return pool_; }
+
+  /// Claim-to-run-start wait of tasks parked in the in-pool cache.
+  obs::Histogram& queue_wait() { return queue_wait_; }
+  /// Round-trip latency of the pool's batched claim query.
+  obs::Histogram& claim_latency() { return claim_latency_; }
+
+ private:
+  PoolId pool_;
+  int running_ = 0;
+  ConcurrencyTrace trace_;
+  obs::Gauge& running_gauge_;
+  obs::Counter& started_;
+  obs::Counter& finished_;
+  obs::Histogram& queue_wait_;
+  obs::Histogram& claim_latency_;
 };
 
 }  // namespace osprey::pool

@@ -1,6 +1,7 @@
 #include "osprey/transfer/transfer.h"
 
 #include "osprey/core/log.h"
+#include "osprey/obs/telemetry.h"
 
 namespace osprey::transfer {
 
@@ -70,9 +71,10 @@ Result<TransferId> TransferService::submit(const net::SiteName& src,
                  "no blob '" + key + "' at site '" + src + "'");
   }
   TransferId id = next_id_++;
-  RetryState retry(options.retry, id);
+  RetryState retry(options.retry, id, "transfer");
   transfers_.emplace(id, Entry{src, dst, key, std::move(options),
-                               TransferState::kActive, std::move(retry)});
+                               TransferState::kActive, std::move(retry),
+                               sim_.now()});
   attempt(id);
   return id;
 }
@@ -131,6 +133,12 @@ void TransferService::arrive(TransferId id, bool corrupted) {
   }
   // Unverified corrupted payloads land corrupted — that is the point of
   // checksum verification, and the tests assert this difference.
+  if (obs::enabled()) {
+    obs::telemetry()
+        .metrics
+        .histogram("osprey_transfer_bytes", {}, obs::bytes_buckets())
+        .observe(static_cast<double>(payload.size()));
+  }
   store_.put(entry.dst, entry.key, std::move(payload));
   finish(id, Status::ok());
 }
@@ -159,6 +167,18 @@ void TransferService::finish(TransferId id, Status status) {
   if (it == transfers_.end()) return;
   it->second.state =
       status.is_ok() ? TransferState::kSucceeded : TransferState::kFailed;
+  if (obs::enabled()) {
+    obs::telemetry()
+        .metrics
+        .counter("osprey_transfers_total",
+                 {{"outcome", status.is_ok() ? "ok" : "failed"}})
+        .inc();
+    if (status.is_ok()) {
+      obs::telemetry()
+          .metrics.histogram("osprey_transfer_duration_seconds")
+          .observe(sim_.now() - it->second.submitted_at);
+    }
+  }
   if (it->second.options.on_complete) {
     it->second.options.on_complete(id, status);
   }

@@ -103,6 +103,9 @@ class TransferService {
     TransferOptions options;
     TransferState state = TransferState::kActive;
     RetryState retry{RetryPolicy::none()};
+    /// Submission time on the simulation clock (drives the end-to-end
+    /// transfer-duration histogram).
+    TimePoint submitted_at = 0.0;
   };
 
   void attempt(TransferId id);

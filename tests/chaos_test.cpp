@@ -34,6 +34,7 @@
 #include "osprey/me/async_driver.h"
 #include "osprey/me/sampler.h"
 #include "osprey/me/task_runners.h"
+#include "osprey/obs/telemetry.h"
 #include "osprey/pool/monitor.h"
 #include "osprey/pool/sim_pool.h"
 #include "osprey/proxystore/proxy.h"
@@ -329,6 +330,55 @@ TEST(ChaosTest, SameSeedReplaysBitIdentically) {
   EXPECT_EQ(a.db_complete, b.db_complete);
   // The full fault footprint — every point's checks and fires — matches.
   EXPECT_EQ(a.fault_report, b.fault_report);
+}
+
+TEST(ChaosTest, InjectedFaultsAppearInFaultCounters) {
+  obs::ScopedTelemetry scoped;
+  ChaosOutcome o = run_chaos_campaign(2023);
+  ASSERT_TRUE(o.finished);
+
+  // Every injected fault left its footprint in the exported counters: the
+  // scripted scenario is visible from telemetry alone.
+  obs::MetricsSnapshot snap = obs::telemetry().metrics.snapshot();
+  auto fired = [&](const std::string& point) {
+    return snap.counter_value("osprey_fault_fired_total", {{"point", point}});
+  };
+  auto checked = [&](const std::string& point) {
+    return snap.counter_value("osprey_fault_checked_total",
+                              {{"point", point}});
+  };
+  // fail_next(kStalledWorkers) fires exactly that many times.
+  EXPECT_EQ(fired(fault_point::pool_stall("chaos_pool_1")),
+            static_cast<std::uint64_t>(kStalledWorkers));
+  // The probabilistic points bit at least once over 750 tasks.
+  EXPECT_GT(fired(fault_point::transfer_corrupt()), 0u);
+  EXPECT_GT(fired(fault_point::endpoint("theta-ep")), 0u);
+  // A point can never fire more often than it is checked.
+  for (const std::string& point :
+       {std::string(fault_point::transfer_corrupt()),
+        fault_point::endpoint("theta-ep"),
+        fault_point::pool_stall("chaos_pool_1")}) {
+    EXPECT_LE(fired(point), checked(point)) << point;
+  }
+
+  // The retry plane attributes its attempts per component, and the telemetry
+  // totals agree with the services' own counters.
+  EXPECT_EQ(snap.counter_value("osprey_retry_attempts_total",
+                               {{"component", "faas"}}),
+            o.faas_retries);
+  EXPECT_EQ(snap.counter_value("osprey_retry_attempts_total",
+                               {{"component", "transfer"}}),
+            o.transfer_retries);
+
+  // The recovery path is visible too: the crashed pool's tasks show up as
+  // requeues, and the stall markers made it into the task-event stream.
+  EXPECT_GE(snap.counter_value("osprey_eqsql_tasks_requeued_total"),
+            static_cast<std::uint64_t>(kStalledWorkers));
+  std::size_t stall_events = 0;
+  for (const obs::TaskEvent& e : obs::telemetry().trace.events()) {
+    if (e.kind == obs::TaskEventKind::kStalled) ++stall_events;
+  }
+  EXPECT_EQ(stall_events, static_cast<std::size_t>(kStalledWorkers));
 }
 
 TEST(ChaosTest, DifferentSeedIsADifferentScenario) {

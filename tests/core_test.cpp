@@ -3,6 +3,8 @@
 
 #include <cmath>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "osprey/core/clock.h"
 #include "osprey/core/error.h"
@@ -147,6 +149,67 @@ TEST(LogTest, ThresholdSuppresses) {
   set_log_level(LogLevel::kOff);
   // Must not crash and must be cheap; nothing to assert beyond no-crash.
   OSPREY_LOG(kError, "test") << "suppressed " << 42;
+  set_log_level(original);
+}
+
+TEST(LogTest, CaptureSinkSeesStructuredFields) {
+  LogLevel original = log_level();
+  set_log_level(LogLevel::kInfo);
+  CaptureSink capture;
+  capture.install();
+
+  OSPREY_LOG(kInfo, "pool") << "worker " << 3 << " started"
+                            << log_field("pool", "p1")
+                            << log_field("workers", 33);
+  OSPREY_LOG(kDebug, "pool") << "below threshold";  // discarded
+  OSPREY_LOG(kWarn, "db") << "slow query";
+
+  EXPECT_EQ(capture.count(), 2u);
+  EXPECT_EQ(capture.count_at(LogLevel::kInfo), 1u);
+  EXPECT_EQ(capture.count_at(LogLevel::kWarn), 1u);
+  EXPECT_TRUE(capture.contains("worker 3 started"));
+  EXPECT_FALSE(capture.contains("below threshold"));
+  EXPECT_EQ(capture.field_value("pool"), "p1");
+  EXPECT_EQ(capture.field_value("workers"), "33");
+  EXPECT_EQ(capture.field_value("absent"), "");
+
+  std::vector<LogRecord> records = capture.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].component, "pool");
+  ASSERT_EQ(records[0].fields.size(), 2u);
+  EXPECT_EQ(records[0].fields[0].key, "pool");
+  EXPECT_EQ(records[0].flatten(), "worker 3 started pool=p1 workers=33");
+
+  capture.clear();
+  EXPECT_EQ(capture.count(), 0u);
+  capture.uninstall();
+  // After uninstall, records go back to stderr, not the buffer.
+  OSPREY_LOG(kWarn, "test") << "not captured";
+  EXPECT_EQ(capture.count(), 0u);
+  set_log_level(original);
+}
+
+TEST(LogTest, ThresholdIsAtomicAcrossThreads) {
+  LogLevel original = log_level();
+  CaptureSink capture;
+  capture.install();
+  set_log_level(LogLevel::kWarn);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 500; ++i) {
+        if (t == 0 && i % 100 == 0) {
+          set_log_level(i % 200 == 0 ? LogLevel::kError : LogLevel::kWarn);
+        }
+        OSPREY_LOG(kWarn, "stress") << "line " << i
+                                    << log_field("thread", t);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Everything captured was at or above some threshold in force; the point
+  // of the test is the TSan-clean concurrent threshold reads and sink writes.
+  EXPECT_GT(capture.count(), 0u);
   set_log_level(original);
 }
 

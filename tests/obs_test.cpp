@@ -1,0 +1,377 @@
+// osprey::obs unit suite: metrics registry (sharded counters/gauges/
+// histograms, snapshot consistency, Prometheus exposition), task-lifecycle
+// span assembly, and Chrome trace_event JSON well-formedness. The
+// concurrency tests double as the TSan workload for the sharded hot path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "osprey/json/json.h"
+#include "osprey/obs/metrics.h"
+#include "osprey/obs/telemetry.h"
+#include "osprey/obs/trace.h"
+
+namespace osprey::obs {
+namespace {
+
+// --- registry basics --------------------------------------------------------
+
+TEST(MetricsTest, CounterCountsAndResets) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  Counter& c = registry.counter("osprey_test_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);  // handle survives the reset
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(MetricsTest, HandlesAreFindOrCreate) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  Counter& a = registry.counter("osprey_test_total", {{"pool", "p1"}});
+  Counter& b = registry.counter("osprey_test_total", {{"pool", "p1"}});
+  Counter& c = registry.counter("osprey_test_total", {{"pool", "p2"}});
+  EXPECT_EQ(&a, &b);  // same (name, labels) -> same handle
+  EXPECT_NE(&a, &c);  // different labels -> distinct series
+  a.inc(3);
+  c.inc(5);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.snapshot().counter_value("osprey_test_total",
+                                              {{"pool", "p2"}}),
+            5u);
+}
+
+TEST(MetricsTest, RecordingIsGatedOnTheGlobalSwitch) {
+  ScopedTelemetry scoped(false);
+  MetricsRegistry registry;
+  Counter& c = registry.counter("osprey_test_total");
+  Gauge& g = registry.gauge("osprey_test_depth");
+  Histogram& h = registry.histogram("osprey_test_seconds");
+  c.inc();
+  g.set(7.0);
+  g.add(3.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("osprey_test_depth");
+  g.set(10.0);
+  g.add(-3.0);
+  g.add(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 8.0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndSum) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  Histogram& h =
+      registry.histogram("osprey_test_seconds", {}, {0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket 0 (le 0.1)
+  h.observe(0.5);    // bucket 1 (le 1.0)
+  h.observe(0.1);    // le is inclusive: bucket 0
+  h.observe(100.0);  // +Inf bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 100.65);
+  std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(MetricsTest, DefaultBucketLaddersAreStrictlyIncreasing) {
+  for (const auto* ladder :
+       {&seconds_buckets(), &bytes_buckets(), &count_buckets()}) {
+    ASSERT_FALSE(ladder->empty());
+    for (std::size_t i = 1; i < ladder->size(); ++i) {
+      EXPECT_LT((*ladder)[i - 1], (*ladder)[i]);
+    }
+  }
+}
+
+// --- concurrency (the TSan workload) ----------------------------------------
+
+TEST(MetricsTest, CountersAreThreadSafe) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncs = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Half the threads race handle acquisition too, not just recording.
+      Counter& c = registry.counter("osprey_test_total");
+      for (int i = 0; i < kIncs; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.counter("osprey_test_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncs);
+}
+
+TEST(MetricsTest, HistogramsAreThreadSafe) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("osprey_test_seconds", {}, {1.0, 2.0});
+  constexpr int kThreads = 8;
+  constexpr int kObs = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kObs; ++i) h.observe(t % 2 == 0 ? 0.5 : 1.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kObs);
+  std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], static_cast<std::uint64_t>(kThreads) / 2 * kObs);
+  EXPECT_EQ(buckets[1], static_cast<std::uint64_t>(kThreads) / 2 * kObs);
+  EXPECT_EQ(buckets[2], 0u);
+}
+
+TEST(MetricsTest, SnapshotWhileWritersRace) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  Counter& c = registry.counter("osprey_test_total");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) c.inc();
+  });
+  // Snapshots taken mid-write must be internally consistent (no torn
+  // handles, monotone counter reads).
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    MetricsSnapshot snap = registry.snapshot();
+    const CounterSample* sample = snap.find_counter("osprey_test_total");
+    ASSERT_NE(sample, nullptr);
+    EXPECT_GE(sample->value, last);
+    last = sample->value;
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(TraceTest, RecorderIsThreadSafe) {
+  ScopedTelemetry scoped;
+  TraceRecorder recorder;
+  constexpr int kThreads = 4;
+  constexpr int kEvents = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        recorder.record({static_cast<TaskId>(t * kEvents + i),
+                         TaskEventKind::kSubmitted, 0.0, 1, "", "exp"});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.size(), static_cast<std::size_t>(kThreads) * kEvents);
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(MetricsTest, PrometheusExposition) {
+  ScopedTelemetry scoped;
+  MetricsRegistry registry;
+  registry.counter("osprey_tasks_total", {{"pool", "p1"}}).inc(3);
+  registry.gauge("osprey_queue_depth").set(7.0);
+  Histogram& h = registry.histogram("osprey_wait_seconds", {}, {0.1, 1.0});
+  h.observe(0.05);
+  h.observe(0.5);
+  h.observe(5.0);
+
+  std::string text = registry.prometheus();
+  EXPECT_NE(text.find("# TYPE osprey_tasks_total counter"), std::string::npos);
+  EXPECT_NE(text.find("osprey_tasks_total{pool=\"p1\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE osprey_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("osprey_queue_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE osprey_wait_seconds histogram"),
+            std::string::npos);
+  // Cumulative bucket semantics: le="1" counts everything <= 1.
+  EXPECT_NE(text.find("osprey_wait_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("osprey_wait_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("osprey_wait_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("osprey_wait_seconds_count 3"), std::string::npos);
+}
+
+// --- span assembly ----------------------------------------------------------
+
+std::vector<TaskEvent> full_lifecycle(TaskId id, double base) {
+  return {
+      {id, TaskEventKind::kSubmitted, base + 0.0, 1, "", "exp"},
+      {id, TaskEventKind::kClaimed, base + 1.0, 1, "p1", ""},
+      {id, TaskEventKind::kRunStart, base + 2.0, 1, "p1", ""},
+      {id, TaskEventKind::kReported, base + 5.0, 1, "p1", ""},
+      {id, TaskEventKind::kRunEnd, base + 5.0, 1, "p1", ""},
+      {id, TaskEventKind::kCompleted, base + 6.0, 1, "", ""},
+  };
+}
+
+TEST(TraceTest, AssemblesFullLifecycleSpans) {
+  std::vector<TaskSpan> spans = assemble_spans(full_lifecycle(7, 10.0));
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "queued");
+  EXPECT_EQ(spans[1].name, "cache_wait");
+  EXPECT_EQ(spans[2].name, "run");
+  EXPECT_EQ(spans[3].name, "await_result");
+  // Hops chain: each span begins where its predecessor ended, monotonically.
+  EXPECT_DOUBLE_EQ(spans[0].begin, 10.0);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i].begin, spans[i].end);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(spans[i].begin, spans[i - 1].end);
+    }
+  }
+  EXPECT_DOUBLE_EQ(spans[3].end, 16.0);
+  EXPECT_EQ(spans[2].pool, "p1");
+}
+
+TEST(TraceTest, InterleavedTasksAssembleIndependently) {
+  std::vector<TaskEvent> events;
+  auto a = full_lifecycle(1, 0.0);
+  auto b = full_lifecycle(2, 0.5);
+  // Perfectly interleaved streams, as concurrent tasks produce.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    events.push_back(a[i]);
+    events.push_back(b[i]);
+  }
+  std::vector<TaskSpan> spans = assemble_spans(events);
+  ASSERT_EQ(spans.size(), 8u);
+  int per_task[3] = {0, 0, 0};
+  for (const TaskSpan& s : spans) ++per_task[s.task_id];
+  EXPECT_EQ(per_task[1], 4);
+  EXPECT_EQ(per_task[2], 4);
+}
+
+TEST(TraceTest, RequeueOpensAFreshQueuedSpan) {
+  std::vector<TaskEvent> events = {
+      {9, TaskEventKind::kSubmitted, 0.0, 1, "", "exp"},
+      {9, TaskEventKind::kClaimed, 1.0, 1, "p1", ""},
+      {9, TaskEventKind::kRunStart, 2.0, 1, "p1", ""},
+      {9, TaskEventKind::kStalled, 3.0, 1, "p1", ""},
+      {9, TaskEventKind::kRequeued, 50.0, 1, "", ""},
+      {9, TaskEventKind::kClaimed, 51.0, 1, "p2", ""},
+      {9, TaskEventKind::kRunStart, 52.0, 1, "p2", ""},
+      {9, TaskEventKind::kReported, 55.0, 1, "p2", ""},
+      {9, TaskEventKind::kCompleted, 56.0, 1, "", ""},
+  };
+  std::vector<TaskSpan> spans = assemble_spans(events);
+  // First life: queued + cache_wait (the run never reported). Second life:
+  // queued/cache_wait/run/await_result.
+  ASSERT_EQ(spans.size(), 6u);
+  EXPECT_EQ(spans[0].name, "queued");
+  EXPECT_EQ(spans[1].name, "cache_wait");
+  EXPECT_EQ(spans[2].name, "queued");
+  EXPECT_DOUBLE_EQ(spans[2].begin, 50.0);
+  EXPECT_EQ(spans[3].name, "cache_wait");
+  EXPECT_EQ(spans[4].name, "run");
+  EXPECT_EQ(spans[4].pool, "p2");
+  EXPECT_EQ(spans[5].name, "await_result");
+}
+
+TEST(TraceTest, MissingPredecessorHopIsSkippedNotFabricated) {
+  // A claim with no submit (e.g. trace enabled mid-campaign): no "queued"
+  // span can be measured, but downstream hops still assemble.
+  std::vector<TaskEvent> events = {
+      {3, TaskEventKind::kClaimed, 1.0, 1, "p1", ""},
+      {3, TaskEventKind::kRunStart, 2.0, 1, "p1", ""},
+      {3, TaskEventKind::kReported, 4.0, 1, "p1", ""},
+  };
+  std::vector<TaskSpan> spans = assemble_spans(events);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "cache_wait");
+  EXPECT_EQ(spans[1].name, "run");
+}
+
+// --- Chrome trace_event export ----------------------------------------------
+
+TEST(TraceTest, ChromeTraceRoundTripsThroughJson) {
+  std::vector<TaskEvent> events = full_lifecycle(42, 1.0);
+  events.push_back({42, TaskEventKind::kRequeued, 7.0, 1, "", ""});
+
+  json::Value doc = chrome_trace(events);
+  // Serialize and re-parse: the document must be well-formed JSON.
+  Result<json::Value> parsed = json::parse(doc.dump());
+  ASSERT_TRUE(parsed.ok());
+  const json::Value& root = parsed.value();
+  EXPECT_EQ(root["displayTimeUnit"].as_string(), "ms");
+  ASSERT_TRUE(root["traceEvents"].is_array());
+  const json::Array& trace_events = root["traceEvents"].as_array();
+  ASSERT_EQ(trace_events.size(), 5u);  // 4 spans + 1 instant
+
+  int complete = 0;
+  int instant = 0;
+  for (const json::Value& e : trace_events) {
+    ASSERT_TRUE(e.is_object());
+    EXPECT_TRUE(e.contains("name"));
+    EXPECT_TRUE(e.contains("ph"));
+    EXPECT_TRUE(e.contains("ts"));
+    EXPECT_EQ(e["tid"].as_int(), 42);
+    if (e["ph"].as_string() == "X") {
+      ++complete;
+      EXPECT_GE(e["dur"].as_int(), 0);
+    } else if (e["ph"].as_string() == "i") {
+      ++instant;
+    }
+  }
+  EXPECT_EQ(complete, 4);
+  EXPECT_EQ(instant, 1);
+  // ts/dur are microseconds: the "queued" span [1s, 2s] lands at ts=1e6.
+  EXPECT_EQ(trace_events[0]["ts"].as_int(), 1000000);
+  EXPECT_EQ(trace_events[0]["dur"].as_int(), 1000000);
+}
+
+// --- the global context -----------------------------------------------------
+
+TEST(TelemetryTest, ScopedTelemetryIsolatesAndRestores) {
+  EXPECT_FALSE(enabled());  // default off
+  {
+    ScopedTelemetry scoped;
+    EXPECT_TRUE(enabled());
+    telemetry().metrics.counter("osprey_test_total").inc();
+    telemetry().trace.record({1, TaskEventKind::kSubmitted, 0.0, 1, "", ""});
+    EXPECT_EQ(telemetry().metrics.snapshot().counter_value("osprey_test_total"),
+              1u);
+    EXPECT_EQ(telemetry().trace.size(), 1u);
+  }
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(telemetry().metrics.snapshot().counter_value("osprey_test_total"),
+            0u);
+  EXPECT_EQ(telemetry().trace.size(), 0u);
+}
+
+TEST(TelemetryTest, StopwatchIsUnarmedWhileDisabled) {
+  ASSERT_FALSE(enabled());
+  Stopwatch off;
+  EXPECT_EQ(off.elapsed_seconds(), 0.0);
+  ScopedTelemetry scoped;
+  Stopwatch on;
+  EXPECT_GE(on.elapsed_seconds(), 0.0);
+  Histogram& h = telemetry().metrics.histogram("osprey_test_seconds");
+  observe_latency(h, off);  // unarmed: must not record a bogus 0
+  EXPECT_EQ(h.count(), 0u);
+  observe_latency(h, on);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace osprey::obs
