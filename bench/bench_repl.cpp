@@ -1,0 +1,209 @@
+// Replication-plane benchmarks (DESIGN.md §Replication & failover).
+//
+// Four costs the replication design trades against each other:
+//  - catch-up shipping throughput as a function of ship-batch size (the
+//    max_batch_records knob): records/s a follower can redo-apply from a
+//    leader log it is far behind on;
+//  - steady-state pump cost when followers are nearly caught up (the common
+//    case: a short committed tail per pump);
+//  - failover duration as a function of the promoted follower's log length
+//    (promote() re-opens the follower's own log to continue it);
+//  - follower bootstrap cost as a function of database size (snapshot +
+//    restore + checkpoint write).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/log.h"
+#include "osprey/db/dump.h"
+#include "osprey/db/wal.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/net/network.h"
+#include "osprey/repl/group.h"
+#include "osprey/repl/node.h"
+
+using namespace osprey;
+using namespace osprey::repl;
+namespace wal = osprey::db::wal;
+
+namespace {
+
+constexpr WorkType kWork = 1;
+
+// Drive `n` tasks through submit -> claim -> complete on the leader: three
+// committed transactions per task, the shape a real campaign writes.
+void run_tasks(ReplicaNode* leader, int n) {
+  Result<std::unique_ptr<eqsql::EQSQL>> api = leader->connect();
+  if (!api.ok()) return;
+  for (int i = 0; i < n; ++i) {
+    auto id = api.value()->submit_task("bench", kWork, "{}");
+    if (!id.ok()) continue;
+    auto claimed = api.value()->try_query_tasks(kWork, 1);
+    if (!claimed.ok() || claimed.value().empty()) continue;
+    (void)api.value()->report_task(claimed.value().front().eq_task_id, kWork,
+                                   "{\"y\":1}");
+  }
+}
+
+struct GroupFixture {
+  explicit GroupFixture(ReplConfig config = {})
+      : network(net::Network::testbed()), group(clock, network, config) {}
+
+  ManualClock clock;
+  net::Network network;
+  ReplicationGroup group;
+};
+
+// Catch-up throughput vs ship-batch size: a fresh follower bootstrapped from
+// an early snapshot redo-applies the leader's whole committed history, one
+// LSN-ordered batch at a time. Larger batches amortize per-batch framing and
+// sync cost; the committed-unit rule keeps transactions whole either way.
+void BM_CatchUpShipping(benchmark::State& state) {
+  constexpr int kHistoryTasks = 400;
+  const std::size_t batch_records = static_cast<std::size_t>(state.range(0));
+
+  ManualClock clock;
+  ReplicaNode leader("lead", "bebop", clock);
+  if (!leader.init_leader(1).is_ok()) {
+    state.SkipWithError("leader init failed");
+    return;
+  }
+  // Snapshot the (nearly empty) leader before the history is written: the
+  // follower must then earn the rest by shipping.
+  const json::Value early_snapshot = db::dump_database(leader.database());
+  const wal::Lsn early_lsn = leader.applied_lsn();
+  run_tasks(&leader, kHistoryTasks);
+  const wal::Lsn head = leader.applied_lsn();
+
+  std::int64_t records_applied = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    ReplicaNode follower("f", "theta", clock);
+    if (!follower.bootstrap(early_snapshot, early_lsn, 1).is_ok()) {
+      state.SkipWithError("bootstrap failed");
+      return;
+    }
+    state.ResumeTiming();
+
+    wal::WalCursor cursor(leader.device(), early_lsn + 1);
+    while (follower.applied_lsn() < head) {
+      Result<wal::CursorBatch> tail = cursor.next(batch_records);
+      if (!tail.ok() || tail.value().empty()) break;
+      ShipBatch batch;
+      batch.epoch = 1;
+      batch.first_lsn = tail.value().first_lsn;
+      batch.last_lsn = tail.value().last_lsn;
+      batch.transactions = tail.value().transactions;
+      batch.records = std::move(tail.value().records);
+      Result<wal::Lsn> applied = follower.apply_batch(batch);
+      if (!applied.ok()) break;
+      records_applied += batch.last_lsn - batch.first_lsn + 1;
+    }
+  }
+  state.SetItemsProcessed(records_applied);
+  state.counters["lsns_per_pass"] = static_cast<double>(head - early_lsn);
+}
+BENCHMARK(BM_CatchUpShipping)->Arg(16)->Arg(64)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+// Steady-state pump: followers are (nearly) converged and each pump ships
+// the short tail the writer committed since the last one. This is the
+// shipper's inner-loop cost during a healthy campaign.
+void BM_SteadyStatePump(benchmark::State& state) {
+  const int tasks_per_cycle = static_cast<int>(state.range(0));
+  GroupFixture fx;
+  ReplicaNode* leader = fx.group.create_leader("lead", "bebop").value();
+  if (!fx.group.add_follower("f1", "theta").ok() ||
+      !fx.group.add_follower("f2", "cloud").ok()) {
+    state.SkipWithError("follower setup failed");
+    return;
+  }
+
+  std::int64_t records = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    run_tasks(leader, tasks_per_cycle);
+    state.ResumeTiming();
+    Result<PumpStats> pumped = fx.group.pump();
+    if (pumped.ok()) {
+      records += static_cast<std::int64_t>(pumped.value().records_shipped);
+    }
+  }
+  state.SetItemsProcessed(records);
+}
+BENCHMARK(BM_SteadyStatePump)->Arg(1)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+// Failover duration vs campaign length: promote() re-opens the follower's
+// own log (bootstrap checkpoint + applied tail) to continue it as the new
+// leader, so promotion cost tracks the log the follower has accumulated.
+void BM_FailoverDuration(benchmark::State& state) {
+  const int history_tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    GroupFixture fx;
+    ReplicaNode* leader = fx.group.create_leader("lead", "bebop").value();
+    if (!fx.group.add_follower("f1", "theta").ok()) {
+      state.SkipWithError("follower setup failed");
+      return;
+    }
+    run_tasks(leader, history_tasks);
+    for (int i = 0; i < 64; ++i) {
+      if (!fx.group.pump().ok()) break;
+      ReplicaNode* f = fx.group.node("f1");
+      if (f && f->applied_lsn() == fx.group.leader_lsn()) break;
+    }
+    if (!fx.group.kill("lead").is_ok()) {
+      state.SkipWithError("kill failed");
+      return;
+    }
+    state.ResumeTiming();
+    Result<std::string> promoted = fx.group.promote();
+    if (!promoted.ok()) {
+      state.SkipWithError("promote failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailoverDuration)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+// Follower bootstrap cost vs database size: snapshot the leader, restore it
+// into the follower, and persist it as the follower's base checkpoint.
+void BM_FollowerBootstrap(benchmark::State& state) {
+  const int db_tasks = static_cast<int>(state.range(0));
+  GroupFixture fx;
+  ReplicaNode* leader = fx.group.create_leader("lead", "bebop").value();
+  run_tasks(leader, db_tasks);
+
+  int added = 0;
+  for (auto _ : state) {
+    const std::string id = "boot_" + std::to_string(added++);
+    if (!fx.group.add_follower(id, "theta").ok()) {
+      state.SkipWithError("bootstrap failed");
+      return;
+    }
+    state.PauseTiming();
+    (void)fx.group.remove_follower(id);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FollowerBootstrap)->Arg(100)->Arg(400)->Arg(1600)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Failover iterations log epoch transitions at kWarn by design; keep the
+  // benchmark table readable.
+  osprey::set_log_level(osprey::LogLevel::kError);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -161,6 +161,17 @@ inline const char* wal_crash_after_sync() { return "wal.crash_after_sync"; }
 /// survives to the medium, leaving a torn tail for recovery to truncate.
 inline const char* wal_torn_tail() { return "wal.torn_tail"; }
 
+// Replication-plane faults (osprey::repl). The shipper consults these per
+// ship batch, modelling the ways a log-shipping channel misbehaves; the
+// applier's LSN discipline must make each of them harmless.
+/// A ship batch is lost in flight (shipper retries from the same position).
+inline const char* repl_ship_drop() { return "repl.ship.drop"; }
+/// A ship batch is delivered twice (the duplicate must no-op by LSN).
+inline const char* repl_ship_duplicate() { return "repl.ship.duplicate"; }
+/// Two consecutive ship batches arrive out of order (the early one must be
+/// rejected as a gap and redelivered in order).
+inline const char* repl_ship_reorder() { return "repl.ship.reorder"; }
+
 }  // namespace fault_point
 
 }  // namespace osprey

@@ -185,10 +185,32 @@ bool has_prefix(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
-std::string wal_segment_name(Lsn first) { return kWalPrefix + hex16(first); }
-std::string ckpt_segment_name(Lsn lsn) { return kCkptPrefix + hex16(lsn); }
-
 }  // namespace
+
+// --- log geometry -----------------------------------------------------------
+
+std::string wal_segment_name(Lsn first_lsn) {
+  return kWalPrefix + hex16(first_lsn);
+}
+
+std::string checkpoint_segment_name(Lsn lsn) { return kCkptPrefix + hex16(lsn); }
+
+std::string wal_segment_header(Lsn first_lsn) {
+  std::string header(kWalMagic, sizeof(kWalMagic));
+  put_u64(header, first_lsn);
+  return header;
+}
+
+std::string encode_checkpoint(Lsn lsn, const json::Value& snapshot) {
+  std::string body;
+  put_u64(body, lsn);
+  body += snapshot.dump();
+  std::string out(kCkptMagic, sizeof(kCkptMagic));
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  put_u32(out, crc32(body.data(), body.size()));
+  out += body;
+  return out;
+}
 
 // --- CRC32 ------------------------------------------------------------------
 
@@ -242,6 +264,9 @@ std::string encode_record(const Record& record) {
       put_str(payload, record.table);
       put_str(payload, record.column);
       break;
+    case RecordType::kEpoch:
+      put_u64(payload, record.epoch);
+      break;
   }
   std::string frame;
   frame.reserve(payload.size() + 8);
@@ -267,7 +292,7 @@ DecodeStatus decode_record(const std::string& buffer, std::size_t offset,
   record.lsn = r.u64();
   if (!r.need(1)) return DecodeStatus::kCorrupt;
   auto type = static_cast<std::uint8_t>(r.buf[r.pos++]);
-  if (type < 1 || type > 7) return DecodeStatus::kCorrupt;
+  if (type < 1 || type > 8) return DecodeStatus::kCorrupt;
   record.type = static_cast<RecordType>(type);
   switch (record.type) {
     case RecordType::kInsert:
@@ -298,6 +323,9 @@ DecodeStatus decode_record(const std::string& buffer, std::size_t offset,
     case RecordType::kCreateIndex:
       record.table = r.str();
       record.column = r.str();
+      break;
+    case RecordType::kEpoch:
+      record.epoch = r.u64();
       break;
   }
   if (!r.ok || r.pos != r.end) return DecodeStatus::kCorrupt;
@@ -709,6 +737,26 @@ bool is_ddl(RecordType t) {
 
 }  // namespace
 
+Status apply_record(Database& db, const Record& record) {
+  if (is_dml(record.type)) return apply_dml(db, record);
+  if (is_ddl(record.type)) {
+    std::size_t applied = 0;
+    return apply_ddl(db, record, &applied);
+  }
+  return Status::ok();  // kCommit / kEpoch: markers, no state
+}
+
+Result<json::Value> read_latest_checkpoint(LogDevice& device, Lsn* lsn) {
+  Result<std::vector<std::string>> names = device.list();
+  if (!names.ok()) return names.error();
+  CheckpointData ckpt = load_latest_checkpoint(device, names.value());
+  if (!ckpt.found) {
+    return Error(ErrorCode::kNotFound, "no valid checkpoint on device");
+  }
+  if (lsn) *lsn = ckpt.lsn;
+  return std::move(ckpt.snapshot);
+}
+
 Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
   if (!db.table_names().empty()) {
     return Error(ErrorCode::kInvalidArgument,
@@ -906,8 +954,7 @@ Status WalManager::rotate_locked(Lsn first_lsn) {
     Status synced = maybe_sync_locked(unsynced_bytes_ > 0);
     if (!synced.is_ok()) return synced;
   }
-  std::string header(kWalMagic, sizeof(kWalMagic));
-  put_u64(header, first_lsn);
+  std::string header = wal_segment_header(first_lsn);
   std::string name = wal_segment_name(first_lsn);
   Status appended = device_.append(name, header);
   if (!appended.is_ok()) return appended;
@@ -1063,16 +1110,9 @@ Result<Lsn> WalManager::checkpoint(Database& db) {
   std::lock_guard<std::mutex> guard(mutex_);
 
   const Lsn ckpt_lsn = next_lsn_ - 1;
-  std::string body;
-  put_u64(body, ckpt_lsn);
-  body += dump_database(db).dump();
+  std::string out = encode_checkpoint(ckpt_lsn, dump_database(db));
 
-  std::string out(kCkptMagic, sizeof(kCkptMagic));
-  put_u32(out, static_cast<std::uint32_t>(body.size()));
-  put_u32(out, crc32(body.data(), body.size()));
-  out += body;
-
-  const std::string name = ckpt_segment_name(ckpt_lsn);
+  const std::string name = checkpoint_segment_name(ckpt_lsn);
   device_.remove(name);  // re-checkpoint at the same LSN overwrites
   Status written = device_.append(name, out);
   if (written.is_ok()) written = device_.sync(name);
@@ -1100,6 +1140,23 @@ Result<Lsn> WalManager::checkpoint(Database& db) {
   return ckpt_lsn;
 }
 
+Result<Lsn> WalManager::log_epoch(std::uint64_t epoch) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Record record;
+  record.type = RecordType::kEpoch;
+  record.epoch = epoch;
+  record.lsn = next_lsn_++;
+  Status appended = append_frames_locked(encode_record(record), record.lsn);
+  if (!appended.is_ok()) {
+    --next_lsn_;
+    return appended.error();
+  }
+  ++stats_.epochs_logged;
+  Status synced = maybe_sync_locked(true);
+  if (!synced.is_ok()) return synced.error();
+  return record.lsn;
+}
+
 Lsn WalManager::next_lsn() const {
   std::lock_guard<std::mutex> guard(mutex_);
   return next_lsn_;
@@ -1108,6 +1165,108 @@ Lsn WalManager::next_lsn() const {
 WalStats WalManager::stats() const {
   std::lock_guard<std::mutex> guard(mutex_);
   return stats_;
+}
+
+// --- WalCursor --------------------------------------------------------------
+
+WalCursor::WalCursor(LogDevice& device, Lsn from)
+    : device_(device), position_(from == 0 ? 1 : from) {}
+
+Result<CursorBatch> WalCursor::next(std::size_t max_records) {
+  Result<std::vector<std::string>> names = device_.list();
+  if (!names.ok()) return names.error();
+
+  // If a checkpoint has swallowed the records we still owe the reader, the
+  // tail is gone: tailing cannot continue, only a fresh bootstrap can.
+  Lsn ckpt_lsn = 0;
+  for (const std::string& name : names.value()) {
+    if (!has_prefix(name, kCkptPrefix)) continue;
+    Lsn lsn = 0;
+    if (parse_hex16(name.substr(std::strlen(kCkptPrefix)), &lsn)) {
+      ckpt_lsn = std::max(ckpt_lsn, lsn);
+    }
+  }
+  if (ckpt_lsn >= position_) {
+    return Error(ErrorCode::kNotFound,
+                 "wal truncated by checkpoint past cursor; re-bootstrap");
+  }
+
+  // Skip segments that end before the cursor: a segment's records all
+  // precede the next segment's first LSN, so only the last segment whose
+  // first LSN <= position_ (and everything after it) can contain our tail.
+  std::vector<std::string> segments;
+  for (const std::string& name : names.value()) {
+    if (!has_prefix(name, kWalPrefix)) continue;
+    Lsn first = 0;
+    if (!parse_hex16(name.substr(std::strlen(kWalPrefix)), &first)) continue;
+    if (first <= position_) segments.clear();
+    segments.push_back(name);
+  }
+
+  CursorBatch batch;
+  std::vector<Record> unit;  // open transaction's DML, pre-commit
+  auto emit_unit = [&](std::vector<Record>&& records) {
+    if (records.back().lsn < position_) return;  // unit already delivered
+    for (Record& r : records) {
+      batch.frames += encode_record(r);
+      if (batch.first_lsn == 0) batch.first_lsn = r.lsn;
+      batch.last_lsn = r.lsn;
+      batch.records.push_back(std::move(r));
+    }
+    ++batch.transactions;
+  };
+
+  for (const std::string& name : segments) {
+    Result<std::string> data = device_.read(name);
+    if (!data.ok()) {
+      if (data.error().code == ErrorCode::kNotFound) continue;  // raced rm
+      return data.error();
+    }
+    const std::string& buf = data.value();
+    if (buf.size() < kWalHeaderBytes ||
+        std::memcmp(buf.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+      break;  // header still being written: end of committed log
+    }
+    std::size_t offset = kWalHeaderBytes;
+    bool log_ended = false;
+    while (true) {
+      Record record;
+      std::size_t frame_bytes = 0;
+      DecodeStatus status = decode_record(buf, offset, &record, &frame_bytes);
+      if (status == DecodeStatus::kEndOfLog) break;
+      if (status != DecodeStatus::kOk) {
+        log_ended = true;  // torn / in-flight tail: nothing past it is real
+        break;
+      }
+      offset += frame_bytes;
+      if (is_dml(record.type)) {
+        unit.push_back(std::move(record));
+        continue;
+      }
+      if (record.type == RecordType::kCommit) {
+        if (record.txn_records != unit.size()) {
+          log_ended = true;  // marker disagrees with its txn: treat as torn
+          break;
+        }
+        unit.push_back(std::move(record));
+        emit_unit(std::move(unit));
+        unit.clear();
+      } else {
+        // DDL and epoch records are self-committing single-record units.
+        std::vector<Record> single;
+        single.push_back(std::move(record));
+        emit_unit(std::move(single));
+      }
+      if (batch.records.size() >= max_records) {
+        position_ = batch.last_lsn + 1;
+        return batch;
+      }
+    }
+    unit.clear();  // an open txn never spans segments (rotation is pre-txn)
+    if (log_ended) break;
+  }
+  if (!batch.empty()) position_ = batch.last_lsn + 1;
+  return batch;
 }
 
 }  // namespace osprey::db::wal

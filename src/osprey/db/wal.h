@@ -54,6 +54,7 @@ enum class RecordType : std::uint8_t {
   kCreateTable = 5,  // table, schema JSON (dump format "columns" array)
   kDropTable = 6,    // table
   kCreateIndex = 7,  // table, column
+  kEpoch = 8,        // replication leadership epoch (osprey::repl fencing)
 };
 
 /// One decoded log record. Which fields are meaningful depends on `type`.
@@ -66,6 +67,7 @@ struct Record {
   std::string column;       // kCreateIndex
   std::string schema_json;  // kCreateTable
   std::uint32_t txn_records = 0;  // kCommit
+  std::uint64_t epoch = 0;        // kEpoch
 };
 
 /// Encode a record as a complete frame (length + CRC + payload).
@@ -83,6 +85,36 @@ enum class DecodeStatus {
 /// truncates).
 DecodeStatus decode_record(const std::string& buffer, std::size_t offset,
                            Record* out, std::size_t* consumed);
+
+// ---------------------------------------------------------------------------
+// Log geometry helpers (shared with osprey::repl, which maintains follower
+// logs out of shipped frames rather than through a WalManager).
+
+/// "wal-<16 hex digits of first LSN>": lexical order is log order.
+std::string wal_segment_name(Lsn first_lsn);
+/// "ckpt-<16 hex digits of covered LSN>".
+std::string checkpoint_segment_name(Lsn lsn);
+/// The 16-byte segment header (magic + first LSN) every wal segment starts
+/// with; a follower writes this before appending shipped frames.
+std::string wal_segment_header(Lsn first_lsn);
+/// A complete checkpoint segment image: magic, CRC-framed [lsn][snapshot]
+/// where `snapshot` is a db/dump document. Written by WalManager::checkpoint
+/// and by replica bootstrap (the snapshot arrives over the wire there).
+std::string encode_checkpoint(Lsn lsn, const json::Value& snapshot);
+
+/// Redo-apply one record into `db`. DML converges idempotently (full
+/// post-images), DDL is idempotent by construction, and kCommit / kEpoch
+/// markers are no-ops. This is the single-record form of what recover()
+/// does, exposed for the replication applier.
+Status apply_record(Database& db, const Record& record);
+
+class LogDevice;
+
+/// The newest intact checkpoint snapshot on the device (torn ones are
+/// skipped in favour of older ones), with its covered LSN in `*lsn`.
+/// kNotFound when the device holds no valid checkpoint. Replica restart
+/// reads bootstrap metadata back through this.
+Result<json::Value> read_latest_checkpoint(LogDevice& device, Lsn* lsn);
 
 // ---------------------------------------------------------------------------
 // Log devices
@@ -203,6 +235,7 @@ struct WalStats {
   std::uint64_t commits_logged = 0;
   std::uint64_t records_logged = 0;
   std::uint64_t ddl_logged = 0;
+  std::uint64_t epochs_logged = 0;
   std::uint64_t bytes_logged = 0;
   std::uint64_t syncs = 0;
   std::uint64_t rotations = 0;
@@ -262,6 +295,11 @@ class WalManager : public CommitObserver {
   /// On failure the old log is left intact.
   Result<Lsn> checkpoint(Database& db);
 
+  /// Append a kEpoch record announcing a replication leadership epoch, and
+  /// force it durable (epochs are rare and fence correctness hangs on them).
+  /// Returns the record's LSN.
+  Result<Lsn> log_epoch(std::uint64_t epoch);
+
   Lsn next_lsn() const;
   WalStats stats() const;
   const WalOptions& options() const { return options_; }
@@ -281,6 +319,52 @@ class WalManager : public CommitObserver {
   std::size_t unsynced_commits_ = 0;
   std::uint64_t unsynced_bytes_ = 0;
   WalStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Tail reading
+
+/// A batch of committed records read from the log tail, ready to ship to a
+/// replica. `records` holds only *complete committed units* — a transaction's
+/// DML plus its commit marker, or a self-committing DDL / epoch record —
+/// never a partial transaction. `frames` is the same sequence re-encoded as
+/// raw wire frames (no segment headers), so a follower can append them to
+/// its own log verbatim.
+struct CursorBatch {
+  Lsn first_lsn = 0;  // 0 when the batch is empty (caught up)
+  Lsn last_lsn = 0;
+  std::size_t transactions = 0;  // committed units in the batch
+  std::vector<Record> records;
+  std::string frames;
+
+  bool empty() const { return records.empty(); }
+};
+
+/// Read-only cursor over a WAL device: yields committed records from a given
+/// LSN onward without replaying them into a database. This is the shipper's
+/// view of the log — recover() remains the only consumer that materializes
+/// state. The cursor re-lists segments on every call, so it tolerates
+/// rotation and concurrent appends; an un-synced or torn tail simply reads
+/// as end-of-log. If a checkpoint has truncated the log past the cursor's
+/// position, next() returns kNotFound: the reader must re-bootstrap from the
+/// checkpoint instead of tailing.
+class WalCursor {
+ public:
+  /// Start reading at `from` (deliver records with LSN >= from).
+  WalCursor(LogDevice& device, Lsn from = 1);
+
+  /// Read up to ~`max_records` records of complete committed units (a unit is
+  /// never split, so a batch may exceed the cap by one transaction). An empty
+  /// batch means the cursor is caught up with the committed tail.
+  Result<CursorBatch> next(std::size_t max_records);
+
+  /// The next LSN this cursor will deliver.
+  Lsn position() const { return position_; }
+  void seek(Lsn from) { position_ = from; }
+
+ private:
+  LogDevice& device_;
+  Lsn position_;
 };
 
 }  // namespace osprey::db::wal

@@ -369,15 +369,52 @@ Result<std::string> EQSQL::try_query_result(TaskId eq_task_id) {
                                           : row.value().rows[0][1].as_text();
 }
 
+Result<std::string> EQSQL::peek_result(TaskId eq_task_id) {
+  auto row = conn_.execute(
+      "SELECT eq_status, json_in FROM eq_tasks WHERE eq_task_id = ?",
+      {db::Value(eq_task_id)});
+  if (!row.ok()) return row.error();
+  if (row.value().rows.empty()) {
+    return Error(ErrorCode::kNotFound, "no task " + std::to_string(eq_task_id));
+  }
+  const std::string& status = row.value().rows[0][0].as_text();
+  if (status == "canceled") {
+    return Error(ErrorCode::kCanceled,
+                 "task " + std::to_string(eq_task_id) + " canceled");
+  }
+  if (status != "complete") {
+    return Error(ErrorCode::kNotFound,
+                 "task " + std::to_string(eq_task_id) + " not complete");
+  }
+  return row.value().rows[0][1].is_null() ? std::string{}
+                                          : row.value().rows[0][1].as_text();
+}
+
 Result<std::string> EQSQL::query_result(TaskId eq_task_id, PollSpec poll) {
   const TimePoint deadline = clock_.now() + poll.timeout;
   RetryState waiter = poll_waiter(poll);
   while (true) {
-    Result<std::string> r = try_query_result(eq_task_id);
-    if (r.ok() || (r.code() != ErrorCode::kNotFound)) return r;
-    // kNotFound means "not complete yet" — unless the task truly does not
-    // exist, which polling will never fix; bail out for nonexistent ids.
-    if (r.error().message.find("not complete") == std::string::npos) return r;
+    // With a peeker installed, the waiting polls are read-only probes that a
+    // replica may answer; only a positive probe triggers the authoritative
+    // (queue-popping) pickup below. A probe error other than "not complete"
+    // falls through to the local path so routing failures never wedge the
+    // loop — at worst a poll costs a leader round-trip.
+    bool complete = true;
+    if (peeker_) {
+      Result<std::string> probe = peeker_(eq_task_id);
+      if (!probe.ok() && probe.code() == ErrorCode::kCanceled) return probe;
+      if (!probe.ok() && probe.code() == ErrorCode::kNotFound &&
+          probe.error().message.find("not complete") != std::string::npos) {
+        complete = false;  // authoritative "still running": keep waiting
+      }
+    }
+    if (complete) {
+      Result<std::string> r = try_query_result(eq_task_id);
+      if (r.ok() || (r.code() != ErrorCode::kNotFound)) return r;
+      // kNotFound means "not complete yet" — unless the task truly does not
+      // exist, which polling will never fix; bail out for nonexistent ids.
+      if (r.error().message.find("not complete") == std::string::npos) return r;
+    }
     Duration delay = poll.delay;
     waiter.next_delay(&delay);
     if (clock_.now() + delay > deadline) {
@@ -714,6 +751,36 @@ Result<std::int64_t> EQSQL::input_queue_depth() {
   auto r = conn_.execute("SELECT COUNT(*) FROM eq_input_queue");
   if (!r.ok()) return r.error();
   return r.value().rows[0][0].as_int();
+}
+
+Result<QueueStats> EQSQL::stats() {
+  // One transaction so the counts are a consistent snapshot even while pools
+  // are claiming and reporting concurrently. Every statement is a SELECT —
+  // nothing here writes, which is what makes the read replica-servable.
+  db::Transaction txn(db_);
+  QueueStats out;
+  auto output = conn_.execute("SELECT COUNT(*) FROM eq_output_queue");
+  if (!output.ok()) return output.error();
+  out.output_queue = output.value().rows[0][0].as_int();
+  auto input = conn_.execute("SELECT COUNT(*) FROM eq_input_queue");
+  if (!input.ok()) return input.error();
+  out.input_queue = input.value().rows[0][0].as_int();
+  struct {
+    const char* status;
+    std::int64_t* slot;
+  } states[] = {{"queued", &out.queued},
+                {"running", &out.running},
+                {"complete", &out.complete},
+                {"canceled", &out.canceled}};
+  for (const auto& state : states) {
+    auto n = conn_.execute("SELECT COUNT(*) FROM eq_tasks WHERE eq_status = ?",
+                           {db::Value(std::string(state.status))});
+    if (!n.ok()) return n.error();
+    *state.slot = n.value().rows[0][0].as_int();
+  }
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed.error();
+  return out;
 }
 
 Result<std::int64_t> EQSQL::pool_completed_count(const PoolId& pool) {

@@ -32,6 +32,25 @@ namespace osprey::eqsql {
 /// How blocking queries wait between polls.
 using Sleeper = std::function<void(Duration)>;
 
+/// Read-only probe used by query_result's polling loop when read routing is
+/// configured (see set_result_peeker): returns the result payload if the
+/// task is complete, kNotFound ("task not complete") while it is not, and
+/// kCanceled for canceled tasks — the same contract as peek_result, but the
+/// probe may be served by a read replica.
+using ResultPeeker = std::function<Result<std::string>(TaskId)>;
+
+/// One consistent snapshot of the queue depths and task-state counts — the
+/// monitoring read that is safe to serve from a replica, since it mutates
+/// nothing and bounded staleness only shifts the numbers by in-flight work.
+struct QueueStats {
+  std::int64_t output_queue = 0;  // queued tasks awaiting a pool
+  std::int64_t input_queue = 0;   // completed tasks awaiting pickup
+  std::int64_t queued = 0;
+  std::int64_t running = 0;
+  std::int64_t complete = 0;
+  std::int64_t canceled = 0;
+};
+
 class EQSQL {
  public:
   /// `db` must contain the EMEWS schema (see create_schema). `clock` stamps
@@ -95,9 +114,22 @@ class EQSQL {
   /// kCanceled for canceled tasks.
   Result<std::string> try_query_result(TaskId eq_task_id);
 
+  /// Read-only completion probe: like try_query_result but never pops the
+  /// input queue, so it is safe to serve from a read replica (and to call
+  /// any number of times). kNotFound ("task not complete") while incomplete;
+  /// kCanceled for canceled tasks.
+  Result<std::string> peek_result(TaskId eq_task_id);
+
   /// Blocking variant with (delay, timeout) polling; kTimeout on expiry,
-  /// matching the {'type':'status','payload':'TIMEOUT'} protocol.
+  /// matching the {'type':'status','payload':'TIMEOUT'} protocol. With a
+  /// result peeker installed, the waiting polls go through the peeker (a
+  /// replica-servable read) and only the final pickup hits this instance.
   Result<std::string> query_result(TaskId eq_task_id, PollSpec poll = {});
+
+  /// Route query_result's polling probes through `peeker` (e.g. a
+  /// replication read router). Unset by default: all polls run against this
+  /// instance's database, preserving the single-node behavior.
+  void set_result_peeker(ResultPeeker peeker) { peeker_ = std::move(peeker); }
 
   /// Batch completion check (backbone of as_completed / pop_completed):
   /// of the given ids, return up to `n` that are complete, popping them from
@@ -167,6 +199,10 @@ class EQSQL {
   /// Number of completed tasks waiting in the input queue.
   Result<std::int64_t> input_queue_depth();
 
+  /// Queue depths and task-state counts in one read-only pass — the
+  /// monitoring view a read replica can serve (nothing here mutates).
+  Result<QueueStats> stats();
+
   /// Per-pool progress counters (the remote pool monitor's heartbeat view).
   Result<std::int64_t> pool_completed_count(const PoolId& pool);
   Result<std::int64_t> pool_running_count(const PoolId& pool);
@@ -205,6 +241,7 @@ class EQSQL {
   const Clock& clock_;
   Sleeper sleeper_;
   db::sql::Connection conn_;
+  ResultPeeker peeker_;  // unset = poll locally (single-node behavior)
   ObsHandles obs_;
 };
 

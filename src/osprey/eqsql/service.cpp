@@ -32,6 +32,15 @@ Status EmewsService::stop() {
   if (!running_) {
     return Status(ErrorCode::kConflict, "EMEWS service not running");
   }
+  // Flush before flipping the flag: with group commit a stopping service may
+  // hold acknowledged-but-unsynced transactions, and a replica bootstrapping
+  // from this node's device must see every acknowledged write — a graceful
+  // stop must leave no volatile tail behind (crash() may; that's what
+  // recovery is for).
+  if (wal_) {
+    Status flushed = wal_->flush();
+    if (!flushed.is_ok()) return flushed;
+  }
   running_ = false;
   return Status::ok();
 }

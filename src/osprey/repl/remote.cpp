@@ -1,0 +1,88 @@
+#include "osprey/repl/remote.h"
+
+namespace osprey::repl {
+
+Status register_repl_functions(faas::Endpoint& endpoint,
+                               ReplicationGroup& group) {
+  Status s = endpoint.registry().register_function(
+      "repl_status", [&group](const json::Value&) -> Result<json::Value> {
+        return group.status();
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "repl_add_follower",
+      [&group](const json::Value& payload) -> Result<json::Value> {
+        std::string id = payload["id"].get_string("");
+        std::string site = payload["site"].get_string("");
+        if (id.empty() || site.empty()) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "repl_add_follower needs 'id' and 'site'");
+        }
+        Result<ReplicaNode*> added = group.add_follower(id, site);
+        if (!added.ok()) return added.error();
+        json::Value out;
+        out["id"] = json::Value(id);
+        out["applied_lsn"] = json::Value(
+            static_cast<std::int64_t>(added.value()->applied_lsn()));
+        out["bootstrap_seconds"] =
+            json::Value(group.last_bootstrap_duration());
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "repl_remove_follower",
+      [&group](const json::Value& payload) -> Result<json::Value> {
+        std::string id = payload["id"].get_string("");
+        if (id.empty()) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "repl_remove_follower needs an 'id'");
+        }
+        Status removed = group.remove_follower(id);
+        if (!removed.is_ok()) return removed.error();
+        json::Value out;
+        out["removed"] = json::Value(id);
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "repl_pump", [&group](const json::Value&) -> Result<json::Value> {
+        Result<PumpStats> pumped = group.pump();
+        if (!pumped.ok()) return pumped.error();
+        const PumpStats& stats = pumped.value();
+        json::Value out;
+        out["batches_shipped"] =
+            json::Value(static_cast<std::int64_t>(stats.batches_shipped));
+        out["records_shipped"] =
+            json::Value(static_cast<std::int64_t>(stats.records_shipped));
+        out["duplicates_delivered"] = json::Value(
+            static_cast<std::int64_t>(stats.duplicates_delivered));
+        out["gap_rejects"] =
+            json::Value(static_cast<std::int64_t>(stats.gap_rejects));
+        out["drops"] = json::Value(static_cast<std::int64_t>(stats.drops));
+        out["fenced"] = json::Value(static_cast<std::int64_t>(stats.fenced));
+        out["rebootstraps"] =
+            json::Value(static_cast<std::int64_t>(stats.rebootstraps));
+        out["partitioned_followers"] = json::Value(
+            static_cast<std::int64_t>(stats.partitioned_followers));
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  return endpoint.registry().register_function(
+      "repl_promote", [&group](const json::Value&) -> Result<json::Value> {
+        Result<std::string> promoted = group.promote();
+        if (!promoted.ok()) return promoted.error();
+        json::Value out;
+        out["leader"] = json::Value(promoted.value());
+        out["epoch"] =
+            json::Value(static_cast<std::int64_t>(group.epoch()));
+        out["failover_seconds"] =
+            json::Value(group.last_failover_duration());
+        return out;
+      });
+}
+
+}  // namespace osprey::repl

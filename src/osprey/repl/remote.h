@@ -1,0 +1,27 @@
+// Remote control of a replication group over the FaaS fabric.
+//
+// The paper's control plane starts and stops the EMEWS service through
+// remote function calls (§IV-B); register_repl_functions extends that
+// surface to the replicated service, so the ME algorithm — or an operator —
+// can drive membership, shipping, and failover from any site:
+//
+//   repl_status        -> the group's JSON status (epoch, leader, followers,
+//                         per-follower lag in LSNs)
+//   repl_add_follower  -> create + bootstrap a follower: {"id": ..., "site": ...}
+//   repl_remove_follower -> drop a follower: {"id": ...}
+//   repl_pump          -> ship the committed tail once; returns PumpStats
+//   repl_promote       -> deterministic failover; returns the new leader id
+//                         and epoch
+#pragma once
+
+#include "osprey/faas/endpoint.h"
+#include "osprey/repl/group.h"
+
+namespace osprey::repl {
+
+/// Install the replication control functions on `endpoint`, bound to
+/// `group`. The group must outlive the endpoint.
+Status register_repl_functions(faas::Endpoint& endpoint,
+                               ReplicationGroup& group);
+
+}  // namespace osprey::repl

@@ -1,0 +1,139 @@
+#include "osprey/repl/router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace osprey::repl {
+
+namespace wal = db::wal;
+
+ReplRouter::ReplRouter(ReplicationGroup& group, RouterConfig config)
+    : group_(group), config_(config) {}
+
+ReplicaNode* ReplRouter::reader_for(wal::Lsn min_lsn) {
+  if (config_.route_reads_to_replicas) {
+    // Tighten the caller's watermark with the staleness bound: a replica may
+    // serve the read only if it is within max_staleness_lsns of the leader
+    // head *and* has applied everything the caller requires.
+    const wal::Lsn head = group_.leader_lsn();
+    wal::Lsn floor = min_lsn;
+    if (head > config_.max_staleness_lsns) {
+      floor = std::max(floor, head - config_.max_staleness_lsns);
+    }
+    ReplicaNode* replica = group_.replica_for_read(floor);
+    if (replica != nullptr) {
+      ++replica_reads_;
+      return replica;
+    }
+    ++redirects_;  // wanted a replica, fell back to the leader
+  }
+  ReplicaNode* leader = group_.leader();
+  if (leader == nullptr || !leader->alive()) return nullptr;
+  ++leader_reads_;
+  return leader;
+}
+
+Result<std::unique_ptr<eqsql::EQSQL>> ReplRouter::leader_api() {
+  ReplicaNode* leader = group_.leader();
+  if (leader == nullptr || !leader->alive()) {
+    return Error(ErrorCode::kUnavailable, "no live leader");
+  }
+  return leader->connect();
+}
+
+Result<TaskId> ReplRouter::submit_task(const ExpId& exp_id, WorkType eq_type,
+                                       const std::string& payload,
+                                       Priority priority,
+                                       const std::string& tag) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->submit_task(exp_id, eq_type, payload, priority, tag);
+}
+
+Result<std::vector<TaskId>> ReplRouter::submit_tasks(
+    const ExpId& exp_id, WorkType eq_type,
+    const std::vector<std::string>& payloads, Priority priority,
+    const std::string& tag) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->submit_tasks(exp_id, eq_type, payloads, priority, tag);
+}
+
+Result<std::vector<eqsql::TaskHandle>> ReplRouter::try_query_tasks(
+    WorkType eq_type, int n, const PoolId& worker_pool) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->try_query_tasks(eq_type, n, worker_pool);
+}
+
+Status ReplRouter::report_task(TaskId eq_task_id, WorkType eq_type,
+                               const std::string& result) {
+  return report_task_at_epoch(group_.epoch(), eq_task_id, eq_type, result);
+}
+
+Status ReplRouter::report_task_at_epoch(Epoch epoch, TaskId eq_task_id,
+                                        WorkType eq_type,
+                                        const std::string& result) {
+  // Fence before touching the database: a worker that claimed its task from
+  // a since-deposed leader reports with that leader's epoch, and the report
+  // must die here or the task could complete twice across the failover.
+  const Epoch current = group_.epoch();
+  if (epoch < current) {
+    ++fenced_writes_;
+    return Status(ErrorCode::kConflict,
+                  "fenced: write epoch " + std::to_string(epoch) +
+                      " < group epoch " + std::to_string(current));
+  }
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->report_task(eq_task_id, eq_type, result);
+}
+
+Result<std::string> ReplRouter::try_query_result(TaskId eq_task_id) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->try_query_result(eq_task_id);
+}
+
+Result<std::string> ReplRouter::peek_result(TaskId eq_task_id) {
+  return peek_result_at(eq_task_id, 0);
+}
+
+Result<std::string> ReplRouter::peek_result_at(TaskId eq_task_id,
+                                               wal::Lsn min_lsn) {
+  ReplicaNode* node = reader_for(min_lsn);
+  if (node == nullptr) return Error(ErrorCode::kUnavailable, "no live node");
+  auto api = node->connect();
+  if (!api.ok()) return api.error();
+  return api.value()->peek_result(eq_task_id);
+}
+
+Result<eqsql::TaskStatus> ReplRouter::task_status(TaskId eq_task_id) {
+  ReplicaNode* node = reader_for(0);
+  if (node == nullptr) return Error(ErrorCode::kUnavailable, "no live node");
+  auto api = node->connect();
+  if (!api.ok()) return api.error();
+  return api.value()->task_status(eq_task_id);
+}
+
+Result<std::int64_t> ReplRouter::queued_count(WorkType eq_type) {
+  ReplicaNode* node = reader_for(0);
+  if (node == nullptr) return Error(ErrorCode::kUnavailable, "no live node");
+  auto api = node->connect();
+  if (!api.ok()) return api.error();
+  return api.value()->queued_count(eq_type);
+}
+
+Result<eqsql::QueueStats> ReplRouter::stats() {
+  ReplicaNode* node = reader_for(0);
+  if (node == nullptr) return Error(ErrorCode::kUnavailable, "no live node");
+  auto api = node->connect();
+  if (!api.ok()) return api.error();
+  return api.value()->stats();
+}
+
+eqsql::ResultPeeker ReplRouter::result_peeker() {
+  return [this](TaskId eq_task_id) { return peek_result(eq_task_id); };
+}
+
+}  // namespace osprey::repl

@@ -1,0 +1,110 @@
+// Read/write routing over a ReplicationGroup with bounded staleness.
+//
+// The contract (DESIGN.md §Replication & failover):
+//  - All writes (submit, claim, report) go to the current leader, stamped
+//    with the group epoch. A write carrying a stale epoch — a deposed
+//    leader's straggler — is rejected with kConflict before it touches the
+//    database, preserving the exactly-once report_task guarantee across
+//    failover.
+//  - Reads carry a min-LSN watermark. A replica whose applied LSN is at or
+//    past the watermark may serve the read; otherwise the read redirects to
+//    the leader (counted, so redirect pressure is observable). The default
+//    watermark is "leader head minus max_staleness_lsns", i.e. replicas may
+//    serve reads at most that many LSNs stale.
+//  - Routing replica reads is opt-in (route_reads_to_replicas, default off):
+//    with the flag clear every read goes to the leader and behavior is
+//    byte-identical to the single-node service.
+//
+// EQSQL handles are created per call: nodes may be replaced under the router
+// (re-bootstrap, failover), and EQSQL instances must not be shared across
+// threads anyway ("share the database but not statement state").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osprey/db/wal.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/task.h"
+#include "osprey/repl/group.h"
+
+namespace osprey::repl {
+
+struct RouterConfig {
+  /// Route eligible reads to replicas. Default off: leader-only, the
+  /// existing single-node behavior.
+  bool route_reads_to_replicas = false;
+  /// A replica may serve a read if it is at most this many LSNs behind the
+  /// leader head (0 = must be fully caught up).
+  std::uint64_t max_staleness_lsns = 0;
+};
+
+class ReplRouter {
+ public:
+  explicit ReplRouter(ReplicationGroup& group, RouterConfig config = {});
+
+  // --- writes (leader, epoch-stamped) ---------------------------------------
+
+  Result<TaskId> submit_task(const ExpId& exp_id,
+                                    WorkType eq_type,
+                                    const std::string& payload,
+                                    Priority priority = 0,
+                                    const std::string& tag = "");
+  Result<std::vector<TaskId>> submit_tasks(
+      const ExpId& exp_id, WorkType eq_type,
+      const std::vector<std::string>& payloads, Priority priority = 0,
+      const std::string& tag = "");
+  Result<std::vector<eqsql::TaskHandle>> try_query_tasks(
+      WorkType eq_type, int n = 1, const PoolId& worker_pool = "default");
+  Status report_task(TaskId eq_task_id, WorkType eq_type,
+                     const std::string& result);
+  /// The fencing primitive: a report stamped with the epoch its sender
+  /// believes is current. Stale epoch => kConflict, database untouched.
+  /// report_task() is this with the group's current epoch.
+  Status report_task_at_epoch(Epoch epoch, TaskId eq_task_id,
+                              WorkType eq_type, const std::string& result);
+  /// Authoritative result pickup (pops the leader's input queue).
+  Result<std::string> try_query_result(TaskId eq_task_id);
+
+  // --- reads (replica-eligible, bounded staleness) --------------------------
+
+  Result<std::string> peek_result(TaskId eq_task_id);
+  Result<eqsql::TaskStatus> task_status(TaskId eq_task_id);
+  Result<std::int64_t> queued_count(WorkType eq_type);
+  Result<eqsql::QueueStats> stats();
+  /// Explicit-watermark variant: the replica must have applied `min_lsn`.
+  Result<std::string> peek_result_at(TaskId eq_task_id,
+                                     db::wal::Lsn min_lsn);
+
+  /// A ResultPeeker for EQSQL::set_result_peeker: routes query_result's
+  /// polling probes through this router's read path.
+  eqsql::ResultPeeker result_peeker();
+
+  // --- routing telemetry -----------------------------------------------------
+
+  std::uint64_t replica_reads() const { return replica_reads_; }
+  std::uint64_t leader_reads() const { return leader_reads_; }
+  /// Reads that wanted a replica but had to fall back to the leader.
+  std::uint64_t redirects() const { return redirects_; }
+  std::uint64_t fenced_writes() const { return fenced_writes_; }
+
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  /// The node that should serve a read with watermark `min_lsn`; nullptr
+  /// when no node at all can (no live leader, no eligible replica).
+  ReplicaNode* reader_for(db::wal::Lsn min_lsn);
+  Result<std::unique_ptr<eqsql::EQSQL>> leader_api();
+
+  ReplicationGroup& group_;
+  RouterConfig config_;
+  std::atomic<std::uint64_t> replica_reads_{0};
+  std::atomic<std::uint64_t> leader_reads_{0};
+  std::atomic<std::uint64_t> redirects_{0};
+  std::atomic<std::uint64_t> fenced_writes_{0};
+};
+
+}  // namespace osprey::repl

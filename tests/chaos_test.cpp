@@ -38,6 +38,8 @@
 #include "osprey/pool/monitor.h"
 #include "osprey/pool/sim_pool.h"
 #include "osprey/proxystore/proxy.h"
+#include "osprey/repl/group.h"
+#include "osprey/repl/router.h"
 
 namespace osprey {
 namespace {
@@ -551,6 +553,274 @@ TEST(ChaosTest, CrashResumeReplaysBitIdentically) {
   EXPECT_EQ(a.db_complete, b.db_complete);
   // The entire recovered-and-drained task database, byte for byte.
   EXPECT_EQ(a.final_dump, b.final_dump);
+}
+
+// --- replicated campaign: leader failover mid-flight -------------------------
+//
+// The same 750-task campaign, but the task database is a ReplicationGroup:
+// the leader on bebop, followers on theta and cloud, a recurring shipper
+// pump, a lossy shipping channel (10% batch drops, retried), and a
+// partition that cuts theta off for [40, 80). At t=100 the leader dies with
+// the campaign mid-flight: the phase-1 pools are lost with it, the shipped
+// tail is drained, the most-caught-up follower is promoted under epoch 2,
+// the orphaned leases are requeued, and fresh pools drain the remainder
+// against the new leader. Every task completes exactly once across the
+// failover; the deposed resource's stragglers are fenced by epoch; the
+// surviving follower converges to the promoted leader byte-for-byte.
+
+/// Everything the failover determinism check compares.
+struct FailoverOutcome {
+  bool promoted = false;
+  std::string new_leader;
+  std::uint64_t old_epoch = 0;
+  std::uint64_t new_epoch = 0;
+  std::uint64_t phase1_completed = 0;  // acked by the dead leader
+  std::uint64_t phase2_completed = 0;  // run after promotion
+  std::size_t requeued = 0;            // leases lost with the phase-1 pools
+  std::uint64_t fenced_writes = 0;
+  std::int64_t db_complete = 0;
+  std::int64_t db_queued = 0;
+  std::int64_t db_running = 0;
+  std::string leader_dump;    // promoted leader, fully drained
+  std::string follower_dump;  // surviving follower, converged
+  std::string fault_report;
+};
+
+FailoverOutcome run_replicated_campaign(std::uint64_t master_seed) {
+  constexpr double kCutTime = 100.0;
+  constexpr double kPumpEvery = 2.0;
+  FailoverOutcome outcome;
+  SeedSequence seeds(master_seed);
+
+  sim::Simulation sim;
+  net::Network network = net::Network::testbed();
+  FaultRegistry faults(sim, seeds.next());
+  network.set_fault_registry(&faults);
+
+  repl::ReplConfig repl_config;
+  repl_config.ship_retry = RetryPolicy::immediate(6);
+  repl_config.seed = seeds.next();
+  repl::ReplicationGroup group(sim, network, repl_config);
+  group.set_fault_registry(&faults);
+
+  // A lossy shipping channel for the whole campaign, plus a partition that
+  // cuts one follower off mid-flight (it catches back up after healing).
+  faults.set_probability(fault_point::repl_ship_drop(), 0.10);
+  faults.add_window(fault_point::partition("bebop", "theta"), 40.0, 80.0);
+
+  Result<repl::ReplicaNode*> led = group.create_leader("bebop-db", "bebop");
+  EXPECT_TRUE(led.ok());
+  if (!led.ok()) return outcome;
+  EXPECT_TRUE(group.add_follower("theta-db", "theta").ok());
+  EXPECT_TRUE(group.add_follower("cloud-db", "cloud").ok());
+  repl::ReplRouter router(group);
+
+  auto connect_to = [](repl::ReplicaNode* node) {
+    Result<std::unique_ptr<eqsql::EQSQL>> handle = node->connect();
+    EXPECT_TRUE(handle.ok());
+    return handle.ok() ? std::move(handle).take() : nullptr;
+  };
+
+  // The replication daemon: a recurring pump riding the simulation clock.
+  std::function<void()> pump_tick = [&] {
+    if (group.leader_alive()) (void)group.pump();
+    sim.schedule_at(sim.now() + kPumpEvery, pump_tick);
+  };
+  sim.schedule_at(kPumpEvery, pump_tick);
+
+  // Phase 1: the campaign runs against the founding leader.
+  std::uint64_t pool_seeds[4] = {seeds.next(), seeds.next(), seeds.next(),
+                                 seeds.next()};
+  std::unique_ptr<eqsql::EQSQL> api1 = connect_to(led.value());
+  if (!api1) return outcome;
+  Rng sample_rng(seeds.next());
+  auto samples = me::uniform_samples(sample_rng, kTasks, 4, -32.768, 32.768);
+  std::vector<std::string> payloads;
+  payloads.reserve(samples.size());
+  for (const auto& p : samples) payloads.push_back(json::array_of(p).dump());
+  EXPECT_TRUE(api1->submit_tasks("failover", kWork, payloads).ok());
+
+  auto make_pool = [&](std::vector<std::unique_ptr<pool::SimWorkerPool>>& into,
+                       const std::string& name, eqsql::EQSQL& api,
+                       std::uint64_t seed) {
+    pool::SimPoolConfig c;
+    c.name = name;
+    c.work_type = kWork;
+    c.num_workers = kWorkers;
+    c.batch_size = kWorkers;
+    c.threshold = 1;
+    c.query_cost = 0.6;
+    c.query_jitter = 0.15;
+    into.push_back(std::make_unique<pool::SimWorkerPool>(
+        sim, api, c, me::ackley_sim_runner(kMedianRuntime, kRuntimeSigma),
+        seed));
+    EXPECT_TRUE(into.back()->start().is_ok());
+  };
+  std::vector<std::unique_ptr<pool::SimWorkerPool>> phase1_pools;
+  make_pool(phase1_pools, "failover_pool_1", *api1, pool_seeds[0]);
+  make_pool(phase1_pools, "failover_pool_2", *api1, pool_seeds[1]);
+
+  // Any live follower at the leader head means no acknowledged commit can
+  // be lost in the failover.
+  auto caught_up = [&] {
+    const db::wal::Lsn head = group.leader_lsn();
+    for (const std::string& id : group.follower_ids()) {
+      repl::ReplicaNode* f = group.node(id);
+      if (f && f->alive() && f->applied_lsn() == head) return true;
+    }
+    return false;
+  };
+
+  // The cut: the phase-1 resource is lost whole — pools die, then the
+  // leader. The shipped tail is drained first (the drain is what a real
+  // deployment's controlled failover or synchronous-ack mode buys).
+  std::unique_ptr<eqsql::EQSQL> api2;
+  std::vector<std::unique_ptr<pool::SimWorkerPool>> phase2_pools;
+  sim.schedule_at(kCutTime, [&] {
+    for (auto& p : phase1_pools) p->crash();
+    for (int i = 0; i < 64 && !caught_up(); ++i) {
+      EXPECT_TRUE(group.pump().ok());
+    }
+    EXPECT_TRUE(caught_up());
+    outcome.old_epoch = group.epoch();
+    EXPECT_TRUE(group.kill("bebop-db").is_ok());
+
+    Result<std::string> promoted = group.promote();
+    EXPECT_TRUE(promoted.ok());
+    if (!promoted.ok()) return;
+    outcome.promoted = true;
+    outcome.new_leader = promoted.value();
+    outcome.new_epoch = group.epoch();
+
+    // The new resource: reconnect, requeue the leases that died with the
+    // phase-1 pools, and relaunch capacity against the promoted leader.
+    api2 = connect_to(group.leader());
+    if (!api2) return;
+    Result<std::size_t> requeued = api2->requeue_running_tasks();
+    EXPECT_TRUE(requeued.ok());
+    if (requeued.ok()) outcome.requeued = requeued.value();
+    make_pool(phase2_pools, "failover_pool_3", *api2, pool_seeds[2]);
+    make_pool(phase2_pools, "failover_pool_4", *api2, pool_seeds[3]);
+  });
+
+  sim.run_until(3000.0);
+
+  // --- collect ---------------------------------------------------------------
+  for (const auto& p : phase1_pools) {
+    outcome.phase1_completed += p->tasks_completed();
+  }
+  for (const auto& p : phase2_pools) {
+    outcome.phase2_completed += p->tasks_completed();
+  }
+  if (!api2) return outcome;
+
+  Result<eqsql::QueueStats> stats = api2->stats();
+  EXPECT_TRUE(stats.ok());
+  if (stats.ok()) {
+    outcome.db_complete = stats.value().complete;
+    outcome.db_queued = stats.value().queued;
+    outcome.db_running = stats.value().running;
+  }
+
+  // A straggler from the deposed resource reports its long-lost result,
+  // stamped with the epoch it still believes in: fenced before it touches
+  // the database. A current-epoch re-report of the same (completed) task
+  // dies on the exactly-once guard instead.
+  auto task_ids = api2->experiment_tasks("failover").value();
+  EXPECT_FALSE(task_ids.empty());
+  Status late = router.report_task_at_epoch(outcome.old_epoch,
+                                            task_ids.front(), kWork,
+                                            "{\"y\":0}");
+  EXPECT_EQ(late.error().code, ErrorCode::kConflict);
+  outcome.fenced_writes = router.fenced_writes();
+  Status re_report = router.report_task(task_ids.front(), kWork, "{\"y\":0}");
+  EXPECT_EQ(re_report.error().code, ErrorCode::kConflict);
+
+  // Converge the surviving follower and compare byte-for-byte.
+  for (int i = 0; i < 64; ++i) {
+    bool all = true;
+    for (const std::string& id : group.follower_ids()) {
+      repl::ReplicaNode* f = group.node(id);
+      if (f && f->alive() && f->applied_lsn() != group.leader_lsn()) {
+        all = false;
+      }
+    }
+    if (all) break;
+    EXPECT_TRUE(group.pump().ok());
+  }
+  outcome.leader_dump = db::dump_database(group.leader()->database()).dump();
+  for (const std::string& id : group.follower_ids()) {
+    repl::ReplicaNode* f = group.node(id);
+    if (f && f->alive()) {
+      outcome.follower_dump = db::dump_database(f->database()).dump();
+    }
+  }
+  outcome.fault_report = faults.report();
+  return outcome;
+}
+
+TEST(ChaosTest, ReplicatedCampaignSurvivesLeaderFailoverExactlyOnce) {
+  FailoverOutcome o = run_replicated_campaign(31337);
+
+  ASSERT_TRUE(o.promoted);
+  EXPECT_EQ(o.new_epoch, o.old_epoch + 1);
+  // The cut was genuinely mid-flight...
+  EXPECT_GT(o.phase1_completed, 0u);
+  EXPECT_LT(o.phase1_completed, static_cast<std::uint64_t>(kTasks));
+  // ...so the phase-1 pools' claimed tasks lost their leases.
+  EXPECT_GT(o.requeued, 0u);
+  // Every one of the 750 tasks completed, exactly once, across the
+  // failover: completions acked by the dead leader survived (drained to a
+  // follower before promotion), requeued ones ran on the new leader, and
+  // nothing ran twice.
+  EXPECT_EQ(o.db_complete, kTasks);
+  EXPECT_EQ(o.db_queued, 0);
+  EXPECT_EQ(o.db_running, 0);
+  EXPECT_EQ(o.phase1_completed + o.phase2_completed,
+            static_cast<std::uint64_t>(kTasks));
+  // The deposed resource's straggler write was fenced by epoch.
+  EXPECT_GE(o.fenced_writes, 1u);
+  // The surviving follower converged to the promoted leader byte-for-byte.
+  EXPECT_FALSE(o.leader_dump.empty());
+  EXPECT_EQ(o.leader_dump, o.follower_dump);
+}
+
+TEST(ChaosTest, ReplicatedCampaignReplaysBitIdentically) {
+  FailoverOutcome a = run_replicated_campaign(4242);
+  FailoverOutcome b = run_replicated_campaign(4242);
+
+  ASSERT_TRUE(a.promoted);
+  ASSERT_TRUE(b.promoted);
+  EXPECT_EQ(a.new_leader, b.new_leader);
+  EXPECT_EQ(a.old_epoch, b.old_epoch);
+  EXPECT_EQ(a.new_epoch, b.new_epoch);
+  EXPECT_EQ(a.phase1_completed, b.phase1_completed);
+  EXPECT_EQ(a.phase2_completed, b.phase2_completed);
+  EXPECT_EQ(a.requeued, b.requeued);
+  EXPECT_EQ(a.db_complete, b.db_complete);
+  EXPECT_EQ(a.leader_dump, b.leader_dump);
+  EXPECT_EQ(a.follower_dump, b.follower_dump);
+  // The full fault footprint — drops, partition checks, device syncs.
+  EXPECT_EQ(a.fault_report, b.fault_report);
+}
+
+TEST(ChaosTest, ReplicatedCampaignFailoverIsVisibleInTelemetry) {
+  obs::ScopedTelemetry scoped;
+  FailoverOutcome o = run_replicated_campaign(31337);
+  ASSERT_TRUE(o.promoted);
+
+  obs::MetricsSnapshot snap = obs::telemetry().metrics.snapshot();
+  // The shipping plane moved the campaign and its losses were counted.
+  EXPECT_GT(snap.counter_value("osprey_repl_batches_shipped_total"), 0u);
+  EXPECT_GT(snap.counter_value("osprey_repl_records_shipped_total"), 0u);
+  EXPECT_GT(snap.counter_value("osprey_repl_ship_drops_total"), 0u);
+  // Exactly one failover, and the epoch gauge landed on the new epoch.
+  EXPECT_EQ(snap.counter_value("osprey_repl_failovers_total"), 1u);
+  EXPECT_EQ(snap.gauge_value("osprey_repl_epoch"),
+            static_cast<double>(o.new_epoch));
+  // Per-replica lag is exported; the converged followers read zero.
+  EXPECT_EQ(snap.gauge_value("osprey_repl_lag_lsns", {{"replica", "theta-db"}}),
+            0.0);
 }
 
 }  // namespace
