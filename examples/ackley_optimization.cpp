@@ -33,6 +33,9 @@ int main() {
   RealClock clock;
   eqsql::EmewsService service(clock);
   if (!service.start().is_ok()) return 1;
+  // Waits below ride commit-driven wakeups (DESIGN.md Â§5.10) instead of the
+  // Listing-1 poll cadence; WaitSpec's kAuto default picks them up.
+  if (!service.enable_notifications().is_ok()) return 1;
   auto api = service.connect().take();
 
   // Initial sample set (the paper uses 750 uniform 4-D points).
@@ -76,7 +79,7 @@ int main() {
 
   while (!futures.empty()) {
     // Listing 2, line 13: pop the next completed future.
-    auto done = eqsql::pop_completed(futures, 30.0);
+    auto done = eqsql::pop_completed(futures, eqsql::WaitSpec::notify(30.0));
     if (!done.ok()) {
       std::fprintf(stderr, "pop_completed: %s\n",
                    done.error().to_string().c_str());

@@ -43,7 +43,13 @@ int main() {
     std::fprintf(stderr, "service start failed: %s\n", s.to_string().c_str());
     return 1;
   }
-  std::printf("EMEWS service started\n");
+  // Commit-driven wakeups (DESIGN.md §5.10): blocking waits ride the
+  // notification plane instead of the Listing-1 poll loop.
+  if (Status s = service.enable_notifications(); !s.is_ok()) {
+    std::fprintf(stderr, "notifications failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("EMEWS service started (notifications on)\n");
 
   auto api = service.connect().take();
 
@@ -81,10 +87,14 @@ int main() {
     return 1;
   }
 
-  // Pop futures as they complete (§V-B pop_completed).
+  // Pop futures as they complete (§V-B pop_completed). WaitSpec defaults to
+  // kAuto: with notifications enabled each wait blocks on the result channel
+  // and wakes at the report commit, not at the next poll tick.
+  eqsql::WaitSpec wait;
+  wait.timeout = 10.0;
   double best = 1e300;
   while (!futures.empty()) {
-    auto done = eqsql::pop_completed(futures, 10.0);
+    auto done = eqsql::pop_completed(futures, wait);
     if (!done.ok()) {
       std::fprintf(stderr, "pop_completed failed: %s\n",
                    done.error().to_string().c_str());

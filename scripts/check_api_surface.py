@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Cross-check the DESIGN.md §5.10 wait-plane API surface table against the
+public headers, in both directions.
+
+Usage: scripts/check_api_surface.py [repo_root]
+
+Checks, exiting nonzero if any fail:
+  - Every table row between the api-surface-begin/end markers names a header
+    that exists and a symbol that header still declares (word match) — a
+    renamed or deleted symbol fails until the table is updated.
+  - Every public declaration in the wait-plane headers appears in the table,
+    so new surface cannot land undocumented:
+      * src/osprey/eqsql/wait.h and notify.h: namespace-scope struct / class /
+        enum class definitions, `using X =` aliases, and free functions;
+      * src/osprey/capi/osprey_c.h: every declared osprey_* function.
+"""
+import re
+import sys
+from pathlib import Path
+
+BEGIN = "<!-- api-surface-begin"
+END = "<!-- api-surface-end"
+
+# Headers whose public declarations must all be listed in the table.
+CPP_GUARDED = ["src/osprey/eqsql/wait.h", "src/osprey/eqsql/notify.h"]
+C_GUARDED = "src/osprey/capi/osprey_c.h"
+
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+
+
+def parse_table(design_text):
+    """The (header, symbol) rows between the api-surface markers."""
+    begin = design_text.find(BEGIN)
+    end = design_text.find(END)
+    if begin < 0 or end < 0 or end < begin:
+        print("check_api_surface: FAIL: api-surface markers not found in "
+              "DESIGN.md", file=sys.stderr)
+        sys.exit(1)
+    rows = []
+    for line in design_text[begin:end].splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        if len(cells) < 2 or cells[0] in ("header", "") or set(cells[0]) <= {"-"}:
+            continue
+        rows.append((cells[0], cells[1]))
+    return rows
+
+
+def strip_comments(text):
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+
+
+def cpp_public_decls(text):
+    """Namespace-scope declarations in an osprey header: type definitions,
+    using-aliases, and free functions. Tracks brace depth; depth 1 is inside
+    the single `namespace osprey::... {` block these headers use."""
+    decls = set()
+    depth = 0
+    in_namespace = False
+    for raw in strip_comments(text).splitlines():
+        line = raw.strip()
+        if not in_namespace and line.startswith("namespace") and line.endswith("{"):
+            in_namespace = True
+            depth = 1
+            continue
+        if not in_namespace:
+            continue
+        at_top = depth == 1
+        if at_top:
+            m = re.match(r"(?:struct|class|enum\s+class)\s+(\w+)\s*[{:]", line)
+            if m and not line.endswith(";"):
+                decls.add(m.group(1))
+            m = re.match(r"using\s+(\w+)\s*=", line)
+            if m:
+                decls.add(m.group(1))
+            # Free function declaration: `ret-type name(args...);` — type
+            # definitions were caught above, so a paren on a top-level
+            # declaration line means a function.
+            m = re.match(r"[\w:<>,*&\s]+?\b(\w+)\s*\(", line)
+            if m and m.group(1) not in ("decltype", "sizeof"):
+                decls.add(m.group(1))
+        depth += raw.count("{") - raw.count("}")
+    return decls
+
+
+def c_public_functions(text):
+    """Every osprey_* function declared in the C header (a paren after the
+    identifier distinguishes functions from the osprey_* typedef names)."""
+    return set(re.findall(r"\b(osprey_\w+)\s*\(", strip_comments(text)))
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    design = (root / "DESIGN.md").read_text(encoding="utf-8")
+    rows = parse_table(design)
+    if not rows:
+        fail("api-surface table is empty")
+
+    # Forward: each table row must still be real.
+    for header, symbol in rows:
+        path = root / header
+        if not path.is_file():
+            fail(f"table lists {header}, which does not exist")
+            continue
+        text = path.read_text(encoding="utf-8")
+        if not re.search(rf"\b{re.escape(symbol)}\b", text):
+            fail(f"{header} no longer declares '{symbol}' (listed in the "
+                 "DESIGN.md api-surface table)")
+
+    # Reverse: guarded headers must not grow undocumented surface.
+    listed = {(h, s) for h, s in rows}
+    for header in CPP_GUARDED:
+        text = (root / header).read_text(encoding="utf-8")
+        for symbol in sorted(cpp_public_decls(text)):
+            if (header, symbol) not in listed:
+                fail(f"{header} declares '{symbol}', missing from the "
+                     "DESIGN.md api-surface table")
+    c_text = (root / C_GUARDED).read_text(encoding="utf-8")
+    for symbol in sorted(c_public_functions(c_text)):
+        if (C_GUARDED, symbol) not in listed:
+            fail(f"{C_GUARDED} declares '{symbol}', missing from the "
+                 "DESIGN.md api-surface table")
+
+    if failures:
+        for msg in failures:
+            print(f"check_api_surface: FAIL: {msg}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_api_surface: OK ({len(rows)} table rows, "
+          f"{len(CPP_GUARDED) + 1} guarded headers)")
+
+
+if __name__ == "__main__":
+    main()

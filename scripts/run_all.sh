@@ -24,4 +24,7 @@ for bench in "$BUILD"/bench/bench_*; do
   "$bench" || status=1
 done
 
+echo "=== api surface ==="
+python3 "$(dirname "$0")/check_api_surface.py" || status=1
+
 exit $status

@@ -29,6 +29,27 @@ int copy_string(const std::string& value, char* buffer, size_t buffer_size) {
   return OSPREY_OK;
 }
 
+osprey::eqsql::WaitSpec to_wait_spec(const osprey_wait_spec* wait) {
+  osprey::eqsql::WaitSpec spec;
+  if (!wait) return spec;
+  switch (wait->strategy) {
+    case OSPREY_WAIT_NOTIFY:
+      spec.strategy = osprey::eqsql::WaitStrategy::kNotify;
+      break;
+    case OSPREY_WAIT_POLL:
+      spec.strategy = osprey::eqsql::WaitStrategy::kPoll;
+      break;
+    default:
+      spec.strategy = osprey::eqsql::WaitStrategy::kAuto;
+      break;
+  }
+  spec.timeout = wait->timeout;
+  spec.poll_delay = wait->poll_delay;
+  spec.poll_backoff = wait->poll_backoff;
+  spec.poll_max_delay = wait->poll_max_delay;
+  return spec;
+}
+
 }  // namespace
 
 extern "C" {
@@ -54,6 +75,21 @@ int osprey_service_start(osprey_service* service) {
 int osprey_service_stop(osprey_service* service) {
   if (!service) return OSPREY_E_INVALID_ARGUMENT;
   return to_c_error(service->service->stop().code());
+}
+
+int osprey_service_enable_notifications(osprey_service* service) {
+  if (!service) return OSPREY_E_INVALID_ARGUMENT;
+  return to_c_error(service->service->enable_notifications().code());
+}
+
+void osprey_wait_spec_init(osprey_wait_spec* spec) {
+  if (!spec) return;
+  const osprey::eqsql::WaitSpec defaults;
+  spec->strategy = OSPREY_WAIT_AUTO;
+  spec->timeout = defaults.timeout;
+  spec->poll_delay = defaults.poll_delay;
+  spec->poll_backoff = defaults.poll_backoff;
+  spec->poll_max_delay = defaults.poll_max_delay;
 }
 
 osprey_client* osprey_client_connect(osprey_service* service) {
@@ -109,6 +145,51 @@ int osprey_query_result(osprey_client* client, int64_t task_id, double delay,
   auto result = client->api->query_result(task_id, {delay, timeout});
   if (!result.ok()) return to_c_error(result.code());
   return copy_string(result.value(), result_buf, result_buf_size);
+}
+
+int osprey_query_task_wait(osprey_client* client, int eq_type,
+                           const char* worker_pool,
+                           const osprey_wait_spec* wait, int64_t* task_id_out,
+                           char* payload_buf, size_t payload_buf_size) {
+  if (!client || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
+  auto tasks = client->api->query_task(
+      eq_type, 1, worker_pool ? worker_pool : "default", to_wait_spec(wait));
+  if (!tasks.ok()) return to_c_error(tasks.code());
+  const osprey::eqsql::TaskHandle& handle = tasks.value().front();
+  int copied = copy_string(handle.payload, payload_buf, payload_buf_size);
+  if (copied != OSPREY_OK) return copied;
+  *task_id_out = handle.eq_task_id;
+  return OSPREY_OK;
+}
+
+int osprey_query_result_wait(osprey_client* client, int64_t task_id,
+                             const osprey_wait_spec* wait, char* result_buf,
+                             size_t result_buf_size) {
+  if (!client) return OSPREY_E_INVALID_ARGUMENT;
+  auto result = client->api->query_result(task_id, to_wait_spec(wait));
+  if (!result.ok()) return to_c_error(result.code());
+  return copy_string(result.value(), result_buf, result_buf_size);
+}
+
+int osprey_peek_result(osprey_client* client, int64_t task_id,
+                       char* result_buf, size_t result_buf_size) {
+  if (!client) return OSPREY_E_INVALID_ARGUMENT;
+  auto result = client->api->peek_result(task_id);
+  if (!result.ok()) return to_c_error(result.code());
+  return copy_string(result.value(), result_buf, result_buf_size);
+}
+
+int osprey_stats(osprey_client* client, osprey_queue_stats* stats_out) {
+  if (!client || !stats_out) return OSPREY_E_INVALID_ARGUMENT;
+  auto stats = client->api->stats();
+  if (!stats.ok()) return to_c_error(stats.code());
+  stats_out->output_queue = stats.value().output_queue;
+  stats_out->input_queue = stats.value().input_queue;
+  stats_out->queued = stats.value().queued;
+  stats_out->running = stats.value().running;
+  stats_out->complete = stats.value().complete;
+  stats_out->canceled = stats.value().canceled;
+  return OSPREY_OK;
 }
 
 int osprey_task_status(osprey_client* client, int64_t task_id,

@@ -47,6 +47,36 @@ enum {
   OSPREY_TASK_CANCELED = 3,
 };
 
+/* Wait strategies: mirrors osprey::eqsql::WaitStrategy. */
+enum {
+  OSPREY_WAIT_AUTO = 0,   /* notify when available, else poll */
+  OSPREY_WAIT_NOTIFY = 1, /* commit-driven wakeups, poll fallback */
+  OSPREY_WAIT_POLL = 2,   /* pure (delay, timeout) polling (Listing 1) */
+};
+
+/* How a blocking call waits: mirrors osprey::eqsql::WaitSpec. Initialize
+ * with osprey_wait_spec_init to pick up defaults, then override fields. */
+typedef struct osprey_wait_spec {
+  int strategy;          /* one of OSPREY_WAIT_* */
+  double timeout;        /* overall deadline in seconds */
+  double poll_delay;     /* poll cadence / notify fallback slice */
+  double poll_backoff;   /* per-empty-probe delay growth (1.0 = fixed) */
+  double poll_max_delay; /* cap on grown delays; 0 = uncapped */
+} osprey_wait_spec;
+
+/* Fill *spec with the library defaults (AUTO, 2s timeout, 0.5s delay). */
+void osprey_wait_spec_init(osprey_wait_spec* spec);
+
+/* Queue depth / task state counts: mirrors osprey::eqsql::QueueStats. */
+typedef struct osprey_queue_stats {
+  int64_t output_queue; /* queued tasks awaiting a pool */
+  int64_t input_queue;  /* completed tasks awaiting pickup */
+  int64_t queued;
+  int64_t running;
+  int64_t complete;
+  int64_t canceled;
+} osprey_queue_stats;
+
 typedef struct osprey_service osprey_service;
 typedef struct osprey_client osprey_client;
 
@@ -61,6 +91,11 @@ void osprey_service_destroy(osprey_service* service);
 
 int osprey_service_start(osprey_service* service);
 int osprey_service_stop(osprey_service* service);
+
+/* Enable the commit-driven notification plane: blocking waits on clients
+ * connected *after* this call wake on submit/report commits instead of
+ * polling. Idempotent; call after start, before connecting clients. */
+int osprey_service_enable_notifications(osprey_service* service);
 
 /* --- client connections ------------------------------------------------- */
 
@@ -92,6 +127,29 @@ int osprey_report_task(osprey_client* client, int64_t task_id, int eq_type,
 int osprey_query_result(osprey_client* client, int64_t task_id, double delay,
                         double timeout, char* result_buf,
                         size_t result_buf_size);
+
+/* --- the unified wait API ------------------------------------------------ */
+
+/* osprey_query_task under an explicit wait spec. `wait` may be NULL for the
+ * defaults (AUTO: notify when the service has notifications enabled). */
+int osprey_query_task_wait(osprey_client* client, int eq_type,
+                           const char* worker_pool,
+                           const osprey_wait_spec* wait, int64_t* task_id_out,
+                           char* payload_buf, size_t payload_buf_size);
+
+/* osprey_query_result under an explicit wait spec. `wait` may be NULL. */
+int osprey_query_result_wait(osprey_client* client, int64_t task_id,
+                             const osprey_wait_spec* wait, char* result_buf,
+                             size_t result_buf_size);
+
+/* Non-blocking result peek: copies the result if the task is complete
+ * (without consuming the input-queue entry), OSPREY_E_NOT_FOUND while it is
+ * not, OSPREY_E_CANCELED for canceled tasks. */
+int osprey_peek_result(osprey_client* client, int64_t task_id,
+                       char* result_buf, size_t result_buf_size);
+
+/* Queue depth and task state counts in one snapshot. */
+int osprey_stats(osprey_client* client, osprey_queue_stats* stats_out);
 
 /* Current status; on success writes one of OSPREY_TASK_*. */
 int osprey_task_status(osprey_client* client, int64_t task_id,

@@ -500,8 +500,9 @@ Status SimLogDevice::sync(const std::string& segment) {
     dead_ = true;
     return Status(ErrorCode::kUnavailable, "device crashed before sync");
   }
-  for (volatile std::uint64_t spin = 0; spin < sync_spin_; ++spin) {
-  }
+  volatile std::uint64_t sink = 0;
+  for (std::uint64_t spin = 0; spin < sync_spin_; ++spin) sink = spin;
+  (void)sink;
   auto it = pending_.find(segment);
   if (faults_ && faults_->should_fire(fault_point::wal_partial_flush())) {
     // A prefix of the cache reaches the medium, then the device dies — the

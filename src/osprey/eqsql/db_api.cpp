@@ -7,6 +7,7 @@
 
 #include "osprey/core/log.h"
 #include "osprey/core/retry.h"
+#include "osprey/eqsql/notify.h"
 #include "osprey/eqsql/schema.h"
 
 namespace osprey::eqsql {
@@ -33,13 +34,14 @@ std::vector<db::Value> id_params(const std::vector<TaskId>& ids) {
 
 /// Poll delays as a RetryState over the shared RetryPolicy: the k-th empty
 /// poll waits delay * backoff^(k-1), capped at max_delay. Attempts are
-/// unbounded — the caller's deadline is what ends the loop.
-RetryState poll_waiter(const PollSpec& poll) {
+/// unbounded — the caller's deadline is what ends the loop. In notify mode
+/// the same sequence paces the fallback re-probes.
+RetryState poll_waiter(const WaitSpec& wait) {
   RetryPolicy policy;
   policy.max_attempts = std::numeric_limits<int>::max();
-  policy.initial_backoff = poll.delay;
-  policy.multiplier = poll.backoff;
-  policy.max_backoff = poll.max_delay;
+  policy.initial_backoff = wait.poll_delay;
+  policy.multiplier = wait.poll_backoff;
+  policy.max_backoff = wait.poll_max_delay;
   policy.jitter = 0.0;
   policy.budget = 0.0;
   return RetryState(policy, 0, "eqsql.poll");
@@ -73,7 +75,17 @@ EQSQL::ObsHandles::ObsHandles()
       report_latency(obs::telemetry().metrics.histogram(
           "osprey_eqsql_report_latency_seconds")),
       result_latency(obs::telemetry().metrics.histogram(
-          "osprey_eqsql_result_latency_seconds")) {}
+          "osprey_eqsql_result_latency_seconds")),
+      notify_wakeups(obs::telemetry().metrics.counter(
+          "osprey_eqsql_notify_wakeups_total")),
+      spurious_wakeups(obs::telemetry().metrics.counter(
+          "osprey_eqsql_spurious_wakeups_total")),
+      poll_fallbacks(obs::telemetry().metrics.counter(
+          "osprey_eqsql_poll_fallbacks_total")),
+      wait_timeouts(obs::telemetry().metrics.counter(
+          "osprey_eqsql_wait_timeouts_total")),
+      wait_latency(obs::telemetry().metrics.histogram(
+          "osprey_eqsql_wait_latency_seconds")) {}
 
 const char* task_status_name(TaskStatus s) {
   switch (s) {
@@ -260,22 +272,57 @@ Result<std::vector<TaskHandle>> EQSQL::try_query_tasks_batched(
 
 Result<std::vector<TaskHandle>> EQSQL::query_task(WorkType eq_type, int n,
                                                   const PoolId& worker_pool,
-                                                  PollSpec poll) {
-  const TimePoint deadline = clock_.now() + poll.timeout;
-  RetryState waiter = poll_waiter(poll);
+                                                  WaitSpec wait) {
+  const WaitStrategy mode = wait.resolve(notifier_);
+  const TimePoint deadline = clock_.now() + wait.timeout;
+  RetryState waiter = poll_waiter(wait);
+  obs::Stopwatch waited;
+  bool woke_by_notify = false;
   while (true) {
+    // Version before the probe: a commit landing between probe and wait
+    // moves the channel past `seen`, so the wait returns immediately — the
+    // probe/block race can cost a fast retry, never a lost wakeup.
+    const std::uint64_t seen =
+        mode == WaitStrategy::kNotify ? notifier_->work_version(eq_type) : 0;
     Result<std::vector<TaskHandle>> handles =
         try_query_tasks(eq_type, n, worker_pool);
     if (!handles.ok()) return handles;
-    if (!handles.value().empty()) return handles;
-    Duration delay = poll.delay;
-    waiter.next_delay(&delay);
-    if (clock_.now() + delay > deadline) {
-      return Error(ErrorCode::kTimeout,
-                   "no task of type " + std::to_string(eq_type) + " within " +
-                       std::to_string(poll.timeout) + "s");
+    if (!handles.value().empty()) {
+      if (obs::enabled()) obs::observe_latency(obs_.wait_latency, waited);
+      return handles;
     }
-    sleeper_(delay);
+    if (obs::enabled() && woke_by_notify) {
+      obs_.spurious_wakeups.inc();  // signaled, but another claimant won
+    }
+    Duration delay = wait.poll_delay;
+    waiter.next_delay(&delay);
+    if (mode == WaitStrategy::kNotify) {
+      const Duration remaining = deadline - clock_.now();
+      if (remaining <= 0.0) {
+        if (obs::enabled()) obs_.wait_timeouts.inc();
+        return Error(ErrorCode::kTimeout,
+                     "no task of type " + std::to_string(eq_type) +
+                         " within " + std::to_string(wait.timeout) + "s");
+      }
+      const Duration slice =
+          delay > 0.0 ? std::min(delay, remaining) : remaining;
+      woke_by_notify = notifier_->wait_for_work(eq_type, seen, slice);
+      if (obs::enabled()) {
+        if (woke_by_notify) {
+          obs_.notify_wakeups.inc();
+        } else {
+          obs_.poll_fallbacks.inc();
+        }
+      }
+    } else {
+      if (clock_.now() + delay > deadline) {
+        if (obs::enabled()) obs_.wait_timeouts.inc();
+        return Error(ErrorCode::kTimeout,
+                     "no task of type " + std::to_string(eq_type) +
+                         " within " + std::to_string(wait.timeout) + "s");
+      }
+      sleeper_(delay);
+    }
   }
 }
 
@@ -390,39 +437,101 @@ Result<std::string> EQSQL::peek_result(TaskId eq_task_id) {
                                           : row.value().rows[0][1].as_text();
 }
 
-Result<std::string> EQSQL::query_result(TaskId eq_task_id, PollSpec poll) {
-  const TimePoint deadline = clock_.now() + poll.timeout;
-  RetryState waiter = poll_waiter(poll);
+Status EQSQL::pop_result_entry(TaskId eq_task_id) {
+  obs::Stopwatch latency;
+  db::Transaction txn(db_);
+  auto pop = conn_.execute("DELETE FROM eq_input_queue WHERE eq_task_id = ?",
+                           {db::Value(eq_task_id)});
+  if (!pop.ok()) return pop.error();
+  Status committed = txn.commit();
+  if (!committed.is_ok()) return committed;
+  // affected == 0 means someone already popped it (e.g. a concurrent
+  // pickup); the payload the caller holds is still the task's result, so
+  // only the queue-depth accounting is conditional.
+  if (obs::enabled() && pop.value().affected > 0) {
+    obs_.completed.inc();
+    obs_.input_depth.add(-1.0);
+    obs::observe_latency(obs_.result_latency, latency);
+    obs::telemetry().trace.record(
+        {eq_task_id, obs::TaskEventKind::kCompleted, clock_.now(), 0, "", ""});
+  }
+  return Status::ok();
+}
+
+Result<std::string> EQSQL::query_result(TaskId eq_task_id, WaitSpec wait) {
+  const WaitStrategy mode = wait.resolve(notifier_);
+  const TimePoint deadline = clock_.now() + wait.timeout;
+  RetryState waiter = poll_waiter(wait);
+  obs::Stopwatch waited;
+  bool woke_by_notify = false;
   while (true) {
-    // With a peeker installed, the waiting polls are read-only probes that a
-    // replica may answer; only a positive probe triggers the authoritative
-    // (queue-popping) pickup below. A probe error other than "not complete"
-    // falls through to the local path so routing failures never wedge the
-    // loop — at worst a poll costs a leader round-trip.
+    const std::uint64_t seen =
+        mode == WaitStrategy::kNotify ? notifier_->result_version() : 0;
+    // With a peeker routed in, the waiting probes are read-only and a
+    // replica may answer them; a positive probe already carries the payload,
+    // so the local side only pops the input-queue entry — one write, no
+    // duplicate read of the task row. A probe error other than
+    // "not complete" falls through to the local path so routing failures
+    // never wedge the loop — at worst a probe costs a leader round-trip.
     bool complete = true;
     if (peeker_) {
       Result<std::string> probe = peeker_(eq_task_id);
       if (!probe.ok() && probe.code() == ErrorCode::kCanceled) return probe;
-      if (!probe.ok() && probe.code() == ErrorCode::kNotFound &&
+      if (probe.ok()) {
+        Status picked = pop_result_entry(eq_task_id);
+        if (!picked.is_ok()) return picked.error();
+        if (obs::enabled()) obs::observe_latency(obs_.wait_latency, waited);
+        return probe;
+      }
+      if (probe.code() == ErrorCode::kNotFound &&
           probe.error().message.find("not complete") != std::string::npos) {
         complete = false;  // authoritative "still running": keep waiting
       }
     }
     if (complete) {
       Result<std::string> r = try_query_result(eq_task_id);
-      if (r.ok() || (r.code() != ErrorCode::kNotFound)) return r;
+      if (r.ok() || (r.code() != ErrorCode::kNotFound)) {
+        if (r.ok() && obs::enabled()) {
+          obs::observe_latency(obs_.wait_latency, waited);
+        }
+        return r;
+      }
       // kNotFound means "not complete yet" — unless the task truly does not
       // exist, which polling will never fix; bail out for nonexistent ids.
       if (r.error().message.find("not complete") == std::string::npos) return r;
     }
-    Duration delay = poll.delay;
+    if (obs::enabled() && woke_by_notify) obs_.spurious_wakeups.inc();
+    Duration delay = wait.poll_delay;
     waiter.next_delay(&delay);
-    if (clock_.now() + delay > deadline) {
-      return Error(ErrorCode::kTimeout,
-                   "task " + std::to_string(eq_task_id) + " not complete within " +
-                       std::to_string(poll.timeout) + "s");
+    if (mode == WaitStrategy::kNotify) {
+      const Duration remaining = deadline - clock_.now();
+      if (remaining <= 0.0) {
+        if (obs::enabled()) obs_.wait_timeouts.inc();
+        return Error(ErrorCode::kTimeout,
+                     "task " + std::to_string(eq_task_id) +
+                         " not complete within " +
+                         std::to_string(wait.timeout) + "s");
+      }
+      const Duration slice =
+          delay > 0.0 ? std::min(delay, remaining) : remaining;
+      woke_by_notify = notifier_->wait_for_result(seen, slice);
+      if (obs::enabled()) {
+        if (woke_by_notify) {
+          obs_.notify_wakeups.inc();
+        } else {
+          obs_.poll_fallbacks.inc();
+        }
+      }
+    } else {
+      if (clock_.now() + delay > deadline) {
+        if (obs::enabled()) obs_.wait_timeouts.inc();
+        return Error(ErrorCode::kTimeout,
+                     "task " + std::to_string(eq_task_id) +
+                         " not complete within " +
+                         std::to_string(wait.timeout) + "s");
+      }
+      sleeper_(delay);
     }
-    sleeper_(delay);
   }
 }
 

@@ -13,9 +13,11 @@
 // between queues never loses a task — the fault-tolerance property §IV-B
 // attributes to describing tasks "in the system in enough detail".
 //
-// Blocking queries poll with (delay, timeout) like the paper's API. The
-// sleeper is injected so threaded callers really sleep while simulated
-// callers never block (they use the try_* variants and schedule retries).
+// Blocking queries wait per a WaitSpec (see wait.h): commit-driven
+// notifications when a Notifier is routed in, (delay, timeout) polling like
+// the paper's API otherwise. The sleeper is injected so threaded callers
+// really sleep while simulated callers never block (they use the try_*
+// variants and schedule retries).
 #pragma once
 
 #include <functional>
@@ -25,19 +27,10 @@
 #include "osprey/core/clock.h"
 #include "osprey/db/sql_exec.h"
 #include "osprey/eqsql/task.h"
+#include "osprey/eqsql/wait.h"
 #include "osprey/obs/telemetry.h"
 
 namespace osprey::eqsql {
-
-/// How blocking queries wait between polls.
-using Sleeper = std::function<void(Duration)>;
-
-/// Read-only probe used by query_result's polling loop when read routing is
-/// configured (see set_result_peeker): returns the result payload if the
-/// task is complete, kNotFound ("task not complete") while it is not, and
-/// kCanceled for canceled tasks — the same contract as peek_result, but the
-/// probe may be served by a read replica.
-using ResultPeeker = std::function<Result<std::string>(TaskId)>;
 
 /// One consistent snapshot of the queue depths and task-state counts — the
 /// monitoring read that is safe to serve from a replica, since it mutates
@@ -80,12 +73,15 @@ class EQSQL {
   Result<std::vector<TaskHandle>> try_query_tasks(
       WorkType eq_type, int n = 1, const PoolId& worker_pool = "default");
 
-  /// Blocking variant: polls every `poll.delay` seconds until at least one
-  /// task is available or `poll.timeout` elapses (kTimeout), mirroring the
-  /// paper's query_task(eq_type, n, worker_pool, delay, timeout).
+  /// Blocking variant: waits per `wait` until at least one task is available
+  /// or `wait.timeout` elapses (kTimeout). In poll mode this is the paper's
+  /// query_task(eq_type, n, worker_pool, delay, timeout) exactly; in notify
+  /// mode the wait blocks on the work channel and re-probes at most every
+  /// `wait.poll_delay` as a lost-wakeup fallback. A PollSpec converts
+  /// implicitly, so old (delay, timeout) call sites behave unchanged.
   Result<std::vector<TaskHandle>> query_task(WorkType eq_type, int n = 1,
                                              const PoolId& worker_pool = "default",
-                                             PollSpec poll = {});
+                                             WaitSpec wait = {});
 
   /// The §IV-D "enhanced version for querying the output queue, customized
   /// for worker pools": request up to `batch_size` tasks "while accounting
@@ -120,16 +116,36 @@ class EQSQL {
   /// kCanceled for canceled tasks.
   Result<std::string> peek_result(TaskId eq_task_id);
 
-  /// Blocking variant with (delay, timeout) polling; kTimeout on expiry,
-  /// matching the {'type':'status','payload':'TIMEOUT'} protocol. With a
-  /// result peeker installed, the waiting polls go through the peeker (a
-  /// replica-servable read) and only the final pickup hits this instance.
-  Result<std::string> query_result(TaskId eq_task_id, PollSpec poll = {});
+  /// Blocking variant waiting per `wait`; kTimeout on expiry, matching the
+  /// {'type':'status','payload':'TIMEOUT'} protocol. With a result peeker
+  /// routed in, the waiting probes go through the peeker (a replica-servable
+  /// read) and a completed task costs exactly one local write — the
+  /// input-queue pop; the payload comes from the probe itself. A PollSpec
+  /// converts implicitly, so old (delay, timeout) call sites behave
+  /// unchanged.
+  Result<std::string> query_result(TaskId eq_task_id, WaitSpec wait = {});
 
-  /// Route query_result's polling probes through `peeker` (e.g. a
-  /// replication read router). Unset by default: all polls run against this
-  /// instance's database, preserving the single-node behavior.
+  /// Configure where the waiting machinery plugs in: the poll-mode sleeper
+  /// (kept unchanged when unset), the replica-servable result probe, and
+  /// the commit-notification plane. Replaces the peeker and notifier
+  /// wholesale: an unset field clears the corresponding route.
+  void set_wait_routing(WaitRouting routing) {
+    if (routing.sleeper) sleeper_ = std::move(routing.sleeper);
+    peeker_ = std::move(routing.peeker);
+    notifier_ = routing.notifier;
+  }
+
+  /// Deprecated shim for set_wait_routing: route only the result probes
+  /// through `peeker` (e.g. a replication read router), keeping the sleeper
+  /// and notifier as they are.
   void set_result_peeker(ResultPeeker peeker) { peeker_ = std::move(peeker); }
+
+  /// Deprecated shim for set_wait_routing: attach only the notifier.
+  void set_notifier(Notifier* notifier) { notifier_ = notifier; }
+
+  /// The notification plane blocking waits resolve kAuto against; nullptr
+  /// means every wait polls.
+  Notifier* notifier() const { return notifier_; }
 
   /// Batch completion check (backbone of as_completed / pop_completed):
   /// of the given ids, return up to `n` that are complete, popping them from
@@ -217,6 +233,11 @@ class EQSQL {
   Result<std::vector<TaskHandle>> claim_tasks_locked(WorkType eq_type, int n,
                                                      const PoolId& worker_pool);
 
+  /// The local half of a peeker-confirmed pickup: pop the input-queue entry
+  /// for a task whose payload the probe already returned. One write, no
+  /// re-read of the task row (the query_result dedupe).
+  Status pop_result_entry(TaskId eq_task_id);
+
   /// Telemetry handles (see DESIGN.md §observability). Acquired once at
   /// construction; recording through them is lock-free and gated on the
   /// global telemetry switch.
@@ -234,6 +255,14 @@ class EQSQL {
     obs::Histogram& claim_latency;
     obs::Histogram& report_latency;
     obs::Histogram& result_latency;
+    // Wait-plane instrumentation (DESIGN.md §5.10): how blocking calls end
+    // their waits — a commit notification, a fallback re-probe, a timeout —
+    // and how often a notification wakeup found nothing (lost the claim race).
+    obs::Counter& notify_wakeups;
+    obs::Counter& spurious_wakeups;
+    obs::Counter& poll_fallbacks;
+    obs::Counter& wait_timeouts;
+    obs::Histogram& wait_latency;
     ObsHandles();
   };
 
@@ -241,7 +270,8 @@ class EQSQL {
   const Clock& clock_;
   Sleeper sleeper_;
   db::sql::Connection conn_;
-  ResultPeeker peeker_;  // unset = poll locally (single-node behavior)
+  ResultPeeker peeker_;  // unset = probe locally (single-node behavior)
+  Notifier* notifier_ = nullptr;  // unset = every blocking wait polls
   ObsHandles obs_;
 };
 

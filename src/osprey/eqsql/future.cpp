@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "osprey/eqsql/notify.h"
+
 namespace osprey::eqsql {
 
 TaskFuture::TaskFuture(EQSQL& api, TaskId task_id, WorkType eq_type)
@@ -39,14 +41,14 @@ Result<std::string> TaskFuture::try_result() {
   return r;
 }
 
-Result<std::string> TaskFuture::result(PollSpec poll) {
+Result<std::string> TaskFuture::result(WaitSpec wait) {
   if (!state_) return Error(ErrorCode::kInvalidArgument, "invalid future");
   if (state_->cached_result) return *state_->cached_result;
   if (state_->canceled) {
     return Error(ErrorCode::kCanceled,
                  "task " + std::to_string(state_->task_id) + " canceled");
   }
-  Result<std::string> r = state_->api->query_result(state_->task_id, poll);
+  Result<std::string> r = state_->api->query_result(state_->task_id, wait);
   if (r.ok()) state_->cached_result = r.value();
   return r;
 }
@@ -74,8 +76,7 @@ Status TaskFuture::set_priority(Priority priority) {
 }
 
 Result<std::vector<std::size_t>> as_completed(std::vector<TaskFuture>& futures,
-                                              std::size_t n,
-                                              std::optional<Duration> timeout) {
+                                              std::size_t n, WaitSpec wait) {
   if (n == 0) return std::vector<std::size_t>{};
   if (futures.empty()) {
     return Error(ErrorCode::kInvalidArgument, "as_completed on no futures");
@@ -101,11 +102,15 @@ Result<std::vector<std::size_t>> as_completed(std::vector<TaskFuture>& futures,
     return Error(ErrorCode::kInvalidArgument, "as_completed on invalid futures");
   }
 
-  const PollSpec poll{};  // default delay; timeout handled here
-  const TimePoint deadline =
-      timeout ? api->clock().now() + *timeout
-              : std::numeric_limits<TimePoint>::infinity();
+  Notifier* notifier = api->notifier();
+  const WaitStrategy mode = wait.resolve(notifier);
+  const TimePoint deadline = api->clock().now() + wait.timeout;
   while (ready.size() < n && !pending_ids.empty()) {
+    // Version before the batch probe: a report committing between the probe
+    // and the wait below moves the result channel, so the wait returns
+    // immediately instead of sleeping through the completion.
+    const std::uint64_t seen =
+        mode == WaitStrategy::kNotify ? notifier->result_version() : 0;
     Result<std::vector<TaskId>> completed = api->try_query_completed(
         pending_ids, static_cast<int>(n - ready.size()));
     if (!completed.ok()) return completed.error();
@@ -121,12 +126,25 @@ Result<std::vector<std::size_t>> as_completed(std::vector<TaskFuture>& futures,
           pending_ids.end());
     }
     if (ready.size() >= n) break;
-    if (api->clock().now() + poll.delay > deadline) {
-      return Error(ErrorCode::kTimeout,
-                   "only " + std::to_string(ready.size()) + " of " +
-                       std::to_string(n) + " futures completed in time");
+    if (mode == WaitStrategy::kNotify) {
+      const Duration remaining = deadline - api->clock().now();
+      if (remaining <= 0.0) {
+        return Error(ErrorCode::kTimeout,
+                     "only " + std::to_string(ready.size()) + " of " +
+                         std::to_string(n) + " futures completed in time");
+      }
+      const Duration slice = wait.poll_delay > 0.0
+                                 ? std::min(wait.poll_delay, remaining)
+                                 : remaining;
+      notifier->wait_for_result(seen, slice);
+    } else {
+      if (api->clock().now() + wait.poll_delay > deadline) {
+        return Error(ErrorCode::kTimeout,
+                     "only " + std::to_string(ready.size()) + " of " +
+                         std::to_string(n) + " futures completed in time");
+      }
+      api->sleep(wait.poll_delay);
     }
-    api->sleep(poll.delay);
   }
   if (ready.size() < n) {
     return Error(ErrorCode::kTimeout, "no more futures can complete");
@@ -134,14 +152,31 @@ Result<std::vector<std::size_t>> as_completed(std::vector<TaskFuture>& futures,
   return ready;
 }
 
+Result<std::vector<std::size_t>> as_completed(std::vector<TaskFuture>& futures,
+                                              std::size_t n,
+                                              std::optional<Duration> timeout) {
+  WaitSpec wait;  // kAuto: notify when the API has a notifier, else poll
+  wait.timeout =
+      timeout ? *timeout : std::numeric_limits<Duration>::infinity();
+  return as_completed(futures, n, wait);
+}
+
 Result<TaskFuture> pop_completed(std::vector<TaskFuture>& futures,
-                                 std::optional<Duration> timeout) {
-  Result<std::vector<std::size_t>> first = as_completed(futures, 1, timeout);
+                                 WaitSpec wait) {
+  Result<std::vector<std::size_t>> first = as_completed(futures, 1, wait);
   if (!first.ok()) return first.error();
   std::size_t idx = first.value().front();
   TaskFuture popped = futures[idx];
   futures.erase(futures.begin() + static_cast<std::ptrdiff_t>(idx));
   return popped;
+}
+
+Result<TaskFuture> pop_completed(std::vector<TaskFuture>& futures,
+                                 std::optional<Duration> timeout) {
+  WaitSpec wait;
+  wait.timeout =
+      timeout ? *timeout : std::numeric_limits<Duration>::infinity();
+  return pop_completed(futures, wait);
 }
 
 Result<std::size_t> update_priority(std::vector<TaskFuture>& futures,

@@ -41,8 +41,9 @@ class TaskFuture {
   /// the task just completed; kNotFound while still pending.
   Result<std::string> try_result();
 
-  /// Blocking result with (delay, timeout) polling.
-  Result<std::string> result(PollSpec poll = {});
+  /// Blocking result waiting per `wait` (a PollSpec converts implicitly, so
+  /// old (delay, timeout) call sites behave unchanged).
+  Result<std::string> result(WaitSpec wait = {});
 
   /// Cancel the task (no-op if already complete). True when the task was
   /// newly canceled.
@@ -56,8 +57,7 @@ class TaskFuture {
 
  private:
   friend Result<std::vector<std::size_t>> as_completed(
-      std::vector<TaskFuture>& futures, std::size_t n,
-      std::optional<Duration> timeout);
+      std::vector<TaskFuture>& futures, std::size_t n, WaitSpec wait);
 
   struct State {
     EQSQL* api = nullptr;
@@ -71,9 +71,17 @@ class TaskFuture {
 
 /// Wait until `n` of the given futures complete and return their indexes
 /// (in completion-discovery order). Futures whose results were already
-/// retrieved count immediately. With a timeout, returns kTimeout if fewer
-/// than n complete in time. Uses one batch DB query per poll, not one per
-/// future. (Paper: as_completed yields futures as they complete.)
+/// retrieved count immediately. Returns kTimeout if fewer than n complete
+/// within `wait.timeout`. Uses one batch DB query per probe, not one per
+/// future, and with a notifier routed in blocks on the result channel
+/// between probes instead of sleeping a fixed delay. (Paper: as_completed
+/// yields futures as they complete.)
+Result<std::vector<std::size_t>> as_completed(std::vector<TaskFuture>& futures,
+                                              std::size_t n, WaitSpec wait);
+
+/// Deprecated shim: the pre-WaitSpec signature. `timeout` of nullopt means
+/// wait forever (the old contract); the probe cadence is the WaitSpec
+/// default.
 Result<std::vector<std::size_t>> as_completed(
     std::vector<TaskFuture>& futures, std::size_t n,
     std::optional<Duration> timeout = std::nullopt);
@@ -81,6 +89,10 @@ Result<std::vector<std::size_t>> as_completed(
 /// Pop the first completed future from the list: removes it and returns it.
 /// (Paper: pop_completed "returns the first completed Future from a list,
 /// removing that Future from the list".)
+Result<TaskFuture> pop_completed(std::vector<TaskFuture>& futures,
+                                 WaitSpec wait);
+
+/// Deprecated shim: the pre-WaitSpec signature (nullopt = wait forever).
 Result<TaskFuture> pop_completed(std::vector<TaskFuture>& futures,
                                  std::optional<Duration> timeout = std::nullopt);
 

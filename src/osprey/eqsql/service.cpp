@@ -9,8 +9,10 @@ namespace osprey::eqsql {
 EmewsService::EmewsService(const Clock& clock) : clock_(clock) {}
 
 EmewsService::~EmewsService() {
-  // The database outlives the wal_ member (declaration order), so detach
-  // the observer before the manager goes away.
+  // The database outlives the wal_ and notifier_ members (declaration
+  // order), so unwind the observer chain before the managers go away:
+  // notifier first (it wraps the WAL), then the WAL.
+  if (notifier_) notifier_->detach();
   if (wal_) wal_->detach();
 }
 
@@ -49,7 +51,16 @@ Result<std::unique_ptr<EQSQL>> EmewsService::connect(Sleeper sleeper) {
   if (!running_) {
     return Error(ErrorCode::kUnavailable, "EMEWS service not running");
   }
-  return std::make_unique<EQSQL>(db_, clock_, std::move(sleeper));
+  auto api = std::make_unique<EQSQL>(db_, clock_, std::move(sleeper));
+  if (notifier_) api->set_notifier(notifier_.get());
+  return api;
+}
+
+Status EmewsService::enable_notifications() {
+  if (notifier_) return Status::ok();
+  notifier_ = std::make_unique<Notifier>();
+  notifier_->attach(db_);
+  return Status::ok();
 }
 
 Result<ServiceStats> EmewsService::stats() {
@@ -117,15 +128,22 @@ Status EmewsService::enable_wal(db::wal::LogDevice& device,
   auto manager = std::make_unique<db::wal::WalManager>(device, options);
   Status opened = manager->open();
   if (!opened.is_ok()) return opened;
+  // WalManager::attach takes the observer slot unconditionally. If the
+  // notification plane is already installed, step it aside and re-wrap it
+  // around the WAL afterward, preserving the chain notifier -> wal.
+  if (notifier_) notifier_->detach();
   manager->attach(db_);
+  if (notifier_) notifier_->attach(db_);
   wal_ = std::move(manager);
   if (!db_.table_names().empty()) {
     // State created before the log existed (enable_wal on a live campaign):
     // checkpoint it, otherwise recovery would replay onto nothing.
     Result<db::wal::Lsn> ckpt = wal_->checkpoint(db_);
     if (!ckpt.ok()) {
+      if (notifier_) notifier_->detach();
       wal_->detach();
       wal_.reset();
+      if (notifier_) notifier_->attach(db_);
       return ckpt.error();
     }
   }
@@ -154,7 +172,9 @@ Result<db::wal::RecoveryInfo> EmewsService::recover_from_wal(
   auto manager = std::make_unique<db::wal::WalManager>(device, options);
   Status opened = manager->open();
   if (!opened.is_ok()) return opened.error();
+  if (notifier_) notifier_->detach();
   manager->attach(db_);
+  if (notifier_) notifier_->attach(db_);
   wal_ = std::move(manager);
   schema_created_ = true;
   running_ = true;

@@ -15,6 +15,7 @@
 #include "osprey/db/database.h"
 #include "osprey/db/wal.h"
 #include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/notify.h"
 #include "osprey/json/json.h"
 
 namespace osprey::eqsql {
@@ -48,8 +49,23 @@ class EmewsService {
 
   /// A client API handle bound to this service's database. The service must
   /// be running. Each caller (ME algorithm, worker pool) gets its own
-  /// EQSQL — they share the database but not statement state.
+  /// EQSQL — they share the database but not statement state. With
+  /// notifications enabled the handle comes pre-routed to the service's
+  /// Notifier, so its blocking waits resolve kAuto to notify mode.
   Result<std::unique_ptr<EQSQL>> connect(Sleeper sleeper = {});
+
+  // --- notifications (DESIGN.md §5.10) ---------------------------------------
+
+  /// Attach the commit-driven notification plane: from here on submit /
+  /// report / cancel commits wake blocked waiters instead of leaving them to
+  /// poll. Wraps any WAL observer already installed (durability still runs
+  /// first and keeps its veto). Idempotent.
+  Status enable_notifications();
+  bool notifications_enabled() const { return notifier_ != nullptr; }
+
+  /// The notification plane (nullptr until enable_notifications). Pools and
+  /// drivers register their listeners here.
+  Notifier* notifier() { return notifier_.get(); }
 
   /// Queue / task counts for monitoring.
   Result<ServiceStats> stats();
@@ -100,6 +116,9 @@ class EmewsService {
   const Clock& clock_;
   db::Database db_;
   std::unique_ptr<db::wal::WalManager> wal_;
+  // Declared after wal_: destroyed (and detached) first, unwrapping the
+  // observer chain notifier -> wal in reverse attachment order.
+  std::unique_ptr<Notifier> notifier_;
   bool running_ = false;
   bool schema_created_ = false;
   std::size_t recovered_requeues_ = 0;

@@ -1,0 +1,137 @@
+// The unified wait API: one WaitSpec for every blocking EQSQL call.
+//
+// The paper's Listing-1 API threads a (delay, timeout) pair through every
+// blocking call, and the first four PRs grew three overlapping knobs around
+// it: PollSpec (poll cadence), Sleeper (how a poll sleeps), and ResultPeeker
+// (where result probes go when reads are routed to a replica). WaitSpec and
+// WaitRouting collapse those into one surface:
+//
+//   - WaitSpec says *how long* to wait and *how* — commit-driven
+//     notifications (see notify.h) with a poll fallback, or pure polling,
+//     which preserves the paper's (delay, timeout) contract as the degraded
+//     mode for remote and replica paths that have no commit hook.
+//   - WaitRouting says *where* the waiting machinery plugs in: the sleeper
+//     used by poll-mode waits, the replica-servable result probe, and the
+//     Notifier whose commit wakeups end the wait early.
+//
+// PollSpec (task.h) remains as a deprecated shim: it converts implicitly to
+// WaitSpec, so `query_result(id, {delay, timeout})` call sites keep
+// compiling and keep their exact polling behavior.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "osprey/core/error.h"
+#include "osprey/core/types.h"
+#include "osprey/eqsql/task.h"
+
+namespace osprey::eqsql {
+
+class Notifier;
+
+/// How blocking queries wait between probes (deprecated alias home: this
+/// used to live in db_api.h; it is now part of the wait surface).
+using Sleeper = std::function<void(Duration)>;
+
+/// Read-only completion probe used by result waits when read routing is
+/// configured (see WaitRouting::peeker): returns the result payload if the
+/// task is complete, kNotFound ("task not complete") while it is not, and
+/// kCanceled for canceled tasks — the same contract as EQSQL::peek_result,
+/// but the probe may be served by a read replica.
+using ResultPeeker = std::function<Result<std::string>(TaskId)>;
+
+/// How a blocking call should wait.
+enum class WaitStrategy {
+  /// Notify when the API has a Notifier attached, else poll. The default:
+  /// call sites get commit-driven wakeups the moment the notification plane
+  /// is enabled, with zero code changes.
+  kAuto,
+  /// Block on commit-driven wakeups (requires an attached Notifier), with
+  /// the poll cadence as a fallback re-check so a missed wakeup degrades to
+  /// the old polling latency instead of hanging.
+  kNotify,
+  /// Pure (delay, timeout) polling — the paper's Listing-1 behavior and the
+  /// degraded mode for remote/replica paths with no commit hook.
+  kPoll,
+};
+
+const char* wait_strategy_name(WaitStrategy s);
+
+/// The one wait knob: strategy + deadline + poll-fallback cadence.
+/// Implicitly convertible from PollSpec so the old (delay, timeout) call
+/// sites compile unchanged and behave identically (strategy kPoll).
+struct WaitSpec {
+  WaitStrategy strategy = WaitStrategy::kAuto;
+  /// Overall deadline; kTimeout on expiry, matching the paper's
+  /// {'type':'status','payload':'TIMEOUT'} protocol.
+  Duration timeout = 2.0;
+  /// Poll cadence: the delay between probes in kPoll mode, and the fallback
+  /// re-check slice in kNotify mode (a lost wakeup costs one slice).
+  Duration poll_delay = 0.5;
+  /// Per-empty-probe delay growth factor (1.0 = fixed delay).
+  double poll_backoff = 1.0;
+  /// Cap on grown delays; 0 = uncapped (the timeout still bounds waiting).
+  Duration poll_max_delay = 0.0;
+
+  WaitSpec() = default;
+
+  /// Deprecated bridge: an old PollSpec waits exactly as it always did.
+  WaitSpec(const PollSpec& poll)  // NOLINT(google-explicit-constructor)
+      : strategy(WaitStrategy::kPoll),
+        timeout(poll.timeout),
+        poll_delay(poll.delay),
+        poll_backoff(poll.backoff),
+        poll_max_delay(poll.max_delay) {}
+
+  /// Deprecated bridge: positional (delay, timeout[, backoff[, max_delay]])
+  /// in PollSpec field order, so braced `{delay, timeout}` call sites keep
+  /// compiling and keep their exact polling behavior.
+  WaitSpec(Duration delay, Duration deadline, double backoff = 1.0,
+           Duration max_delay = 0.0)
+      : strategy(WaitStrategy::kPoll),
+        timeout(deadline),
+        poll_delay(delay),
+        poll_backoff(backoff),
+        poll_max_delay(max_delay) {}
+
+  static WaitSpec notify(Duration timeout) {
+    WaitSpec spec;
+    spec.strategy = WaitStrategy::kNotify;
+    spec.timeout = timeout;
+    return spec;
+  }
+
+  static WaitSpec poll(Duration delay, Duration timeout) {
+    WaitSpec spec;
+    spec.strategy = WaitStrategy::kPoll;
+    spec.poll_delay = delay;
+    spec.timeout = timeout;
+    return spec;
+  }
+
+  /// The strategy this spec resolves to against a (possibly null) notifier:
+  /// kAuto picks kNotify when a notifier is attached, else kPoll.
+  WaitStrategy resolve(const Notifier* notifier) const {
+    if (strategy == WaitStrategy::kPoll) return WaitStrategy::kPoll;
+    if (notifier != nullptr) return WaitStrategy::kNotify;
+    return WaitStrategy::kPoll;
+  }
+};
+
+/// Where the waiting machinery plugs in. Replaces the loose Sleeper
+/// constructor parameter and EQSQL::set_result_peeker knob (both kept as
+/// thin shims that write through to this).
+struct WaitRouting {
+  /// How poll-mode waits sleep. Defaults to a real sleep; the simulation
+  /// injects a virtual-time sleeper; tests inject clock-advancing fakes.
+  Sleeper sleeper;
+  /// Remote/replica-servable result probe for result waits; unset = every
+  /// probe runs against the local database (single-node behavior).
+  ResultPeeker peeker;
+  /// Commit-driven wakeups; nullptr = poll-only (kNotify resolves to kPoll
+  /// via WaitSpec::resolve). The notifier must outlive the EQSQL handle.
+  Notifier* notifier = nullptr;
+};
+
+}  // namespace osprey::eqsql

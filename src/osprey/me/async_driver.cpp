@@ -29,6 +29,13 @@ AsyncGprDriver::AsyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
   }
 }
 
+AsyncGprDriver::~AsyncGprDriver() {
+  if (notifier_ != nullptr && listener_id_ != 0) {
+    notifier_->remove_listener(listener_id_);
+    listener_id_ = 0;
+  }
+}
+
 Status AsyncGprDriver::run(const std::vector<Point>& samples) {
   if (samples.empty()) {
     return Status(ErrorCode::kInvalidArgument, "no samples to submit");
@@ -45,8 +52,22 @@ Status AsyncGprDriver::run(const std::vector<Point>& samples) {
     pending_.emplace(ids.value()[i], samples[i]);
     pending_ids_.push_back(ids.value()[i]);
   }
+  notifier_ = api_.notifier();
+  if (notifier_ != nullptr) {
+    listener_id_ =
+        notifier_->on_result([this](TaskId) { on_result_signal(); });
+  }
   sim_.schedule_in(config_.poll_interval, [this] { poll(); });
   return Status::ok();
+}
+
+void AsyncGprDriver::on_result_signal() {
+  if (finished_ || wake_scheduled_) return;
+  wake_scheduled_ = true;
+  sim_.schedule_in(0.0, [this] {
+    wake_scheduled_ = false;
+    poll();
+  });
 }
 
 void AsyncGprDriver::poll() {
@@ -57,11 +78,19 @@ void AsyncGprDriver::poll() {
       finished_ = true;
       OSPREY_LOG(kInfo, "me") << "async driver finished; best value "
                               << best_value_;
+      if (notifier_ != nullptr && listener_id_ != 0) {
+        notifier_->remove_listener(listener_id_);
+        listener_id_ = 0;
+      }
       if (on_complete_) on_complete_();
     }
     return;
   }
-  sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+  // Notified mode rides the result channel; only the poll-mode driver keeps
+  // the fixed §VI "wait for n evaluation results" polling cadence.
+  if (notifier_ == nullptr) {
+    sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+  }
 }
 
 void AsyncGprDriver::absorb_completions() {
@@ -154,6 +183,11 @@ void AsyncGprDriver::apply_priorities(const std::vector<TaskId>& ids,
     }
   }
   retrain_in_flight_ = false;
+  // Completions absorbed while the retrain was in flight may already satisfy
+  // the next retrain threshold; re-check now rather than waiting for the
+  // next completion signal. (Recursion bottoms out: new_since_retrain_ was
+  // zeroed when this retrain started.)
+  maybe_retrain();
 }
 
 }  // namespace osprey::me

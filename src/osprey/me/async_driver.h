@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/notify.h"
 #include "osprey/me/gpr.h"
 #include "osprey/sim/sim.h"
 
@@ -65,6 +66,7 @@ class AsyncGprDriver {
   /// simulated time.
   AsyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
                  AsyncDriverConfig config, RetrainExecutor executor = {});
+  ~AsyncGprDriver();
 
   /// Submit all sample points as tasks and start watching for completions.
   Status run(const std::vector<Point>& samples);
@@ -79,6 +81,10 @@ class AsyncGprDriver {
 
  private:
   void poll();
+  /// Result-channel listener: a report_task (or cancel) committed. Coalesces
+  /// any burst of completions into a single zero-delay poll event so the
+  /// absorb happens once, in deterministic event order.
+  void on_result_signal();
   void absorb_completions();
   void maybe_retrain();
   void apply_priorities(const std::vector<TaskId>& ids,
@@ -89,6 +95,9 @@ class AsyncGprDriver {
   eqsql::EQSQL& api_;
   AsyncDriverConfig config_;
   RetrainExecutor executor_;
+  eqsql::Notifier* notifier_ = nullptr;  // set at run() from api_
+  eqsql::Notifier::ListenerId listener_id_ = 0;
+  bool wake_scheduled_ = false;  // a coalesced notify-poll event is queued
 
   std::map<TaskId, Point> pending_;   // submitted, result not yet seen
   std::vector<TaskId> pending_ids_;   // stable iteration order

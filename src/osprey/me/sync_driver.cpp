@@ -13,6 +13,13 @@ SyncGprDriver::SyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
                              SyncDriverConfig config)
     : sim_(sim), api_(api), config_(config), rng_(config.seed) {}
 
+SyncGprDriver::~SyncGprDriver() {
+  if (notifier_ != nullptr && listener_id_ != 0) {
+    notifier_->remove_listener(listener_id_);
+    listener_id_ = 0;
+  }
+}
+
 Status SyncGprDriver::run() {
   if (config_.generation_size <= 0 || config_.generations <= 0) {
     return Status(ErrorCode::kInvalidArgument, "invalid generation config");
@@ -21,8 +28,22 @@ Status SyncGprDriver::run() {
   Status submitted = submit_generation(uniform_samples(
       rng_, config_.generation_size, config_.dim, config_.lo, config_.hi));
   if (!submitted.is_ok()) return submitted;
+  notifier_ = api_.notifier();
+  if (notifier_ != nullptr) {
+    listener_id_ =
+        notifier_->on_result([this](TaskId) { on_result_signal(); });
+  }
   sim_.schedule_in(config_.poll_interval, [this] { poll(); });
   return Status::ok();
+}
+
+void SyncGprDriver::on_result_signal() {
+  if (finished_ || wake_scheduled_) return;
+  wake_scheduled_ = true;
+  sim_.schedule_in(0.0, [this] {
+    wake_scheduled_ = false;
+    poll();
+  });
 }
 
 Status SyncGprDriver::submit_generation(const std::vector<Point>& points) {
@@ -72,6 +93,10 @@ void SyncGprDriver::poll() {
       finished_ = true;
       OSPREY_LOG(kInfo, "me") << "sync driver finished; best value "
                               << best_value_;
+      if (notifier_ != nullptr && listener_id_ != 0) {
+        notifier_->remove_listener(listener_id_);
+        listener_id_ = 0;
+      }
       if (on_complete_) on_complete_();
       return;
     }
@@ -81,11 +106,20 @@ void SyncGprDriver::poll() {
       OSPREY_LOG(kError, "me") << "generation submit failed: "
                                << submitted.to_string();
       finished_ = true;
+      if (notifier_ != nullptr && listener_id_ != 0) {
+        notifier_->remove_listener(listener_id_);
+        listener_id_ = 0;
+      }
       if (on_complete_) on_complete_();
       return;
     }
   }
-  sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+  // The barrier still holds in notified mode — the next generation is only
+  // planned once in_flight_ drains — but the wait rides the result channel
+  // instead of a fixed poll cadence.
+  if (notifier_ == nullptr) {
+    sim_.schedule_in(config_.poll_interval, [this] { poll(); });
+  }
 }
 
 std::vector<Point> SyncGprDriver::next_generation() {

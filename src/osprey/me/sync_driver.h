@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/notify.h"
 #include "osprey/me/async_driver.h"  // RetrainRecord / BestSoFar
 #include "osprey/me/gpr.h"
 
@@ -38,6 +39,7 @@ class SyncGprDriver {
  public:
   SyncGprDriver(sim::Simulation& sim, eqsql::EQSQL& api,
                 SyncDriverConfig config);
+  ~SyncGprDriver();
 
   /// Submit the first (random) generation and start the barrier loop.
   Status run();
@@ -52,6 +54,8 @@ class SyncGprDriver {
 
  private:
   void poll();
+  /// Result-channel listener; see AsyncGprDriver::on_result_signal.
+  void on_result_signal();
   Status submit_generation(const std::vector<Point>& points);
   std::vector<Point> next_generation();
 
@@ -59,6 +63,9 @@ class SyncGprDriver {
   eqsql::EQSQL& api_;
   SyncDriverConfig config_;
   Rng rng_;
+  eqsql::Notifier* notifier_ = nullptr;  // set at run() from api_
+  eqsql::Notifier::ListenerId listener_id_ = 0;
+  bool wake_scheduled_ = false;
 
   std::map<TaskId, Point> in_flight_;
   std::vector<TaskId> in_flight_ids_;

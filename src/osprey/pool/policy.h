@@ -76,6 +76,12 @@ struct PoolConfig {
   /// Shut the pool down after this long with nothing owned and an empty
   /// queue (pilot jobs exit when the work dries up). <=0 disables.
   Duration idle_shutdown = 0.0;
+  /// Notification mode only (the pool's API has a Notifier): how often an
+  /// idle pool issues a safety-net probe in case a commit wakeup was lost.
+  /// 0 disables fallback probing entirely — the pool trusts wakeups and an
+  /// idle pool issues no DB queries at all. Ignored in poll mode, where
+  /// poll_interval governs as before.
+  Duration notify_fallback = 5.0;
 };
 
 }  // namespace osprey::pool

@@ -1,5 +1,6 @@
 #include "osprey/pool/sim_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <vector>
 
@@ -32,12 +33,25 @@ Status SimWorkerPool::start() {
   started_at_ = sim_.now();
   idle_since_ = sim_.now();
   feed_.mark(sim_.now());
+  notifier_ = api_.notifier();
+  if (notifier_ != nullptr) {
+    listener_id_ =
+        notifier_->on_work(config_.work_type, [this] { on_work_signal(); });
+  }
   OSPREY_LOG(kInfo, "pool") << config_.name << " started (workers="
                             << config_.num_workers << " batch="
                             << config_.batch_size << " threshold="
-                            << config_.threshold << ")";
+                            << config_.threshold
+                            << (notifier_ ? " notified" : " polling") << ")";
   issue_query();
   return Status::ok();
+}
+
+SimWorkerPool::~SimWorkerPool() {
+  if (notifier_ != nullptr && listener_id_ != 0) {
+    notifier_->remove_listener(listener_id_);
+    listener_id_ = 0;
+  }
 }
 
 void SimWorkerPool::stop() {
@@ -72,6 +86,10 @@ void SimWorkerPool::crash() {
   crashed_ = true;
   stopped_ = true;
   started_ = false;
+  if (notifier_ != nullptr && listener_id_ != 0) {
+    notifier_->remove_listener(listener_id_);
+    listener_id_ = 0;
+  }
   if (poll_event_ != 0) {
     sim_.cancel(poll_event_);
     poll_event_ = 0;
@@ -86,6 +104,7 @@ void SimWorkerPool::issue_query() {
   if (stopped_ || query_in_flight_) return;
   int n = policy_.tasks_to_request(owned());
   if (n <= 0) return;
+  armed_idle_ = false;  // actively querying, not waiting on a wakeup
   query_in_flight_ = true;
   ++queries_issued_;
   Duration cost = config_.query_cost;
@@ -135,7 +154,42 @@ void SimWorkerPool::query_arrived(int requested) {
 }
 
 void SimWorkerPool::schedule_poll() {
-  if (stopped_ || poll_event_ != 0) return;
+  if (stopped_) return;
+  if (notifier_ != nullptr) {
+    // Notification mode: idle armed on the work channel instead of a poll
+    // cadence. Arm unconditionally — even when the fallback timer is already
+    // pending — or an empty query returning while the timer runs would leave
+    // the pool disarmed: the signal handler would drop the next commit and
+    // the timer handler would see !armed and never reschedule (a dormant
+    // pool). The only scheduled event is the safety net — the earlier of
+    // the lost-wakeup fallback probe and the idle-shutdown check; with both
+    // disabled the pool sits fully quiet until a commit wakes it (an idle
+    // pool issues zero DB queries).
+    armed_idle_ = true;
+    if (poll_event_ != 0) return;  // safety net already pending
+    Duration delay = config_.notify_fallback;
+    if (config_.idle_shutdown > 0) {
+      Duration remain = config_.idle_shutdown - (sim_.now() - idle_since_);
+      if (remain < 0) remain = 0;
+      delay = delay > 0 ? std::min(delay, remain) : remain;
+    } else if (delay <= 0) {
+      return;
+    }
+    poll_event_ = sim_.schedule_in(delay, [this] {
+      poll_event_ = 0;
+      maybe_idle_shutdown();
+      if (stopped_ || !armed_idle_) return;
+      if (config_.notify_fallback > 0 &&
+          policy_.tasks_to_request(owned()) > 0) {
+        issue_query();  // fallback probe in case a wakeup was lost
+      } else {
+        armed_idle_ = false;
+        schedule_poll();  // re-arm (recomputes the idle-shutdown horizon)
+      }
+    });
+    return;
+  }
+  if (poll_event_ != 0) return;
   // Consecutive empty polls back off under the shared RetryPolicy schedule
   // (poll_backoff = 1.0 keeps the paper's fixed poll_interval).
   Duration delay = config_.poll_interval;
@@ -157,6 +211,28 @@ void SimWorkerPool::schedule_poll() {
       schedule_poll();
     }
   });
+}
+
+void SimWorkerPool::on_work_signal() {
+  // Runs synchronously inside the committing event. Only an armed-idle pool
+  // reacts, and it reacts by scheduling — never by claiming reentrantly —
+  // so the claim lands at a deterministic point in the event order.
+  if (!armed_idle_ || stopped_) return;
+  armed_idle_ = false;
+  sim_.schedule_in(0.0, [this] { wake_from_notify(); });
+}
+
+void SimWorkerPool::wake_from_notify() {
+  if (stopped_) return;
+  if (poll_event_ != 0) {
+    sim_.cancel(poll_event_);
+    poll_event_ = 0;
+  }
+  if (policy_.tasks_to_request(owned()) > 0) {
+    issue_query();
+  } else {
+    schedule_poll();
+  }
 }
 
 void SimWorkerPool::maybe_start_cached() {
@@ -242,6 +318,10 @@ void SimWorkerPool::maybe_idle_shutdown() {
 void SimWorkerPool::shutdown() {
   OSPREY_LOG(kInfo, "pool") << config_.name << " shut down after "
                             << tasks_completed_ << " tasks";
+  if (notifier_ != nullptr && listener_id_ != 0) {
+    notifier_->remove_listener(listener_id_);
+    listener_id_ = 0;
+  }
   if (poll_event_ != 0) {
     sim_.cancel(poll_event_);
     poll_event_ = 0;

@@ -23,6 +23,7 @@
 #include "osprey/core/fault.h"
 #include "osprey/core/rng.h"
 #include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/notify.h"
 #include "osprey/pool/policy.h"
 #include "osprey/pool/trace.h"
 #include "osprey/sim/sim.h"
@@ -52,6 +53,7 @@ class SimWorkerPool {
  public:
   SimWorkerPool(sim::Simulation& sim, eqsql::EQSQL& api, SimPoolConfig config,
                 SimTaskRunner runner, std::uint64_t seed = 17);
+  ~SimWorkerPool();
 
   /// Begin querying for work at the current simulated time.
   Status start();
@@ -103,6 +105,12 @@ class SimWorkerPool {
   void issue_query();
   void query_arrived(int requested);
   void schedule_poll();
+  /// Commit listener: a submit/requeue of this pool's work type landed while
+  /// the pool idles armed. Runs synchronously inside the committing event;
+  /// turns the signal into a zero-delay scheduled event so the claim happens
+  /// in deterministic event order, never reentrantly.
+  void on_work_signal();
+  void wake_from_notify();
   void maybe_start_cached();
   void start_task(eqsql::TaskHandle handle, TimePoint claimed_at);
   void finish_task(const eqsql::TaskHandle& handle, const std::string& result);
@@ -116,6 +124,12 @@ class SimWorkerPool {
   SimTaskRunner runner_;
   Rng rng_;
   FaultRegistry* faults_ = nullptr;
+  eqsql::Notifier* notifier_ = nullptr;  // set at start() from api_
+  eqsql::Notifier::ListenerId listener_id_ = 0;
+  /// True while the pool idles waiting for a commit wakeup instead of a
+  /// scheduled poll. Disarmed by the first signal so a burst of commits
+  /// schedules exactly one wake event.
+  bool armed_idle_ = false;
 
   bool started_ = false;
   bool stopped_ = false;

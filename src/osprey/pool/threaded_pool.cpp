@@ -1,5 +1,6 @@
 #include "osprey/pool/threaded_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 
@@ -35,18 +36,39 @@ Status ThreadedWorkerPool::start() {
     started_ = true;
     feed_.mark(api_.clock().now());
   }
+  notifier_ = api_.notifier();
+  if (notifier_ != nullptr) {
+    work_channel_ = &notifier_->work_channel(config_.work_type);
+    // The listener runs on the committing thread (under the database and
+    // listener locks); it only pokes the coordinator. Taking mutex_ around
+    // the notify pairs it with the coordinator's gate re-check under the
+    // same lock, so a commit can never slip between re-check and sleep.
+    listener_id_ = notifier_->on_work(config_.work_type, [this] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      control_cv_.notify_one();
+    });
+  }
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
   coordinator_ = std::thread([this] { coordinator_loop(); });
-  OSPREY_LOG(kInfo, "pool") << config_.name << " started (threaded, workers="
-                            << config_.num_workers << ")";
+  OSPREY_LOG(kInfo, "pool") << config_.name << " started ("
+                            << (notifier_ ? "notified" : "polling")
+                            << ", workers=" << config_.num_workers << ")";
   return Status::ok();
 }
 
 void ThreadedWorkerPool::coordinator_loop() {
   TimePoint idle_since = api_.clock().now();
+  // Notification-mode gate: after a query finds the output queue empty, the
+  // coordinator stops issuing no-op claims until the work channel moves past
+  // the version sampled before that query — the "queue known empty" fact is
+  // keyed to the channel, so a submit committed mid-query reopens the gate
+  // rather than being missed. Worker completions (which grow the deficit but
+  // add nothing to the queue) no longer cost a DB round-trip at idle.
+  bool queue_known_empty = false;
+  std::uint64_t empty_version = 0;
   while (true) {
     int to_request = 0;
     {
@@ -55,7 +77,15 @@ void ThreadedWorkerPool::coordinator_loop() {
       to_request = policy_.tasks_to_request(owned_locked());
       if (owned_locked() > 0) idle_since = api_.clock().now();
     }
+    if (to_request > 0 && work_channel_ != nullptr && queue_known_empty &&
+        work_channel_->load(std::memory_order_acquire) == empty_version) {
+      to_request = 0;  // queue still empty, nothing committed since
+    }
     if (to_request > 0) {
+      const std::uint64_t seen =
+          work_channel_ != nullptr
+              ? work_channel_->load(std::memory_order_acquire)
+              : 0;
       int owned_now;
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -71,6 +101,7 @@ void ThreadedWorkerPool::coordinator_loop() {
         std::unique_lock<std::mutex> lock(mutex_);
         ++queries_issued_;
         if (handles.ok() && !handles.value().empty()) {
+          queue_known_empty = false;
           obs::observe_latency(feed_.claim_latency(), claim_latency);
           const TimePoint claimed_at =
               obs::enabled() ? api_.clock().now() : 0.0;
@@ -86,10 +117,13 @@ void ThreadedWorkerPool::coordinator_loop() {
       if (!handles.ok()) {
         OSPREY_LOG(kError, "pool") << config_.name << " query failed: "
                                    << handles.error().to_string();
+      } else {
+        queue_known_empty = true;
+        empty_version = seen;
       }
     }
-    // Nothing to fetch (or nothing available): wait for a completion or the
-    // poll interval, then re-evaluate.
+    // Nothing to fetch (or nothing available): wait for a completion, a
+    // commit notification, or the poll/fallback interval, then re-evaluate.
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) break;
     if (config_.idle_shutdown > 0 && owned_locked() == 0 &&
@@ -97,7 +131,32 @@ void ThreadedWorkerPool::coordinator_loop() {
       stopping_ = true;
       break;
     }
-    control_cv_.wait_for(lock, seconds(config_.poll_interval));
+    if (work_channel_ != nullptr) {
+      // Gate re-check under the lock: the on_work listener notifies under
+      // this same mutex, so a commit after the check cannot win the race
+      // into a lost wakeup.
+      if (queue_known_empty &&
+          work_channel_->load(std::memory_order_acquire) != empty_version) {
+        queue_known_empty = false;
+        continue;
+      }
+      Duration slice = config_.notify_fallback;
+      if (config_.idle_shutdown > 0) {
+        const Duration remain =
+            config_.idle_shutdown - (api_.clock().now() - idle_since);
+        slice = slice > 0 ? std::min(slice, remain) : remain;
+      }
+      if (slice > 0) {
+        if (control_cv_.wait_for(lock, seconds(slice)) ==
+            std::cv_status::timeout) {
+          queue_known_empty = false;  // safety net: force a fallback probe
+        }
+      } else {
+        control_cv_.wait(lock);  // no fallback: trust wakeups entirely
+      }
+    } else {
+      control_cv_.wait_for(lock, seconds(config_.poll_interval));
+    }
   }
 
   // Shutdown path: release cached tasks, wake workers so they can exit.
@@ -162,6 +221,13 @@ void ThreadedWorkerPool::stop() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!started_ || shut_down_) return;
     stopping_ = true;
+  }
+  // Unsubscribe before joining, and never while holding mutex_: the commit
+  // path invokes listeners under the notifier's listener lock and our
+  // listener takes mutex_, so holding mutex_ here would close a lock cycle.
+  if (notifier_ != nullptr && listener_id_ != 0) {
+    notifier_->remove_listener(listener_id_);
+    listener_id_ = 0;
   }
   control_cv_.notify_all();
   work_cv_.notify_all();

@@ -7,7 +7,9 @@
 // millisecond-scale task runtimes standing in for the paper's seconds.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/notify.h"
 #include "osprey/pool/policy.h"
 #include "osprey/pool/trace.h"
 
@@ -72,6 +75,13 @@ class ThreadedWorkerPool {
   PoolConfig config_;
   QueryPolicy policy_;
   ThreadedTaskRunner runner_;
+
+  // Notification plane (set at start() when api_ has a Notifier). The
+  // channel pointer is stable for the notifier's lifetime and read lock-free
+  // so the coordinator never takes a notifier lock while holding mutex_.
+  eqsql::Notifier* notifier_ = nullptr;
+  const std::atomic<std::uint64_t>* work_channel_ = nullptr;
+  eqsql::Notifier::ListenerId listener_id_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;    // workers wait for cache items

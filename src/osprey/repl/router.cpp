@@ -132,8 +132,15 @@ Result<eqsql::QueueStats> ReplRouter::stats() {
   return api.value()->stats();
 }
 
+eqsql::WaitRouting ReplRouter::wait_routing(eqsql::Notifier* notifier) {
+  eqsql::WaitRouting routing;
+  routing.peeker = [this](TaskId eq_task_id) { return peek_result(eq_task_id); };
+  routing.notifier = notifier;
+  return routing;
+}
+
 eqsql::ResultPeeker ReplRouter::result_peeker() {
-  return [this](TaskId eq_task_id) { return peek_result(eq_task_id); };
+  return wait_routing().peeker;
 }
 
 }  // namespace osprey::repl

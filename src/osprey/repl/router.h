@@ -79,8 +79,15 @@ class ReplRouter {
   Result<std::string> peek_result_at(TaskId eq_task_id,
                                      db::wal::Lsn min_lsn);
 
-  /// A ResultPeeker for EQSQL::set_result_peeker: routes query_result's
-  /// polling probes through this router's read path.
+  /// Wait routing for EQSQL::set_wait_routing: query_result's probes go
+  /// through this router's bounded-staleness read path instead of the local
+  /// database. Pass the leader service's Notifier when the caller is
+  /// co-located with the leader (commit wakeups then replace blind polling);
+  /// remote callers leave it null and degrade to the poll fallback.
+  eqsql::WaitRouting wait_routing(eqsql::Notifier* notifier = nullptr);
+
+  /// Deprecated: use wait_routing(). The bare ResultPeeker for
+  /// EQSQL::set_result_peeker.
   eqsql::ResultPeeker result_peeker();
 
   // --- routing telemetry -----------------------------------------------------

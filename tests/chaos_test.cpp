@@ -27,6 +27,7 @@
 #include "osprey/core/fault.h"
 #include "osprey/db/dump.h"
 #include "osprey/db/wal.h"
+#include "osprey/eqsql/notify.h"
 #include "osprey/eqsql/schema.h"
 #include "osprey/eqsql/service.h"
 #include "osprey/faas/service.h"
@@ -73,7 +74,8 @@ struct ChaosOutcome {
   std::string fault_report;
 };
 
-ChaosOutcome run_chaos_campaign(std::uint64_t master_seed) {
+ChaosOutcome run_chaos_campaign(std::uint64_t master_seed,
+                                bool notifications = false) {
   ChaosOutcome outcome;
   SeedSequence seeds(master_seed);
 
@@ -92,6 +94,15 @@ ChaosOutcome run_chaos_campaign(std::uint64_t master_seed) {
     if (!eqsql::create_schema(conn).is_ok()) return outcome;
   }
   eqsql::EQSQL api(db, sim);
+  // With notifications on, pools and the async driver ride commit wakeups
+  // instead of the poll cadence; every recovery property must still hold
+  // and same-seed runs must still replay bit-identically (listener firing
+  // only schedules zero-delay events at deterministic points).
+  eqsql::Notifier notifier;
+  if (notifications) {
+    notifier.attach(db);
+    api.set_notifier(&notifier);
+  }
 
   transfer::TransferService transfers(sim, network, seeds.next());
   transfers.set_fault_registry(&faults);
@@ -331,6 +342,43 @@ TEST(ChaosTest, SameSeedReplaysBitIdentically) {
   EXPECT_EQ(a.retrain_failures, b.retrain_failures);
   EXPECT_EQ(a.db_complete, b.db_complete);
   // The full fault footprint — every point's checks and fires — matches.
+  EXPECT_EQ(a.fault_report, b.fault_report);
+}
+
+TEST(ChaosTest, NotifiedCampaignSurvivesScriptedFaultsExactlyOnce) {
+  // The identical scripted scenario with the notification plane armed: the
+  // pools and driver wake on commits instead of polling, and every injected
+  // failure must still recover to exactly-once completion.
+  ChaosOutcome o = run_chaos_campaign(2023, /*notifications=*/true);
+
+  ASSERT_TRUE(o.finished);
+  EXPECT_EQ(o.completed, static_cast<std::size_t>(kTasks));
+  EXPECT_EQ(o.db_complete, kTasks);
+  EXPECT_EQ(o.db_not_complete, 0);
+  std::uint64_t total = 0;
+  for (std::uint64_t t : o.pool_tasks) total += t;
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(o.stalled_workers, kStalledWorkers);
+  EXPECT_EQ(o.lease_requeues, static_cast<std::size_t>(kStalledWorkers));
+  EXPECT_EQ(o.stalls_detected, 1u);
+  EXPECT_GT(o.crash_requeued, 0u);
+  EXPECT_EQ(o.pool_tasks.size(), 4u);
+}
+
+TEST(ChaosTest, NotifiedSameSeedReplaysBitIdentically) {
+  ChaosOutcome a = run_chaos_campaign(99, /*notifications=*/true);
+  ChaosOutcome b = run_chaos_campaign(99, /*notifications=*/true);
+
+  ASSERT_TRUE(a.finished);
+  ASSERT_TRUE(b.finished);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.finished_at, b.finished_at);
+  EXPECT_EQ(a.pool_tasks, b.pool_tasks);
+  EXPECT_EQ(a.lease_requeues, b.lease_requeues);
+  EXPECT_EQ(a.crash_requeued, b.crash_requeued);
+  EXPECT_EQ(a.faas_retries, b.faas_retries);
+  EXPECT_EQ(a.transfer_retries, b.transfer_retries);
+  EXPECT_EQ(a.retrain_calls, b.retrain_calls);
   EXPECT_EQ(a.fault_report, b.fault_report);
 }
 
