@@ -1,0 +1,100 @@
+// BENCH_<workload>.json emission (ROADMAP item 3).
+//
+// Benches print human-readable tables; this helper additionally persists
+// the same numbers as a machine-readable artifact so the perf trajectory
+// is diffable per PR. One file per workload, one row per measurement:
+//
+//   { "workload": "shard",
+//     "rows": [ {"name": "submit_claim", "shards": 4, ...}, ... ] }
+//
+// Writes into the current working directory (the build tree under CI); a
+// run that wants the artifact checked in copies it to the repo root.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "osprey/json/json.h"
+
+// GCC 12's -Wmaybe-uninitialized fires a false positive (GCC PR 105593)
+// on std::variant moves through json::Value at -O2; every flagged value
+// below is fully constructed before use.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace osprey::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string workload) : workload_(std::move(workload)) {}
+
+  /// Append one measurement row (an object; callers set "name" plus
+  /// whatever metric fields the workload produces).
+  void add(json::Object row) { rows_.push_back(json::Value(std::move(row))); }
+
+  /// Write BENCH_<workload>.json. Returns false (and warns) on I/O error —
+  /// benches should not fail their shape checks over a read-only CWD.
+  bool write() const {
+    const std::string path = "BENCH_" + workload_ + ".json";
+    json::Object doc;
+    doc["workload"] = workload_;
+    doc["rows"] = rows_;
+    std::ofstream out(path);
+    out << json::Value(doc).dump() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "warn: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  std::string workload_;
+  json::Array rows_;
+};
+
+/// A console reporter that tees every finished run into a JsonWriter row:
+/// benchmark name, iterations, adjusted real time, and all user counters
+/// (items_per_second, bytes_per_second, custom). Lets google-benchmark
+/// binaries emit BENCH_*.json without giving up their console table.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(JsonWriter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      json::Object row;
+      row["name"] = run.benchmark_name();
+      row["iterations"] = static_cast<std::int64_t>(run.iterations);
+      row["real_time_s"] = run.GetAdjustedRealTime() * to_seconds(run);
+      for (const auto& [counter_name, counter] : run.counters) {
+        row[counter_name] = static_cast<double>(counter.value);
+      }
+      out_.add(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  static double to_seconds(const Run& run) {
+    switch (run.time_unit) {
+      case benchmark::kNanosecond: return 1e-9;
+      case benchmark::kMicrosecond: return 1e-6;
+      case benchmark::kMillisecond: return 1e-3;
+      case benchmark::kSecond: return 1.0;
+    }
+    return 1.0;
+  }
+
+  JsonWriter& out_;
+};
+
+}  // namespace osprey::bench

@@ -19,8 +19,10 @@
 #include <memory>
 #include <numeric>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "bench_json.h"
 #include "osprey/eqsql/schema.h"
 #include "osprey/eqsql/service.h"
 #include "osprey/pool/sim_pool.h"
@@ -135,6 +137,28 @@ int main() {
               static_cast<unsigned long long>(polled.idle_queries));
   std::printf("  notify idle no-op queries: %llu\n",
               static_cast<unsigned long long>(notified.idle_queries));
+
+  bench::JsonWriter out("notify");
+  for (const auto& [mode, latency] :
+       {std::pair<const char*, double>{"poll", poll_latency},
+        {"notify", notify_latency}}) {
+    json::Object row;
+    row["name"] = "wake_latency";
+    row["mode"] = mode;
+    row["mean_s"] = latency;
+    out.add(std::move(row));
+  }
+  for (const auto& [mode, idle] :
+       {std::pair<const char*, const IdleResult&>{"poll", polled},
+        {"notify", notified}}) {
+    json::Object row;
+    row["name"] = "idle_queries";
+    row["mode"] = mode;
+    row["idle_queries"] = static_cast<std::int64_t>(idle.idle_queries);
+    row["completed"] = static_cast<std::int64_t>(idle.completed);
+    out.add(std::move(row));
+  }
+  out.write();
 
   std::printf("\n--- shape checks ---\n");
   int failures = 0;

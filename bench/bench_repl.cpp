@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "osprey/core/clock.h"
 #include "osprey/core/log.h"
 #include "osprey/db/dump.h"
@@ -203,7 +204,10 @@ int main(int argc, char** argv) {
   // benchmark table readable.
   osprey::set_log_level(osprey::LogLevel::kError);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  osprey::bench::JsonWriter out("repl");
+  osprey::bench::JsonTeeReporter reporter(out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  out.write();
   benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,175 @@
+// Sharded task-database scaling (DESIGN.md §5.11): aggregate submit/claim
+// throughput as shards are added, 1 -> 2 -> 4.
+//
+// Shards share nothing — no common WAL, no cross-shard transactions — so a
+// deployment runs each shard's database on its own resource and the
+// campaign's ops proceed on all shards concurrently. This harness drives
+// the real ShardRouter against real shard databases and *measures* every
+// operation's service time, but charges it to the owning shard's lane; the
+// modeled campaign makespan is the busiest lane (the parallel completion
+// time on a one-resource-per-shard deployment), which makes the scaling
+// claim honest on a single-core CI box where the shards cannot actually
+// run concurrently. The serial total (sum of lanes) is reported alongside
+// so the model is auditable: speedup = serial / makespan, bounded by the
+// shard count and by key skew.
+//
+// Workload: 1536 tasks over 16 work types under kRange/width-1 keying
+// (type t owns shard t % N — a uniform split), submit -> batched claim ->
+// report, the three-transaction shape a real campaign writes per task.
+//
+// Prints the table, emits BENCH_shard.json, and enforces the shape checks
+// (>= 1.7x at 2 shards, >= 3x at 4); exits nonzero on FAIL.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "osprey/core/clock.h"
+#include "osprey/core/log.h"
+#include "osprey/net/network.h"
+#include "osprey/shard/cluster.h"
+#include "osprey/shard/key.h"
+#include "osprey/shard/router.h"
+
+using namespace osprey;
+using namespace osprey::shard;
+
+namespace {
+
+constexpr int kTasks = 1536;
+constexpr int kWorkTypes = 16;
+constexpr int kClaimBatch = 16;
+constexpr int kReps = 3;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ScalingResult {
+  double makespan_s = 0;  // busiest shard lane: modeled parallel completion
+  double serial_s = 0;    // sum of lanes: the one-resource cost
+  double stats_scatter_s = 0;  // one cross-shard stats() fan-out
+};
+
+ScalingResult run_campaign(std::uint32_t shards) {
+  ManualClock clock;
+  net::Network network = net::Network::testbed();
+  ShardClusterConfig config;
+  config.spec.shard_count = shards;
+  config.spec.scheme = ShardScheme::kRange;
+  config.spec.range_width = 1;
+  ShardCluster cluster(clock, network, config);
+  const char* sites[] = {"bebop", "theta", "midway2", "cloud"};
+  for (ShardId s = 0; s < shards; ++s) {
+    if (!cluster.create_leader(s, "lead" + std::to_string(s), sites[s % 4])
+             .ok()) {
+      std::abort();
+    }
+  }
+  ShardRouter router(cluster);
+
+  // Service-time lanes: every op's measured cost lands on its owning shard.
+  std::vector<double> lanes(shards, 0.0);
+  auto timed = [&](ShardId shard, auto&& op) {
+    const double t0 = now_s();
+    op();
+    lanes[shard] += now_s() - t0;
+  };
+
+  for (int i = 0; i < kTasks; ++i) {
+    const WorkType type = i % kWorkTypes;
+    timed(router.shard_of(type), [&] {
+      if (!router.submit_task("bench", type, "{\"x\":1}").ok()) std::abort();
+    });
+  }
+  for (WorkType type = 0; type < kWorkTypes; ++type) {
+    const ShardId shard = router.shard_of(type);
+    bool drained = false;
+    while (!drained) {
+      timed(shard, [&] {
+        auto claimed = router.try_query_tasks(type, kClaimBatch, "bench");
+        if (!claimed.ok()) std::abort();
+        drained = claimed.value().empty();
+        for (const auto& handle : claimed.value()) {
+          if (!router.report_task(handle.eq_task_id, type, "{\"y\":1}")
+                   .is_ok()) {
+            std::abort();
+          }
+        }
+      });
+    }
+  }
+
+  ScalingResult result;
+  result.makespan_s = *std::max_element(lanes.begin(), lanes.end());
+  for (double lane : lanes) result.serial_s += lane;
+  const double t0 = now_s();
+  auto stats = router.stats();
+  result.stats_scatter_s = now_s() - t0;
+  if (!stats.ok() || stats.value().complete != kTasks) std::abort();
+  return result;
+}
+
+/// Median-of-kReps to keep one scheduler hiccup from skewing a lane.
+ScalingResult measure(std::uint32_t shards) {
+  std::vector<ScalingResult> reps;
+  for (int r = 0; r < kReps; ++r) reps.push_back(run_campaign(shards));
+  std::sort(reps.begin(), reps.end(),
+            [](const ScalingResult& a, const ScalingResult& b) {
+              return a.makespan_s < b.makespan_s;
+            });
+  return reps[kReps / 2];
+}
+
+}  // namespace
+
+int main() {
+  osprey::set_log_level(osprey::LogLevel::kError);
+  std::printf("=== sharded task database: submit/claim scaling ===\n");
+  std::printf("%d tasks, %d work types, claim batch %d, median of %d runs\n\n",
+              kTasks, kWorkTypes, kClaimBatch, kReps);
+
+  bench::JsonWriter out("shard");
+  const std::uint32_t shard_counts[] = {1, 2, 4};
+  double speedups[3] = {0, 0, 0};
+  double base_makespan = 0;
+  std::printf("  shards  makespan(ms)  serial(ms)  tasks/s   speedup\n");
+  for (int i = 0; i < 3; ++i) {
+    const std::uint32_t n = shard_counts[i];
+    const ScalingResult r = measure(n);
+    if (i == 0) base_makespan = r.makespan_s;
+    speedups[i] = base_makespan / r.makespan_s;
+    const double tasks_per_sec = kTasks / r.makespan_s;
+    std::printf("  %6u  %12.2f  %10.2f  %8.0f  %6.2fx\n", n,
+                r.makespan_s * 1e3, r.serial_s * 1e3, tasks_per_sec,
+                speedups[i]);
+    json::Object row;
+    row["name"] = "submit_claim";
+    row["shards"] = static_cast<std::int64_t>(n);
+    row["tasks"] = kTasks;
+    row["modeled_makespan_s"] = r.makespan_s;
+    row["serial_s"] = r.serial_s;
+    row["tasks_per_sec"] = tasks_per_sec;
+    row["speedup_vs_1"] = speedups[i];
+    row["stats_scatter_s"] = r.stats_scatter_s;
+    out.add(std::move(row));
+  }
+  out.write();
+
+  std::printf("\n--- shape checks ---\n");
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  check(speedups[1] >= 1.7,
+        "2 shards: >= 1.7x aggregate submit/claim throughput vs 1");
+  check(speedups[2] >= 3.0,
+        "4 shards: >= 3x aggregate submit/claim throughput vs 1 "
+        "(near-linear)");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Cross-check the DESIGN.md §5.10 wait-plane API surface table against the
-public headers, in both directions.
+"""Cross-check the DESIGN.md API surface table (§5.10 wait plane + §5.11
+sharding plane) against the public headers, in both directions.
 
 Usage: scripts/check_api_surface.py [repo_root]
 
@@ -8,10 +8,12 @@ Checks, exiting nonzero if any fail:
   - Every table row between the api-surface-begin/end markers names a header
     that exists and a symbol that header still declares (word match) — a
     renamed or deleted symbol fails until the table is updated.
-  - Every public declaration in the wait-plane headers appears in the table,
+  - Every public declaration in the guarded headers appears in the table,
     so new surface cannot land undocumented:
-      * src/osprey/eqsql/wait.h and notify.h: namespace-scope struct / class /
-        enum class definitions, `using X =` aliases, and free functions;
+      * src/osprey/eqsql/wait.h and notify.h (the §5.10 wait plane) and
+        src/osprey/shard/{key,cluster,router}.h (the §5.11 sharding plane):
+        namespace-scope struct / class / enum class definitions,
+        `using X =` aliases, and free functions;
       * src/osprey/capi/osprey_c.h: every declared osprey_* function.
 """
 import re
@@ -22,7 +24,13 @@ BEGIN = "<!-- api-surface-begin"
 END = "<!-- api-surface-end"
 
 # Headers whose public declarations must all be listed in the table.
-CPP_GUARDED = ["src/osprey/eqsql/wait.h", "src/osprey/eqsql/notify.h"]
+CPP_GUARDED = [
+    "src/osprey/eqsql/wait.h",
+    "src/osprey/eqsql/notify.h",
+    "src/osprey/shard/key.h",
+    "src/osprey/shard/cluster.h",
+    "src/osprey/shard/router.h",
+]
 C_GUARDED = "src/osprey/capi/osprey_c.h"
 
 failures = []

@@ -2,22 +2,33 @@
 
 #include <cstring>
 #include <memory>
+#include <vector>
 
 #include "osprey/eqsql/service.h"
+#include "osprey/shard/key.h"
 
 using osprey::ErrorCode;
 using osprey::Status;
 
+/* A sharded service is a vector of independent EmewsService instances, one
+ * per shard, routed by the same ShardSpec the C++ ShardRouter uses. The
+ * default is one shard, whose id encoding is the identity — an unconfigured
+ * service is byte-compatible with the pre-sharding C API. */
 struct osprey_service {
   osprey::RealClock clock;
-  std::unique_ptr<osprey::eqsql::EmewsService> service;
+  osprey::shard::ShardSpec spec;
+  std::vector<std::unique_ptr<osprey::eqsql::EmewsService>> shards;
+  bool started = false;
 };
 
 struct osprey_client {
-  std::unique_ptr<osprey::eqsql::EQSQL> api;
+  osprey_service* service = nullptr;
+  std::vector<std::unique_ptr<osprey::eqsql::EQSQL>> apis;
 };
 
 namespace {
+
+namespace shard = osprey::shard;
 
 int to_c_error(ErrorCode code) { return static_cast<int>(code); }
 
@@ -50,6 +61,48 @@ osprey::eqsql::WaitSpec to_wait_spec(const osprey_wait_spec* wait) {
   return spec;
 }
 
+/* The API handle owning a global task id, or nullptr when the id's shard
+ * bits exceed the configured count. Writes the shard-local id to *local. */
+osprey::eqsql::EQSQL* api_for_task(osprey_client* client, int64_t task_id,
+                                   osprey::TaskId* local) {
+  const shard::ShardId s = shard::shard_of_task(task_id);
+  if (s >= client->apis.size()) return nullptr;
+  *local = shard::local_task_id(task_id);
+  return client->apis[s].get();
+}
+
+/* Claim one task under experiment-id keying, where a work type spans every
+ * shard: probe each shard non-blocking, sleeping the poll cadence between
+ * rounds until the deadline. (Work-type keying never takes this path — the
+ * owning shard's own blocking query, notify mode included, handles it.) */
+int scatter_query_task(osprey_client* client, int eq_type,
+                       const char* worker_pool,
+                       const osprey::eqsql::WaitSpec& wait,
+                       int64_t* task_id_out, char* payload_buf,
+                       size_t payload_buf_size) {
+  const osprey::PoolId pool = worker_pool ? worker_pool : "default";
+  const osprey::TimePoint deadline =
+      client->service->clock.now() + wait.timeout;
+  while (true) {
+    for (shard::ShardId s = 0; s < client->apis.size(); ++s) {
+      auto tasks = client->apis[s]->try_query_tasks(eq_type, 1, pool);
+      if (!tasks.ok()) return to_c_error(tasks.code());
+      if (tasks.value().empty()) continue;
+      const osprey::eqsql::TaskHandle& handle = tasks.value().front();
+      int copied = copy_string(handle.payload, payload_buf, payload_buf_size);
+      if (copied != OSPREY_OK) return copied;
+      *task_id_out = shard::global_task_id(handle.eq_task_id, s);
+      return OSPREY_OK;
+    }
+    const osprey::Duration remaining =
+        deadline - client->service->clock.now();
+    if (remaining <= 0) return OSPREY_E_TIMEOUT;
+    osprey::Duration delay = wait.poll_delay;
+    if (delay <= 0 || delay > remaining) delay = remaining;
+    osprey::RealClock::sleep_for(delay);
+  }
+}
+
 }  // namespace
 
 extern "C" {
@@ -60,26 +113,90 @@ const char* osprey_error_name(int code) {
 
 osprey_service* osprey_service_create(void) {
   auto* service = new osprey_service();
-  service->service =
-      std::make_unique<osprey::eqsql::EmewsService>(service->clock);
+  service->shards.push_back(
+      std::make_unique<osprey::eqsql::EmewsService>(service->clock));
   return service;
 }
 
 void osprey_service_destroy(osprey_service* service) { delete service; }
 
+int osprey_service_configure_shards(osprey_service* service,
+                                    uint32_t shard_count, int key_kind,
+                                    int scheme) {
+  if (!service || shard_count == 0 || shard_count > shard::kMaxShards) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  if (key_kind != OSPREY_SHARD_KEY_WORK_TYPE &&
+      key_kind != OSPREY_SHARD_KEY_EXP_ID) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  if (scheme != OSPREY_SHARD_HASH && scheme != OSPREY_SHARD_RANGE) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  if (service->started) return OSPREY_E_CONFLICT;
+  service->spec.shard_count = shard_count;
+  service->spec.key = key_kind == OSPREY_SHARD_KEY_EXP_ID
+                          ? shard::ShardKeyKind::kExpId
+                          : shard::ShardKeyKind::kWorkType;
+  service->spec.scheme = scheme == OSPREY_SHARD_RANGE
+                             ? shard::ShardScheme::kRange
+                             : shard::ShardScheme::kHash;
+  service->shards.clear();
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    service->shards.push_back(
+        std::make_unique<osprey::eqsql::EmewsService>(service->clock));
+  }
+  return OSPREY_OK;
+}
+
+uint32_t osprey_shard_count(const osprey_service* service) {
+  if (!service) return 0;
+  return static_cast<uint32_t>(service->shards.size());
+}
+
+int osprey_shard_of(const osprey_service* service, int eq_type,
+                    const char* exp_id, uint32_t* shard_out) {
+  if (!service || !shard_out) return OSPREY_E_INVALID_ARGUMENT;
+  *shard_out = shard::shard_for(service->spec, eq_type, exp_id ? exp_id : "");
+  return OSPREY_OK;
+}
+
+int osprey_shard_of_task(const osprey_service* service, int64_t task_id,
+                         uint32_t* shard_out) {
+  if (!service || !shard_out) return OSPREY_E_INVALID_ARGUMENT;
+  const shard::ShardId s = shard::shard_of_task(task_id);
+  if (s >= service->shards.size()) return OSPREY_E_INVALID_ARGUMENT;
+  *shard_out = s;
+  return OSPREY_OK;
+}
+
 int osprey_service_start(osprey_service* service) {
   if (!service) return OSPREY_E_INVALID_ARGUMENT;
-  return to_c_error(service->service->start().code());
+  for (auto& s : service->shards) {
+    Status started = s->start();
+    if (!started.is_ok()) return to_c_error(started.code());
+  }
+  service->started = true;
+  return OSPREY_OK;
 }
 
 int osprey_service_stop(osprey_service* service) {
   if (!service) return OSPREY_E_INVALID_ARGUMENT;
-  return to_c_error(service->service->stop().code());
+  for (auto& s : service->shards) {
+    Status stopped = s->stop();
+    if (!stopped.is_ok()) return to_c_error(stopped.code());
+  }
+  service->started = false;
+  return OSPREY_OK;
 }
 
 int osprey_service_enable_notifications(osprey_service* service) {
   if (!service) return OSPREY_E_INVALID_ARGUMENT;
-  return to_c_error(service->service->enable_notifications().code());
+  for (auto& s : service->shards) {
+    Status enabled = s->enable_notifications();
+    if (!enabled.is_ok()) return to_c_error(enabled.code());
+  }
+  return OSPREY_OK;
 }
 
 void osprey_wait_spec_init(osprey_wait_spec* spec) {
@@ -94,11 +211,14 @@ void osprey_wait_spec_init(osprey_wait_spec* spec) {
 
 osprey_client* osprey_client_connect(osprey_service* service) {
   if (!service) return nullptr;
-  auto api = service->service->connect();
-  if (!api.ok()) return nullptr;
-  auto* client = new osprey_client();
-  client->api = std::move(api).take();
-  return client;
+  auto client = std::make_unique<osprey_client>();
+  client->service = service;
+  for (auto& s : service->shards) {
+    auto api = s->connect();
+    if (!api.ok()) return nullptr;
+    client->apis.push_back(std::move(api).take());
+  }
+  return client.release();
 }
 
 void osprey_client_destroy(osprey_client* client) { delete client; }
@@ -109,10 +229,12 @@ int osprey_submit_task(osprey_client* client, const char* exp_id, int eq_type,
   if (!client || !exp_id || !payload || !task_id_out) {
     return OSPREY_E_INVALID_ARGUMENT;
   }
-  auto id = client->api->submit_task(exp_id, eq_type, payload, priority,
-                                     tag ? tag : "");
+  const shard::ShardId s =
+      shard::shard_for(client->service->spec, eq_type, exp_id);
+  auto id = client->apis[s]->submit_task(exp_id, eq_type, payload, priority,
+                                         tag ? tag : "");
   if (!id.ok()) return to_c_error(id.code());
-  *task_id_out = id.value();
+  *task_id_out = shard::global_task_id(id.value(), s);
   return OSPREY_OK;
 }
 
@@ -120,29 +242,32 @@ int osprey_query_task(osprey_client* client, int eq_type,
                       const char* worker_pool, double delay, double timeout,
                       int64_t* task_id_out, char* payload_buf,
                       size_t payload_buf_size) {
-  if (!client || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
-  auto tasks = client->api->query_task(
-      eq_type, 1, worker_pool ? worker_pool : "default", {delay, timeout});
-  if (!tasks.ok()) return to_c_error(tasks.code());
-  const osprey::eqsql::TaskHandle& handle = tasks.value().front();
-  int copied = copy_string(handle.payload, payload_buf, payload_buf_size);
-  if (copied != OSPREY_OK) return copied;
-  *task_id_out = handle.eq_task_id;
-  return OSPREY_OK;
+  osprey_wait_spec wait;
+  osprey_wait_spec_init(&wait);
+  wait.strategy = OSPREY_WAIT_POLL;
+  wait.poll_delay = delay;
+  wait.timeout = timeout;
+  return osprey_query_task_wait(client, eq_type, worker_pool, &wait,
+                                task_id_out, payload_buf, payload_buf_size);
 }
 
 int osprey_report_task(osprey_client* client, int64_t task_id, int eq_type,
                        const char* result) {
   if (!client || !result) return OSPREY_E_INVALID_ARGUMENT;
-  return to_c_error(
-      client->api->report_task(task_id, eq_type, result).code());
+  osprey::TaskId local = 0;
+  osprey::eqsql::EQSQL* api = api_for_task(client, task_id, &local);
+  if (!api) return OSPREY_E_INVALID_ARGUMENT;
+  return to_c_error(api->report_task(local, eq_type, result).code());
 }
 
 int osprey_query_result(osprey_client* client, int64_t task_id, double delay,
                         double timeout, char* result_buf,
                         size_t result_buf_size) {
   if (!client) return OSPREY_E_INVALID_ARGUMENT;
-  auto result = client->api->query_result(task_id, {delay, timeout});
+  osprey::TaskId local = 0;
+  osprey::eqsql::EQSQL* api = api_for_task(client, task_id, &local);
+  if (!api) return OSPREY_E_INVALID_ARGUMENT;
+  auto result = api->query_result(local, {delay, timeout});
   if (!result.ok()) return to_c_error(result.code());
   return copy_string(result.value(), result_buf, result_buf_size);
 }
@@ -152,13 +277,21 @@ int osprey_query_task_wait(osprey_client* client, int eq_type,
                            const osprey_wait_spec* wait, int64_t* task_id_out,
                            char* payload_buf, size_t payload_buf_size) {
   if (!client || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
-  auto tasks = client->api->query_task(
-      eq_type, 1, worker_pool ? worker_pool : "default", to_wait_spec(wait));
+  const osprey::eqsql::WaitSpec spec = to_wait_spec(wait);
+  if (client->service->spec.key == shard::ShardKeyKind::kExpId &&
+      client->apis.size() > 1) {
+    return scatter_query_task(client, eq_type, worker_pool, spec, task_id_out,
+                              payload_buf, payload_buf_size);
+  }
+  const shard::ShardId s =
+      shard::shard_of_work_type(client->service->spec, eq_type);
+  auto tasks = client->apis[s]->query_task(
+      eq_type, 1, worker_pool ? worker_pool : "default", spec);
   if (!tasks.ok()) return to_c_error(tasks.code());
   const osprey::eqsql::TaskHandle& handle = tasks.value().front();
   int copied = copy_string(handle.payload, payload_buf, payload_buf_size);
   if (copied != OSPREY_OK) return copied;
-  *task_id_out = handle.eq_task_id;
+  *task_id_out = shard::global_task_id(handle.eq_task_id, s);
   return OSPREY_OK;
 }
 
@@ -166,7 +299,10 @@ int osprey_query_result_wait(osprey_client* client, int64_t task_id,
                              const osprey_wait_spec* wait, char* result_buf,
                              size_t result_buf_size) {
   if (!client) return OSPREY_E_INVALID_ARGUMENT;
-  auto result = client->api->query_result(task_id, to_wait_spec(wait));
+  osprey::TaskId local = 0;
+  osprey::eqsql::EQSQL* api = api_for_task(client, task_id, &local);
+  if (!api) return OSPREY_E_INVALID_ARGUMENT;
+  auto result = api->query_result(local, to_wait_spec(wait));
   if (!result.ok()) return to_c_error(result.code());
   return copy_string(result.value(), result_buf, result_buf_size);
 }
@@ -174,14 +310,37 @@ int osprey_query_result_wait(osprey_client* client, int64_t task_id,
 int osprey_peek_result(osprey_client* client, int64_t task_id,
                        char* result_buf, size_t result_buf_size) {
   if (!client) return OSPREY_E_INVALID_ARGUMENT;
-  auto result = client->api->peek_result(task_id);
+  osprey::TaskId local = 0;
+  osprey::eqsql::EQSQL* api = api_for_task(client, task_id, &local);
+  if (!api) return OSPREY_E_INVALID_ARGUMENT;
+  auto result = api->peek_result(local);
   if (!result.ok()) return to_c_error(result.code());
   return copy_string(result.value(), result_buf, result_buf_size);
 }
 
 int osprey_stats(osprey_client* client, osprey_queue_stats* stats_out) {
   if (!client || !stats_out) return OSPREY_E_INVALID_ARGUMENT;
-  auto stats = client->api->stats();
+  osprey_queue_stats total = {};
+  for (auto& api : client->apis) {
+    auto stats = api->stats();
+    if (!stats.ok()) return to_c_error(stats.code());
+    total.output_queue += stats.value().output_queue;
+    total.input_queue += stats.value().input_queue;
+    total.queued += stats.value().queued;
+    total.running += stats.value().running;
+    total.complete += stats.value().complete;
+    total.canceled += stats.value().canceled;
+  }
+  *stats_out = total;
+  return OSPREY_OK;
+}
+
+int osprey_shard_stats(osprey_client* client, uint32_t shard,
+                       osprey_queue_stats* stats_out) {
+  if (!client || !stats_out || shard >= client->apis.size()) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  auto stats = client->apis[shard]->stats();
   if (!stats.ok()) return to_c_error(stats.code());
   stats_out->output_queue = stats.value().output_queue;
   stats_out->input_queue = stats.value().input_queue;
@@ -195,7 +354,10 @@ int osprey_stats(osprey_client* client, osprey_queue_stats* stats_out) {
 int osprey_task_status(osprey_client* client, int64_t task_id,
                        int* status_out) {
   if (!client || !status_out) return OSPREY_E_INVALID_ARGUMENT;
-  auto status = client->api->task_status(task_id);
+  osprey::TaskId local = 0;
+  osprey::eqsql::EQSQL* api = api_for_task(client, task_id, &local);
+  if (!api) return OSPREY_E_INVALID_ARGUMENT;
+  auto status = api->task_status(local);
   if (!status.ok()) return to_c_error(status.code());
   *status_out = static_cast<int>(status.value());
   return OSPREY_OK;
@@ -204,10 +366,20 @@ int osprey_task_status(osprey_client* client, int64_t task_id,
 int osprey_cancel_tasks(osprey_client* client, const int64_t* task_ids,
                         size_t count, size_t* canceled_out) {
   if (!client || (!task_ids && count > 0)) return OSPREY_E_INVALID_ARGUMENT;
-  std::vector<osprey::TaskId> ids(task_ids, task_ids + count);
-  auto canceled = client->api->cancel_tasks(ids);
-  if (!canceled.ok()) return to_c_error(canceled.code());
-  if (canceled_out) *canceled_out = canceled.value();
+  std::vector<std::vector<osprey::TaskId>> per_shard(client->apis.size());
+  for (size_t i = 0; i < count; ++i) {
+    const shard::ShardId s = shard::shard_of_task(task_ids[i]);
+    if (s >= client->apis.size()) return OSPREY_E_INVALID_ARGUMENT;
+    per_shard[s].push_back(shard::local_task_id(task_ids[i]));
+  }
+  size_t total = 0;
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (per_shard[s].empty()) continue;
+    auto canceled = client->apis[s]->cancel_tasks(per_shard[s]);
+    if (!canceled.ok()) return to_c_error(canceled.code());
+    total += canceled.value();
+  }
+  if (canceled_out) *canceled_out = total;
   return OSPREY_OK;
 }
 
@@ -218,21 +390,46 @@ int osprey_update_priorities(osprey_client* client, const int64_t* task_ids,
       priorities_count == 0) {
     return OSPREY_E_INVALID_ARGUMENT;
   }
-  std::vector<osprey::TaskId> ids(task_ids, task_ids + count);
-  std::vector<osprey::Priority> prios(priorities,
-                                      priorities + priorities_count);
-  auto updated = client->api->update_priorities(ids, prios);
-  if (!updated.ok()) return to_c_error(updated.code());
-  if (updated_out) *updated_out = updated.value();
+  if (priorities_count != 1 && priorities_count != count) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  std::vector<std::vector<osprey::TaskId>> ids(client->apis.size());
+  std::vector<std::vector<osprey::Priority>> prios(client->apis.size());
+  for (size_t i = 0; i < count; ++i) {
+    const shard::ShardId s = shard::shard_of_task(task_ids[i]);
+    if (s >= client->apis.size()) return OSPREY_E_INVALID_ARGUMENT;
+    ids[s].push_back(shard::local_task_id(task_ids[i]));
+    prios[s].push_back(priorities[priorities_count == 1 ? 0 : i]);
+  }
+  size_t total = 0;
+  for (size_t s = 0; s < ids.size(); ++s) {
+    if (ids[s].empty()) continue;
+    auto updated = client->apis[s]->update_priorities(ids[s], prios[s]);
+    if (!updated.ok()) return to_c_error(updated.code());
+    total += updated.value();
+  }
+  if (updated_out) *updated_out = total;
   return OSPREY_OK;
 }
 
 int osprey_queued_count(osprey_client* client, int eq_type,
                         int64_t* count_out) {
   if (!client || !count_out) return OSPREY_E_INVALID_ARGUMENT;
-  auto count = client->api->queued_count(eq_type);
-  if (!count.ok()) return to_c_error(count.code());
-  *count_out = count.value();
+  if (client->service->spec.key == shard::ShardKeyKind::kWorkType) {
+    const shard::ShardId s =
+        shard::shard_of_work_type(client->service->spec, eq_type);
+    auto count = client->apis[s]->queued_count(eq_type);
+    if (!count.ok()) return to_c_error(count.code());
+    *count_out = count.value();
+    return OSPREY_OK;
+  }
+  int64_t total = 0;
+  for (auto& api : client->apis) {
+    auto count = api->queued_count(eq_type);
+    if (!count.ok()) return to_c_error(count.code());
+    total += count.value();
+  }
+  *count_out = total;
   return OSPREY_OK;
 }
 

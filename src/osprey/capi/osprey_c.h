@@ -97,6 +97,44 @@ int osprey_service_stop(osprey_service* service);
  * polling. Idempotent; call after start, before connecting clients. */
 int osprey_service_enable_notifications(osprey_service* service);
 
+/* --- sharding (DESIGN.md §5.11) ----------------------------------------- */
+
+/* How the shard key is derived: mirrors osprey::shard::ShardKeyKind. */
+enum {
+  OSPREY_SHARD_KEY_WORK_TYPE = 0, /* one pool's traffic hits one shard */
+  OSPREY_SHARD_KEY_EXP_ID = 1,    /* one campaign colocates per shard */
+};
+
+/* How keys map to shards: mirrors osprey::shard::ShardScheme. */
+enum {
+  OSPREY_SHARD_HASH = 0,  /* FNV-1a mod shard_count */
+  OSPREY_SHARD_RANGE = 1, /* contiguous work-type blocks */
+};
+
+/* Partition the service's task database across `shard_count` independent
+ * shards (each with its own five-table schema and id sequence). Must be
+ * called before osprey_service_start: OSPREY_E_CONFLICT afterwards. Task
+ * ids become global (shard index in the high bits); with shard_count = 1
+ * the encoding is the identity and every id matches the unsharded service.
+ * Existing client calls route transparently: single-key operations go to
+ * the owning shard, osprey_stats sums across shards. */
+int osprey_service_configure_shards(osprey_service* service,
+                                    uint32_t shard_count, int key_kind,
+                                    int scheme);
+
+/* The configured shard count (1 when never configured). 0 on NULL. */
+uint32_t osprey_shard_count(const osprey_service* service);
+
+/* The shard a (work type, experiment) pair routes to. `exp_id` may be NULL
+ * (only consulted under OSPREY_SHARD_KEY_EXP_ID). */
+int osprey_shard_of(const osprey_service* service, int eq_type,
+                    const char* exp_id, uint32_t* shard_out);
+
+/* The shard encoded in a global task id (0 for unsharded ids);
+ * OSPREY_E_INVALID_ARGUMENT if it exceeds the configured shard count. */
+int osprey_shard_of_task(const osprey_service* service, int64_t task_id,
+                         uint32_t* shard_out);
+
 /* --- client connections ------------------------------------------------- */
 
 /* Connect a client API handle to a running service. NULL on failure. */
@@ -148,8 +186,13 @@ int osprey_query_result_wait(osprey_client* client, int64_t task_id,
 int osprey_peek_result(osprey_client* client, int64_t task_id,
                        char* result_buf, size_t result_buf_size);
 
-/* Queue depth and task state counts in one snapshot. */
+/* Queue depth and task state counts in one snapshot (summed across shards
+ * when the service is sharded). */
 int osprey_stats(osprey_client* client, osprey_queue_stats* stats_out);
+
+/* One shard's queue stats (shard 0 is the whole service when unsharded). */
+int osprey_shard_stats(osprey_client* client, uint32_t shard,
+                       osprey_queue_stats* stats_out);
 
 /* Current status; on success writes one of OSPREY_TASK_*. */
 int osprey_task_status(osprey_client* client, int64_t task_id,

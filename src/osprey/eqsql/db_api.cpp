@@ -105,10 +105,10 @@ Result<TaskStatus> parse_task_status(const std::string& name) {
   return Error(ErrorCode::kInvalidArgument, "unknown task status '" + name + "'");
 }
 
-EQSQL::EQSQL(db::Database& db, const Clock& clock, Sleeper sleeper)
+EQSQL::EQSQL(db::Database& db, const Clock& clock)
     : db_(db),
       clock_(clock),
-      sleeper_(sleeper ? std::move(sleeper) : Sleeper(&RealClock::sleep_for)),
+      sleeper_(&RealClock::sleep_for),
       conn_(db) {
   assert(schema_exists(db) && "EMEWS schema missing: call create_schema first");
 }

@@ -47,8 +47,9 @@ struct QueueStats {
 class EQSQL {
  public:
   /// `db` must contain the EMEWS schema (see create_schema). `clock` stamps
-  /// task creation/start/stop times. `sleeper` defaults to a real sleep.
-  EQSQL(db::Database& db, const Clock& clock, Sleeper sleeper = {});
+  /// task creation/start/stop times. Poll-mode waits sleep for real by
+  /// default; route a virtual-time sleeper in via set_wait_routing.
+  EQSQL(db::Database& db, const Clock& clock);
 
   // --- submission (§IV-A) ---------------------------------------------------
 
@@ -77,8 +78,8 @@ class EQSQL {
   /// or `wait.timeout` elapses (kTimeout). In poll mode this is the paper's
   /// query_task(eq_type, n, worker_pool, delay, timeout) exactly; in notify
   /// mode the wait blocks on the work channel and re-probes at most every
-  /// `wait.poll_delay` as a lost-wakeup fallback. A PollSpec converts
-  /// implicitly, so old (delay, timeout) call sites behave unchanged.
+  /// `wait.poll_delay` as a lost-wakeup fallback. Braced (delay, timeout)
+  /// call sites behave unchanged via the positional WaitSpec constructor.
   Result<std::vector<TaskHandle>> query_task(WorkType eq_type, int n = 1,
                                              const PoolId& worker_pool = "default",
                                              WaitSpec wait = {});
@@ -120,9 +121,9 @@ class EQSQL {
   /// {'type':'status','payload':'TIMEOUT'} protocol. With a result peeker
   /// routed in, the waiting probes go through the peeker (a replica-servable
   /// read) and a completed task costs exactly one local write — the
-  /// input-queue pop; the payload comes from the probe itself. A PollSpec
-  /// converts implicitly, so old (delay, timeout) call sites behave
-  /// unchanged.
+  /// input-queue pop; the payload comes from the probe itself. Braced
+  /// (delay, timeout) call sites behave unchanged via the positional
+  /// WaitSpec constructor.
   Result<std::string> query_result(TaskId eq_task_id, WaitSpec wait = {});
 
   /// Configure where the waiting machinery plugs in: the poll-mode sleeper
@@ -135,12 +136,8 @@ class EQSQL {
     notifier_ = routing.notifier;
   }
 
-  /// Deprecated shim for set_wait_routing: route only the result probes
-  /// through `peeker` (e.g. a replication read router), keeping the sleeper
-  /// and notifier as they are.
-  void set_result_peeker(ResultPeeker peeker) { peeker_ = std::move(peeker); }
-
-  /// Deprecated shim for set_wait_routing: attach only the notifier.
+  /// Convenience for set_wait_routing: attach only the notifier, keeping
+  /// the sleeper and peeker as they are.
   void set_notifier(Notifier* notifier) { notifier_ = notifier; }
 
   /// The notification plane blocking waits resolve kAuto against; nullptr

@@ -41,8 +41,8 @@ class TaskFuture {
   /// the task just completed; kNotFound while still pending.
   Result<std::string> try_result();
 
-  /// Blocking result waiting per `wait` (a PollSpec converts implicitly, so
-  /// old (delay, timeout) call sites behave unchanged).
+  /// Blocking result waiting per `wait` (braced (delay, timeout) call sites
+  /// behave unchanged via the positional WaitSpec constructor).
   Result<std::string> result(WaitSpec wait = {});
 
   /// Cancel the task (no-op if already complete). True when the task was

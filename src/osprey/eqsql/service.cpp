@@ -51,8 +51,11 @@ Result<std::unique_ptr<EQSQL>> EmewsService::connect(Sleeper sleeper) {
   if (!running_) {
     return Error(ErrorCode::kUnavailable, "EMEWS service not running");
   }
-  auto api = std::make_unique<EQSQL>(db_, clock_, std::move(sleeper));
-  if (notifier_) api->set_notifier(notifier_.get());
+  auto api = std::make_unique<EQSQL>(db_, clock_);
+  WaitRouting routing;
+  routing.sleeper = std::move(sleeper);
+  routing.notifier = notifier_.get();
+  api->set_wait_routing(std::move(routing));
   return api;
 }
 

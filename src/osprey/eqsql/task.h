@@ -39,18 +39,4 @@ struct TaskRecord {
   std::optional<TimePoint> stop_at;
 };
 
-/// Polling parameters used by the blocking query APIs (§IV-C: "an optional
-/// timeout and delay value"). Poll delays are produced by the shared
-/// RetryPolicy (core/retry.h): they start at `delay` and grow by `backoff`
-/// per empty poll up to `max_delay`, easing the load an idle poller puts on
-/// the EMEWS DB. The defaults reproduce the paper's fixed-delay polling.
-struct PollSpec {
-  Duration delay = 0.5;
-  Duration timeout = 2.0;
-  /// Per-empty-poll delay growth factor (1.0 = fixed delay).
-  double backoff = 1.0;
-  /// Cap on grown delays; 0 = uncapped (the timeout still bounds waiting).
-  Duration max_delay = 0.0;
-};
-
 }  // namespace osprey::eqsql

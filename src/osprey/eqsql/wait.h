@@ -2,9 +2,9 @@
 //
 // The paper's Listing-1 API threads a (delay, timeout) pair through every
 // blocking call, and the first four PRs grew three overlapping knobs around
-// it: PollSpec (poll cadence), Sleeper (how a poll sleeps), and ResultPeeker
-// (where result probes go when reads are routed to a replica). WaitSpec and
-// WaitRouting collapse those into one surface:
+// it — a poll-cadence struct, a loose Sleeper constructor parameter, and a
+// ResultPeeker setter. WaitSpec and WaitRouting collapse those into one
+// surface:
 //
 //   - WaitSpec says *how long* to wait and *how* — commit-driven
 //     notifications (see notify.h) with a poll fallback, or pure polling,
@@ -14,9 +14,9 @@
 //     used by poll-mode waits, the replica-servable result probe, and the
 //     Notifier whose commit wakeups end the wait early.
 //
-// PollSpec (task.h) remains as a deprecated shim: it converts implicitly to
-// WaitSpec, so `query_result(id, {delay, timeout})` call sites keep
-// compiling and keep their exact polling behavior.
+// The positional WaitSpec(delay, timeout) constructor keeps the paper's
+// `query_result(id, {delay, timeout})` call shape compiling with its exact
+// polling behavior.
 #pragma once
 
 #include <functional>
@@ -58,9 +58,9 @@ enum class WaitStrategy {
 
 const char* wait_strategy_name(WaitStrategy s);
 
-/// The one wait knob: strategy + deadline + poll-fallback cadence.
-/// Implicitly convertible from PollSpec so the old (delay, timeout) call
-/// sites compile unchanged and behave identically (strategy kPoll).
+/// The one wait knob: strategy + deadline + poll-fallback cadence. Braced
+/// `{delay, timeout}` call sites get strategy kPoll via the positional
+/// constructor and behave exactly like the paper's polling loop.
 struct WaitSpec {
   WaitStrategy strategy = WaitStrategy::kAuto;
   /// Overall deadline; kTimeout on expiry, matching the paper's
@@ -76,17 +76,9 @@ struct WaitSpec {
 
   WaitSpec() = default;
 
-  /// Deprecated bridge: an old PollSpec waits exactly as it always did.
-  WaitSpec(const PollSpec& poll)  // NOLINT(google-explicit-constructor)
-      : strategy(WaitStrategy::kPoll),
-        timeout(poll.timeout),
-        poll_delay(poll.delay),
-        poll_backoff(poll.backoff),
-        poll_max_delay(poll.max_delay) {}
-
-  /// Deprecated bridge: positional (delay, timeout[, backoff[, max_delay]])
-  /// in PollSpec field order, so braced `{delay, timeout}` call sites keep
-  /// compiling and keep their exact polling behavior.
+  /// Positional (delay, timeout[, backoff[, max_delay]]) — the paper's
+  /// argument order, so braced `{delay, timeout}` call sites keep compiling
+  /// and keep their exact polling behavior.
   WaitSpec(Duration delay, Duration deadline, double backoff = 1.0,
            Duration max_delay = 0.0)
       : strategy(WaitStrategy::kPoll),
@@ -119,9 +111,9 @@ struct WaitSpec {
   }
 };
 
-/// Where the waiting machinery plugs in. Replaces the loose Sleeper
-/// constructor parameter and EQSQL::set_result_peeker knob (both kept as
-/// thin shims that write through to this).
+/// Where the waiting machinery plugs in. This replaced the loose Sleeper
+/// constructor parameter and the EQSQL::set_result_peeker knob; route all
+/// three pieces through EQSQL::set_wait_routing.
 struct WaitRouting {
   /// How poll-mode waits sleep. Defaults to a real sleep; the simulation
   /// injects a virtual-time sleeper; tests inject clock-advancing fakes.

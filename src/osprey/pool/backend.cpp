@@ -1,0 +1,24 @@
+#include "osprey/pool/backend.h"
+
+namespace osprey::pool {
+
+PoolBackend PoolBackend::local(eqsql::EQSQL& api) {
+  PoolBackend backend;
+  backend.claim_batched = [&api](WorkType eq_type, int batch_size,
+                                 int threshold, int owned,
+                                 const PoolId& worker_pool) {
+    return api.try_query_tasks_batched(eq_type, batch_size, threshold, owned,
+                                       worker_pool);
+  };
+  backend.report = [&api](TaskId eq_task_id, WorkType eq_type,
+                          const std::string& result) {
+    return api.report_task(eq_task_id, eq_type, result);
+  };
+  backend.requeue = [&api](const std::vector<TaskId>& ids) {
+    return api.requeue_tasks(ids);
+  };
+  backend.notifier = [&api]() { return api.notifier(); };
+  return backend;
+}
+
+}  // namespace osprey::pool

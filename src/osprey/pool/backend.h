@@ -1,0 +1,50 @@
+// Claim/report backend for worker pools.
+//
+// The paper's worker pool (§IV-D) talks straight to the resource-local EMEWS
+// DB. Replication (DESIGN.md §5.9) and sharding (§5.11) put a router between
+// the pool and the database; a PoolBackend is the seam that lets the same
+// pool implementation claim from and report to either — a plain EQSQL
+// handle, a ReplRouter, or a ShardRouter — without the pool knowing which.
+// Routed backends make pools failover-transparent: the router re-resolves
+// the leader on every operation, so a pool keeps claiming across a
+// promotion instead of holding a dead node's handle.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/notify.h"
+
+namespace osprey::pool {
+
+/// The four operations a pool needs from the task database. All four must be
+/// set (local() and the router adapters set them all); `notifier` may
+/// resolve to nullptr, which leaves the pool in polling mode.
+struct PoolBackend {
+  /// The §IV-D batched claim: batch/threshold/owned gating plus the claim
+  /// itself (EQSQL::try_query_tasks_batched semantics).
+  std::function<Result<std::vector<eqsql::TaskHandle>>(
+      WorkType eq_type, int batch_size, int threshold, int owned,
+      const PoolId& worker_pool)>
+      claim_batched;
+  /// Report a completed task (exactly-once: kConflict = lost the race).
+  std::function<Status(TaskId eq_task_id, WorkType eq_type,
+                       const std::string& result)>
+      report;
+  /// Return unstarted claimed tasks to the output queue (pool stop()).
+  std::function<Result<std::size_t>(const std::vector<TaskId>& ids)> requeue;
+  /// Commit-wakeup source for the pool's work type, resolved at start()
+  /// time (a notifier may be attached between construction and start).
+  /// Unset or returning nullptr = polling mode.
+  std::function<eqsql::Notifier*()> notifier;
+
+  bool complete() const { return claim_batched && report && requeue; }
+
+  /// The single-node backend: every operation writes through `api`. The
+  /// handle must outlive the pool.
+  static PoolBackend local(eqsql::EQSQL& api);
+};
+
+}  // namespace osprey::pool

@@ -12,14 +12,21 @@ namespace osprey::pool {
 SimWorkerPool::SimWorkerPool(sim::Simulation& sim, eqsql::EQSQL& api,
                              SimPoolConfig config, SimTaskRunner runner,
                              std::uint64_t seed)
+    : SimWorkerPool(sim, PoolBackend::local(api), std::move(config),
+                    std::move(runner), seed) {}
+
+SimWorkerPool::SimWorkerPool(sim::Simulation& sim, PoolBackend backend,
+                             SimPoolConfig config, SimTaskRunner runner,
+                             std::uint64_t seed)
     : sim_(sim),
-      api_(api),
+      backend_(std::move(backend)),
       config_(std::move(config)),
       policy_(config_.batch_size, config_.threshold),
       runner_(std::move(runner)),
       rng_(seed),
       feed_(config_.name) {
   assert(runner_ && "pool needs a task runner");
+  assert(backend_.complete() && "pool backend must route claim/report/requeue");
 }
 
 Status SimWorkerPool::start() {
@@ -33,7 +40,7 @@ Status SimWorkerPool::start() {
   started_at_ = sim_.now();
   idle_since_ = sim_.now();
   feed_.mark(sim_.now());
-  notifier_ = api_.notifier();
+  notifier_ = backend_.notifier ? backend_.notifier() : nullptr;
   if (notifier_ != nullptr) {
     listener_id_ =
         notifier_->on_work(config_.work_type, [this] { on_work_signal(); });
@@ -68,7 +75,7 @@ void SimWorkerPool::stop() {
     ids.reserve(cache_.size());
     for (const CachedTask& t : cache_) ids.push_back(t.handle.eq_task_id);
     cache_.clear();
-    auto requeued = api_.requeue_tasks(ids);
+    auto requeued = backend_.requeue(ids);
     if (requeued.ok()) {
       OSPREY_LOG(kInfo, "pool")
           << config_.name << " requeued " << requeued.value()
@@ -123,9 +130,9 @@ void SimWorkerPool::query_arrived(int requested) {
   (void)requested;
   const int claim_target = policy_.tasks_to_request(owned());
   obs::Stopwatch claim_latency;
-  auto handles = api_.try_query_tasks_batched(
-      config_.work_type, config_.batch_size, config_.threshold, owned(),
-      config_.name);
+  auto handles = backend_.claim_batched(config_.work_type, config_.batch_size,
+                                        config_.threshold, owned(),
+                                        config_.name);
   if (!handles.ok()) {
     OSPREY_LOG(kError, "pool") << config_.name << " query failed: "
                                << handles.error().to_string();
@@ -277,7 +284,8 @@ void SimWorkerPool::finish_task(const eqsql::TaskHandle& handle,
         << log_field("pool", config_.name);
     return;
   }
-  Status reported = api_.report_task(handle.eq_task_id, handle.eq_type, result);
+  Status reported =
+      backend_.report(handle.eq_task_id, handle.eq_type, result);
   if (reported.code() == ErrorCode::kConflict) {
     // Lost the exactly-once race: the task was requeued (lease expiry) or
     // completed elsewhere. Free the worker without counting a completion.

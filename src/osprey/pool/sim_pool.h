@@ -24,6 +24,7 @@
 #include "osprey/core/rng.h"
 #include "osprey/eqsql/db_api.h"
 #include "osprey/eqsql/notify.h"
+#include "osprey/pool/backend.h"
 #include "osprey/pool/policy.h"
 #include "osprey/pool/trace.h"
 #include "osprey/sim/sim.h"
@@ -52,6 +53,11 @@ struct SimPoolConfig : PoolConfig {
 class SimWorkerPool {
  public:
   SimWorkerPool(sim::Simulation& sim, eqsql::EQSQL& api, SimPoolConfig config,
+                SimTaskRunner runner, std::uint64_t seed = 17);
+  /// Pool over an injected claim/report backend (a ReplRouter or ShardRouter
+  /// adapter): the pool survives leader failover because every operation
+  /// re-resolves through the router instead of pinning one node's handle.
+  SimWorkerPool(sim::Simulation& sim, PoolBackend backend, SimPoolConfig config,
                 SimTaskRunner runner, std::uint64_t seed = 17);
   ~SimWorkerPool();
 
@@ -118,7 +124,7 @@ class SimWorkerPool {
   void shutdown();
 
   sim::Simulation& sim_;
-  eqsql::EQSQL& api_;
+  PoolBackend backend_;
   SimPoolConfig config_;
   QueryPolicy policy_;
   SimTaskRunner runner_;

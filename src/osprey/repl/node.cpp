@@ -282,14 +282,13 @@ wal::Lsn ReplicaNode::applied_lsn() const {
   return applied_lsn_;
 }
 
-Result<std::unique_ptr<eqsql::EQSQL>> ReplicaNode::connect(
-    eqsql::Sleeper sleeper) {
+Result<std::unique_ptr<eqsql::EQSQL>> ReplicaNode::connect() {
   std::lock_guard<std::mutex> guard(mutex_);
   if (!alive_) return Error(ErrorCode::kUnavailable, "node '" + id_ + "' dead");
   if (!bootstrapped_) {
     return Error(ErrorCode::kUnavailable, "node '" + id_ + "' not bootstrapped");
   }
-  return std::make_unique<eqsql::EQSQL>(*db_, clock_, std::move(sleeper));
+  return std::make_unique<eqsql::EQSQL>(*db_, clock_);
 }
 
 }  // namespace osprey::repl

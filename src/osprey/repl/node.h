@@ -122,7 +122,8 @@ class ReplicaNode {
 
   /// A fresh EQSQL handle onto this node's database. Each concurrent caller
   /// needs its own handle (they share the database but not statement state).
-  Result<std::unique_ptr<eqsql::EQSQL>> connect(eqsql::Sleeper sleeper = {});
+  /// Route a custom sleeper or notifier in via EQSQL::set_wait_routing.
+  Result<std::unique_ptr<eqsql::EQSQL>> connect();
 
  private:
   Status append_frames_locked(const ShipBatch& batch);

@@ -95,6 +95,20 @@ Result<std::string> ReplRouter::try_query_result(TaskId eq_task_id) {
   return api.value()->try_query_result(eq_task_id);
 }
 
+Result<std::vector<TaskId>> ReplRouter::try_query_completed(
+    const std::vector<TaskId>& eq_task_ids, int n) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->try_query_completed(eq_task_ids, n);
+}
+
+Result<std::size_t> ReplRouter::requeue_tasks(
+    const std::vector<TaskId>& eq_task_ids) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->requeue_tasks(eq_task_ids);
+}
+
 Result<std::string> ReplRouter::peek_result(TaskId eq_task_id) {
   return peek_result_at(eq_task_id, 0);
 }
@@ -137,10 +151,6 @@ eqsql::WaitRouting ReplRouter::wait_routing(eqsql::Notifier* notifier) {
   routing.peeker = [this](TaskId eq_task_id) { return peek_result(eq_task_id); };
   routing.notifier = notifier;
   return routing;
-}
-
-eqsql::ResultPeeker ReplRouter::result_peeker() {
-  return wait_routing().peeker;
 }
 
 }  // namespace osprey::repl

@@ -68,6 +68,14 @@ class ReplRouter {
                               WorkType eq_type, const std::string& result);
   /// Authoritative result pickup (pops the leader's input queue).
   Result<std::string> try_query_result(TaskId eq_task_id);
+  /// Of `eq_task_ids`, up to n that completed, popped from the leader's
+  /// input queue — each id is delivered by exactly one successful probe.
+  /// This is the per-shard leg of ShardRouter's scatter-gather.
+  Result<std::vector<TaskId>> try_query_completed(
+      const std::vector<TaskId>& eq_task_ids, int n);
+  /// Return claimed-but-unstarted tasks to the output queue (a stopping
+  /// pool's cache release), on the current leader.
+  Result<std::size_t> requeue_tasks(const std::vector<TaskId>& eq_task_ids);
 
   // --- reads (replica-eligible, bounded staleness) --------------------------
 
@@ -85,10 +93,6 @@ class ReplRouter {
   /// co-located with the leader (commit wakeups then replace blind polling);
   /// remote callers leave it null and degrade to the poll fallback.
   eqsql::WaitRouting wait_routing(eqsql::Notifier* notifier = nullptr);
-
-  /// Deprecated: use wait_routing(). The bare ResultPeeker for
-  /// EQSQL::set_result_peeker.
-  eqsql::ResultPeeker result_peeker();
 
   // --- routing telemetry -----------------------------------------------------
 

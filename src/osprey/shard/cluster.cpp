@@ -1,0 +1,166 @@
+#include "osprey/shard/cluster.h"
+
+#include <algorithm>
+
+#include "osprey/obs/telemetry.h"
+
+namespace osprey::shard {
+
+namespace {
+
+/// Per-shard health gauges, labeled by dense shard index like the repl
+/// plane's per-replica gauges.
+obs::Gauge& shard_gauge(const char* name, ShardId shard) {
+  return obs::telemetry().metrics.gauge(name,
+                                        {{"shard", std::to_string(shard)}});
+}
+
+/// Derive a distinct, deterministic ship seed per shard from the template
+/// seed (splitmix-style odd-constant mix, like SeedSequence does).
+std::uint64_t shard_seed(std::uint64_t base, ShardId shard) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (shard + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+ShardCluster::ShardCluster(const Clock& clock, net::Network& network,
+                           ShardClusterConfig config)
+    : clock_(clock), config_(std::move(config)) {
+  config_.spec.shard_count =
+      std::clamp(config_.spec.shard_count, 1u, kMaxShards);
+  groups_.reserve(config_.spec.shard_count);
+  notifiers_.resize(config_.spec.shard_count);
+  for (ShardId s = 0; s < config_.spec.shard_count; ++s) {
+    repl::ReplConfig repl = config_.repl;
+    repl.seed = shard_seed(config_.repl.seed, s);
+    groups_.push_back(
+        std::make_unique<repl::ReplicationGroup>(clock_, network, repl));
+  }
+}
+
+ShardCluster::~ShardCluster() = default;
+
+void ShardCluster::set_fault_registry(FaultRegistry* faults) {
+  for (auto& group : groups_) group->set_fault_registry(faults);
+}
+
+Result<repl::ReplicaNode*> ShardCluster::create_leader(
+    ShardId shard, const std::string& id, const net::SiteName& site) {
+  if (shard >= shard_count()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "no shard " + std::to_string(shard));
+  }
+  Result<repl::ReplicaNode*> leader = group(shard).create_leader(id, site);
+  if (leader.ok() && notify_enabled_) {
+    notifiers_[shard]->attach(leader.value()->database());
+  }
+  return leader;
+}
+
+Result<repl::ReplicaNode*> ShardCluster::add_follower(
+    ShardId shard, const std::string& id, const net::SiteName& site) {
+  if (shard >= shard_count()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "no shard " + std::to_string(shard));
+  }
+  return group(shard).add_follower(id, site);
+}
+
+Result<repl::PumpStats> ShardCluster::pump_all() {
+  repl::PumpStats total;
+  for (auto& group : groups_) {
+    if (!group->leader_alive()) continue;  // a dead shard must not stall the rest
+    Result<repl::PumpStats> pumped = group->pump();
+    if (!pumped.ok()) return pumped.error();
+    const repl::PumpStats& s = pumped.value();
+    total.batches_shipped += s.batches_shipped;
+    total.records_shipped += s.records_shipped;
+    total.duplicates_delivered += s.duplicates_delivered;
+    total.gap_rejects += s.gap_rejects;
+    total.drops += s.drops;
+    total.fenced += s.fenced;
+    total.rebootstraps += s.rebootstraps;
+    total.partitioned_followers += s.partitioned_followers;
+  }
+  if (obs::enabled()) update_gauges();
+  return total;
+}
+
+Result<std::string> ShardCluster::promote(ShardId shard) {
+  if (shard >= shard_count()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "no shard " + std::to_string(shard));
+  }
+  Result<std::string> promoted = group(shard).promote();
+  if (!promoted.ok()) return promoted;
+  if (notify_enabled_) {
+    // The notification plane follows the leadership: commits now happen on
+    // the promoted node's database, so waiters must be wired to it or they
+    // would silently degrade to the poll fallback.
+    notifiers_[shard]->detach();
+    repl::ReplicaNode* leader = group(shard).leader();
+    if (leader != nullptr) notifiers_[shard]->attach(leader->database());
+  }
+  return promoted;
+}
+
+Status ShardCluster::enable_notifications() {
+  if (notify_enabled_) return Status::ok();
+  for (ShardId s = 0; s < shard_count(); ++s) {
+    if (!notifiers_[s]) notifiers_[s] = std::make_unique<eqsql::Notifier>();
+    repl::ReplicaNode* leader = groups_[s]->leader();
+    if (leader != nullptr && leader->alive()) {
+      notifiers_[s]->attach(leader->database());
+    }
+  }
+  notify_enabled_ = true;
+  return Status::ok();
+}
+
+json::Value ShardCluster::status() {
+  json::Value out;
+  out["shard_count"] = json::Value(static_cast<std::int64_t>(shard_count()));
+  out["key"] = json::Value(shard_key_kind_name(config_.spec.key));
+  out["scheme"] = json::Value(shard_scheme_name(config_.spec.scheme));
+  json::Array shards;
+  for (ShardId s = 0; s < shard_count(); ++s) {
+    json::Value entry = groups_[s]->status();
+    entry["shard"] = json::Value(static_cast<std::int64_t>(s));
+    shards.push_back(std::move(entry));
+  }
+  out["shards"] = json::Value(std::move(shards));
+  return out;
+}
+
+void ShardCluster::update_gauges() {
+  if (!obs::enabled()) return;
+  for (ShardId s = 0; s < shard_count(); ++s) {
+    repl::ReplicationGroup& g = *groups_[s];
+    shard_gauge("osprey_shard_epoch", s).set(static_cast<double>(g.epoch()));
+    if (!g.leader_alive()) continue;
+    const db::wal::Lsn head = g.leader_lsn();
+    db::wal::Lsn laggiest = head;
+    for (const std::string& id : g.follower_ids()) {
+      repl::ReplicaNode* f = g.node(id);
+      if (f != nullptr && f->alive()) {
+        laggiest = std::min(laggiest, f->applied_lsn());
+      }
+    }
+    shard_gauge("osprey_shard_lag_lsns", s)
+        .set(static_cast<double>(head - laggiest));
+    repl::ReplicaNode* leader = g.leader();
+    if (leader == nullptr) continue;
+    auto api = leader->connect();
+    if (!api.ok()) continue;
+    Result<eqsql::QueueStats> stats = api.value()->stats();
+    if (stats.ok()) {
+      shard_gauge("osprey_shard_queue_depth", s)
+          .set(static_cast<double>(stats.value().output_queue));
+    }
+  }
+}
+
+}  // namespace osprey::shard

@@ -1,0 +1,123 @@
+// A cluster of replicated task-database shards (DESIGN.md §5.11).
+//
+// Each shard is a full repl::ReplicationGroup — leader, followers, WAL
+// shipping, epoch-fenced failover — owning one slice of the keyspace per
+// the cluster's ShardSpec. The cluster is deliberately thin: it creates the
+// groups, fans pump() out to all of them, wraps per-shard promote() so the
+// notification plane follows the leadership, and exports the per-shard
+// health gauges (queue depth, replication lag, epoch). All routing policy
+// lives in ShardRouter (router.h); all replication mechanics stay in repl.
+//
+// Failure isolation is the point of the design: shards share nothing — no
+// common WAL, no cross-shard transactions — so one shard's leader dying
+// stalls only the work types that hash to it, and its failover (promote,
+// requeue, resume) runs without touching the other shards' groups.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/fault.h"
+#include "osprey/eqsql/notify.h"
+#include "osprey/json/json.h"
+#include "osprey/net/network.h"
+#include "osprey/repl/group.h"
+#include "osprey/shard/key.h"
+
+namespace osprey::shard {
+
+/// Cluster configuration: the key spec plus the replication template every
+/// shard's group is built from (per-shard ship seeds are derived from
+/// repl.seed, so same-seed cluster runs replay bit-identically).
+struct ShardClusterConfig {
+  ShardSpec spec;
+  repl::ReplConfig repl;
+};
+
+class ShardCluster {
+ public:
+  ShardCluster(const Clock& clock, net::Network& network,
+               ShardClusterConfig config = {});
+  ~ShardCluster();
+
+  ShardCluster(const ShardCluster&) = delete;
+  ShardCluster& operator=(const ShardCluster&) = delete;
+
+  /// Attach the fault plane to every shard's group.
+  void set_fault_registry(FaultRegistry* faults);
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(groups_.size());
+  }
+  const ShardSpec& spec() const { return config_.spec; }
+
+  /// The shard's replication group (membership, kill, pump — everything
+  /// repl::ReplicationGroup exposes). Shard indices are dense and fixed.
+  repl::ReplicationGroup& group(ShardId shard) { return *groups_.at(shard); }
+
+  // --- membership ------------------------------------------------------------
+
+  /// Create shard `shard`'s founding leader (epoch 1). With notifications
+  /// enabled the shard's Notifier attaches to the new leader's database.
+  Result<repl::ReplicaNode*> create_leader(ShardId shard, const std::string& id,
+                                           const net::SiteName& site);
+
+  /// Create + bootstrap a follower on shard `shard`.
+  Result<repl::ReplicaNode*> add_follower(ShardId shard, const std::string& id,
+                                          const net::SiteName& site);
+
+  // --- shipping and failover -------------------------------------------------
+
+  /// Pump every shard whose leader is alive; aggregates the per-shard
+  /// PumpStats. A dead shard is skipped, not an error — the other shards'
+  /// replication must keep moving through one shard's outage.
+  Result<repl::PumpStats> pump_all();
+
+  /// Fail shard `shard` over to its most-caught-up follower and re-attach
+  /// the shard's Notifier to the promoted leader, so commit-driven waiters
+  /// keep waking across the failover. Other shards are untouched.
+  Result<std::string> promote(ShardId shard);
+
+  // --- notifications ---------------------------------------------------------
+
+  /// Attach one Notifier per shard to that shard's leader database. Waiters
+  /// on a multi-shard id set block on the union of these channels (see
+  /// ShardRouter). Idempotent; shards whose leader is created later attach
+  /// on create_leader.
+  Status enable_notifications();
+  bool notifications_enabled() const { return notify_enabled_; }
+
+  /// Shard `shard`'s notification plane (nullptr until
+  /// enable_notifications).
+  eqsql::Notifier* notifier(ShardId shard) {
+    return shard < notifiers_.size() ? notifiers_[shard].get() : nullptr;
+  }
+
+  // --- introspection ---------------------------------------------------------
+
+  bool leader_alive(ShardId shard) { return group(shard).leader_alive(); }
+  repl::Epoch epoch(ShardId shard) const { return groups_.at(shard)->epoch(); }
+
+  /// Cluster state as JSON: the spec plus every shard's group status — the
+  /// shard_status remote function's payload.
+  json::Value status();
+
+  /// Refresh the per-shard health gauges: osprey_shard_queue_depth{shard=},
+  /// osprey_shard_lag_lsns{shard=} (leader head minus the laggiest live
+  /// follower), osprey_shard_epoch{shard=}. No-op while telemetry is off.
+  void update_gauges();
+
+  const ShardClusterConfig& config() const { return config_; }
+  const Clock& clock() const { return clock_; }
+
+ private:
+  const Clock& clock_;
+  ShardClusterConfig config_;
+  std::vector<std::unique_ptr<repl::ReplicationGroup>> groups_;
+  std::vector<std::unique_ptr<eqsql::Notifier>> notifiers_;
+  bool notify_enabled_ = false;
+};
+
+}  // namespace osprey::shard

@@ -1,0 +1,123 @@
+#include "osprey/shard/remote.h"
+
+// GCC 12's -Wmaybe-uninitialized misfires on std::variant moves when a
+// json::Value flows into Result<json::Value> at -O2 (GCC PR 105593); every
+// flagged value below is assigned on all paths before the return.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace osprey::shard {
+
+namespace {
+
+/// Parse the mandatory shard index; kInvalidArgument when missing or out of
+/// range (range checks repeat inside ShardCluster, but failing here yields
+/// the function-specific message).
+Result<ShardId> shard_param(const ShardCluster& cluster,
+                            const json::Value& payload, const char* fn) {
+  const std::int64_t shard = payload["shard"].get_int(-1);
+  if (shard < 0 || shard >= static_cast<std::int64_t>(cluster.shard_count())) {
+    return Error(ErrorCode::kInvalidArgument,
+                 std::string(fn) + " needs a 'shard' in [0, " +
+                     std::to_string(cluster.shard_count()) + ")");
+  }
+  return static_cast<ShardId>(shard);
+}
+
+}  // namespace
+
+Status register_shard_functions(faas::Endpoint& endpoint,
+                                ShardCluster& cluster) {
+  Status s = endpoint.registry().register_function(
+      "shard_status", [&cluster](const json::Value&) -> Result<json::Value> {
+        return cluster.status();
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "shard_pump", [&cluster](const json::Value&) -> Result<json::Value> {
+        Result<repl::PumpStats> pumped = cluster.pump_all();
+        if (!pumped.ok()) return pumped.error();
+        const repl::PumpStats& stats = pumped.value();
+        json::Value out;
+        out["batches_shipped"] =
+            json::Value(static_cast<std::int64_t>(stats.batches_shipped));
+        out["records_shipped"] =
+            json::Value(static_cast<std::int64_t>(stats.records_shipped));
+        out["duplicates_delivered"] = json::Value(
+            static_cast<std::int64_t>(stats.duplicates_delivered));
+        out["gap_rejects"] =
+            json::Value(static_cast<std::int64_t>(stats.gap_rejects));
+        out["drops"] = json::Value(static_cast<std::int64_t>(stats.drops));
+        out["fenced"] = json::Value(static_cast<std::int64_t>(stats.fenced));
+        out["rebootstraps"] =
+            json::Value(static_cast<std::int64_t>(stats.rebootstraps));
+        out["partitioned_followers"] = json::Value(
+            static_cast<std::int64_t>(stats.partitioned_followers));
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "shard_promote",
+      [&cluster](const json::Value& payload) -> Result<json::Value> {
+        Result<ShardId> shard = shard_param(cluster, payload, "shard_promote");
+        if (!shard.ok()) return shard.error();
+        Result<std::string> promoted = cluster.promote(shard.value());
+        if (!promoted.ok()) return promoted.error();
+        json::Value out;
+        out["shard"] =
+            json::Value(static_cast<std::int64_t>(shard.value()));
+        out["leader"] = json::Value(promoted.value());
+        out["epoch"] = json::Value(
+            static_cast<std::int64_t>(cluster.epoch(shard.value())));
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  s = endpoint.registry().register_function(
+      "shard_add_follower",
+      [&cluster](const json::Value& payload) -> Result<json::Value> {
+        Result<ShardId> shard =
+            shard_param(cluster, payload, "shard_add_follower");
+        if (!shard.ok()) return shard.error();
+        std::string id = payload["id"].get_string("");
+        std::string site = payload["site"].get_string("");
+        if (id.empty() || site.empty()) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "shard_add_follower needs 'id' and 'site'");
+        }
+        Result<repl::ReplicaNode*> added =
+            cluster.add_follower(shard.value(), id, site);
+        if (!added.ok()) return added.error();
+        json::Value out;
+        out["shard"] =
+            json::Value(static_cast<std::int64_t>(shard.value()));
+        out["id"] = json::Value(id);
+        out["applied_lsn"] = json::Value(
+            static_cast<std::int64_t>(added.value()->applied_lsn()));
+        return out;
+      });
+  if (!s.is_ok()) return s;
+
+  return endpoint.registry().register_function(
+      "shard_of",
+      [&cluster](const json::Value& payload) -> Result<json::Value> {
+        if (!payload["eq_type"].is_int()) {
+          return Error(ErrorCode::kInvalidArgument,
+                       "shard_of needs an integer 'eq_type'");
+        }
+        const auto eq_type =
+            static_cast<WorkType>(payload["eq_type"].get_int(0));
+        const std::string exp_id = payload["exp_id"].get_string("");
+        const ShardId shard = shard_for(cluster.spec(), eq_type, exp_id);
+        json::Value out;
+        out["shard"] = json::Value(static_cast<std::int64_t>(shard));
+        out["key"] = json::Value(shard_key_kind_name(cluster.spec().key));
+        out["scheme"] = json::Value(shard_scheme_name(cluster.spec().scheme));
+        return out;
+      });
+}
+
+}  // namespace osprey::shard

@@ -1,0 +1,27 @@
+// Remote control of a shard cluster over the FaaS fabric.
+//
+// The per-group repl_* functions (repl/remote.h) drive one replication
+// group; these drive the whole cluster, addressing groups by shard index —
+// the control-plane shape an operator needs when one shard fails over while
+// the others keep serving:
+//
+//   shard_status        -> cluster JSON status (spec + every shard's group)
+//   shard_pump          -> pump every live shard once; aggregated PumpStats
+//   shard_promote       -> fail one shard over: {"shard": N}
+//   shard_add_follower  -> bootstrap a follower on one shard:
+//                          {"shard": N, "id": ..., "site": ...}
+//   shard_of            -> routing probe: {"eq_type": N} (optionally
+//                          {"exp_id": ...}) -> the owning shard index
+#pragma once
+
+#include "osprey/faas/endpoint.h"
+#include "osprey/shard/cluster.h"
+
+namespace osprey::shard {
+
+/// Install the shard control functions on `endpoint`, bound to `cluster`.
+/// The cluster must outlive the endpoint.
+Status register_shard_functions(faas::Endpoint& endpoint,
+                                ShardCluster& cluster);
+
+}  // namespace osprey::shard

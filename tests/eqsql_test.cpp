@@ -20,9 +20,10 @@ class EqsqlTest : public ::testing::Test {
   EqsqlTest() : conn_(db_) {
     EXPECT_TRUE(create_schema(conn_).is_ok());
     // No-sleep sleeper: polling tests advance the manual clock instead.
-    api_ = std::make_unique<EQSQL>(db_, clock_, [this](Duration d) {
-      clock_.advance(d);
-    });
+    api_ = std::make_unique<EQSQL>(db_, clock_);
+    WaitRouting routing;
+    routing.sleeper = [this](Duration d) { clock_.advance(d); };
+    api_->set_wait_routing(std::move(routing));
   }
 
   db::Database db_;

@@ -31,10 +31,12 @@ class NotifyTest : public ::testing::Test {
  protected:
   NotifyTest() : conn_(db_) {
     EXPECT_TRUE(create_schema(conn_).is_ok());
-    api_ = std::make_unique<EQSQL>(db_, clock_,
-                                   [this](Duration d) { clock_.advance(d); });
+    api_ = std::make_unique<EQSQL>(db_, clock_);
     notifier_.attach(db_);
-    api_->set_notifier(&notifier_);
+    WaitRouting routing;
+    routing.sleeper = [this](Duration d) { clock_.advance(d); };
+    routing.notifier = &notifier_;
+    api_->set_wait_routing(std::move(routing));
   }
 
   ~NotifyTest() override { notifier_.detach(); }
@@ -125,10 +127,13 @@ TEST_F(NotifyTest, QueryResultWithPeekerPopsExactlyOnce) {
 
   // A counting peeker standing in for the replica read router.
   int peeks = 0;
-  api_->set_result_peeker([&](TaskId task) {
+  WaitRouting routing;
+  routing.peeker = [&](TaskId task) {
     ++peeks;
     return api_->peek_result(task);
-  });
+  };
+  routing.notifier = api_->notifier();
+  api_->set_wait_routing(std::move(routing));
   ASSERT_EQ(api_->stats().value().input_queue, 1);
   Result<std::string> result = api_->query_result(id, WaitSpec::poll(0.1, 2.0));
   ASSERT_TRUE(result.ok());
@@ -142,7 +147,10 @@ TEST_F(NotifyTest, QueryResultWithPeekerPopsExactlyOnce) {
 TEST_F(NotifyTest, QueryResultWithPeekerPropagatesCancel) {
   TaskId id = api_->submit_task("e", kSimWork, "[1]").value();
   ASSERT_TRUE(api_->cancel_tasks({id}).ok());
-  api_->set_result_peeker([&](TaskId task) { return api_->peek_result(task); });
+  WaitRouting routing;
+  routing.peeker = [&](TaskId task) { return api_->peek_result(task); };
+  routing.notifier = api_->notifier();
+  api_->set_wait_routing(std::move(routing));
   Result<std::string> result = api_->query_result(id, WaitSpec::poll(0.1, 2.0));
   EXPECT_EQ(result.code(), ErrorCode::kCanceled);
 }

@@ -129,7 +129,10 @@ TEST_P(EqsqlFuzzTest, RandomOperationSequencePreservesInvariants) {
   db::sql::Connection conn(db);
   ASSERT_TRUE(eqsql::create_schema(conn).is_ok());
   ManualClock clock;
-  eqsql::EQSQL api(db, clock, [&clock](Duration d) { clock.advance(d); });
+  eqsql::EQSQL api(db, clock);
+  eqsql::WaitRouting routing;
+  routing.sleeper = [&clock](Duration d) { clock.advance(d); };
+  api.set_wait_routing(std::move(routing));
   Rng rng(GetParam());
 
   // Shadow model of expected task states.

@@ -589,23 +589,23 @@ TEST(ReplRouterTest, QueryResultPollsThroughThePeeker) {
 
   std::unique_ptr<eqsql::EQSQL> api;
   {
-    Result<std::unique_ptr<eqsql::EQSQL>> connected =
-        leader->connect([&](Duration d) { c.clock.advance(d); });
+    Result<std::unique_ptr<eqsql::EQSQL>> connected = leader->connect();
     ASSERT_TRUE(connected.ok());
     api = std::move(connected).take();
   }
   std::atomic<int> probes{0};
-  api->set_result_peeker([&](TaskId id) {
+  eqsql::WaitRouting routing;
+  routing.sleeper = [&](Duration d) { c.clock.advance(d); };
+  routing.peeker = [&](TaskId id) {
     ++probes;
     return router.peek_result(id);
-  });
+  };
+  api->set_wait_routing(std::move(routing));
 
   Result<TaskId> id = api->submit_task("poll", kWork, "{}");
   ASSERT_TRUE(id.ok());
   // Nothing reports it: the poll probes through the router until timeout.
-  eqsql::PollSpec spec;
-  spec.delay = 0.1;
-  spec.timeout = 0.5;
+  eqsql::WaitSpec spec = eqsql::WaitSpec::poll(0.1, 0.5);
   Result<std::string> timed_out = api->query_result(id.value(), spec);
   ASSERT_FALSE(timed_out.ok());
   EXPECT_EQ(timed_out.code(), ErrorCode::kTimeout);

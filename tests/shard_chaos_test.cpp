@@ -1,0 +1,327 @@
+// Sharded-campaign chaos suite: the 750-task multi-work-type campaign on a
+// 3-shard cluster, surviving a mid-flight single-shard leader failover.
+//
+// Three work types (10, 11, 12) run 250 tasks each; under kRange keying
+// with range_width 1 they own shards 1, 2, and 0 respectively, so every
+// shard carries exactly one work type's traffic. Each shard is a full
+// replication group (leader + follower, recurring WAL pump, lossy shipping
+// channel). At t=100 shard 1's leader dies with its slice mid-flight: its
+// pools are lost, the shipped tail is drained, the follower is promoted
+// under epoch 2, orphaned leases are requeued, and a fresh pool drains the
+// remainder — all while shards 0 and 2 keep completing work undisturbed at
+// epoch 1. Every task completes exactly once across the failover, the
+// deposed resource's straggler is epoch-fenced, and the whole run replays
+// bit-identically from the same master seed.
+//
+// The pools claim and report through ShardRouter::pool_backend, so the
+// phase-2 pool needs no leader handle of its own — the router re-resolves
+// shard 1's leader per operation, which is exactly the failover
+// transparency the backend seam exists to provide.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osprey/core/fault.h"
+#include "osprey/db/dump.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/json/json.h"
+#include "osprey/me/sampler.h"
+#include "osprey/me/task_runners.h"
+#include "osprey/net/network.h"
+#include "osprey/obs/telemetry.h"
+#include "osprey/pool/sim_pool.h"
+#include "osprey/shard/cluster.h"
+#include "osprey/shard/key.h"
+#include "osprey/shard/router.h"
+#include "osprey/sim/sim.h"
+
+namespace osprey::shard {
+namespace {
+
+constexpr std::array<WorkType, 3> kWorkTypes = {10, 11, 12};
+constexpr int kTasksPerType = 250;  // 750 across the campaign
+constexpr int kTotalTasks = kTasksPerType * 3;
+constexpr int kWorkers = 11;  // per pool; one pool per work type in phase 1
+constexpr double kMedianRuntime = 18.0;
+constexpr double kRuntimeSigma = 0.3;
+constexpr double kCutTime = 100.0;
+constexpr double kPumpEvery = 2.0;
+constexpr ShardId kFailShard = 1;  // owns work type 10 (10 % 3)
+
+/// Everything the sharded failover determinism check compares.
+struct ShardFailoverOutcome {
+  bool promoted = false;
+  std::string new_leader;
+  std::uint64_t old_epoch = 0;
+  std::uint64_t new_epoch = 0;
+  std::array<std::uint64_t, 3> survivor_epochs = {0, 0, 0};
+  std::uint64_t phase1_completed = 0;  // on the failing shard, pre-cut
+  std::uint64_t phase2_completed = 0;  // on the failing shard, post-promote
+  std::uint64_t other_completed = 0;   // shards that never failed over
+  std::uint64_t other_completed_at_cut = 0;
+  std::size_t requeued = 0;
+  std::uint64_t fenced_writes = 0;
+  std::int64_t db_complete = 0;
+  std::int64_t db_queued = 0;
+  std::int64_t db_running = 0;
+  std::array<std::string, 3> shard_dumps;  // per-shard promoted/leader state
+  std::string fault_report;
+};
+
+ShardFailoverOutcome run_sharded_campaign(std::uint64_t master_seed) {
+  ShardFailoverOutcome outcome;
+  SeedSequence seeds(master_seed);
+
+  sim::Simulation sim;
+  net::Network network = net::Network::testbed();
+  FaultRegistry faults(sim, seeds.next());
+  network.set_fault_registry(&faults);
+
+  // Work type t owns shard t % 3: one work type per shard, deterministic.
+  ShardClusterConfig config;
+  config.spec.shard_count = 3;
+  config.spec.scheme = ShardScheme::kRange;
+  config.spec.range_width = 1;
+  config.repl.ship_retry = RetryPolicy::immediate(6);
+  config.repl.seed = seeds.next();
+  ShardCluster cluster(sim, network, config);
+  cluster.set_fault_registry(&faults);
+  faults.set_probability(fault_point::repl_ship_drop(), 0.10);
+
+  const char* sites[] = {"bebop", "theta", "midway2"};
+  for (ShardId s = 0; s < 3; ++s) {
+    EXPECT_TRUE(cluster
+                    .create_leader(s, "lead" + std::to_string(s), sites[s])
+                    .ok());
+    EXPECT_TRUE(cluster
+                    .add_follower(s, "follow" + std::to_string(s),
+                                  sites[(s + 1) % 3])
+                    .ok());
+  }
+  ShardRouter router(cluster);
+
+  // The replication daemon: one recurring pump fanning out to all shards.
+  std::function<void()> pump_tick = [&] {
+    (void)cluster.pump_all();
+    sim.schedule_at(sim.now() + kPumpEvery, pump_tick);
+  };
+  sim.schedule_at(kPumpEvery, pump_tick);
+
+  // Submit the campaign: 250 tasks of each work type, routed by key.
+  Rng sample_rng(seeds.next());
+  auto samples =
+      me::uniform_samples(sample_rng, kTotalTasks, 4, -32.768, 32.768);
+  for (int i = 0; i < kTotalTasks; ++i) {
+    const WorkType type = kWorkTypes[i % 3];
+    Result<TaskId> id =
+        router.submit_task("sharded", type, json::array_of(samples[i]).dump());
+    EXPECT_TRUE(id.ok());
+    if (id.ok()) {
+      EXPECT_EQ(shard_of_task(id.value()), router.shard_of(type));
+    }
+  }
+
+  auto make_pool = [&](std::vector<std::unique_ptr<pool::SimWorkerPool>>& into,
+                       const std::string& name, WorkType type,
+                       std::uint64_t seed) {
+    pool::SimPoolConfig c;
+    c.name = name;
+    c.work_type = type;
+    c.num_workers = kWorkers;
+    c.batch_size = kWorkers;
+    c.threshold = 1;
+    c.query_cost = 0.6;
+    c.query_jitter = 0.15;
+    into.push_back(std::make_unique<pool::SimWorkerPool>(
+        sim, router.pool_backend(type), c,
+        me::ackley_sim_runner(kMedianRuntime, kRuntimeSigma), seed));
+    EXPECT_TRUE(into.back()->start().is_ok());
+  };
+
+  // Phase 1: one pool per work type, each claiming through the router.
+  std::uint64_t pool_seeds[4] = {seeds.next(), seeds.next(), seeds.next(),
+                                 seeds.next()};
+  std::vector<std::unique_ptr<pool::SimWorkerPool>> fail_shard_pools;
+  std::vector<std::unique_ptr<pool::SimWorkerPool>> other_pools;
+  for (int i = 0; i < 3; ++i) {
+    const WorkType type = kWorkTypes[i];
+    auto& into =
+        router.shard_of(type) == kFailShard ? fail_shard_pools : other_pools;
+    make_pool(into, "shard_pool_" + std::to_string(type), type, pool_seeds[i]);
+  }
+
+  // Any live follower of the failing shard at its leader head means no
+  // acknowledged commit is lost in the failover.
+  auto caught_up = [&] {
+    repl::ReplicationGroup& g = cluster.group(kFailShard);
+    const db::wal::Lsn head = g.leader_lsn();
+    for (const std::string& id : g.follower_ids()) {
+      repl::ReplicaNode* f = g.node(id);
+      if (f && f->alive() && f->applied_lsn() == head) return true;
+    }
+    return false;
+  };
+
+  // The cut: shard 1's resource dies whole — its pool, then its leader.
+  // The two other shards' pools never stop.
+  std::vector<std::unique_ptr<pool::SimWorkerPool>> phase2_pools;
+  sim.schedule_at(kCutTime, [&] {
+    for (auto& p : other_pools) {
+      outcome.other_completed_at_cut += p->tasks_completed();
+    }
+    for (auto& p : fail_shard_pools) p->crash();
+    repl::ReplicationGroup& g = cluster.group(kFailShard);
+    for (int i = 0; i < 64 && !caught_up(); ++i) {
+      EXPECT_TRUE(g.pump().ok());
+    }
+    EXPECT_TRUE(caught_up());
+    outcome.old_epoch = cluster.epoch(kFailShard);
+    EXPECT_TRUE(g.kill("lead" + std::to_string(kFailShard)).is_ok());
+
+    Result<std::string> promoted = cluster.promote(kFailShard);
+    EXPECT_TRUE(promoted.ok());
+    if (!promoted.ok()) return;
+    outcome.promoted = true;
+    outcome.new_leader = promoted.value();
+    outcome.new_epoch = cluster.epoch(kFailShard);
+
+    // Requeue the leases that died with the phase-1 pool, on the promoted
+    // leader, then relaunch capacity through the same router backend — no
+    // new connection, the router re-resolves the leader per operation.
+    Result<std::unique_ptr<eqsql::EQSQL>> api = g.leader()->connect();
+    EXPECT_TRUE(api.ok());
+    if (!api.ok()) return;
+    Result<std::size_t> requeued = api.value()->requeue_running_tasks();
+    EXPECT_TRUE(requeued.ok());
+    if (requeued.ok()) outcome.requeued = requeued.value();
+    make_pool(phase2_pools, "shard_pool_relaunch", kWorkTypes[0],
+              pool_seeds[3]);
+  });
+
+  sim.run_until(3000.0);
+
+  // --- collect ---------------------------------------------------------------
+  for (const auto& p : fail_shard_pools) {
+    outcome.phase1_completed += p->tasks_completed();
+  }
+  for (const auto& p : phase2_pools) {
+    outcome.phase2_completed += p->tasks_completed();
+  }
+  for (const auto& p : other_pools) {
+    outcome.other_completed += p->tasks_completed();
+  }
+  for (ShardId s = 0; s < 3; ++s) {
+    outcome.survivor_epochs[s] = cluster.epoch(s);
+  }
+
+  Result<eqsql::QueueStats> stats = router.stats();
+  EXPECT_TRUE(stats.ok());
+  if (stats.ok()) {
+    outcome.db_complete = stats.value().complete;
+    outcome.db_queued = stats.value().queued;
+    outcome.db_running = stats.value().running;
+  }
+
+  // A straggler from shard 1's deposed resource reports a long-lost result
+  // stamped with the epoch it still believes in: fenced. A current-epoch
+  // re-report dies on the exactly-once guard instead.
+  Result<std::vector<eqsql::TaskHandle>> probe =
+      router.try_query_tasks(kWorkTypes[0], 1);
+  EXPECT_TRUE(probe.ok() && probe.value().empty());  // fully drained
+  const TaskId straggler = global_task_id(1, kFailShard);
+  Status late = router.report_task_at_epoch(outcome.old_epoch, straggler,
+                                            kWorkTypes[0], "{\"y\":0}");
+  EXPECT_EQ(late.error().code, ErrorCode::kConflict);
+  outcome.fenced_writes = router.fenced_writes();
+  Status re_report = router.report_task(straggler, kWorkTypes[0], "{\"y\":0}");
+  EXPECT_EQ(re_report.error().code, ErrorCode::kConflict);
+
+  // Converge every shard's follower and snapshot the leaders.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(cluster.pump_all().ok());
+  }
+  for (ShardId s = 0; s < 3; ++s) {
+    outcome.shard_dumps[s] =
+        db::dump_database(cluster.group(s).leader()->database()).dump();
+  }
+  outcome.fault_report = faults.report();
+  return outcome;
+}
+
+TEST(ShardChaosTest, SingleShardFailoverExactlyOnceWhileOthersProgress) {
+  ShardFailoverOutcome o = run_sharded_campaign(58008);
+
+  ASSERT_TRUE(o.promoted);
+  EXPECT_EQ(o.new_leader, "follow1");
+  EXPECT_EQ(o.new_epoch, o.old_epoch + 1);
+  // Only the failing shard changed epoch: failure isolation.
+  EXPECT_EQ(o.survivor_epochs[0], 1u);
+  EXPECT_EQ(o.survivor_epochs[kFailShard], 2u);
+  EXPECT_EQ(o.survivor_epochs[2], 1u);
+  // The cut was genuinely mid-flight on the failing shard...
+  EXPECT_GT(o.phase1_completed, 0u);
+  EXPECT_LT(o.phase1_completed, static_cast<std::uint64_t>(kTasksPerType));
+  // ...so its pool's claimed tasks lost their leases.
+  EXPECT_GT(o.requeued, 0u);
+  // The other shards kept completing through the failover window.
+  EXPECT_GT(o.other_completed_at_cut, 0u);
+  EXPECT_GT(o.other_completed, o.other_completed_at_cut);
+  EXPECT_EQ(o.other_completed, static_cast<std::uint64_t>(2 * kTasksPerType));
+  // Every one of the 750 tasks completed exactly once across the cluster.
+  EXPECT_EQ(o.db_complete, kTotalTasks);
+  EXPECT_EQ(o.db_queued, 0);
+  EXPECT_EQ(o.db_running, 0);
+  EXPECT_EQ(o.phase1_completed + o.phase2_completed,
+            static_cast<std::uint64_t>(kTasksPerType));
+  // The deposed resource's straggler write was epoch-fenced.
+  EXPECT_GE(o.fenced_writes, 1u);
+  for (const std::string& dump : o.shard_dumps) EXPECT_FALSE(dump.empty());
+}
+
+TEST(ShardChaosTest, ShardedCampaignReplaysBitIdentically) {
+  ShardFailoverOutcome a = run_sharded_campaign(90210);
+  ShardFailoverOutcome b = run_sharded_campaign(90210);
+
+  ASSERT_TRUE(a.promoted);
+  ASSERT_TRUE(b.promoted);
+  EXPECT_EQ(a.new_leader, b.new_leader);
+  EXPECT_EQ(a.phase1_completed, b.phase1_completed);
+  EXPECT_EQ(a.phase2_completed, b.phase2_completed);
+  EXPECT_EQ(a.other_completed, b.other_completed);
+  EXPECT_EQ(a.requeued, b.requeued);
+  EXPECT_EQ(a.db_complete, b.db_complete);
+  // Every shard's fully-drained database, byte for byte.
+  for (ShardId s = 0; s < 3; ++s) {
+    EXPECT_EQ(a.shard_dumps[s], b.shard_dumps[s]);
+  }
+  EXPECT_EQ(a.fault_report, b.fault_report);
+}
+
+TEST(ShardChaosTest, ShardedFailoverIsVisibleInTelemetry) {
+  obs::ScopedTelemetry scoped;
+  ShardFailoverOutcome o = run_sharded_campaign(58008);
+  ASSERT_TRUE(o.promoted);
+
+  obs::MetricsSnapshot snap = obs::telemetry().metrics.snapshot();
+  // Exactly one failover cluster-wide, and the per-shard epoch gauges show
+  // which shard it was.
+  EXPECT_EQ(snap.counter_value("osprey_repl_failovers_total"), 1u);
+  EXPECT_EQ(snap.gauge_value("osprey_shard_epoch", {{"shard", "1"}}), 2.0);
+  EXPECT_EQ(snap.gauge_value("osprey_shard_epoch", {{"shard", "0"}}), 1.0);
+  EXPECT_EQ(snap.gauge_value("osprey_shard_epoch", {{"shard", "2"}}), 1.0);
+  // The campaign drained: every shard's queue depth gauge reads zero.
+  for (const char* shard : {"0", "1", "2"}) {
+    EXPECT_EQ(
+        snap.gauge_value("osprey_shard_queue_depth", {{"shard", shard}}), 0.0);
+  }
+  // The straggler fence and the router's scatter plane were exercised.
+  EXPECT_GE(snap.counter_value("osprey_shard_fenced_writes_total"), 1u);
+  EXPECT_GT(snap.counter_value("osprey_shard_scatter_total"), 0u);
+}
+
+}  // namespace
+}  // namespace osprey::shard
