@@ -30,6 +30,7 @@ CPP_GUARDED = [
     "src/osprey/shard/key.h",
     "src/osprey/shard/cluster.h",
     "src/osprey/shard/router.h",
+    "src/osprey/storage/engine.h",
 ]
 C_GUARDED = "src/osprey/capi/osprey_c.h"
 

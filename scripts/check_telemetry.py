@@ -95,7 +95,62 @@ def check_metrics(path):
 
     print(f"check_telemetry: {path}: {len(samples)} samples, "
           f"{len(types)} families, {len(buckets)} histogram series OK")
-    return samples
+    return samples, types
+
+
+# Storage-engine families (src/osprey/storage/engine.cpp) and the label
+# shape each must carry. Validated whenever the export contains any
+# osprey_storage_* sample — a quickstart run with the engine enabled must
+# export the full set, with the right metric types and labels.
+STORAGE_FAMILIES = {
+    "osprey_storage_memtable_bytes": ("gauge", {"table"}),
+    "osprey_storage_runs": ("gauge", {"table", "level"}),
+    "osprey_storage_flushes_total": ("counter", {"table"}),
+    "osprey_storage_compactions_total": ("counter", {"table"}),
+    "osprey_storage_cache_hits_total": ("counter", set()),
+    "osprey_storage_cache_misses_total": ("counter", set()),
+    "osprey_storage_read_errors_total": ("counter", set()),
+    "osprey_storage_flush_bytes": ("histogram", set()),
+    "osprey_storage_compaction_bytes": ("histogram", set()),
+}
+
+
+def check_storage(samples, types):
+    present = [s for s in samples if s[0].startswith("osprey_storage_")]
+    if not present:
+        return
+    for family, (kind, required_labels) in STORAGE_FAMILIES.items():
+        if types.get(family) != kind:
+            fail(f"storage family {family} missing or not a {kind} "
+                 f"(got {types.get(family)!r})")
+        for name, labels, _ in samples:
+            if base_family(name) != family:
+                continue
+            missing = required_labels - set(labels) - {"le"}
+            if missing:
+                fail(f"storage sample {name}{labels} missing labels "
+                     f"{sorted(missing)}")
+
+    def total(family):
+        return sum(v for name, _, v in samples if name == family)
+
+    # Histogram observation counts must agree with the counters recorded on
+    # the same code paths: one flush_bytes observation per successful flush;
+    # compactions whose merge came up empty write no output, so they count
+    # without an observation.
+    flushes = total("osprey_storage_flushes_total")
+    flush_obs = total("osprey_storage_flush_bytes_count")
+    if flushes != flush_obs:
+        fail(f"storage: {flushes:.0f} flushes but {flush_obs:.0f} "
+             f"flush_bytes observations")
+    compactions = total("osprey_storage_compactions_total")
+    compaction_obs = total("osprey_storage_compaction_bytes_count")
+    if compaction_obs > compactions:
+        fail(f"storage: {compaction_obs:.0f} compaction_bytes observations "
+             f"exceed {compactions:.0f} compactions")
+    print(f"check_telemetry: storage engine families OK "
+          f"({len(present)} samples, {flushes:.0f} flushes, "
+          f"{compactions:.0f} compactions)")
 
 
 def check_trace(path):
@@ -142,7 +197,8 @@ def main():
         print(__doc__, file=sys.stderr)
         sys.exit(2)
     directory = sys.argv[1].rstrip("/")
-    samples = check_metrics(f"{directory}/metrics.prom")
+    samples, types = check_metrics(f"{directory}/metrics.prom")
+    check_storage(samples, types)
     run_spans = check_trace(f"{directory}/trace.json")
 
     reported = sum(v for name, _, v in samples

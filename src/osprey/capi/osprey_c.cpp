@@ -1,11 +1,16 @@
 #include "osprey/capi/osprey_c.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "osprey/eqsql/service.h"
 #include "osprey/shard/key.h"
+#include "osprey/storage/engine.h"
 
 using osprey::ErrorCode;
 using osprey::Status;
@@ -17,6 +22,9 @@ using osprey::Status;
 struct osprey_service {
   osprey::RealClock clock;
   osprey::shard::ShardSpec spec;
+  /* Declared before shards: each shard's storage engine (when enabled)
+   * holds a reference to its device, so the devices must outlive them. */
+  std::vector<std::unique_ptr<osprey::db::wal::LogDevice>> devices;
   std::vector<std::unique_ptr<osprey::eqsql::EmewsService>> shards;
   bool started = false;
 };
@@ -133,7 +141,9 @@ int osprey_service_configure_shards(osprey_service* service,
   if (scheme != OSPREY_SHARD_HASH && scheme != OSPREY_SHARD_RANGE) {
     return OSPREY_E_INVALID_ARGUMENT;
   }
-  if (service->started) return OSPREY_E_CONFLICT;
+  /* Resharding would orphan the per-shard storage devices; storage is
+   * wired to a specific shard layout, so configure shards first. */
+  if (service->started || !service->devices.empty()) return OSPREY_E_CONFLICT;
   service->spec.shard_count = shard_count;
   service->spec.key = key_kind == OSPREY_SHARD_KEY_EXP_ID
                           ? shard::ShardKeyKind::kExpId
@@ -196,6 +206,90 @@ int osprey_service_enable_notifications(osprey_service* service) {
     Status enabled = s->enable_notifications();
     if (!enabled.is_ok()) return to_c_error(enabled.code());
   }
+  return OSPREY_OK;
+}
+
+void osprey_storage_options_init(osprey_storage_options* options) {
+  if (!options) return;
+  const osprey::storage::StorageOptions defaults;
+  options->memtable_bytes = defaults.memtable_bytes;
+  options->block_bytes = defaults.block_bytes;
+  options->cache_blocks = defaults.cache_blocks;
+  options->compact_fanout = defaults.compact_fanout;
+  options->bloom_bits_per_key = defaults.bloom_bits_per_key;
+}
+
+int osprey_service_enable_storage(osprey_service* service,
+                                  const char* directory,
+                                  const osprey_storage_options* options) {
+  if (!service) return OSPREY_E_INVALID_ARGUMENT;
+  if (service->started || !service->devices.empty()) return OSPREY_E_CONFLICT;
+
+  osprey::storage::StorageOptions opts;
+  if (options) {
+    opts.memtable_bytes = options->memtable_bytes;
+    opts.block_bytes = options->block_bytes;
+    opts.cache_blocks = options->cache_blocks;
+    opts.compact_fanout = options->compact_fanout;
+    opts.bloom_bits_per_key = options->bloom_bits_per_key;
+  }
+
+  if (directory) {
+    if (mkdir(directory, 0755) != 0 && errno != EEXIST) {
+      return OSPREY_E_UNAVAILABLE;
+    }
+  }
+  for (size_t s = 0; s < service->shards.size(); ++s) {
+    std::unique_ptr<osprey::db::wal::LogDevice> device;
+    if (directory) {
+      std::string dir = directory;
+      if (service->shards.size() > 1) {
+        dir += "/shard-" + std::to_string(s);
+        if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+          return OSPREY_E_UNAVAILABLE;
+        }
+      }
+      device = std::make_unique<osprey::db::wal::FileLogDevice>(dir);
+    } else {
+      device = std::make_unique<osprey::db::wal::SimLogDevice>(
+          std::make_shared<osprey::db::wal::SimDisk>());
+    }
+    /* Park the device in the service before handing out a reference: the
+     * engine keeps it for the shard's lifetime, success or not. */
+    service->devices.push_back(std::move(device));
+    Status enabled =
+        service->shards[s]->enable_storage(*service->devices.back(), opts);
+    if (!enabled.is_ok()) return to_c_error(enabled.code());
+  }
+  return OSPREY_OK;
+}
+
+int osprey_storage_stats_snapshot(const osprey_service* service,
+                                  osprey_storage_stats* stats_out) {
+  if (!service || !stats_out) return OSPREY_E_INVALID_ARGUMENT;
+  osprey_storage_stats total{};
+  bool any = false;
+  /* stats() is logically const but declared on the mutable engine handle. */
+  for (auto& shard_service : const_cast<osprey_service*>(service)->shards) {
+    osprey::storage::StorageEngine* engine = shard_service->storage();
+    if (!engine) continue;
+    any = true;
+    const osprey::storage::StorageStats stats = engine->stats();
+    total.memtable_bytes += stats.memtable_bytes;
+    total.memtable_rows += stats.memtable_rows;
+    total.spilled_rows += stats.spilled_rows;
+    total.runs += stats.runs;
+    total.run_bytes += stats.run_bytes;
+    total.zombie_runs += stats.zombie_runs;
+    total.flushes += stats.flushes;
+    total.flush_failures += stats.flush_failures;
+    total.compactions += stats.compactions;
+    total.cache_hits += stats.cache_hits;
+    total.cache_misses += stats.cache_misses;
+    total.read_errors += stats.read_errors;
+  }
+  if (!any) return OSPREY_E_UNAVAILABLE;
+  *stats_out = total;
   return OSPREY_OK;
 }
 

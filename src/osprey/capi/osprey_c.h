@@ -135,6 +135,57 @@ int osprey_shard_of(const osprey_service* service, int eq_type,
 int osprey_shard_of_task(const osprey_service* service, int64_t task_id,
                          uint32_t* shard_out);
 
+/* --- LSM storage engine (DESIGN.md §5.12) -------------------------------- */
+
+/* Engine knobs: mirrors osprey::storage::StorageOptions. Initialize with
+ * osprey_storage_options_init to pick up defaults, then override fields. */
+typedef struct osprey_storage_options {
+  uint64_t memtable_bytes;     /* rotate + flush past this many bytes */
+  uint64_t block_bytes;        /* encoded run block size (cache unit) */
+  uint64_t cache_blocks;       /* decoded-block cache capacity, in blocks */
+  uint32_t compact_fanout;     /* runs per level before compaction; 0 = off */
+  uint32_t bloom_bits_per_key; /* bloom budget per run entry; 0 = off */
+} osprey_storage_options;
+
+/* Fill *options with the library defaults (256 KiB memtable, 16 KiB
+ * blocks, 256 cached blocks, fanout 4, 10 bloom bits per key). */
+void osprey_storage_options_init(osprey_storage_options* options);
+
+/* Aggregate engine counters: mirrors osprey::storage::StorageStats. */
+typedef struct osprey_storage_stats {
+  uint64_t memtable_bytes; /* active + immutable, all tables */
+  uint64_t memtable_rows;
+  uint64_t spilled_rows;   /* live rows resident only in sorted runs */
+  uint64_t runs;
+  uint64_t run_bytes;
+  uint64_t zombie_runs;    /* compacted away, still manifest-pinned */
+  uint64_t flushes;
+  uint64_t flush_failures;
+  uint64_t compactions;
+  uint64_t cache_hits;
+  uint64_t cache_misses;
+  uint64_t read_errors;
+} osprey_storage_stats;
+
+/* Back every shard's task database with the LSM storage engine: rows past
+ * the memtable budget spill to immutable sorted runs, read back through a
+ * bloom-filtered block cache. With a non-NULL `directory` the runs live in
+ * real files there (created if missing; one shard-<i> subdirectory per
+ * shard when sharded); with NULL they live on an in-process simulated
+ * device. `options` may be NULL for the defaults. Call after
+ * osprey_service_configure_shards and before osprey_service_start;
+ * OSPREY_E_CONFLICT if the service is started or the engine is already
+ * enabled. A failure other than OSPREY_E_CONFLICT leaves the service
+ * partially configured — destroy it. */
+int osprey_service_enable_storage(osprey_service* service,
+                                  const char* directory,
+                                  const osprey_storage_options* options);
+
+/* Storage counters summed across shards. OSPREY_E_UNAVAILABLE when the
+ * engine was never enabled. */
+int osprey_storage_stats_snapshot(const osprey_service* service,
+                                  osprey_storage_stats* stats_out);
+
 /* --- client connections ------------------------------------------------- */
 
 /* Connect a client API handle to a running service. NULL on failure. */

@@ -161,6 +161,16 @@ inline const char* wal_crash_after_sync() { return "wal.crash_after_sync"; }
 /// survives to the medium, leaving a torn tail for recovery to truncate.
 inline const char* wal_torn_tail() { return "wal.torn_tail"; }
 
+// Storage-engine faults (osprey::storage). The engine consults these at the
+// entry of its own multi-segment operations; the wal.* device faults above
+// additionally apply to every run write, since runs live on the same
+// LogDevice as the log.
+/// A memtable flush fails before any run bytes are written (the immutable
+/// memtable is retained and retried).
+inline const char* storage_flush_fail() { return "storage.flush.fail"; }
+/// A compaction aborts before its output run is written (inputs intact).
+inline const char* storage_compact_fail() { return "storage.compact.fail"; }
+
 // Replication-plane faults (osprey::repl). The shipper consults these per
 // ship batch, modelling the ways a log-shipping channel misbehaves; the
 // applier's LSN discipline must make each of them harmless.

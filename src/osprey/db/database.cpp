@@ -47,7 +47,8 @@ Result<Table*> Database::create_table(const std::string& name, Schema schema) {
   if (tables_.count(name)) {
     return Error(ErrorCode::kConflict, "table '" + name + "' already exists");
   }
-  auto table = std::make_unique<Table>(name, std::move(schema));
+  auto table = std::make_unique<Table>(
+      name, std::move(schema), store_factory_ ? store_factory_(name) : nullptr);
   if (observer_) {
     Status logged = observer_->on_create_table(*table);
     if (!logged.is_ok()) return logged.error();
@@ -79,6 +80,11 @@ Status Database::drop_table(const std::string& name) {
 void Database::set_commit_observer(CommitObserver* observer) {
   std::lock_guard<std::recursive_mutex> guard(mutex_);
   observer_ = observer;
+}
+
+void Database::set_store_factory(StoreFactory factory) {
+  std::lock_guard<std::recursive_mutex> guard(mutex_);
+  store_factory_ = std::move(factory);
 }
 
 bool Database::in_transaction() const {

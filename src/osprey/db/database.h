@@ -9,6 +9,7 @@
 // the moral equivalent of Postgres's serialized transactions at our scale.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -103,6 +104,14 @@ class Database {
   void set_commit_observer(CommitObserver* observer);
   CommitObserver* commit_observer() const { return observer_; }
 
+  /// Row-store factory applied to tables created from here on (the storage
+  /// engine seam, DESIGN.md §5.12). Returning nullptr from the factory — or
+  /// never installing one — selects the default in-memory MemStore. The
+  /// factory's backing engine must outlive every table it built a store for.
+  using StoreFactory =
+      std::function<std::unique_ptr<storage::RowStore>(const std::string&)>;
+  void set_store_factory(StoreFactory factory);
+
   /// True while a Transaction is open (its undo journal is attached). Used
   /// by the SQL layer to decide whether a standalone DML statement must wrap
   /// itself in an implicit transaction.
@@ -122,6 +131,7 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>> tables_;
   mutable std::recursive_mutex mutex_;
   CommitObserver* observer_ = nullptr;
+  StoreFactory store_factory_;
   bool journal_attached_ = false;
 };
 

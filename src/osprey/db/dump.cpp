@@ -13,6 +13,24 @@ namespace osprey::db {
 
 namespace {
 
+const char* type_tag(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt: return "int";
+    case ColumnType::kReal: return "real";
+    case ColumnType::kText: return "text";
+  }
+  return "?";
+}
+
+Result<ColumnType> parse_type_tag(const std::string& tag) {
+  if (tag == "int") return ColumnType::kInt;
+  if (tag == "real") return ColumnType::kReal;
+  if (tag == "text") return ColumnType::kText;
+  return Error(ErrorCode::kInvalidArgument, "unknown column type '" + tag + "'");
+}
+
+}  // namespace
+
 json::Value value_to_json(const Value& v) {
   if (v.is_null()) return json::Value(nullptr);
   if (v.is_int()) return json::Value(v.as_int());
@@ -35,24 +53,6 @@ Result<Value> json_to_value(const json::Value& v, ColumnType type) {
   }
   return Error(ErrorCode::kInvalidArgument, "snapshot cell type mismatch");
 }
-
-const char* type_tag(ColumnType t) {
-  switch (t) {
-    case ColumnType::kInt: return "int";
-    case ColumnType::kReal: return "real";
-    case ColumnType::kText: return "text";
-  }
-  return "?";
-}
-
-Result<ColumnType> parse_type_tag(const std::string& tag) {
-  if (tag == "int") return ColumnType::kInt;
-  if (tag == "real") return ColumnType::kReal;
-  if (tag == "text") return ColumnType::kText;
-  return Error(ErrorCode::kInvalidArgument, "unknown column type '" + tag + "'");
-}
-
-}  // namespace
 
 json::Value schema_to_json(const Schema& schema) {
   json::Array columns;

@@ -26,6 +26,12 @@ json::Value dump_database(const Database& db);
 json::Value schema_to_json(const Schema& schema);
 Result<Schema> schema_from_json(const json::Value& columns);
 
+/// Cell <-> JSON (one element of a snapshot "rows" entry). Shared with the
+/// storage engine's checkpoint manifests (storage/manifest.h), which embed
+/// memtable images and spilled index entries in the same encoding.
+json::Value value_to_json(const Value& v);
+Result<Value> json_to_value(const json::Value& v, ColumnType type);
+
 /// Recreate tables into an empty database from a dump. Fails with
 /// kInvalidArgument on malformed documents and kConflict when a table
 /// already exists.

@@ -5,8 +5,12 @@
 
 namespace osprey::db {
 
-Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {
+Table::Table(std::string name, Schema schema,
+             std::unique_ptr<storage::RowStore> store)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      store_(store ? std::move(store)
+                   : std::make_unique<storage::MemStore>()) {
   // The primary key is always indexed: task-id lookups are the hot path of
   // the EMEWS DB (§IV-C).
   if (schema_.primary_key_index() >= 0) {
@@ -15,6 +19,14 @@ Table::Table(std::string name, Schema schema)
             .name,
         IndexMap{});
   }
+}
+
+const Row& Table::fetch_row(RowId id, Row* scratch) const {
+  if (const Row* resident = store_->get_ref(id)) return *resident;
+  std::optional<Row> row = store_->get(id);
+  assert(row && "fetch_row on absent id");
+  *scratch = std::move(*row);
+  return *scratch;
 }
 
 Status Table::create_index(const std::string& column) {
@@ -29,9 +41,10 @@ Status Table::create_index(const std::string& column) {
     if (!logged.is_ok()) return logged;
   }
   IndexMap index;
-  for (const auto& [id, row] : rows_) {
+  store_->scan([&](RowId id, const Row& row) {
     index.emplace(row[static_cast<std::size_t>(idx)], id);
-  }
+    return Status::ok();
+  });
   indexes_.emplace(column, std::move(index));
   return Status::ok();
 }
@@ -45,6 +58,26 @@ std::vector<std::string> Table::indexed_columns() const {
   names.reserve(indexes_.size());
   for (const auto& [column, _] : indexes_) names.push_back(column);
   return names;
+}
+
+void Table::for_each_index_entry(
+    const std::string& column,
+    const std::function<void(const Value&, RowId)>& fn) const {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) return;
+  for (const auto& [value, id] : it->second) fn(value, id);
+}
+
+Status Table::restore_index_entry(const std::string& column, const Value& value,
+                                  RowId id) {
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "no index on '" + column + "' in table '" + name_ + "'");
+  }
+  it->second.emplace(value, id);
+  if (id >= next_row_id_) next_row_id_ = id + 1;
+  return Status::ok();
 }
 
 void Table::index_insert(const Row& row, RowId id) {
@@ -93,18 +126,14 @@ Result<RowId> Table::insert(Row row) {
   if (!unique.is_ok()) return unique.error();
   RowId id = next_row_id_++;
   index_insert(row, id);
-  rows_.emplace(id, std::move(row));
+  store_->put(id, std::move(row));
   if (journal_) {
     journal_->push_back({UndoRecord::Kind::kInsert, name_, id, Row{}});
   }
   return id;
 }
 
-std::optional<Row> Table::get(RowId id) const {
-  auto it = rows_.find(id);
-  if (it == rows_.end()) return std::nullopt;
-  return it->second;
-}
+std::optional<Row> Table::get(RowId id) const { return store_->get(id); }
 
 std::optional<RowId> Table::find_pk(const Value& key) const {
   int pk = schema_.primary_key_index();
@@ -160,9 +189,10 @@ Result<std::vector<RowId>> Table::select_ordered_via_index(
   auto emit_group = [&](IndexMap::const_iterator begin,
                         IndexMap::const_iterator end) -> Status {
     std::vector<RowId> group;
+    Row scratch;
     for (auto it = begin; it != end; ++it) {
-      const Row& row = rows_.at(it->second);
       if (options.where) {
+        const Row& row = fetch_row(it->second, &scratch);
         bool match =
             eval_predicate(*options.where, schema_, row, options.params,
                            &row_err);
@@ -222,9 +252,10 @@ Result<std::vector<RowId>> Table::select(const ScanOptions& options) const {
   if (!cand.ok()) return cand;
   std::vector<RowId> ids;
   ids.reserve(cand.value().size());
+  Row scratch;
   for (RowId id : cand.value()) {
-    const Row& row = rows_.at(id);
     if (options.where) {
+      const Row& row = fetch_row(id, &scratch);
       // Eval errors (bad column, missing param) are real errors, not "false".
       Error row_err{ErrorCode::kOk, ""};
       bool match =
@@ -265,9 +296,19 @@ Status Table::order_rows(std::vector<RowId>& ids,
     }
     col_indexes.push_back(idx);
   }
+  // Pin each sorted row once: a spilled row is read from its run a single
+  // time, not once per comparison. std::map nodes keep references stable
+  // while the pin set grows mid-sort.
+  std::map<RowId, Row> pinned;
+  auto row_of = [&](RowId id) -> const Row& {
+    if (const Row* resident = store_->get_ref(id)) return *resident;
+    auto it = pinned.find(id);
+    if (it == pinned.end()) it = pinned.emplace(id, *store_->get(id)).first;
+    return it->second;
+  };
   std::stable_sort(ids.begin(), ids.end(), [&](RowId a, RowId b) {
-    const Row& ra = rows_.at(a);
-    const Row& rb = rows_.at(b);
+    const Row& ra = row_of(a);
+    const Row& rb = row_of(b);
     for (std::size_t t = 0; t < order_by.size(); ++t) {
       std::size_t ci = static_cast<std::size_t>(col_indexes[t]);
       int c = ra[ci].compare(rb[ci]);
@@ -297,7 +338,7 @@ Result<std::size_t> Table::update(
 
   std::size_t updated = 0;
   for (RowId id : matches.value()) {
-    Row old_row = rows_.at(id);
+    Row old_row = *store_->get(id);
     Row new_row = old_row;
     for (std::size_t a = 0; a < assignments.size(); ++a) {
       Result<Value> v =
@@ -311,7 +352,7 @@ Result<std::size_t> Table::update(
     if (!unique.is_ok()) return unique.error();
     index_erase(old_row, id);
     index_insert(new_row, id);
-    rows_[id] = std::move(new_row);
+    store_->put(id, std::move(new_row));
     if (journal_) {
       journal_->push_back(
           {UndoRecord::Kind::kUpdate, name_, id, std::move(old_row)});
@@ -322,8 +363,8 @@ Result<std::size_t> Table::update(
 }
 
 Status Table::update_row(RowId id, Row row) {
-  auto it = rows_.find(id);
-  if (it == rows_.end()) {
+  std::optional<Row> old_row = store_->get(id);
+  if (!old_row) {
     return Status(ErrorCode::kNotFound,
                   "row " + std::to_string(id) + " not in table '" + name_ + "'");
   }
@@ -331,13 +372,13 @@ Status Table::update_row(RowId id, Row row) {
   if (!valid.is_ok()) return valid;
   Status unique = check_pk_unique(row, id);
   if (!unique.is_ok()) return unique;
-  index_erase(it->second, id);
+  index_erase(*old_row, id);
   index_insert(row, id);
+  store_->put(id, std::move(row));
   if (journal_) {
     journal_->push_back(
-        {UndoRecord::Kind::kUpdate, name_, id, std::move(it->second)});
+        {UndoRecord::Kind::kUpdate, name_, id, std::move(*old_row)});
   }
-  it->second = std::move(row);
   return Status::ok();
 }
 
@@ -351,45 +392,41 @@ Result<std::size_t> Table::erase(const ScanOptions& options) {
 }
 
 bool Table::erase_row(RowId id) {
-  auto it = rows_.find(id);
-  if (it == rows_.end()) return false;
-  index_erase(it->second, id);
+  std::optional<Row> old_row = store_->get(id);
+  if (!old_row) return false;
+  index_erase(*old_row, id);
   if (journal_) {
     journal_->push_back(
-        {UndoRecord::Kind::kDelete, name_, id, std::move(it->second)});
+        {UndoRecord::Kind::kDelete, name_, id, std::move(*old_row)});
   }
-  rows_.erase(it);
+  store_->erase(id);
   return true;
 }
 
 void Table::clear() {
   if (journal_) {
-    for (auto& [id, row] : rows_) {
+    store_->scan([&](RowId id, const Row& row) {
       journal_->push_back({UndoRecord::Kind::kDelete, name_, id, row});
-    }
+      return Status::ok();
+    });
   }
-  rows_.clear();
+  store_->clear();
   for (auto& [column, index] : indexes_) {
     index.clear();
   }
 }
 
-std::vector<RowId> Table::all_row_ids() const {
-  std::vector<RowId> ids;
-  ids.reserve(rows_.size());
-  for (const auto& [id, _] : rows_) ids.push_back(id);
-  return ids;
-}
+std::vector<RowId> Table::all_row_ids() const { return store_->ids(); }
 
 Status Table::restore_row(RowId id, Row row) {
-  if (rows_.count(id)) {
+  if (store_->contains(id)) {
     return Status(ErrorCode::kConflict,
                   "restore_row: id " + std::to_string(id) + " already present");
   }
   Status valid = schema_.validate(row);
   if (!valid.is_ok()) return valid;
   index_insert(row, id);
-  rows_.emplace(id, std::move(row));
+  store_->put(id, std::move(row));
   if (id >= next_row_id_) next_row_id_ = id + 1;
   return Status::ok();
 }

@@ -5,12 +5,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "osprey/db/expr.h"
 #include "osprey/db/value.h"
+#include "osprey/storage/row_store.h"
 
 namespace osprey::db {
 
@@ -38,11 +40,15 @@ struct UndoRecord {
 
 class Table {
  public:
-  Table(std::string name, Schema schema);
+  /// `store` is the row storage engine; nullptr selects the default
+  /// all-in-memory MemStore (the historical behaviour). Database installs an
+  /// engine-backed store via its store factory (storage/engine.h).
+  Table(std::string name, Schema schema,
+        std::unique_ptr<storage::RowStore> store = nullptr);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  std::size_t row_count() const { return rows_.size(); }
+  std::size_t row_count() const { return store_->size(); }
 
   /// Create a secondary index on `column`. Existing rows are indexed.
   /// When an index hook is installed (by the owning Database, so DDL reaches
@@ -103,6 +109,20 @@ class Table {
   /// snapshot restore with preserved ids).
   Status restore_row(RowId id, Row row);
 
+  /// Manifest support (storage/manifest.*): enumerate one index's (value,
+  /// row id) pairs in index order, and re-insert a single index entry for a
+  /// row whose data lives in a spilled run — checkpoint manifests persist
+  /// index entries of non-resident rows so recovery never reads the runs.
+  void for_each_index_entry(
+      const std::string& column,
+      const std::function<void(const Value&, RowId)>& fn) const;
+  Status restore_index_entry(const std::string& column, const Value& value,
+                             RowId id);
+
+  /// The row storage engine behind this table.
+  storage::RowStore& store() { return *store_; }
+  const storage::RowStore& store() const { return *store_; }
+
   /// Never assign ids below `next` (snapshot restore of a table whose
   /// highest-id rows were deleted before the dump).
   void reserve_next_row_id(RowId next) {
@@ -137,9 +157,14 @@ class Table {
   Result<std::vector<RowId>> select_ordered_via_index(
       const ScanOptions& options, const IndexMap& index) const;
 
+  /// Borrow the row under `id` without copying when it is memory-resident;
+  /// spilled rows are materialized into `*scratch`. The caller must not
+  /// mutate the store while the reference is live.
+  const Row& fetch_row(RowId id, Row* scratch) const;
+
   std::string name_;
   Schema schema_;
-  std::map<RowId, Row> rows_;  // ordered => deterministic unindexed scans
+  std::unique_ptr<storage::RowStore> store_;  // ascending-id => deterministic
   RowId next_row_id_ = 1;
   std::map<std::string, IndexMap> indexes_;  // column name -> index
   std::vector<UndoRecord>* journal_ = nullptr;

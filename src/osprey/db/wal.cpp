@@ -334,6 +334,19 @@ DecodeStatus decode_record(const std::string& buffer, std::size_t offset,
   return DecodeStatus::kOk;
 }
 
+// --- LogDevice --------------------------------------------------------------
+
+Result<std::string> LogDevice::read_range(const std::string& segment,
+                                          std::uint64_t offset,
+                                          std::uint64_t length) {
+  Result<std::string> whole = read(segment);
+  if (!whole.ok()) return whole;
+  const std::string& buf = whole.value();
+  if (offset >= buf.size()) return std::string();
+  return buf.substr(static_cast<std::size_t>(offset),
+                    static_cast<std::size_t>(length));
+}
+
 // --- FileLogDevice ----------------------------------------------------------
 
 FileLogDevice::FileLogDevice(std::string directory) : dir_(std::move(directory)) {
@@ -418,6 +431,37 @@ Result<std::string> FileLogDevice::read(const std::string& segment) {
     out.append(buf, static_cast<std::size_t>(n));
   }
   ::close(fd);
+  return out;
+}
+
+Result<std::string> FileLogDevice::read_range(const std::string& segment,
+                                              std::uint64_t offset,
+                                              std::uint64_t length) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::string path = dir_ + "/" + segment;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Error(ErrorCode::kNotFound,
+                 "open '" + path + "': " + std::strerror(errno));
+  }
+  std::string out;
+  out.resize(static_cast<std::size_t>(length));
+  std::size_t got = 0;
+  while (got < length) {
+    ssize_t n = ::pread(fd, out.data() + got, length - got,
+                        static_cast<off_t>(offset + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Error error(ErrorCode::kUnavailable,
+                  "pread '" + path + "': " + std::strerror(errno));
+      ::close(fd);
+      return error;
+    }
+    if (n == 0) break;  // segment ends before offset+length
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  out.resize(got);
   return out;
 }
 
@@ -759,6 +803,11 @@ Result<json::Value> read_latest_checkpoint(LogDevice& device, Lsn* lsn) {
 }
 
 Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
+  return recover(device, db, restore_database);
+}
+
+Result<RecoveryInfo> recover(LogDevice& device, Database& db,
+                             const SnapshotRestorer& restore_snapshot) {
   if (!db.table_names().empty()) {
     return Error(ErrorCode::kInvalidArgument,
                  "recover() requires an empty database");
@@ -770,7 +819,7 @@ Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
   RecoveryInfo info;
   CheckpointData ckpt = load_latest_checkpoint(device, names.value());
   if (ckpt.found) {
-    Status restored = restore_database(db, ckpt.snapshot);
+    Status restored = restore_snapshot(db, ckpt.snapshot);
     if (!restored.is_ok()) return restored.error();
     info.used_checkpoint = true;
     info.checkpoint_lsn = ckpt.lsn;
@@ -779,8 +828,17 @@ Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
 
   // Replay wal segments in LSN order. A transaction's records buffer until
   // its commit marker; an uncommitted or torn tail is discarded and the
-  // segment physically truncated so the writer can resume cleanly.
+  // segment physically truncated so the writer can resume cleanly. The
+  // truncation point is the start of the incomplete transaction, not just
+  // the torn frame: a txn's DML frames and its commit marker are appended
+  // as one batch, so a tear inside the commit marker leaves complete-but-
+  // uncommitted DML frames ahead of it. If those stayed on the device, a
+  // resumed writer would append after them and the orphans would sit in the
+  // next recovery's txn buffer when the new commit marker arrives — its
+  // record count would mismatch and a committed transaction would be thrown
+  // away as torn.
   std::vector<Record> txn;
+  std::size_t txn_start = 0;
   bool log_ended = false;
   for (const std::string& name : names.value()) {
     if (!has_prefix(name, kWalPrefix)) continue;
@@ -807,25 +865,52 @@ Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
       Record record;
       std::size_t frame_bytes = 0;
       DecodeStatus status = decode_record(buf, offset, &record, &frame_bytes);
-      if (status == DecodeStatus::kEndOfLog) break;
+      if (status == DecodeStatus::kEndOfLog) {
+        if (!txn.empty()) {
+          // The segment ends on a frame boundary mid-batch: complete DML
+          // frames whose commit marker never reached the medium. Same
+          // orphan hazard as a torn frame — cut them off too.
+          Status truncated =
+              device.truncate(name, static_cast<std::uint64_t>(txn_start));
+          if (!truncated.is_ok()) return truncated.error();
+          info.bytes_truncated += buf.size() - txn_start;
+          info.records_discarded += txn.size();
+          txn.clear();
+          log_ended = true;
+        }
+        break;
+      }
       if (status != DecodeStatus::kOk) {
+        const std::size_t keep = txn.empty() ? offset : txn_start;
         Status truncated =
-            device.truncate(name, static_cast<std::uint64_t>(offset));
+            device.truncate(name, static_cast<std::uint64_t>(keep));
         if (!truncated.is_ok()) return truncated.error();
-        info.bytes_truncated += buf.size() - offset;
+        info.bytes_truncated += buf.size() - keep;
+        info.records_discarded += txn.size();
+        txn.clear();
         log_ended = true;
         break;
       }
-      if (record.lsn > info.last_lsn) info.last_lsn = record.lsn;
+      // A DML record's LSN only becomes real when its commit marker (whose
+      // LSN is higher) survives; dangling DML is truncated below, so only
+      // non-DML records advance last_lsn.
+      if (!is_dml(record.type) && record.lsn > info.last_lsn) {
+        info.last_lsn = record.lsn;
+      }
       if (is_dml(record.type)) {
+        if (txn.empty()) txn_start = offset;
         txn.push_back(std::move(record));
       } else if (record.type == RecordType::kCommit) {
         if (record.txn_records != txn.size()) {
-          // Marker disagrees with its transaction: treat the frame as torn.
+          // Marker disagrees with its transaction: treat the whole batch,
+          // orphaned DML frames included, as torn.
+          const std::size_t keep = txn.empty() ? offset : txn_start;
           Status truncated =
-              device.truncate(name, static_cast<std::uint64_t>(offset));
+              device.truncate(name, static_cast<std::uint64_t>(keep));
           if (!truncated.is_ok()) return truncated.error();
-          info.bytes_truncated += buf.size() - offset;
+          info.bytes_truncated += buf.size() - keep;
+          info.records_discarded += txn.size();
+          txn.clear();
           log_ended = true;
           break;
         }
@@ -848,7 +933,7 @@ Result<RecoveryInfo> recover(LogDevice& device, Database& db) {
       offset += frame_bytes;
     }
   }
-  info.records_discarded = txn.size();
+  info.records_discarded += txn.size();
   if (obs::enabled()) {
     obs::observe_latency(wal_obs().recovery_duration, recovery_latency);
     wal_obs().records_replayed.inc(info.records_replayed);
@@ -898,20 +983,50 @@ Status WalManager::open() {
       log_ended = true;
       continue;
     }
+    // Mirror recover()'s repair exactly: a tear inside a txn's append batch
+    // must cut back to the batch start, or the writer would resume after
+    // complete-but-uncommitted DML frames and the next recovery would
+    // mistake the following committed transaction for a torn one. Dangling
+    // DML LSNs are excluded from max_lsn for the same reason — they are
+    // truncated away and safe to reissue.
     std::size_t offset = kWalHeaderBytes;
+    std::uint32_t pending_dml = 0;
+    std::size_t txn_start = 0;
     while (true) {
       Record record;
       std::size_t frame_bytes = 0;
       DecodeStatus status = decode_record(buf, offset, &record, &frame_bytes);
-      if (status == DecodeStatus::kEndOfLog) break;
-      if (status != DecodeStatus::kOk) {
+      if (status == DecodeStatus::kEndOfLog) {
+        if (pending_dml > 0) {
+          Status truncated =
+              device_.truncate(name, static_cast<std::uint64_t>(txn_start));
+          if (!truncated.is_ok()) return truncated;
+          offset = txn_start;
+          log_ended = true;
+        }
+        break;
+      }
+      bool torn = status != DecodeStatus::kOk;
+      if (!torn && record.type == RecordType::kCommit &&
+          record.txn_records != pending_dml) {
+        torn = true;  // marker disagrees with its batch
+      }
+      if (torn) {
+        const std::size_t keep = pending_dml > 0 ? txn_start : offset;
         Status truncated =
-            device_.truncate(name, static_cast<std::uint64_t>(offset));
+            device_.truncate(name, static_cast<std::uint64_t>(keep));
         if (!truncated.is_ok()) return truncated;
+        offset = keep;
         log_ended = true;
         break;
       }
-      max_lsn = std::max(max_lsn, record.lsn);
+      if (is_dml(record.type)) {
+        if (pending_dml == 0) txn_start = offset;
+        ++pending_dml;
+      } else {
+        if (record.type == RecordType::kCommit) pending_dml = 0;
+        max_lsn = std::max(max_lsn, record.lsn);
+      }
       offset += frame_bytes;
     }
     tail_segment = name;
@@ -1104,6 +1219,16 @@ Status WalManager::flush() {
   return maybe_sync_locked(true);
 }
 
+void WalManager::set_snapshot_provider(SnapshotProvider provider) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  snapshot_provider_ = std::move(provider);
+}
+
+void WalManager::set_post_checkpoint_hook(CheckpointHook hook) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  post_checkpoint_hook_ = std::move(hook);
+}
+
 Result<Lsn> WalManager::checkpoint(Database& db) {
   // Order matters: the database lock first (as every commit path does), then
   // the wal lock — checkpointing between transactions, never inside one.
@@ -1111,7 +1236,8 @@ Result<Lsn> WalManager::checkpoint(Database& db) {
   std::lock_guard<std::mutex> guard(mutex_);
 
   const Lsn ckpt_lsn = next_lsn_ - 1;
-  std::string out = encode_checkpoint(ckpt_lsn, dump_database(db));
+  std::string out = encode_checkpoint(
+      ckpt_lsn, snapshot_provider_ ? snapshot_provider_(db) : dump_database(db));
 
   const std::string name = checkpoint_segment_name(ckpt_lsn);
   device_.remove(name);  // re-checkpoint at the same LSN overwrites
@@ -1138,6 +1264,7 @@ Result<Lsn> WalManager::checkpoint(Database& db) {
   unsynced_commits_ = 0;
   unsynced_bytes_ = 0;
   ++stats_.checkpoints;
+  if (post_checkpoint_hook_) post_checkpoint_hook_(ckpt_lsn);
   return ckpt_lsn;
 }
 

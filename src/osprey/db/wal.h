@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -131,6 +132,13 @@ class LogDevice {
   /// Durability barrier: all prior appends to `segment` survive a crash.
   virtual Status sync(const std::string& segment) = 0;
   virtual Result<std::string> read(const std::string& segment) = 0;
+  /// `length` bytes starting at `offset` (short when the segment ends
+  /// sooner). The base implementation reads the whole segment and slices;
+  /// FileLogDevice overrides with pread so the storage engine's block reads
+  /// do not scale with run size.
+  virtual Result<std::string> read_range(const std::string& segment,
+                                         std::uint64_t offset,
+                                         std::uint64_t length);
   /// Discard everything past the first `size` bytes (torn-tail repair).
   virtual Status truncate(const std::string& segment, std::uint64_t size) = 0;
   virtual Status remove(const std::string& segment) = 0;
@@ -147,6 +155,9 @@ class FileLogDevice : public LogDevice {
   Status append(const std::string& segment, const std::string& data) override;
   Status sync(const std::string& segment) override;
   Result<std::string> read(const std::string& segment) override;
+  Result<std::string> read_range(const std::string& segment,
+                                 std::uint64_t offset,
+                                 std::uint64_t length) override;
   Status truncate(const std::string& segment, std::uint64_t size) override;
   Status remove(const std::string& segment) override;
   Result<std::vector<std::string>> list() override;
@@ -262,6 +273,18 @@ struct RecoveryInfo {
 /// to resume logging.
 Result<RecoveryInfo> recover(LogDevice& device, Database& db);
 
+/// Materializes a checkpoint snapshot document into an empty database. The
+/// default is restore_database (the db/dump full-snapshot format); the
+/// storage engine substitutes a handler that also understands its manifest
+/// format ("osprey-db-manifest-v1", storage/manifest.h).
+using SnapshotRestorer = std::function<Status(Database&, const json::Value&)>;
+
+/// recover() with a custom checkpoint restorer. The restorer runs before
+/// tail replay, so it may register engine state (sorted runs, memtable
+/// images) that replayed records then read through.
+Result<RecoveryInfo> recover(LogDevice& device, Database& db,
+                             const SnapshotRestorer& restore_snapshot);
+
 /// The redo-log writer. Implements CommitObserver: once attached to a
 /// Database, every committing transaction is encoded, appended, and (per the
 /// durability policy) synced before commit() returns — and a transaction
@@ -295,6 +318,20 @@ class WalManager : public CommitObserver {
   /// On failure the old log is left intact.
   Result<Lsn> checkpoint(Database& db);
 
+  /// Replace the checkpoint snapshot builder (default: db/dump
+  /// dump_database). The storage engine installs a builder that emits a
+  /// manifest referencing its live sorted runs plus the memtable images, so
+  /// checkpoints are O(memtable + run count) instead of O(dataset). Called
+  /// under the database and wal locks.
+  using SnapshotProvider = std::function<json::Value(Database&)>;
+  void set_snapshot_provider(SnapshotProvider provider);
+
+  /// Hook run after a checkpoint is durable and the covered wal segments are
+  /// deleted. The storage engine garbage-collects compacted-away runs here —
+  /// they must outlive the last manifest that references them.
+  using CheckpointHook = std::function<void(Lsn)>;
+  void set_post_checkpoint_hook(CheckpointHook hook);
+
   /// Append a kEpoch record announcing a replication leadership epoch, and
   /// force it durable (epochs are rare and fence correctness hangs on them).
   /// Returns the record's LSN.
@@ -312,6 +349,8 @@ class WalManager : public CommitObserver {
   LogDevice& device_;
   WalOptions options_;
   Database* db_ = nullptr;
+  SnapshotProvider snapshot_provider_;
+  CheckpointHook post_checkpoint_hook_;
   mutable std::mutex mutex_;
   Lsn next_lsn_ = 1;
   std::string segment_;          // current wal segment ("" until first append)

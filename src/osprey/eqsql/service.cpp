@@ -3,6 +3,7 @@
 #include "osprey/db/dump.h"
 #include "osprey/db/sql_exec.h"
 #include "osprey/eqsql/schema.h"
+#include "osprey/storage/manifest.h"
 
 namespace osprey::eqsql {
 
@@ -106,7 +107,9 @@ Status EmewsService::restore(const json::Value& snapshot) {
     return Status(ErrorCode::kConflict,
                   "restore requires a fresh service instance");
   }
-  Status s = db::restore_database(db_, snapshot);
+  Status s = (storage_ && storage::is_manifest(snapshot))
+                 ? storage_->restore_manifest(db_, snapshot)
+                 : db::restore_database(db_, snapshot);
   if (!s.is_ok()) return s;
   if (!schema_exists(db_)) {
     return Status(ErrorCode::kInvalidArgument,
@@ -120,6 +123,24 @@ Status EmewsService::restore(const json::Value& snapshot) {
   Result<std::size_t> requeued = eq.requeue_running_tasks();
   if (!requeued.ok()) return requeued.error();
   recovered_requeues_ = requeued.value();
+  return Status::ok();
+}
+
+Status EmewsService::enable_storage(db::wal::LogDevice& device,
+                                    storage::StorageOptions options,
+                                    FaultRegistry* faults) {
+  if (storage_) {
+    return Status(ErrorCode::kConflict, "storage engine already enabled");
+  }
+  storage_ = std::make_unique<storage::StorageEngine>(device, options, faults);
+  Status attached = storage_->attach(db_);
+  if (!attached.is_ok()) {
+    storage_.reset();
+    return attached;
+  }
+  // enable_storage and enable_wal compose in either order; whichever comes
+  // second completes the checkpoint wiring.
+  if (wal_) storage_->install(*wal_);
   return Status::ok();
 }
 
@@ -138,6 +159,7 @@ Status EmewsService::enable_wal(db::wal::LogDevice& device,
   manager->attach(db_);
   if (notifier_) notifier_->attach(db_);
   wal_ = std::move(manager);
+  if (storage_) storage_->install(*wal_);
   if (!db_.table_names().empty()) {
     // State created before the log existed (enable_wal on a live campaign):
     // checkpoint it, otherwise recovery would replay onto nothing.
@@ -166,7 +188,13 @@ Result<db::wal::RecoveryInfo> EmewsService::recover_from_wal(
     return Error(ErrorCode::kConflict,
                  "recover_from_wal requires a fresh service instance");
   }
-  Result<db::wal::RecoveryInfo> info = db::wal::recover(device, db_);
+  if (storage_ && &storage_->device() != &device) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "recover_from_wal: storage engine is bound to a different "
+                 "device than the log being recovered");
+  }
+  Result<db::wal::RecoveryInfo> info =
+      storage_ ? storage_->recover(db_) : db::wal::recover(device, db_);
   if (!info.ok()) return info;
   if (!schema_exists(db_)) {
     return Error(ErrorCode::kInvalidArgument,
@@ -179,6 +207,7 @@ Result<db::wal::RecoveryInfo> EmewsService::recover_from_wal(
   manager->attach(db_);
   if (notifier_) notifier_->attach(db_);
   wal_ = std::move(manager);
+  if (storage_) storage_->install(*wal_);
   schema_created_ = true;
   running_ = true;
   // Requeue after the log is attached: the lease release is itself a

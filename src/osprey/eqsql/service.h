@@ -17,6 +17,7 @@
 #include "osprey/eqsql/db_api.h"
 #include "osprey/eqsql/notify.h"
 #include "osprey/json/json.h"
+#include "osprey/storage/engine.h"
 
 namespace osprey::eqsql {
 
@@ -79,6 +80,24 @@ class EmewsService {
   /// (recovered_requeues() reports how many).
   Status restore(const json::Value& snapshot);
 
+  // --- storage engine (storage/engine.h) -------------------------------------
+
+  /// Back the task database with the LSM storage engine: table rows beyond
+  /// the memtable budget spill to sorted runs on `device` (normally the WAL
+  /// device — runs and log share it), checkpoints become manifests, and
+  /// recovery is O(manifest + WAL tail). Must be called while the database
+  /// is still empty — before start() / enable_wal's initial checkpoint —
+  /// and before recover_from_wal on a recovering instance. `faults` arms
+  /// the storage.* fault points for chaos runs. The device must outlive the
+  /// service.
+  Status enable_storage(db::wal::LogDevice& device,
+                        storage::StorageOptions options = {},
+                        FaultRegistry* faults = nullptr);
+  bool storage_enabled() const { return storage_ != nullptr; }
+
+  /// The storage engine (nullptr until enable_storage).
+  storage::StorageEngine* storage() { return storage_.get(); }
+
   // --- durability (db/wal) ---------------------------------------------------
 
   /// Attach a write-ahead log: from here on every committed transaction is
@@ -114,6 +133,9 @@ class EmewsService {
 
  private:
   const Clock& clock_;
+  // Declared before db_: the engine must outlive the LsmStores the database's
+  // tables hold, which unregister from it on destruction.
+  std::unique_ptr<storage::StorageEngine> storage_;
   db::Database db_;
   std::unique_ptr<db::wal::WalManager> wal_;
   // Declared after wal_: destroyed (and detached) first, unwrapping the

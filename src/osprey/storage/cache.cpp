@@ -1,0 +1,51 @@
+#include "osprey/storage/cache.h"
+
+#include <utility>
+
+namespace osprey::storage {
+
+BlockCache::Block BlockCache::get(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::put(const std::string& key, Block block) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->block = std::move(block);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(block)});
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::erase_segment(const std::string& segment) {
+  const std::string prefix = segment + ":";
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.compare(0, prefix.size(), prefix) == 0) {
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace osprey::storage

@@ -1,0 +1,60 @@
+// Block read cache of the LSM store (DESIGN.md §5.12).
+//
+// An LRU over *decoded* run blocks, keyed by (segment, block ordinal).
+// Caching decoded entry vectors rather than raw frames means a hit skips
+// both the device read and the CRC + cell decode; blocks are shared
+// read-only via shared_ptr so a cached block can be evicted while a reader
+// still holds it. Capacity is counted in blocks (the engine's block_bytes
+// bounds each one), and eviction is strict LRU.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "osprey/storage/sstable.h"
+
+namespace osprey::storage {
+
+class BlockCache {
+ public:
+  explicit BlockCache(std::size_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  using Block = std::shared_ptr<const std::vector<RunEntry>>;
+
+  static std::string key(const std::string& segment, std::size_t ordinal) {
+    return segment + ":" + std::to_string(ordinal);
+  }
+
+  /// Hit: promotes the block to most-recent and returns it. Miss: nullptr.
+  Block get(const std::string& key);
+
+  /// Insert (or refresh) a block; evicts the least-recent past capacity.
+  void put(const std::string& key, Block block);
+
+  /// Drop every cached block of a segment (run deleted or compacted away).
+  void erase_segment(const std::string& segment);
+
+  void clear();
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    Block block;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace osprey::storage

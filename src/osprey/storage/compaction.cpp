@@ -1,0 +1,42 @@
+#include "osprey/storage/compaction.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace osprey::storage {
+
+std::optional<std::uint32_t> pick_compaction_level(
+    const std::map<std::uint32_t, std::size_t>& level_counts,
+    std::uint32_t fanout) {
+  if (fanout == 0) return std::nullopt;
+  for (const auto& [level, count] : level_counts) {
+    if (count >= fanout) return level;
+  }
+  return std::nullopt;
+}
+
+std::vector<RunEntry> merge_runs(
+    std::vector<CompactionInput> inputs,
+    const std::function<bool(db::RowId)>& is_live) {
+  // Apply inputs oldest-first so a newer run's version overwrites an older
+  // one's; the map keeps the result sorted by id for the output run.
+  std::sort(inputs.begin(), inputs.end(),
+            [](const CompactionInput& a, const CompactionInput& b) {
+              return a.seq < b.seq;
+            });
+  std::map<db::RowId, db::Row> merged;
+  for (CompactionInput& input : inputs) {
+    for (RunEntry& e : input.entries) {
+      merged[e.id] = std::move(e.row);
+    }
+  }
+  std::vector<RunEntry> out;
+  out.reserve(merged.size());
+  for (auto& [id, row] : merged) {
+    if (!is_live(id)) continue;
+    out.push_back(RunEntry{id, std::move(row)});
+  }
+  return out;
+}
+
+}  // namespace osprey::storage

@@ -1,0 +1,38 @@
+#include "osprey/storage/memtable.h"
+
+#include <utility>
+
+namespace osprey::storage {
+
+void MemTable::put(db::RowId id, db::Row row) {
+  const std::size_t incoming = kEntryOverhead + row_bytes(row);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    entries_.emplace(id, std::move(row));
+    bytes_ += incoming;
+    return;
+  }
+  bytes_ -= kEntryOverhead + row_bytes(it->second);
+  it->second = std::move(row);
+  bytes_ += incoming;
+}
+
+bool MemTable::erase(db::RowId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  bytes_ -= kEntryOverhead + row_bytes(it->second);
+  entries_.erase(it);
+  return true;
+}
+
+const db::Row* MemTable::find(db::RowId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void MemTable::clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace osprey::storage

@@ -1,0 +1,49 @@
+// In-memory write buffer of the LSM store (DESIGN.md §5.12).
+//
+// A sorted map of row id -> latest row version with byte accounting. The
+// LsmStore absorbs every put into the active memtable; when its footprint
+// crosses the engine's budget the table rotates to the immutable slot and is
+// flushed to a run. Deletes do not buffer tombstones here — liveness is
+// tracked by the store's id set, so a memtable entry is always a live row
+// version (possibly shadowing an older version in a run).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "osprey/db/value.h"
+#include "osprey/storage/row_store.h"
+
+namespace osprey::storage {
+
+class MemTable {
+ public:
+  /// Upsert the latest version of a row.
+  void put(db::RowId id, db::Row row);
+
+  /// Drop an entry if present (the id's liveness is the store's concern).
+  bool erase(db::RowId id);
+
+  /// Latest version, or nullptr when the id is not buffered here.
+  const db::Row* find(db::RowId id) const;
+
+  /// Approximate heap footprint (row payloads + per-entry overhead) — the
+  /// quantity compared against the engine's memtable_bytes budget.
+  std::size_t bytes() const { return bytes_; }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear();
+
+  /// Ascending-id iteration for flushes and manifest images.
+  const std::map<db::RowId, db::Row>& entries() const { return entries_; }
+
+ private:
+  // Rough map-node + bookkeeping cost added to row_bytes() per entry.
+  static constexpr std::size_t kEntryOverhead = 64;
+
+  std::map<db::RowId, db::Row> entries_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace osprey::storage

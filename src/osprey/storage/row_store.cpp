@@ -1,0 +1,53 @@
+#include "osprey/storage/row_store.h"
+
+namespace osprey::storage {
+
+std::size_t row_bytes(const db::Row& row) {
+  // sizeof(Value) underestimates text payloads; count those explicitly.
+  std::size_t n = sizeof(db::Row) + row.size() * sizeof(db::Value);
+  for (const db::Value& v : row) {
+    if (v.is_text()) n += v.as_text().size();
+  }
+  return n;
+}
+
+void MemStore::put(db::RowId id, db::Row row) {
+  rows_[id] = std::move(row);
+}
+
+std::optional<db::Row> MemStore::get(db::RowId id) const {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+const db::Row* MemStore::get_ref(db::RowId id) const {
+  auto it = rows_.find(id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+bool MemStore::erase(db::RowId id) { return rows_.erase(id) > 0; }
+
+void MemStore::clear() { rows_.clear(); }
+
+std::size_t MemStore::size() const { return rows_.size(); }
+
+bool MemStore::contains(db::RowId id) const { return rows_.count(id) > 0; }
+
+std::vector<db::RowId> MemStore::ids() const {
+  std::vector<db::RowId> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, _] : rows_) out.push_back(id);
+  return out;
+}
+
+Status MemStore::scan(
+    const std::function<Status(db::RowId, const db::Row&)>& fn) const {
+  for (const auto& [id, row] : rows_) {
+    Status s = fn(id, row);
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+}  // namespace osprey::storage

@@ -1,0 +1,85 @@
+// The storage seam under db::Table (DESIGN.md §5.12).
+//
+// A Table maps row ids to rows; *where those rows live* is this interface.
+// The default MemStore keeps every row in an ordered in-memory map — exactly
+// the pre-engine behaviour, byte for byte. The LSM engine (storage/engine.h)
+// provides a store whose cold rows spill to immutable sorted runs on a
+// LogDevice while the hot head stays in a memtable.
+//
+// Contract:
+//  - ids are unique; put() upserts, erase() removes, both idempotent.
+//  - get() returns a copy (the row may live on disk); get_ref() returns a
+//    pointer only when the row is memory-resident — callers fall back to
+//    get() when it yields nullptr. A returned pointer is invalidated by the
+//    next mutation of the store.
+//  - ids() and scan() enumerate live rows in ascending id order, which keeps
+//    unindexed scans deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "osprey/db/value.h"
+
+namespace osprey::storage {
+
+/// Approximate in-memory footprint of a row, used for memtable accounting.
+std::size_t row_bytes(const db::Row& row);
+
+class RowStore {
+ public:
+  virtual ~RowStore() = default;
+
+  /// Insert or overwrite the row under `id`.
+  virtual void put(db::RowId id, db::Row row) = 0;
+
+  /// The row under `id`, or nullopt. Copies (the row may be on disk).
+  virtual std::optional<db::Row> get(db::RowId id) const = 0;
+
+  /// Borrow a memory-resident row; nullptr when absent *or* spilled.
+  virtual const db::Row* get_ref(db::RowId id) const = 0;
+
+  /// Remove the row under `id`; false when absent.
+  virtual bool erase(db::RowId id) = 0;
+
+  /// Remove every row.
+  virtual void clear() = 0;
+
+  /// Number of live rows.
+  virtual std::size_t size() const = 0;
+
+  /// Is a live row stored under `id`?
+  virtual bool contains(db::RowId id) const = 0;
+
+  /// All live row ids, ascending.
+  virtual std::vector<db::RowId> ids() const = 0;
+
+  /// Visit every live row in ascending id order; a non-OK return stops the
+  /// scan and propagates.
+  virtual Status scan(
+      const std::function<Status(db::RowId, const db::Row&)>& fn) const = 0;
+};
+
+/// The default store: an ordered in-memory map, identical in behaviour (and
+/// iteration order) to the std::map Table historically held.
+class MemStore : public RowStore {
+ public:
+  void put(db::RowId id, db::Row row) override;
+  std::optional<db::Row> get(db::RowId id) const override;
+  const db::Row* get_ref(db::RowId id) const override;
+  bool erase(db::RowId id) override;
+  void clear() override;
+  std::size_t size() const override;
+  bool contains(db::RowId id) const override;
+  std::vector<db::RowId> ids() const override;
+  Status scan(const std::function<Status(db::RowId, const db::Row&)>& fn)
+      const override;
+
+ private:
+  std::map<db::RowId, db::Row> rows_;
+};
+
+}  // namespace osprey::storage

@@ -1,0 +1,218 @@
+// Torn-tail fuzz at a segment-rotation boundary (ISSUE 9 satellite).
+//
+// The nastiest torn-write position is the first record of a freshly rotated
+// segment: the cut can land inside the 16-byte segment header (the segment
+// carries no information and must be dropped whole), exactly at the header
+// boundary (a legal, empty segment the writer must resume into), or inside
+// the first record frame (truncate back to the header). The generic torn-
+// tail fuzz in wal_test.cpp sweeps cuts within one segment; here every
+// byte-level cut of the *newest* segment of a multi-segment log is swept,
+// plus the SimLogDevice torn-tail fault-point variant where the tear comes
+// from a power-loss magnitude rather than direct disk surgery. After every
+// cut: recovery must succeed, rebuild exactly a committed prefix, leave the
+// device writable (a fresh manager resumes with dense LSNs), and a second
+// crash-recovery must agree.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osprey/core/clock.h"
+#include "osprey/core/fault.h"
+#include "osprey/db/database.h"
+#include "osprey/db/dump.h"
+#include "osprey/db/expr.h"
+#include "osprey/db/wal.h"
+
+namespace osprey::db::wal {
+namespace {
+
+Schema task_schema() {
+  return Schema({
+      {"eq_task_id", ColumnType::kInt, false, true},
+      {"status", ColumnType::kText, false, false},
+  });
+}
+
+Status apply_txn(Database& db, int i) {
+  Table* tasks = db.table("tasks");
+  Transaction txn(db);
+  auto inserted = tasks->insert(
+      Row{Value(std::int64_t{i}), Value("queued-" + std::to_string(i))});
+  if (!inserted.ok()) return inserted.error();
+  return txn.commit();
+}
+
+std::string dump_str(const Database& db) { return dump_database(db).dump(); }
+
+// The campaign's dumps after 0..txns committed transactions, from a shadow
+// un-logged database.
+std::vector<std::string> shadow_snapshots(int txns) {
+  std::vector<std::string> snaps;
+  Database db;
+  EXPECT_TRUE(db.create_table("tasks", task_schema()).ok());
+  snaps.push_back(dump_str(db));
+  for (int i = 1; i <= txns; ++i) {
+    EXPECT_TRUE(apply_txn(db, i).is_ok());
+    snaps.push_back(dump_str(db));
+  }
+  return snaps;
+}
+
+constexpr std::size_t kHeaderBytes = 16;  // "OSPWALv1" + u64 first LSN
+
+// Run a fully-synced campaign with tiny segments so the log rotates often,
+// and return the surviving disk.
+std::shared_ptr<SimDisk> logged_campaign(int txns) {
+  auto disk = std::make_shared<SimDisk>();
+  SimLogDevice device(disk);
+  Database db;
+  WalOptions options;
+  options.segment_bytes = 160;  // every txn or two rotates
+  WalManager manager(device, options);
+  EXPECT_TRUE(manager.open().is_ok());
+  manager.attach(db);
+  EXPECT_TRUE(db.create_table("tasks", task_schema()).ok());
+  for (int i = 1; i <= txns; ++i) {
+    EXPECT_TRUE(apply_txn(db, i).is_ok()) << i;
+  }
+  manager.detach();
+  EXPECT_GT(disk->segments.size(), 3u);  // genuinely multi-segment
+  return disk;
+}
+
+std::string newest_wal_segment(const SimDisk& disk) {
+  std::string newest;
+  for (const auto& [name, bytes] : disk.segments) {
+    (void)bytes;
+    if (name.rfind("wal-", 0) == 0 && name > newest) newest = name;
+  }
+  return newest;
+}
+
+TEST(WalRotationTearTest, EveryByteCutOfTheFreshSegmentRecoversACommittedPrefix) {
+  constexpr int kTxns = 24;
+  std::vector<std::string> snaps = shadow_snapshots(kTxns);
+  std::shared_ptr<SimDisk> master = logged_campaign(kTxns);
+  std::string newest = newest_wal_segment(*master);
+  ASSERT_FALSE(newest.empty());
+  const std::string full = master->segments.at(newest);
+  ASSERT_GE(full.size(), kHeaderBytes);
+
+  // How many transactions live in segments *before* the newest: the dump a
+  // cut inside the newest segment's header must fall back to.
+  std::size_t prior_index = 0;
+  {
+    auto headerless = std::make_shared<SimDisk>(*master);
+    headerless->segments.erase(newest);
+    SimLogDevice device(headerless);
+    Database db;
+    Result<RecoveryInfo> info = recover(device, db);
+    ASSERT_TRUE(info.ok());
+    std::string dump = dump_str(db);
+    while (prior_index < snaps.size() && snaps[prior_index] != dump) {
+      ++prior_index;
+    }
+    ASSERT_LT(prior_index, snaps.size()) << "prefix dump not a snapshot";
+    ASSERT_LT(prior_index, static_cast<std::size_t>(kTxns));
+  }
+
+  std::size_t last_matched = 0;
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    auto disk = std::make_shared<SimDisk>(*master);
+    disk->segments[newest] = full.substr(0, cut);
+    SimLogDevice device(disk);
+    Database db;
+    Result<RecoveryInfo> info = recover(device, db);
+    ASSERT_TRUE(info.ok()) << "cut=" << cut << ": " << info.error().message;
+    std::string dump = dump_str(db);
+
+    // The recovered state is exactly some committed prefix...
+    std::size_t matched = snaps.size();
+    for (std::size_t j = 0; j < snaps.size(); ++j) {
+      if (snaps[j] == dump) {
+        matched = j;
+        break;
+      }
+    }
+    ASSERT_LT(matched, snaps.size()) << "cut=" << cut << " not a prefix";
+    // ...never ahead of what the uncut log held, never behind the intact
+    // prior segments, and monotone in the cut position.
+    EXPECT_GE(matched, prior_index) << "cut=" << cut;
+    EXPECT_GE(matched, last_matched) << "cut=" << cut << " went backwards";
+    last_matched = matched;
+    if (cut < kHeaderBytes) {
+      EXPECT_EQ(matched, prior_index)
+          << "cut=" << cut << " inside the header yielded tail records";
+    }
+    if (cut == full.size()) {
+      EXPECT_EQ(matched, static_cast<std::size_t>(kTxns));
+    }
+
+    // The repaired device must accept a resumed writer: dense LSNs, a fresh
+    // commit, and a second recovery that sees it.
+    WalManager resumed(device);
+    ASSERT_TRUE(resumed.open().is_ok()) << "cut=" << cut;
+    resumed.attach(db);
+    ASSERT_TRUE(apply_txn(db, 1000 + static_cast<int>(cut)).is_ok());
+    std::string after = dump_str(db);
+    resumed.detach();
+    SimLogDevice device2(disk);
+    Database db2;
+    ASSERT_TRUE(recover(device2, db2).ok()) << "cut=" << cut;
+    EXPECT_EQ(dump_str(db2), after) << "cut=" << cut;
+  }
+  EXPECT_EQ(last_matched, static_cast<std::size_t>(kTxns));
+}
+
+TEST(WalRotationTearTest, PowerLossTearOnAFreshSegmentViaTheFaultPoint) {
+  // Group commit holds the fresh segment's header + first records in the
+  // volatile cache; the wal.torn_tail fault lets only a magnitude-sized
+  // prefix reach the medium at power loss. Sweep magnitudes so the tear
+  // lands inside the header, at its boundary, and inside the first frame.
+  constexpr int kBefore = 10;
+  std::vector<std::string> snaps = shadow_snapshots(kBefore + 2);
+  for (int percent = 1; percent <= 99; percent += 7) {
+    ManualClock clock;
+    FaultRegistry faults(clock, 29);
+    auto disk = std::make_shared<SimDisk>();
+    SimLogDevice device(disk, &faults);
+    Database db;
+    WalOptions options;
+    options.segment_bytes = 160;
+    options.group_commit_txns = 0;  // commits never sync; flush() is explicit
+    WalManager manager(device, options);
+    ASSERT_TRUE(manager.open().is_ok());
+    manager.attach(db);
+    ASSERT_TRUE(db.create_table("tasks", task_schema()).ok());
+    for (int i = 1; i <= kBefore; ++i) {
+      ASSERT_TRUE(apply_txn(db, i).is_ok());
+    }
+    ASSERT_TRUE(manager.flush().is_ok());  // durable prefix: kBefore txns
+    // The next two txns stay in the volatile cache, landing in a fresh
+    // segment forced by the small segment budget, then the lights go out.
+    ASSERT_TRUE(apply_txn(db, kBefore + 1).is_ok());
+    ASSERT_TRUE(apply_txn(db, kBefore + 2).is_ok());
+    faults.set_active(fault_point::wal_torn_tail(), true);
+    faults.set_magnitude(fault_point::wal_torn_tail(), percent / 100.0);
+    device.crash();
+    manager.detach();
+
+    SimLogDevice after(disk);
+    Database recovered;
+    Result<RecoveryInfo> info = recover(after, recovered);
+    ASSERT_TRUE(info.ok()) << "magnitude=" << percent;
+    std::string dump = dump_str(recovered);
+    bool is_prefix = false;
+    for (int j = kBefore; j <= kBefore + 2; ++j) {
+      if (snaps[static_cast<std::size_t>(j)] == dump) is_prefix = true;
+    }
+    EXPECT_TRUE(is_prefix) << "magnitude=" << percent
+                           << ": not a committed prefix of the campaign";
+  }
+}
+
+}  // namespace
+}  // namespace osprey::db::wal
