@@ -21,12 +21,18 @@ Table::Table(std::string name, Schema schema,
   }
 }
 
-const Row& Table::fetch_row(RowId id, Row* scratch) const {
-  if (const Row* resident = store_->get_ref(id)) return *resident;
+const Row* Table::fetch_row(RowId id, Row* scratch) const {
+  if (const Row* resident = store_->get_ref(id)) return resident;
   std::optional<Row> row = store_->get(id);
-  assert(row && "fetch_row on absent id");
+  if (!row) return nullptr;  // spilled row unreadable (dead device)
   *scratch = std::move(*row);
-  return *scratch;
+  return scratch;
+}
+
+Status Table::row_unavailable(RowId id) const {
+  return Status(ErrorCode::kUnavailable,
+                "row " + std::to_string(id) + " of table '" + name_ +
+                    "' unreadable (storage read error)");
 }
 
 Status Table::create_index(const std::string& column) {
@@ -36,15 +42,18 @@ Status Table::create_index(const std::string& column) {
                   "no column '" + column + "' in table '" + name_ + "'");
   }
   if (indexes_.count(column)) return Status::ok();  // idempotent
+  // Backfill before the hook logs the DDL: a failed scan must leave neither
+  // a partial index nor a WAL record claiming the index exists.
+  IndexMap index;
+  Status scanned = store_->scan([&](RowId id, const Row& row) {
+    index.emplace(row[static_cast<std::size_t>(idx)], id);
+    return Status::ok();
+  });
+  if (!scanned.is_ok()) return scanned;
   if (index_hook_) {
     Status logged = index_hook_(column);
     if (!logged.is_ok()) return logged;
   }
-  IndexMap index;
-  store_->scan([&](RowId id, const Row& row) {
-    index.emplace(row[static_cast<std::size_t>(idx)], id);
-    return Status::ok();
-  });
   indexes_.emplace(column, std::move(index));
   return Status::ok();
 }
@@ -192,9 +201,10 @@ Result<std::vector<RowId>> Table::select_ordered_via_index(
     Row scratch;
     for (auto it = begin; it != end; ++it) {
       if (options.where) {
-        const Row& row = fetch_row(it->second, &scratch);
+        const Row* row = fetch_row(it->second, &scratch);
+        if (!row) return row_unavailable(it->second);
         bool match =
-            eval_predicate(*options.where, schema_, row, options.params,
+            eval_predicate(*options.where, schema_, *row, options.params,
                            &row_err);
         if (row_err.code != ErrorCode::kOk) return Status(row_err);
         if (!match) continue;
@@ -255,11 +265,12 @@ Result<std::vector<RowId>> Table::select(const ScanOptions& options) const {
   Row scratch;
   for (RowId id : cand.value()) {
     if (options.where) {
-      const Row& row = fetch_row(id, &scratch);
+      const Row* row = fetch_row(id, &scratch);
+      if (!row) return row_unavailable(id).error();
       // Eval errors (bad column, missing param) are real errors, not "false".
       Error row_err{ErrorCode::kOk, ""};
-      bool match =
-          eval_predicate(*options.where, schema_, row, options.params, &row_err);
+      bool match = eval_predicate(*options.where, schema_, *row, options.params,
+                                  &row_err);
       if (row_err.code != ErrorCode::kOk) return row_err;
       if (!match) continue;
     }
@@ -296,15 +307,19 @@ Status Table::order_rows(std::vector<RowId>& ids,
     }
     col_indexes.push_back(idx);
   }
-  // Pin each sorted row once: a spilled row is read from its run a single
-  // time, not once per comparison. std::map nodes keep references stable
-  // while the pin set grows mid-sort.
+  // Pin each spilled row once, up front: a run is read a single time (not
+  // once per comparison) and a read failure surfaces here as kUnavailable
+  // instead of feeding the comparator a garbage row.
   std::map<RowId, Row> pinned;
+  for (RowId id : ids) {
+    if (store_->get_ref(id) || pinned.count(id)) continue;
+    std::optional<Row> row = store_->get(id);
+    if (!row) return row_unavailable(id);
+    pinned.emplace(id, std::move(*row));
+  }
   auto row_of = [&](RowId id) -> const Row& {
     if (const Row* resident = store_->get_ref(id)) return *resident;
-    auto it = pinned.find(id);
-    if (it == pinned.end()) it = pinned.emplace(id, *store_->get(id)).first;
-    return it->second;
+    return pinned.find(id)->second;
   };
   std::stable_sort(ids.begin(), ids.end(), [&](RowId a, RowId b) {
     const Row& ra = row_of(a);
@@ -338,7 +353,9 @@ Result<std::size_t> Table::update(
 
   std::size_t updated = 0;
   for (RowId id : matches.value()) {
-    Row old_row = *store_->get(id);
+    std::optional<Row> fetched = store_->get(id);
+    if (!fetched) return row_unavailable(id).error();
+    Row old_row = std::move(*fetched);
     Row new_row = old_row;
     for (std::size_t a = 0; a < assignments.size(); ++a) {
       Result<Value> v =
@@ -385,10 +402,17 @@ Status Table::update_row(RowId id, Row row) {
 Result<std::size_t> Table::erase(const ScanOptions& options) {
   Result<std::vector<RowId>> matches = select(options);
   if (!matches.ok()) return matches.error();
+  std::size_t erased = 0;
   for (RowId id : matches.value()) {
-    erase_row(id);
+    if (erase_row(id)) {
+      ++erased;
+    } else if (store_->contains(id)) {
+      // Live but unreadable (erase_row could not fetch the old row for the
+      // undo journal): report it rather than under-counting silently.
+      return row_unavailable(id).error();
+    }
   }
-  return matches.value().size();
+  return erased;
 }
 
 bool Table::erase_row(RowId id) {
@@ -403,17 +427,26 @@ bool Table::erase_row(RowId id) {
   return true;
 }
 
-void Table::clear() {
+Status Table::clear() {
   if (journal_) {
-    store_->scan([&](RowId id, const Row& row) {
+    // Journal every row before wiping anything: if a spilled row cannot be
+    // read, abort with the journal rewound so a rollback of the enclosing
+    // transaction does not resurrect rows that were never deleted.
+    const std::size_t mark = journal_->size();
+    Status scanned = store_->scan([&](RowId id, const Row& row) {
       journal_->push_back({UndoRecord::Kind::kDelete, name_, id, row});
       return Status::ok();
     });
+    if (!scanned.is_ok()) {
+      journal_->resize(mark);
+      return scanned;
+    }
   }
   store_->clear();
   for (auto& [column, index] : indexes_) {
     index.clear();
   }
+  return Status::ok();
 }
 
 std::vector<RowId> Table::all_row_ids() const { return store_->ids(); }

@@ -94,8 +94,10 @@ class Table {
   /// Delete one row by id. Returns false when absent.
   bool erase_row(RowId id);
 
-  /// Remove every row (keeps schema and index definitions).
-  void clear();
+  /// Remove every row (keeps schema and index definitions). Fails without
+  /// touching the store when a spilled row cannot be read for the undo
+  /// journal (the rollback would otherwise lose rows silently).
+  Status clear();
 
   /// All row ids in insertion (row-id) order.
   std::vector<RowId> all_row_ids() const;
@@ -158,9 +160,14 @@ class Table {
       const ScanOptions& options, const IndexMap& index) const;
 
   /// Borrow the row under `id` without copying when it is memory-resident;
-  /// spilled rows are materialized into `*scratch`. The caller must not
-  /// mutate the store while the reference is live.
-  const Row& fetch_row(RowId id, Row* scratch) const;
+  /// spilled rows are materialized into `*scratch`. Returns nullptr when a
+  /// spilled row cannot be read (device error) — callers surface
+  /// row_unavailable() instead of proceeding with a garbage row. The caller
+  /// must not mutate the store while the pointer is live.
+  const Row* fetch_row(RowId id, Row* scratch) const;
+
+  /// kUnavailable for a live row whose backing run could not be read.
+  Status row_unavailable(RowId id) const;
 
   std::string name_;
   Schema schema_;

@@ -441,7 +441,13 @@ std::optional<db::Row> StorageEngine::find_in_runs_locked(
     std::size_t ordinal =
         static_cast<std::size_t>(std::prev(it) - run->blocks.begin());
     BlockCache::Block block = read_block_locked(*run, ordinal);
-    if (!block) continue;  // read error counted; try older runs
+    if (!block) {
+      // Read error (counted in read_block_locked) on a run that may hold the
+      // newest version of this row: falling through to older runs could
+      // silently serve a stale version. Fail the lookup instead — a nullopt
+      // for a live id is the unreadable-row signal (row_store.h contract).
+      return std::nullopt;
+    }
     auto entry = std::lower_bound(
         block->begin(), block->end(), id,
         [](const RunEntry& e, db::RowId target) { return e.id < target; });

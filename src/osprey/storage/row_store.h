@@ -12,6 +12,10 @@
 //    pointer only when the row is memory-resident — callers fall back to
 //    get() when it yields nullptr. A returned pointer is invalidated by the
 //    next mutation of the store.
+//  - get() returning nullopt for an id that contains() reports live means
+//    the backing run could not be read (device error). Table surfaces this
+//    as kUnavailable; it never treats a live-but-unreadable row as absent,
+//    and the engine never falls back to a stale older version.
 //  - ids() and scan() enumerate live rows in ascending id order, which keeps
 //    unindexed scans deterministic.
 #pragma once

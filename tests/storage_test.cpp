@@ -427,7 +427,7 @@ TEST(LsmEngineTest, ClearAndDropTableDeleteUnpinnedRuns) {
     ASSERT_TRUE(tasks->insert(make_task(i, "queued", 64, 0)).ok());
   }
   ASSERT_GT(h.engine.stats().runs, 0u);
-  tasks->clear();
+  ASSERT_TRUE(tasks->clear().is_ok());
   EXPECT_EQ(h.engine.stats().runs, 0u);
   EXPECT_EQ(tasks->row_count(), 0u);
   // No manifest was ever written, so nothing is pinned: the run segments are
@@ -436,6 +436,80 @@ TEST(LsmEngineTest, ClearAndDropTableDeleteUnpinnedRuns) {
   for (const std::string& name : device_names) {
     EXPECT_NE(name.rfind("sst-", 0), 0u) << name;
   }
+}
+
+// A dead device must surface spilled-row reads as kUnavailable at every
+// Table entry point — never as a silently absent row, a stale older
+// version, or (in release builds) a moved-from garbage row.
+TEST(LsmEngineTest, DeadDeviceSurfacesUnavailableNotGarbage) {
+  auto disk = std::make_shared<db::wal::SimDisk>();
+  EngineHarness h(disk);
+  Table* tasks = h.create_tasks();
+  for (int i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(tasks->insert(make_task(i, "queued", 64, 0.5 * i)).ok());
+  }
+  ASSERT_GT(h.engine.stats().spilled_rows, 0u);
+  // A live row resident only in a run.
+  RowId spilled = 0;
+  for (RowId id : tasks->all_row_ids()) {
+    if (!tasks->store().get_ref(id)) {
+      spilled = id;
+      break;
+    }
+  }
+  ASSERT_NE(spilled, 0u);
+  // The oldest row spilled first: the mutation checks below rely on the
+  // failure hitting id 1 before any resident row is touched.
+  ASSERT_EQ(spilled, 1u);
+
+  h.device.crash();
+
+  // Point read: still reported live, but the row itself is unreadable —
+  // nullopt (the row_store.h unreadable signal), not a stale version.
+  EXPECT_TRUE(tasks->store().contains(spilled));
+  EXPECT_FALSE(tasks->get(spilled).has_value());
+
+  // Predicate scan fetches every candidate row: kUnavailable, not a miss.
+  db::ScanOptions where_queued;
+  where_queued.where = db::eq("status", Value(std::string("queued")));
+  auto selected = tasks->select(where_queued);
+  ASSERT_FALSE(selected.ok());
+  EXPECT_EQ(selected.code(), ErrorCode::kUnavailable);
+
+  // ORDER BY pins spilled rows before sorting: the pin failure propagates.
+  db::ScanOptions by_score;
+  by_score.order_by = {{"score", true}};
+  auto sorted = tasks->select(by_score);
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_EQ(sorted.code(), ErrorCode::kUnavailable);
+
+  // UPDATE re-reads the old row for the undo journal and index maintenance.
+  auto updated =
+      tasks->update({}, {{"status", db::lit(Value(std::string("lost")))}});
+  ASSERT_FALSE(updated.ok());
+  EXPECT_EQ(updated.code(), ErrorCode::kUnavailable);
+
+  // DELETE: erase_row cannot fetch the old row for the undo journal and the
+  // row stays live — surfaced as an error, not a silent under-count.
+  auto erased = tasks->erase({});
+  ASSERT_FALSE(erased.ok());
+  EXPECT_EQ(erased.code(), ErrorCode::kUnavailable);
+
+  // CREATE INDEX backfill aborts cleanly; no partial index is installed.
+  Status indexed = tasks->create_index("score");
+  ASSERT_FALSE(indexed.is_ok());
+  EXPECT_EQ(indexed.code(), ErrorCode::kUnavailable);
+  EXPECT_FALSE(tasks->has_index("score"));
+
+  // clear() under a journal aborts before wiping the store, and the rewound
+  // journal leaves the rollback a no-op.
+  {
+    db::Transaction txn(h.db);
+    Status cleared = tasks->clear();
+    ASSERT_FALSE(cleared.is_ok());
+    EXPECT_EQ(cleared.code(), ErrorCode::kUnavailable);
+  }
+  EXPECT_EQ(tasks->row_count(), 100u);
 }
 
 // --- WAL + manifest integration ----------------------------------------------
