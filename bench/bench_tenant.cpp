@@ -1,0 +1,317 @@
+// Multi-tenant front door benchmark (ROADMAP item 4, DESIGN.md §5.13):
+// weighted-fair scheduling quality, noisy-neighbor isolation, and the raw
+// admission-control cost.
+//
+// Three experiments against the real EQSQL claim path:
+//
+//  - fair_share: four backlogged tenants with weights 4:3:2:1 claimed in
+//    worker-sized batches; reports each tenant's service share and the
+//    weighted Jain fairness index J = (sum x)^2 / (n * sum x^2) over
+//    x_i = served_i / weight_i. Stride scheduling should hold J ~ 1.0;
+//    the shape check requires >= 0.99.
+//  - isolation: the ISSUE acceptance scenario on a virtual-clock fleet —
+//    tenant A floods at 10x its quota while tenant B runs a steady
+//    campaign; reports B's p99 task-cycle latency uncontended vs contended.
+//    The shape check enforces contended <= 2x baseline and that A's
+//    in-flight never crossed its quota.
+//  - admission: wall-clock cost of the front door itself — admit/release
+//    cycles and at-quota rejections per second on a TenantRegistry.
+//
+// Prints the table, emits BENCH_tenant.json, exits nonzero on FAIL.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "osprey/core/clock.h"
+#include "osprey/eqsql/db_api.h"
+#include "osprey/eqsql/service.h"
+#include "osprey/tenant/registry.h"
+
+using namespace osprey;
+using namespace osprey::tenant;
+
+namespace {
+
+constexpr WorkType kWork = 1;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double p99(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  return xs[static_cast<std::size_t>(0.99 * (xs.size() - 1))];
+}
+
+// --- fair_share --------------------------------------------------------------
+
+struct FairShareResult {
+  std::vector<int> served;  // per tenant
+  double jain = 0.0;
+  double claims_per_s = 0.0;
+};
+
+FairShareResult run_fair_share(const std::vector<double>& weights,
+                               int claims) {
+  ManualClock clock;
+  eqsql::EmewsService service(clock);
+  if (!service.start().is_ok() || !service.enable_tenants().is_ok()) {
+    std::abort();
+  }
+  std::vector<std::unique_ptr<eqsql::EQSQL>> apis;
+  const int per_tenant = claims;  // nobody drains inside the window
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    TenantConfig config;
+    config.weight = weights[t];
+    if (!service.tenants()
+             ->register_tenant("t" + std::to_string(t), config)
+             .is_ok()) {
+      std::abort();
+    }
+    auto api = service.connect_as("t" + std::to_string(t));
+    if (!api.ok()) std::abort();
+    apis.push_back(std::move(api).take());
+    std::vector<std::string> payloads(per_tenant, std::to_string(t));
+    if (!apis[t]->submit_tasks("bench", kWork, payloads).ok()) std::abort();
+  }
+  FairShareResult out;
+  out.served.assign(weights.size(), 0);
+  const double t0 = now_s();
+  int claimed = 0;
+  while (claimed < claims) {
+    auto batch = apis[0]->try_query_tasks(
+        kWork, std::min(16, claims - claimed), "fleet");
+    if (!batch.ok() || batch.value().empty()) std::abort();
+    for (const auto& handle : batch.value()) {
+      ++out.served[static_cast<std::size_t>(std::stoi(handle.payload))];
+      ++claimed;
+    }
+  }
+  const double elapsed = now_s() - t0;
+  out.claims_per_s = claims / std::max(elapsed, 1e-9);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    const double x = out.served[t] / weights[t];
+    sum += x;
+    sum_sq += x * x;
+  }
+  out.jain = (sum * sum) / (static_cast<double>(weights.size()) * sum_sq);
+  return out;
+}
+
+// --- isolation ---------------------------------------------------------------
+
+struct IsolationResult {
+  double p99_s = 0.0;
+  std::uint64_t rejected = 0;
+  std::int64_t peak_in_flight = 0;
+  bool quota_held = true;
+};
+
+/// The chaos scenario on a deterministic virtual-clock fleet: B submits 2
+/// tasks/tick into a 20-worker fleet (4-tick runtime); with `flood`, A
+/// hammers the door at 10x its quota of 20 every tick.
+IsolationResult run_isolation(bool flood) {
+  constexpr int kWorkers = 20;
+  constexpr double kRuntime = 4.0;
+  constexpr int kBTasks = 300;
+  constexpr std::uint64_t kQuota = 20;
+  IsolationResult out;
+  ManualClock clock;
+  eqsql::EmewsService service(clock);
+  if (!service.start().is_ok() || !service.enable_tenants().is_ok()) {
+    std::abort();
+  }
+  TenantConfig a_config;
+  a_config.submit_quota = kQuota;
+  if (!service.tenants()->register_tenant("A", a_config).is_ok() ||
+      !service.tenants()->register_tenant("B").is_ok()) {
+    std::abort();
+  }
+  auto a_api = service.connect_as("A").take();
+  auto b_api = service.connect_as("B").take();
+  auto workers = service.connect().take();
+
+  struct Running {
+    TaskId id;
+    bool is_b;
+    double done_at;
+  };
+  std::vector<Running> fleet;
+  std::map<TaskId, double> b_submitted_at;
+  std::vector<double> b_latencies;
+  int b_submitted = 0, b_reported = 0;
+  for (int tick = 0; tick < 5000; ++tick) {
+    const double now = static_cast<double>(tick);
+    clock.set(now);
+    for (auto it = fleet.begin(); it != fleet.end();) {
+      if (it->done_at <= now) {
+        if (!workers->report_task(it->id, kWork, "r").is_ok()) std::abort();
+        if (it->is_b) {
+          ++b_reported;
+          b_latencies.push_back(now - b_submitted_at[it->id]);
+        }
+        it = fleet.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (int i = 0; i < 2 && b_submitted < kBTasks; ++i) {
+      auto id = b_api->submit_task("campaign", kWork, "b");
+      if (!id.ok()) std::abort();
+      b_submitted_at[id.value()] = now;
+      ++b_submitted;
+    }
+    if (flood) {
+      for (std::uint64_t i = 0; i < kQuota * 10; ++i) {
+        (void)a_api->submit_task("flood", kWork, "a");
+      }
+      const TenantStats a = service.tenants()->stats_for("A").value();
+      out.peak_in_flight =
+          std::max(out.peak_in_flight, a.queued + a.running);
+      if (a.queued + a.running > static_cast<std::int64_t>(kQuota)) {
+        out.quota_held = false;
+      }
+    }
+    const int free = kWorkers - static_cast<int>(fleet.size());
+    if (free > 0) {
+      auto batch = workers->try_query_tasks(kWork, free, "fleet");
+      if (!batch.ok()) std::abort();
+      for (const auto& handle : batch.value()) {
+        fleet.push_back(
+            {handle.eq_task_id, handle.payload == "b", now + kRuntime});
+      }
+    }
+    if (b_submitted == kBTasks && b_reported == kBTasks) break;
+  }
+  if (b_reported != kBTasks) std::abort();
+  out.p99_s = p99(b_latencies);
+  out.rejected = service.tenants()->stats_for("A").value().rejected;
+  return out;
+}
+
+// --- admission ---------------------------------------------------------------
+
+struct AdmissionResult {
+  double admit_cycles_per_s = 0.0;
+  double rejects_per_s = 0.0;
+};
+
+AdmissionResult run_admission() {
+  AdmissionResult out;
+  TenantRegistry registry;
+  TenantConfig config;
+  config.submit_quota = 64;
+  if (!registry.register_tenant("t", config).is_ok()) std::abort();
+  constexpr int kCycles = 200000;
+  double t0 = now_s();
+  for (int i = 0; i < kCycles; ++i) {
+    if (!registry.admit("t", 1).is_ok()) std::abort();
+    registry.on_claimed("t", 1);
+    registry.on_finished("t", 1, /*from_queue=*/false, 0.01, 0.01);
+  }
+  out.admit_cycles_per_s = kCycles / std::max(now_s() - t0, 1e-9);
+  // At-quota rejections: the hot path a flood actually exercises.
+  if (!registry.admit("t", 64).is_ok()) std::abort();
+  t0 = now_s();
+  for (int i = 0; i < kCycles; ++i) {
+    if (registry.admit("t", 1).is_ok()) std::abort();
+  }
+  out.rejects_per_s = kCycles / std::max(now_s() - t0, 1e-9);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bool failed = false;
+  osprey::bench::JsonWriter json("tenant");
+
+  const std::vector<double> weights = {4, 3, 2, 1};
+  const FairShareResult fair = run_fair_share(weights, 2000);
+  std::printf("fair_share: weights 4:3:2:1, 2000 claims\n");
+  for (std::size_t t = 0; t < weights.size(); ++t) {
+    std::printf("  t%zu  weight %.0f  served %d (ideal %.0f)\n", t,
+                weights[t], fair.served[t], 2000 * weights[t] / 10.0);
+  }
+  std::printf("  jain(weighted) %.4f   claims/s %.0f\n", fair.jain,
+              fair.claims_per_s);
+  {
+    json::Object row;
+    row["name"] = "fair_share";
+    row["tenants"] = static_cast<std::int64_t>(weights.size());
+    row["claims"] = static_cast<std::int64_t>(2000);
+    row["jain_weighted"] = fair.jain;
+    row["claims_per_s"] = fair.claims_per_s;
+    for (std::size_t t = 0; t < weights.size(); ++t) {
+      row["served_t" + std::to_string(t)] =
+          static_cast<std::int64_t>(fair.served[t]);
+    }
+    json.add(std::move(row));
+  }
+  if (fair.jain < 0.99) {
+    std::printf("FAIL: weighted Jain index %.4f < 0.99\n", fair.jain);
+    failed = true;
+  }
+
+  const IsolationResult baseline = run_isolation(/*flood=*/false);
+  const IsolationResult contended = run_isolation(/*flood=*/true);
+  const double ratio =
+      baseline.p99_s > 0 ? contended.p99_s / baseline.p99_s : 0.0;
+  std::printf(
+      "isolation: B p99 %.1fs uncontended, %.1fs under 10x-quota flood "
+      "(%.2fx); A rejected %llu, peak in-flight %lld\n",
+      baseline.p99_s, contended.p99_s, ratio,
+      static_cast<unsigned long long>(contended.rejected),
+      static_cast<long long>(contended.peak_in_flight));
+  {
+    json::Object row;
+    row["name"] = "isolation";
+    row["baseline_p99_s"] = baseline.p99_s;
+    row["contended_p99_s"] = contended.p99_s;
+    row["p99_ratio"] = ratio;
+    row["flood_rejected"] =
+        static_cast<std::int64_t>(contended.rejected);
+    row["flood_peak_in_flight"] = contended.peak_in_flight;
+    json.add(std::move(row));
+  }
+  if (!contended.quota_held) {
+    std::printf("FAIL: flooding tenant crossed its quota\n");
+    failed = true;
+  }
+  if (contended.rejected == 0) {
+    std::printf("FAIL: the flood was never rejected\n");
+    failed = true;
+  }
+  if (ratio > 2.0) {
+    std::printf("FAIL: contended p99 %.2fx baseline (> 2x bound)\n", ratio);
+    failed = true;
+  }
+
+  const AdmissionResult admission = run_admission();
+  std::printf("admission: %.0f admit cycles/s, %.0f rejects/s\n",
+              admission.admit_cycles_per_s, admission.rejects_per_s);
+  {
+    json::Object row;
+    row["name"] = "admission";
+    row["admit_cycles_per_s"] = admission.admit_cycles_per_s;
+    row["rejects_per_s"] = admission.rejects_per_s;
+    json.add(std::move(row));
+  }
+
+  json.write();
+  if (failed) {
+    std::printf("RESULT: FAIL\n");
+    return 1;
+  }
+  std::printf("RESULT: OK\n");
+  return 0;
+}

@@ -10,11 +10,15 @@ Checks, exiting nonzero if any fail:
     renamed or deleted symbol fails until the table is updated.
   - Every public declaration in the guarded headers appears in the table,
     so new surface cannot land undocumented:
-      * src/osprey/eqsql/wait.h and notify.h (the §5.10 wait plane) and
-        src/osprey/shard/{key,cluster,router}.h (the §5.11 sharding plane):
+      * src/osprey/eqsql/wait.h and notify.h (the §5.10 wait plane),
+        src/osprey/shard/{key,cluster,router}.h (the §5.11 sharding plane),
+        src/osprey/storage/engine.h (§5.12), and
+        src/osprey/tenant/registry.h (the §5.13 multi-tenant front door):
         namespace-scope struct / class / enum class definitions,
         `using X =` aliases, and free functions;
-      * src/osprey/capi/osprey_c.h: every declared osprey_* function.
+      * src/osprey/capi/osprey_c.h: every declared osprey_* function AND
+        every osprey_* struct typedef (the v2 surface is struct-based, so
+        the size-prefixed request/stats structs are public API too).
 """
 import re
 import sys
@@ -31,6 +35,7 @@ CPP_GUARDED = [
     "src/osprey/shard/cluster.h",
     "src/osprey/shard/router.h",
     "src/osprey/storage/engine.h",
+    "src/osprey/tenant/registry.h",
 ]
 C_GUARDED = "src/osprey/capi/osprey_c.h"
 
@@ -105,6 +110,13 @@ def c_public_functions(text):
     return set(re.findall(r"\b(osprey_\w+)\s*\(", strip_comments(text)))
 
 
+def c_public_typedefs(text):
+    """Every osprey_* struct typedef — opaque handles and the v2
+    size-prefixed request/stats structs alike."""
+    stripped = strip_comments(text)
+    return set(re.findall(r"typedef\s+struct\s+(osprey_\w+)", stripped))
+
+
 def main():
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
     design = (root / "DESIGN.md").read_text(encoding="utf-8")
@@ -132,7 +144,7 @@ def main():
                 fail(f"{header} declares '{symbol}', missing from the "
                      "DESIGN.md api-surface table")
     c_text = (root / C_GUARDED).read_text(encoding="utf-8")
-    for symbol in sorted(c_public_functions(c_text)):
+    for symbol in sorted(c_public_functions(c_text) | c_public_typedefs(c_text)):
         if (C_GUARDED, symbol) not in listed:
             fail(f"{C_GUARDED} declares '{symbol}', missing from the "
                  "DESIGN.md api-surface table")

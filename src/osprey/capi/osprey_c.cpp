@@ -1,9 +1,14 @@
+/* The library builds the v1 surface it still ships. */
+#define OSPREY_ALLOW_DEPRECATED
+
 #include "osprey/capi/osprey_c.h"
 
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +16,7 @@
 #include "osprey/eqsql/service.h"
 #include "osprey/shard/key.h"
 #include "osprey/storage/engine.h"
+#include "osprey/tenant/registry.h"
 
 using osprey::ErrorCode;
 using osprey::Status;
@@ -109,6 +115,55 @@ int scatter_query_task(osprey_client* client, int eq_type,
     if (delay <= 0 || delay > remaining) delay = remaining;
     osprey::RealClock::sleep_for(delay);
   }
+}
+
+/* Read a caller's size-prefixed struct at the ABI the caller compiled
+ * against: start from this library's defaults, then overlay the caller's
+ * leading min(their size, ours) bytes. Fields the caller predates keep
+ * their defaults; fields the caller has that we don't are ignored. */
+template <typename T>
+T read_versioned(const T* caller, void (*init)(T*)) {
+  T local;
+  init(&local);
+  if (caller && caller->struct_size > 0) {
+    std::memcpy(&local, caller, std::min(caller->struct_size, sizeof(T)));
+    local.struct_size = sizeof(T);
+  }
+  return local;
+}
+
+/* The one claim path both osprey_query_task_wait (v1) and
+ * osprey_query_task_v2 resolve to. */
+int query_one_task(osprey_client* client, int eq_type, const char* worker_pool,
+                   const osprey::eqsql::WaitSpec& spec, int64_t* task_id_out,
+                   char* payload_buf, size_t payload_buf_size) {
+  if (!client || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
+  if (client->service->spec.key == shard::ShardKeyKind::kExpId &&
+      client->apis.size() > 1) {
+    return scatter_query_task(client, eq_type, worker_pool, spec, task_id_out,
+                              payload_buf, payload_buf_size);
+  }
+  const shard::ShardId s =
+      shard::shard_of_work_type(client->service->spec, eq_type);
+  auto tasks = client->apis[s]->query_task(
+      eq_type, 1, worker_pool ? worker_pool : "default", spec);
+  if (!tasks.ok()) return to_c_error(tasks.code());
+  const osprey::eqsql::TaskHandle& handle = tasks.value().front();
+  int copied = copy_string(handle.payload, payload_buf, payload_buf_size);
+  if (copied != OSPREY_OK) return copied;
+  *task_id_out = shard::global_task_id(handle.eq_task_id, s);
+  return OSPREY_OK;
+}
+
+osprey::tenant::TenantConfig to_tenant_config(
+    const osprey_tenant_config_t* config) {
+  osprey_tenant_config_t c =
+      read_versioned(config, osprey_tenant_config_init);
+  osprey::tenant::TenantConfig out;
+  out.submit_quota = c.submit_quota;
+  out.max_queue_depth = c.max_queue_depth;
+  out.weight = c.weight;
+  return out;
 }
 
 }  // namespace
@@ -320,16 +375,15 @@ void osprey_client_destroy(osprey_client* client) { delete client; }
 int osprey_submit_task(osprey_client* client, const char* exp_id, int eq_type,
                        const char* payload, int priority, const char* tag,
                        int64_t* task_id_out) {
-  if (!client || !exp_id || !payload || !task_id_out) {
-    return OSPREY_E_INVALID_ARGUMENT;
-  }
-  const shard::ShardId s =
-      shard::shard_for(client->service->spec, eq_type, exp_id);
-  auto id = client->apis[s]->submit_task(exp_id, eq_type, payload, priority,
-                                         tag ? tag : "");
-  if (!id.ok()) return to_c_error(id.code());
-  *task_id_out = shard::global_task_id(id.value(), s);
-  return OSPREY_OK;
+  /* Thin wrapper over the v2 entry point: an untenanted spec. */
+  osprey_task_spec_t spec;
+  osprey_task_spec_init(&spec);
+  spec.exp_id = exp_id;
+  spec.eq_type = eq_type;
+  spec.priority = priority;
+  spec.payload = payload;
+  spec.tag = tag;
+  return osprey_submit_task_v2(client, &spec, task_id_out);
 }
 
 int osprey_query_task(osprey_client* client, int eq_type,
@@ -370,23 +424,8 @@ int osprey_query_task_wait(osprey_client* client, int eq_type,
                            const char* worker_pool,
                            const osprey_wait_spec* wait, int64_t* task_id_out,
                            char* payload_buf, size_t payload_buf_size) {
-  if (!client || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
-  const osprey::eqsql::WaitSpec spec = to_wait_spec(wait);
-  if (client->service->spec.key == shard::ShardKeyKind::kExpId &&
-      client->apis.size() > 1) {
-    return scatter_query_task(client, eq_type, worker_pool, spec, task_id_out,
-                              payload_buf, payload_buf_size);
-  }
-  const shard::ShardId s =
-      shard::shard_of_work_type(client->service->spec, eq_type);
-  auto tasks = client->apis[s]->query_task(
-      eq_type, 1, worker_pool ? worker_pool : "default", spec);
-  if (!tasks.ok()) return to_c_error(tasks.code());
-  const osprey::eqsql::TaskHandle& handle = tasks.value().front();
-  int copied = copy_string(handle.payload, payload_buf, payload_buf_size);
-  if (copied != OSPREY_OK) return copied;
-  *task_id_out = shard::global_task_id(handle.eq_task_id, s);
-  return OSPREY_OK;
+  return query_one_task(client, eq_type, worker_pool, to_wait_spec(wait),
+                        task_id_out, payload_buf, payload_buf_size);
 }
 
 int osprey_query_result_wait(osprey_client* client, int64_t task_id,
@@ -524,6 +563,207 @@ int osprey_queued_count(osprey_client* client, int eq_type,
     total += count.value();
   }
   *count_out = total;
+  return OSPREY_OK;
+}
+
+/* --- the v2 surface -------------------------------------------------------- */
+
+void osprey_task_spec_init(osprey_task_spec_t* spec) {
+  if (!spec) return;
+  std::memset(spec, 0, sizeof(*spec));
+  spec->struct_size = sizeof(*spec);
+}
+
+int osprey_submit_task_v2(osprey_client* client,
+                          const osprey_task_spec_t* caller_spec,
+                          int64_t* task_id_out) {
+  if (!client || !caller_spec || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
+  const osprey_task_spec_t spec =
+      read_versioned(caller_spec, osprey_task_spec_init);
+  if (!spec.exp_id || !spec.payload) return OSPREY_E_INVALID_ARGUMENT;
+  const shard::ShardId s =
+      shard::shard_for(client->service->spec, spec.eq_type, spec.exp_id);
+  const osprey::TenantId tenant = spec.tenant ? spec.tenant : "";
+  auto id = client->apis[s]->submit_task_as(tenant, spec.exp_id, spec.eq_type,
+                                            spec.payload, spec.priority,
+                                            spec.tag ? spec.tag : "");
+  if (!id.ok()) return to_c_error(id.code());
+  *task_id_out = shard::global_task_id(id.value(), s);
+  return OSPREY_OK;
+}
+
+void osprey_claim_spec_init(osprey_claim_spec_t* spec) {
+  if (!spec) return;
+  std::memset(spec, 0, sizeof(*spec));
+  spec->struct_size = sizeof(*spec);
+  osprey_wait_spec_init(&spec->wait);
+}
+
+int osprey_query_task_v2(osprey_client* client,
+                         const osprey_claim_spec_t* caller_spec,
+                         int64_t* task_id_out, char* payload_buf,
+                         size_t payload_buf_size) {
+  if (!client || !caller_spec || !task_id_out) return OSPREY_E_INVALID_ARGUMENT;
+  const osprey_claim_spec_t spec =
+      read_versioned(caller_spec, osprey_claim_spec_init);
+  return query_one_task(client, spec.eq_type, spec.worker_pool,
+                        to_wait_spec(&spec.wait), task_id_out, payload_buf,
+                        payload_buf_size);
+}
+
+void osprey_stats_v2_init(osprey_stats_v2_t* stats) {
+  if (!stats) return;
+  std::memset(stats, 0, sizeof(*stats));
+  stats->struct_size = sizeof(*stats);
+}
+
+int osprey_stats_v2(osprey_client* client, int32_t shard_index,
+                    osprey_stats_v2_t* stats_out) {
+  if (!client || !stats_out) return OSPREY_E_INVALID_ARGUMENT;
+  if (shard_index >= 0 &&
+      static_cast<size_t>(shard_index) >= client->apis.size()) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  /* The caller's struct_size bounds what we write back: build the full
+   * current-ABI snapshot locally, then copy their prefix. */
+  const size_t caller_size = stats_out->struct_size;
+  osprey_stats_v2_t total;
+  osprey_stats_v2_init(&total);
+  for (size_t s = 0; s < client->apis.size(); ++s) {
+    if (shard_index >= 0 && s != static_cast<size_t>(shard_index)) continue;
+    auto stats = client->apis[s]->stats();
+    if (!stats.ok()) return to_c_error(stats.code());
+    total.output_queue += stats.value().output_queue;
+    total.input_queue += stats.value().input_queue;
+    total.queued += stats.value().queued;
+    total.running += stats.value().running;
+    total.complete += stats.value().complete;
+    total.canceled += stats.value().canceled;
+    osprey::storage::StorageEngine* engine =
+        client->service->shards[s]->storage();
+    if (!engine) continue;
+    total.storage_enabled = 1;
+    const osprey::storage::StorageStats ss = engine->stats();
+    total.storage_memtable_bytes += ss.memtable_bytes;
+    total.storage_memtable_rows += ss.memtable_rows;
+    total.storage_spilled_rows += ss.spilled_rows;
+    total.storage_runs += ss.runs;
+    total.storage_run_bytes += ss.run_bytes;
+    total.storage_zombie_runs += ss.zombie_runs;
+    total.storage_flushes += ss.flushes;
+    total.storage_flush_failures += ss.flush_failures;
+    total.storage_compactions += ss.compactions;
+    total.storage_cache_hits += ss.cache_hits;
+    total.storage_cache_misses += ss.cache_misses;
+    total.storage_read_errors += ss.read_errors;
+  }
+  std::memcpy(stats_out, &total,
+              std::min(caller_size, sizeof(osprey_stats_v2_t)));
+  stats_out->struct_size = caller_size;
+  return OSPREY_OK;
+}
+
+/* --- multi-tenancy --------------------------------------------------------- */
+
+void osprey_tenant_config_init(osprey_tenant_config_t* config) {
+  if (!config) return;
+  std::memset(config, 0, sizeof(*config));
+  config->struct_size = sizeof(*config);
+  const osprey::tenant::TenantConfig defaults;
+  config->submit_quota = defaults.submit_quota;
+  config->max_queue_depth = defaults.max_queue_depth;
+  config->weight = defaults.weight;
+}
+
+int osprey_service_enable_tenants(osprey_service* service) {
+  if (!service) return OSPREY_E_INVALID_ARGUMENT;
+  for (auto& s : service->shards) {
+    Status enabled = s->enable_tenants();
+    if (!enabled.is_ok()) return to_c_error(enabled.code());
+  }
+  return OSPREY_OK;
+}
+
+int osprey_tenant_register(osprey_service* service, const char* tenant,
+                           const osprey_tenant_config_t* config) {
+  if (!service || !tenant) return OSPREY_E_INVALID_ARGUMENT;
+  const osprey::tenant::TenantConfig cpp_config = to_tenant_config(config);
+  for (auto& s : service->shards) {
+    if (!s->tenants()) return OSPREY_E_UNAVAILABLE;
+    Status registered = s->tenants()->register_tenant(tenant, cpp_config);
+    if (!registered.is_ok()) return to_c_error(registered.code());
+  }
+  return OSPREY_OK;
+}
+
+int osprey_tenant_set_config(osprey_service* service, const char* tenant,
+                             const osprey_tenant_config_t* config) {
+  if (!service || !tenant || !config) return OSPREY_E_INVALID_ARGUMENT;
+  const osprey::tenant::TenantConfig cpp_config = to_tenant_config(config);
+  for (auto& s : service->shards) {
+    if (!s->tenants()) return OSPREY_E_UNAVAILABLE;
+    Status set = s->tenants()->set_config(tenant, cpp_config);
+    if (!set.is_ok()) return to_c_error(set.code());
+  }
+  return OSPREY_OK;
+}
+
+int osprey_tenant_stats_v2(osprey_client* client,
+                           osprey_tenant_stats_row_t* rows, size_t max_rows,
+                           size_t* count_out) {
+  if (!client || !count_out || (!rows && max_rows > 0)) {
+    return OSPREY_E_INVALID_ARGUMENT;
+  }
+  /* Merge per-shard registry snapshots by tenant id: counters and depths
+   * sum; the config shown is the (identical) per-shard policy. */
+  std::map<osprey::TenantId, osprey::tenant::TenantStats> merged;
+  bool any = false;
+  for (auto& shard_service : client->service->shards) {
+    osprey::tenant::TenantRegistry* registry = shard_service->tenants();
+    if (!registry) continue;
+    any = true;
+    for (const osprey::tenant::TenantStats& s : registry->stats()) {
+      auto [it, inserted] = merged.emplace(s.tenant, s);
+      if (inserted) continue;
+      osprey::tenant::TenantStats& m = it->second;
+      m.queued += s.queued;
+      m.running += s.running;
+      m.admitted += s.admitted;
+      m.rejected += s.rejected;
+      m.claimed += s.claimed;
+      m.completed += s.completed;
+      m.cost_task_seconds += s.cost_task_seconds;
+    }
+  }
+  if (!any) return OSPREY_E_UNAVAILABLE;
+  *count_out = merged.size();
+
+  /* rows[0].struct_size is the caller's compiled row size — the stride we
+   * walk their array with and the bound on what we write per row. */
+  const size_t stride = max_rows > 0 ? rows[0].struct_size : 0;
+  if (max_rows > 0 && stride == 0) return OSPREY_E_INVALID_ARGUMENT;
+  size_t written = 0;
+  auto* base = reinterpret_cast<char*>(rows);
+  for (const auto& [tenant, stats] : merged) {
+    if (written >= max_rows) break;
+    osprey_tenant_stats_row_t row;
+    std::memset(&row, 0, sizeof(row));
+    row.struct_size = stride;
+    std::strncpy(row.tenant, tenant.c_str(), sizeof(row.tenant) - 1);
+    row.submit_quota = stats.config.submit_quota;
+    row.max_queue_depth = stats.config.max_queue_depth;
+    row.weight = stats.config.weight;
+    row.queued = stats.queued;
+    row.running = stats.running;
+    row.admitted = stats.admitted;
+    row.rejected = stats.rejected;
+    row.claimed = stats.claimed;
+    row.completed = stats.completed;
+    row.cost_task_seconds = stats.cost_task_seconds;
+    std::memcpy(base + written * stride, &row,
+                std::min(stride, sizeof(row)));
+    ++written;
+  }
   return OSPREY_OK;
 }
 

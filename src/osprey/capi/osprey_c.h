@@ -14,6 +14,14 @@
  *  - strings are NUL-terminated UTF-8; output strings are copied into
  *    caller-provided buffers and truncated results fail with
  *    OSPREY_E_INVALID_ARGUMENT rather than overflow.
+ *
+ * Versioning (the v2 surface): request structs whose first field is
+ * struct_size. Callers osprey_*_init() the struct (which stamps the size
+ * they were compiled against), set fields, and pass it in; the library
+ * reads min(struct_size, its own sizeof) bytes and defaults the rest.
+ * Fields are only ever appended, so binaries compiled against an older
+ * header keep working against a newer library and vice versa. The v1
+ * entry points remain as thin wrappers; new code should use v2.
  */
 #ifndef OSPREY_CAPI_OSPREY_C_H_
 #define OSPREY_CAPI_OSPREY_C_H_
@@ -23,6 +31,20 @@
 
 #ifdef __cplusplus
 extern "C" {
+#endif
+
+/* Deprecation marker for the superseded v1 entry points. Define
+ * OSPREY_ALLOW_DEPRECATED before including this header to silence the
+ * warnings (e.g. a migration in progress, or a -Werror build that still
+ * exercises the compat surface on purpose). */
+#if defined(OSPREY_ALLOW_DEPRECATED)
+#define OSPREY_DEPRECATED(msg)
+#elif defined(__GNUC__) || defined(__clang__)
+#define OSPREY_DEPRECATED(msg) __attribute__((deprecated(msg)))
+#elif defined(_MSC_VER)
+#define OSPREY_DEPRECATED(msg) __declspec(deprecated(msg))
+#else
+#define OSPREY_DEPRECATED(msg)
 #endif
 
 /* Error codes: mirrors osprey::ErrorCode. */
@@ -37,6 +59,7 @@ enum {
   OSPREY_E_PERMISSION_DENIED = 7,
   OSPREY_E_CONFLICT = 8,
   OSPREY_E_INTERNAL = 9,
+  OSPREY_E_RESOURCE_EXHAUSTED = 10, /* tenant over quota / queue bound */
 };
 
 /* Task status values returned by osprey_task_status. */
@@ -182,7 +205,9 @@ int osprey_service_enable_storage(osprey_service* service,
                                   const osprey_storage_options* options);
 
 /* Storage counters summed across shards. OSPREY_E_UNAVAILABLE when the
- * engine was never enabled. */
+ * engine was never enabled. Deprecated: the storage_* fields of
+ * osprey_stats_v2 carry the same counters in one snapshot. */
+OSPREY_DEPRECATED("use osprey_stats_v2")
 int osprey_storage_stats_snapshot(const osprey_service* service,
                                   osprey_storage_stats* stats_out);
 
@@ -195,14 +220,18 @@ void osprey_client_destroy(osprey_client* client);
 /* --- the EQSQL task API (§V-A, Listing 1) -------------------------------- */
 
 /* Submit a task; on success writes the new task id to *task_id_out.
- * `tag` may be NULL. */
+ * `tag` may be NULL. Deprecated: positional arguments cannot grow —
+ * osprey_submit_task_v2 takes a versioned spec struct (and carries the
+ * tenant principal). */
+OSPREY_DEPRECATED("use osprey_submit_task_v2")
 int osprey_submit_task(osprey_client* client, const char* exp_id, int eq_type,
                        const char* payload, int priority, const char* tag,
                        int64_t* task_id_out);
 
 /* Pop one task for execution (worker-pool side), polling every `delay`
  * seconds up to `timeout`. On success writes the task id and copies the
- * payload into payload_buf. */
+ * payload into payload_buf. Deprecated: use osprey_query_task_v2. */
+OSPREY_DEPRECATED("use osprey_query_task_v2")
 int osprey_query_task(osprey_client* client, int eq_type,
                       const char* worker_pool, double delay, double timeout,
                       int64_t* task_id_out, char* payload_buf,
@@ -212,7 +241,9 @@ int osprey_query_task(osprey_client* client, int eq_type,
 int osprey_report_task(osprey_client* client, int64_t task_id, int eq_type,
                        const char* result);
 
-/* Retrieve a task's result, polling like osprey_query_task. */
+/* Retrieve a task's result, polling like osprey_query_task. Deprecated:
+ * osprey_query_result_wait takes the unified wait spec. */
+OSPREY_DEPRECATED("use osprey_query_result_wait")
 int osprey_query_result(osprey_client* client, int64_t task_id, double delay,
                         double timeout, char* result_buf,
                         size_t result_buf_size);
@@ -238,10 +269,14 @@ int osprey_peek_result(osprey_client* client, int64_t task_id,
                        char* result_buf, size_t result_buf_size);
 
 /* Queue depth and task state counts in one snapshot (summed across shards
- * when the service is sharded). */
+ * when the service is sharded). Deprecated: osprey_stats_v2 unifies queue,
+ * shard, and storage stats behind one versioned struct. */
+OSPREY_DEPRECATED("use osprey_stats_v2")
 int osprey_stats(osprey_client* client, osprey_queue_stats* stats_out);
 
-/* One shard's queue stats (shard 0 is the whole service when unsharded). */
+/* One shard's queue stats (shard 0 is the whole service when unsharded).
+ * Deprecated: osprey_stats_v2 with shard >= 0. */
+OSPREY_DEPRECATED("use osprey_stats_v2")
 int osprey_shard_stats(osprey_client* client, uint32_t shard,
                        osprey_queue_stats* stats_out);
 
@@ -263,6 +298,157 @@ int osprey_update_priorities(osprey_client* client, const int64_t* task_ids,
 /* Number of queued tasks of a work type. */
 int osprey_queued_count(osprey_client* client, int eq_type,
                         int64_t* count_out);
+
+/* ======================================================================== *
+ * The v2 surface: versioned, size-prefixed request structs.
+ * ======================================================================== */
+
+/* --- v2 task submission -------------------------------------------------- */
+
+/* What to submit: identity (tenant), work, and placement in one struct.
+ * Initialize with osprey_task_spec_init, then set fields. */
+typedef struct osprey_task_spec_t {
+  size_t struct_size;  /* stamped by osprey_task_spec_init */
+  const char* exp_id;  /* experiment id; required */
+  const char* tenant;  /* tenant principal; NULL or "" = untenanted */
+  int32_t eq_type;     /* work type */
+  int32_t priority;
+  const char* payload; /* required */
+  const char* tag;     /* optional metadata tag; NULL = untagged */
+} osprey_task_spec_t;
+
+/* Defaults: empty tenant, type 0, priority 0, no tag. */
+void osprey_task_spec_init(osprey_task_spec_t* spec);
+
+/* Submit per the spec. With tenancy enabled the submit passes admission
+ * control first: OSPREY_E_PERMISSION_DENIED for an unregistered tenant,
+ * OSPREY_E_RESOURCE_EXHAUSTED when the tenant is over its submit quota or
+ * queue-depth bound — rejected at the front door, nothing enqueued. */
+int osprey_submit_task_v2(osprey_client* client,
+                          const osprey_task_spec_t* spec,
+                          int64_t* task_id_out);
+
+/* --- v2 task claim ------------------------------------------------------- */
+
+/* How a worker pool claims: work type, pool identity, and wait policy.
+ * Initialize with osprey_claim_spec_init, then set fields. */
+typedef struct osprey_claim_spec_t {
+  size_t struct_size;      /* stamped by osprey_claim_spec_init */
+  int32_t eq_type;         /* work type to claim */
+  const char* worker_pool; /* NULL = "default" */
+  osprey_wait_spec wait;   /* how to block (AUTO/NOTIFY/POLL) */
+} osprey_claim_spec_t;
+
+/* Defaults: type 0, pool "default", osprey_wait_spec_init wait. */
+void osprey_claim_spec_init(osprey_claim_spec_t* spec);
+
+/* Claim one task per the spec. With tenancy enabled on the service, claims
+ * draw across backlogged tenants weighted-fair (stride scheduling) instead
+ * of strictly by priority. */
+int osprey_query_task_v2(osprey_client* client,
+                         const osprey_claim_spec_t* spec,
+                         int64_t* task_id_out, char* payload_buf,
+                         size_t payload_buf_size);
+
+/* --- v2 unified stats ---------------------------------------------------- */
+
+/* One snapshot unifying osprey_stats, osprey_shard_stats, and
+ * osprey_storage_stats_snapshot. storage_* fields are zero (and
+ * storage_enabled 0) when the LSM engine is off. */
+typedef struct osprey_stats_v2_t {
+  size_t struct_size; /* stamped by osprey_stats_v2_init */
+  /* queue depths and task-state counts */
+  int64_t output_queue;
+  int64_t input_queue;
+  int64_t queued;
+  int64_t running;
+  int64_t complete;
+  int64_t canceled;
+  /* storage engine counters */
+  int32_t storage_enabled; /* 0 or 1 */
+  uint64_t storage_memtable_bytes;
+  uint64_t storage_memtable_rows;
+  uint64_t storage_spilled_rows;
+  uint64_t storage_runs;
+  uint64_t storage_run_bytes;
+  uint64_t storage_zombie_runs;
+  uint64_t storage_flushes;
+  uint64_t storage_flush_failures;
+  uint64_t storage_compactions;
+  uint64_t storage_cache_hits;
+  uint64_t storage_cache_misses;
+  uint64_t storage_read_errors;
+} osprey_stats_v2_t;
+
+void osprey_stats_v2_init(osprey_stats_v2_t* stats);
+
+/* Fill *stats_out (already _init'ed by the caller — its struct_size bounds
+ * what the library writes). shard = -1 sums across every shard; shard >= 0
+ * reports that shard only (OSPREY_E_INVALID_ARGUMENT past the count). */
+int osprey_stats_v2(osprey_client* client, int32_t shard,
+                    osprey_stats_v2_t* stats_out);
+
+/* --- multi-tenancy (ROADMAP item 4) -------------------------------------- */
+
+/* Unlimited sentinel for quota fields (mirrors osprey::tenant::kUnlimited). */
+#define OSPREY_TENANT_UNLIMITED UINT64_MAX
+
+/* Per-tenant admission and scheduling policy. Initialize with
+ * osprey_tenant_config_init, then override fields. */
+typedef struct osprey_tenant_config_t {
+  size_t struct_size;       /* stamped by osprey_tenant_config_init */
+  uint64_t submit_quota;    /* max in-flight (queued+running); 0 = none */
+  uint64_t max_queue_depth; /* max queued; 0 admits nothing */
+  double weight;            /* weighted-fair claim share; must be > 0 */
+} osprey_tenant_config_t;
+
+/* Defaults: unlimited quotas, weight 1.0. */
+void osprey_tenant_config_init(osprey_tenant_config_t* config);
+
+/* Turn on the multi-tenant front door (one registry per shard — quotas
+ * account per shard, matching the share-nothing design). Call after
+ * osprey_service_start and before connecting clients: handles connected
+ * earlier bypass admission. Idempotent. */
+int osprey_service_enable_tenants(osprey_service* service);
+
+/* Register a tenant principal on every shard. `config` may be NULL for the
+ * defaults. OSPREY_E_CONFLICT if already registered, OSPREY_E_UNAVAILABLE
+ * until osprey_service_enable_tenants. */
+int osprey_tenant_register(osprey_service* service, const char* tenant,
+                           const osprey_tenant_config_t* config);
+
+/* Replace a registered tenant's policy on every shard. Shrinking a quota
+ * below the current depth is allowed: live tasks are untouched and new
+ * submits are refused until the backlog drains under the new bound. */
+int osprey_tenant_set_config(osprey_service* service, const char* tenant,
+                             const osprey_tenant_config_t* config);
+
+/* One tenant's accounting row (per-tenant osprey_stats_v2 companion). */
+typedef struct osprey_tenant_stats_row_t {
+  size_t struct_size; /* caller-stamped; doubles as the row stride */
+  char tenant[64];    /* tenant id ("" = untenanted traffic), truncated */
+  uint64_t submit_quota;
+  uint64_t max_queue_depth;
+  double weight;
+  int64_t queued;
+  int64_t running;
+  uint64_t admitted;
+  uint64_t rejected;
+  uint64_t claimed;
+  uint64_t completed;
+  double cost_task_seconds; /* accumulated task runtime (cost unit) */
+} osprey_tenant_stats_row_t;
+
+/* Per-tenant rows, merged across shards, sorted by tenant id. The caller
+ * sets rows[0].struct_size = sizeof(osprey_tenant_stats_row_t) (their
+ * compiled size); the library uses it as the stride and writes
+ * min(stride, its own sizeof) bytes per row. Writes at most max_rows rows
+ * and always reports the total available in *count_out, so a short buffer
+ * is detectable (truncation is not an error). OSPREY_E_UNAVAILABLE until
+ * tenancy is enabled. */
+int osprey_tenant_stats_v2(osprey_client* client,
+                           osprey_tenant_stats_row_t* rows, size_t max_rows,
+                           size_t* count_out);
 
 #ifdef __cplusplus
 }

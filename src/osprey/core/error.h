@@ -25,6 +25,7 @@ enum class ErrorCode {
   kPermissionDenied, // auth token missing/expired/invalid (§IV-B)
   kConflict,         // task already claimed / duplicate key
   kInternal,         // invariant violation; indicates a bug
+  kResourceExhausted,  // tenant over quota / queue depth bound (backpressure)
 };
 
 /// Human-readable name of an error code ("TIMEOUT", "NOT_FOUND", ...),
@@ -118,6 +119,7 @@ inline const char* error_code_name(ErrorCode code) {
     case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
     case ErrorCode::kConflict: return "CONFLICT";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

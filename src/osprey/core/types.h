@@ -25,6 +25,11 @@ using Priority = std::int32_t;
 /// Identifier of a worker pool instance consuming tasks.
 using PoolId = std::string;
 
+/// Identifier of a tenant (billing/quota principal) sharing the service.
+/// Empty means "untenanted" — the single-campaign deployments of the paper,
+/// exempt from admission control and scheduled at the default weight.
+using TenantId = std::string;
+
 /// Simulation / wall time in seconds. All clocks report seconds as double.
 using TimePoint = double;
 

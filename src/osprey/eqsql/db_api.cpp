@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <map>
 #include <unordered_map>
 
 #include "osprey/core/log.h"
@@ -126,8 +127,49 @@ Result<std::vector<TaskId>> EQSQL::submit_tasks(
     const ExpId& exp_id, WorkType eq_type,
     const std::vector<std::string>& payloads, Priority priority,
     const std::string& tag) {
+  return submit_tasks_as(tenant_, exp_id, eq_type, payloads, priority, tag);
+}
+
+Result<TaskId> EQSQL::submit_task_as(const TenantId& tenant,
+                                     const ExpId& exp_id, WorkType eq_type,
+                                     const std::string& payload,
+                                     Priority priority,
+                                     const std::string& tag) {
+  Result<std::vector<TaskId>> ids =
+      submit_tasks_as(tenant, exp_id, eq_type, {payload}, priority, tag);
+  if (!ids.ok()) return ids.error();
+  return ids.value().front();
+}
+
+namespace {
+
+/// Compensates an admit whose submit transaction never committed: the
+/// front-door charge must not leak quota when the database says no.
+struct AdmitGuard {
+  tenant::TenantRegistry* registry;
+  const TenantId& tenant;
+  std::size_t n;
+  bool committed = false;
+  ~AdmitGuard() {
+    if (registry != nullptr && !committed) registry->unadmit(tenant, n);
+  }
+};
+
+}  // namespace
+
+Result<std::vector<TaskId>> EQSQL::submit_tasks_as(
+    const TenantId& tenant, const ExpId& exp_id, WorkType eq_type,
+    const std::vector<std::string>& payloads, Priority priority,
+    const std::string& tag) {
   if (payloads.empty()) return std::vector<TaskId>{};
   obs::Stopwatch latency;
+  // Admission control happens before the transaction opens: an over-quota
+  // submit costs the client one registry check, not a database round-trip.
+  if (tenants_ != nullptr) {
+    Status admitted = tenants_->admit(tenant, payloads.size());
+    if (!admitted.is_ok()) return admitted.error();
+  }
+  AdmitGuard admit_guard{tenants_, tenant, payloads.size()};
   db::Transaction txn(db_);
 
   // Allocate a contiguous id block from the sequence row.
@@ -145,21 +187,27 @@ Result<std::vector<TaskId>> EQSQL::submit_tasks(
   if (!bump.ok()) return bump.error();
 
   const double now = clock_.now();
+  // Untenanted submits keep a NULL tenant column, byte-identical with the
+  // pre-tenancy schema's rows.
+  const db::Value tenant_value =
+      tenant.empty() ? db::Value() : db::Value(tenant);
   std::vector<TaskId> ids;
   ids.reserve(payloads.size());
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     TaskId id = first_id + static_cast<TaskId>(i);
     auto ins = conn_.execute(
         "INSERT INTO eq_tasks (eq_task_id, eq_task_type, eq_status, "
-        "eq_priority, json_out, time_created) VALUES (?, ?, 'queued', ?, ?, ?)",
+        "eq_priority, json_out, time_created, tenant) "
+        "VALUES (?, ?, 'queued', ?, ?, ?, ?)",
         {db::Value(id), db::Value(std::int64_t{eq_type}),
          db::Value(std::int64_t{priority}), db::Value(payloads[i]),
-         db::Value(now)});
+         db::Value(now), tenant_value});
     if (!ins.ok()) return ins.error();
     auto queue = conn_.execute(
-        "INSERT INTO eq_output_queue VALUES (?, ?, ?)",
+        "INSERT INTO eq_output_queue (eq_task_id, eq_task_type, eq_priority, "
+        "tenant) VALUES (?, ?, ?, ?)",
         {db::Value(id), db::Value(std::int64_t{eq_type}),
-         db::Value(std::int64_t{priority})});
+         db::Value(std::int64_t{priority}), tenant_value});
     if (!queue.ok()) return queue.error();
     auto exp = conn_.execute("INSERT INTO eq_experiments VALUES (?, ?)",
                              {db::Value(exp_id), db::Value(id)});
@@ -173,6 +221,7 @@ Result<std::vector<TaskId>> EQSQL::submit_tasks(
   }
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  admit_guard.committed = true;
   if (obs::enabled()) {
     obs_.submitted.inc(ids.size());
     obs_.output_depth.add(static_cast<double>(ids.size()));
@@ -230,19 +279,100 @@ Result<std::vector<TaskHandle>> EQSQL::claim_tasks_locked(
   return handles;
 }
 
+Result<std::vector<TaskHandle>> EQSQL::claim_tasks_fair_locked(
+    WorkType eq_type, int n, const PoolId& worker_pool,
+    std::vector<std::pair<TenantId, std::size_t>>& claimed_by) {
+  // Weighted-fair draw (DESIGN.md §5.13): instead of popping the global
+  // priority order, group the backlog per tenant (each group stays
+  // priority-ordered) and let the stride scheduler interleave the groups,
+  // so one tenant's huge campaign cannot starve the others.
+  auto queued = conn_.execute(
+      "SELECT eq_task_id, tenant FROM eq_output_queue WHERE eq_task_type = ? "
+      "ORDER BY eq_priority DESC, eq_task_id ASC",
+      {db::Value(std::int64_t{eq_type})});
+  if (!queued.ok()) return queued.error();
+  if (queued.value().rows.empty()) return std::vector<TaskHandle>{};
+
+  std::map<TenantId, std::vector<TaskId>> backlog;
+  for (const db::Row& row : queued.value().rows) {
+    backlog[row[1].is_null() ? TenantId{} : row[1].as_text()].push_back(
+        row[0].as_int());
+  }
+  std::vector<TenantId> candidates;
+  candidates.reserve(backlog.size());
+  for (const auto& [t, ids] : backlog) candidates.push_back(t);
+
+  std::vector<TaskId> picked;
+  picked.reserve(static_cast<std::size_t>(n));
+  std::map<TenantId, std::size_t> counts;
+  while (picked.size() < static_cast<std::size_t>(n) && !candidates.empty()) {
+    const TenantId next = tenants_->pick_next(candidates);
+    std::vector<TaskId>& ids = backlog[next];
+    picked.push_back(ids.front());
+    ids.erase(ids.begin());
+    tenants_->charge(next, 1);
+    ++counts[next];
+    if (ids.empty()) {
+      candidates.erase(std::find(candidates.begin(), candidates.end(), next));
+    }
+  }
+  claimed_by.assign(counts.begin(), counts.end());
+
+  const std::string in = placeholders(picked.size());
+  auto del = conn_.execute(
+      "DELETE FROM eq_output_queue WHERE eq_task_id IN (" + in + ")",
+      id_params(picked));
+  if (!del.ok()) return del.error();
+
+  std::vector<db::Value> update_params;
+  update_params.emplace_back(worker_pool);
+  update_params.emplace_back(clock_.now());
+  for (TaskId id : picked) update_params.emplace_back(id);
+  auto upd = conn_.execute(
+      "UPDATE eq_tasks SET eq_status = 'running', worker_pool = ?, "
+      "time_start = ? WHERE eq_task_id IN (" + in + ")",
+      update_params);
+  if (!upd.ok()) return upd.error();
+
+  auto payloads = conn_.execute(
+      "SELECT eq_task_id, json_out FROM eq_tasks WHERE eq_task_id IN (" + in +
+          ")",
+      id_params(picked));
+  if (!payloads.ok()) return payloads.error();
+  std::unordered_map<TaskId, std::string> payload_by_id;
+  for (const db::Row& row : payloads.value().rows) {
+    payload_by_id.emplace(row[0].as_int(),
+                          row[1].is_null() ? "" : row[1].as_text());
+  }
+  // Hand tasks out in scheduler pick order, not re-sorted by priority —
+  // the interleave *is* the fairness.
+  std::vector<TaskHandle> handles;
+  handles.reserve(picked.size());
+  for (TaskId id : picked) {
+    handles.push_back(TaskHandle{id, eq_type, payload_by_id[id]});
+  }
+  return handles;
+}
+
 Result<std::vector<TaskHandle>> EQSQL::try_query_tasks(
     WorkType eq_type, int n, const PoolId& worker_pool) {
   if (n <= 0) return std::vector<TaskHandle>{};
   obs::Stopwatch latency;
+  std::vector<std::pair<TenantId, std::size_t>> claimed_by;
   db::Transaction txn(db_);
   Result<std::vector<TaskHandle>> handles =
-      claim_tasks_locked(eq_type, n, worker_pool);
+      tenants_ != nullptr
+          ? claim_tasks_fair_locked(eq_type, n, worker_pool, claimed_by)
+          : claim_tasks_locked(eq_type, n, worker_pool);
   if (handles.ok()) {
     Status committed = txn.commit();
     // A claim that cannot be made durable never happened: the rollback put
     // the tasks back in the output queue, so report the failure instead of
     // handing out leases the log does not know about.
     if (!committed.is_ok()) return committed.error();
+    if (tenants_ != nullptr) {
+      for (const auto& [t, count] : claimed_by) tenants_->on_claimed(t, count);
+    }
     if (obs::enabled() && !handles.value().empty()) {
       obs_.claimed.inc(handles.value().size());
       obs_.output_depth.add(-static_cast<double>(handles.value().size()));
@@ -331,7 +461,8 @@ Status EQSQL::report_task(TaskId eq_task_id, WorkType eq_type,
   obs::Stopwatch latency;
   db::Transaction txn(db_);
   auto status = conn_.execute(
-      "SELECT eq_status, worker_pool FROM eq_tasks WHERE eq_task_id = ?",
+      "SELECT eq_status, worker_pool, time_created, time_start, tenant "
+      "FROM eq_tasks WHERE eq_task_id = ?",
       {db::Value(eq_task_id)});
   if (!status.ok()) return status.error();
   if (status.value().rows.empty()) {
@@ -367,6 +498,15 @@ Status EQSQL::report_task(TaskId eq_task_id, WorkType eq_type,
       {db::Value(eq_task_id), db::Value(std::int64_t{eq_type})});
   if (!push.ok()) return push.error();
   Status committed = txn.commit();
+  if (committed.is_ok() && tenants_ != nullptr) {
+    // Release the tenant's in-flight slot and feed the per-tenant
+    // task-cycle latency (submit -> complete) and cost accounting.
+    const db::Row& row = status.value().rows[0];
+    const TenantId task_tenant = row[4].is_null() ? TenantId{} : row[4].as_text();
+    const double cycle = row[2].is_null() ? -1.0 : now - row[2].as_real();
+    const double run = row[3].is_null() ? 0.0 : now - row[3].as_real();
+    tenants_->on_finished(task_tenant, 1, /*from_queue=*/false, cycle, run);
+  }
   if (committed.is_ok() && obs::enabled()) {
     obs_.reported.inc();
     obs_.input_depth.add(1.0);
@@ -580,17 +720,21 @@ Result<std::size_t> EQSQL::cancel_tasks(const std::vector<TaskId>& ids) {
   if (ids.empty()) return std::size_t{0};
   const std::string in = placeholders(ids.size());
   db::Transaction txn(db_);
-  // With tracing on, find which of the ids the cancel will actually reach
-  // (same predicate as the UPDATE below) so each gets its terminal event.
+  // With tracing or tenancy on, find which of the ids the cancel will
+  // actually reach (same predicate as the UPDATE below) so each gets its
+  // terminal event and releases its tenant's in-flight slot.
   std::vector<TaskId> hit;
-  if (obs::enabled()) {
+  std::vector<std::pair<TenantId, bool>> hit_tenants;  // (tenant, was queued)
+  if (obs::enabled() || tenants_ != nullptr) {
     auto eligible = conn_.execute(
-        "SELECT eq_task_id FROM eq_tasks WHERE eq_status IN "
-        "('queued', 'running') AND eq_task_id IN (" + in + ")",
+        "SELECT eq_task_id, eq_status, tenant FROM eq_tasks WHERE eq_status "
+        "IN ('queued', 'running') AND eq_task_id IN (" + in + ")",
         id_params(ids));
     if (!eligible.ok()) return eligible.error();
     for (const db::Row& row : eligible.value().rows) {
       hit.push_back(row[0].as_int());
+      hit_tenants.emplace_back(row[2].is_null() ? TenantId{} : row[2].as_text(),
+                               row[1].as_text() == "queued");
     }
   }
   // Queued tasks leave the output queue so no pool ever claims them.
@@ -610,6 +754,14 @@ Result<std::size_t> EQSQL::cancel_tasks(const std::vector<TaskId>& ids) {
   if (!upd.ok()) return upd.error();
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  if (tenants_ != nullptr) {
+    // A canceled task leaves the system: no cycle latency (it never
+    // completed), no runtime cost, but its in-flight slot comes back.
+    for (const auto& [task_tenant, was_queued] : hit_tenants) {
+      tenants_->on_finished(task_tenant, 1, was_queued, /*cycle_seconds=*/-1.0,
+                            /*run_seconds=*/0.0);
+    }
+  }
   if (obs::enabled()) {
     obs_.canceled.inc(upd.value().affected);
     obs_.output_depth.add(-static_cast<double>(dequeue.value().affected));
@@ -672,10 +824,10 @@ Result<std::size_t> EQSQL::update_priorities(
 Result<std::size_t> EQSQL::requeue_tasks(const std::vector<TaskId>& ids) {
   if (ids.empty()) return std::size_t{0};
   db::Transaction txn(db_);
-  // Only running tasks are eligible; fetch their type/priority for the
-  // output-queue rows.
+  // Only running tasks are eligible; fetch their type/priority/tenant for
+  // the output-queue rows.
   auto rows = conn_.execute(
-      "SELECT eq_task_id, eq_task_type, eq_priority FROM eq_tasks "
+      "SELECT eq_task_id, eq_task_type, eq_priority, tenant FROM eq_tasks "
       "WHERE eq_status = 'running' AND eq_task_id IN (" +
           placeholders(ids.size()) + ")",
       id_params(ids));
@@ -687,13 +839,21 @@ Result<std::size_t> EQSQL::requeue_tasks(const std::vector<TaskId>& ids) {
         "time_start = NULL WHERE eq_task_id = ?",
         {row[0]});
     if (!upd.ok()) return upd.error();
-    auto ins = conn_.execute("INSERT INTO eq_output_queue VALUES (?, ?, ?)",
-                             {row[0], row[1], row[2]});
+    auto ins = conn_.execute(
+        "INSERT INTO eq_output_queue (eq_task_id, eq_task_type, eq_priority, "
+        "tenant) VALUES (?, ?, ?, ?)",
+        {row[0], row[1], row[2], row[3]});
     if (!ins.ok()) return ins.error();
     ++requeued;
   }
   Status committed = txn.commit();
   if (!committed.is_ok()) return committed.error();
+  if (tenants_ != nullptr) {
+    for (const db::Row& row : rows.value().rows) {
+      tenants_->on_requeued(row[3].is_null() ? TenantId{} : row[3].as_text(),
+                            1);
+    }
+  }
   if (obs::enabled() && requeued > 0) {
     obs_.requeued.inc(requeued);
     obs_.output_depth.add(static_cast<double>(requeued));
@@ -814,6 +974,7 @@ Result<TaskRecord> EQSQL::task_record(TaskId eq_task_id) {
   record.created_at = row[7].as_real();
   if (!row[8].is_null()) record.start_at = row[8].as_real();
   if (!row[9].is_null()) record.stop_at = row[9].as_real();
+  if (!row[10].is_null()) record.tenant = row[10].as_text();
 
   auto exp = conn_.execute(
       "SELECT exp_id FROM eq_experiments WHERE eq_task_id = ?",

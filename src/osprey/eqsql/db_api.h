@@ -29,6 +29,7 @@
 #include "osprey/eqsql/task.h"
 #include "osprey/eqsql/wait.h"
 #include "osprey/obs/telemetry.h"
+#include "osprey/tenant/registry.h"
 
 namespace osprey::eqsql {
 
@@ -61,10 +62,40 @@ class EQSQL {
                              const std::string& tag = "");
 
   /// Batch submission in one transaction; returns ids in input order.
+  /// Submits on behalf of the ambient tenant (see set_tenant_context).
   Result<std::vector<TaskId>> submit_tasks(
       const ExpId& exp_id, WorkType eq_type,
       const std::vector<std::string>& payloads, Priority priority = 0,
       const std::string& tag = "");
+
+  // --- multi-tenant front door (ROADMAP item 4, DESIGN.md §5.13) -------------
+
+  /// Submit on behalf of an explicit tenant principal. With a TenantRegistry
+  /// attached, the submit passes admission control first: kPermissionDenied
+  /// for an unregistered tenant, kResourceExhausted over quota / queue depth
+  /// — rejected at the front door, before the transaction ever opens.
+  Result<TaskId> submit_task_as(const TenantId& tenant, const ExpId& exp_id,
+                                WorkType eq_type, const std::string& payload,
+                                Priority priority = 0,
+                                const std::string& tag = "");
+  Result<std::vector<TaskId>> submit_tasks_as(
+      const TenantId& tenant, const ExpId& exp_id, WorkType eq_type,
+      const std::vector<std::string>& payloads, Priority priority = 0,
+      const std::string& tag = "");
+
+  /// Attach the shared tenant registry and this handle's ambient tenant
+  /// principal. With a registry attached, submits pass admission control,
+  /// claims draw tasks across tenants weighted-fair (stride scheduling)
+  /// instead of strictly by priority, and report/cancel/requeue feed the
+  /// per-tenant accounting. nullptr detaches (single-tenant behavior).
+  void set_tenant_context(tenant::TenantRegistry* registry,
+                          TenantId tenant = {}) {
+    tenants_ = registry;
+    tenant_ = std::move(tenant);
+  }
+
+  tenant::TenantRegistry* tenants() const { return tenants_; }
+  const TenantId& tenant() const { return tenant_; }
 
   // --- worker-pool side (§IV-C, §IV-D) ---------------------------------------
 
@@ -230,6 +261,14 @@ class EQSQL {
   Result<std::vector<TaskHandle>> claim_tasks_locked(WorkType eq_type, int n,
                                                      const PoolId& worker_pool);
 
+  /// Weighted-fair claim: pop up to n queued tasks of eq_type, drawing
+  /// across backlogged tenants by stride scheduling instead of strict
+  /// priority order (within a tenant, priority order is preserved). Fills
+  /// `claimed_by` with per-tenant claim counts for post-commit accounting.
+  Result<std::vector<TaskHandle>> claim_tasks_fair_locked(
+      WorkType eq_type, int n, const PoolId& worker_pool,
+      std::vector<std::pair<TenantId, std::size_t>>& claimed_by);
+
   /// The local half of a peeker-confirmed pickup: pop the input-queue entry
   /// for a task whose payload the probe already returned. One write, no
   /// re-read of the task row (the query_result dedupe).
@@ -269,6 +308,8 @@ class EQSQL {
   db::sql::Connection conn_;
   ResultPeeker peeker_;  // unset = probe locally (single-node behavior)
   Notifier* notifier_ = nullptr;  // unset = every blocking wait polls
+  tenant::TenantRegistry* tenants_ = nullptr;  // unset = single-tenant
+  TenantId tenant_;  // ambient principal for submit_task(s)
   ObsHandles obs_;
 };
 

@@ -7,7 +7,10 @@ namespace osprey::eqsql {
 Status create_schema(db::sql::Connection& conn) {
   static const std::array<const char*, 14> kStatements = {
       // Task data: identifier, work type, status, priority, payloads,
-      // consuming pool, and the creation / start / stop timestamps (§IV-C).
+      // consuming pool, the creation / start / stop timestamps (§IV-C), and
+      // the owning tenant (DESIGN.md §5.13 — NULL for untenanted submits).
+      // The tenant column is appended last: the notifier and task_record
+      // read earlier columns positionally.
       "CREATE TABLE eq_tasks ("
       "  eq_task_id INTEGER PRIMARY KEY,"
       "  eq_task_type INTEGER NOT NULL,"
@@ -18,15 +21,19 @@ Status create_schema(db::sql::Connection& conn) {
       "  worker_pool TEXT,"
       "  time_created REAL NOT NULL,"
       "  time_start REAL,"
-      "  time_stop REAL)",
+      "  time_stop REAL,"
+      "  tenant TEXT)",
       "CREATE INDEX ON eq_tasks (eq_status)",
       "CREATE INDEX ON eq_tasks (eq_task_type)",
 
-      // Output queue: tasks are popped for execution ordered by priority.
+      // Output queue: tasks are popped for execution ordered by priority,
+      // drawn across tenants by the weighted-fair scheduler when a
+      // TenantRegistry is attached.
       "CREATE TABLE eq_output_queue ("
       "  eq_task_id INTEGER PRIMARY KEY,"
       "  eq_task_type INTEGER NOT NULL,"
-      "  eq_priority INTEGER NOT NULL)",
+      "  eq_priority INTEGER NOT NULL,"
+      "  tenant TEXT)",
       "CREATE INDEX ON eq_output_queue (eq_task_type)",
       "CREATE INDEX ON eq_output_queue (eq_priority)",
 

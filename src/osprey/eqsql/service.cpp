@@ -1,5 +1,8 @@
 #include "osprey/eqsql/service.h"
 
+#include <map>
+#include <utility>
+
 #include "osprey/db/dump.h"
 #include "osprey/db/sql_exec.h"
 #include "osprey/eqsql/schema.h"
@@ -57,7 +60,53 @@ Result<std::unique_ptr<EQSQL>> EmewsService::connect(Sleeper sleeper) {
   routing.sleeper = std::move(sleeper);
   routing.notifier = notifier_.get();
   api->set_wait_routing(std::move(routing));
+  // With tenancy on, even untenanted handles share the registry: their
+  // claims go through the fair scheduler and their reports feed the
+  // accounting for whichever tenant owns the task.
+  if (tenants_) api->set_tenant_context(tenants_.get());
   return api;
+}
+
+Result<std::unique_ptr<EQSQL>> EmewsService::connect_as(const TenantId& tenant,
+                                                        Sleeper sleeper) {
+  if (tenant.empty()) return connect(std::move(sleeper));
+  if (!tenants_) {
+    return Error(ErrorCode::kUnavailable,
+                 "tenancy not enabled on this service");
+  }
+  if (!tenants_->registered(tenant)) {
+    return Error(ErrorCode::kPermissionDenied,
+                 "unknown tenant '" + tenant + "'");
+  }
+  Result<std::unique_ptr<EQSQL>> api = connect(std::move(sleeper));
+  if (!api.ok()) return api;
+  api.value()->set_tenant_context(tenants_.get(), tenant);
+  return api;
+}
+
+Status EmewsService::enable_tenants() {
+  if (tenants_) return Status::ok();
+  tenants_ = std::make_unique<tenant::TenantRegistry>();
+  return sync_tenant_depths();
+}
+
+Status EmewsService::sync_tenant_depths() {
+  if (!tenants_ || !schema_created_) return Status::ok();
+  db::sql::Connection conn(db_);
+  auto live = conn.execute(
+      "SELECT tenant, eq_status FROM eq_tasks "
+      "WHERE eq_status IN ('queued', 'running')");
+  if (!live.ok()) return live.error();
+  std::map<TenantId, std::pair<std::int64_t, std::int64_t>> depths;
+  for (const db::Row& row : live.value().rows) {
+    auto& [queued, running] =
+        depths[row[0].is_null() ? TenantId{} : row[0].as_text()];
+    (row[1].as_text() == "queued" ? queued : running) += 1;
+  }
+  for (const auto& [tenant, d] : depths) {
+    tenants_->sync_depths(tenant, d.first, d.second);
+  }
+  return Status::ok();
 }
 
 Status EmewsService::enable_notifications() {
@@ -123,7 +172,9 @@ Status EmewsService::restore(const json::Value& snapshot) {
   Result<std::size_t> requeued = eq.requeue_running_tasks();
   if (!requeued.ok()) return requeued.error();
   recovered_requeues_ = requeued.value();
-  return Status::ok();
+  // Tenancy enabled before the restore: the registry's depths predate the
+  // snapshot, so rebuild them from the restored table.
+  return sync_tenant_depths();
 }
 
 Status EmewsService::enable_storage(db::wal::LogDevice& device,
@@ -216,6 +267,8 @@ Result<db::wal::RecoveryInfo> EmewsService::recover_from_wal(
   Result<std::size_t> requeued = eq.requeue_running_tasks();
   if (!requeued.ok()) return requeued.error();
   recovered_requeues_ = requeued.value();
+  Status synced = sync_tenant_depths();
+  if (!synced.is_ok()) return synced.error();
   return info;
 }
 

@@ -18,6 +18,7 @@
 #include "osprey/eqsql/notify.h"
 #include "osprey/json/json.h"
 #include "osprey/storage/engine.h"
+#include "osprey/tenant/registry.h"
 
 namespace osprey::eqsql {
 
@@ -54,6 +55,29 @@ class EmewsService {
   /// notifications enabled the handle comes pre-routed to the service's
   /// Notifier, so its blocking waits resolve kAuto to notify mode.
   Result<std::unique_ptr<EQSQL>> connect(Sleeper sleeper = {});
+
+  // --- multi-tenancy (ROADMAP item 4, DESIGN.md §5.13) -----------------------
+
+  /// Turn on the multi-tenant front door: a TenantRegistry shared by every
+  /// handle this service hands out. From here on, submits pass admission
+  /// control, claims are weighted-fair across tenants, and per-tenant
+  /// accounting flows to osprey::obs. Existing database state (a restored
+  /// checkpoint, a recovered WAL) is re-admitted into the registry via a
+  /// depth scan, so quotas survive crash recovery. Idempotent.
+  Status enable_tenants();
+  bool tenants_enabled() const { return tenants_ != nullptr; }
+
+  /// The tenant registry (nullptr until enable_tenants). Register tenants
+  /// and read per-tenant stats here.
+  tenant::TenantRegistry* tenants() { return tenants_.get(); }
+
+  /// A client handle bound to a tenant principal: its submits are admitted,
+  /// counted, and scheduled as `tenant`. Requires enable_tenants (unless
+  /// `tenant` is empty, which degrades to plain connect). An unregistered
+  /// non-empty tenant is refused here — identity is checked at connect, the
+  /// paper's auth boundary, not at every submit.
+  Result<std::unique_ptr<EQSQL>> connect_as(const TenantId& tenant,
+                                            Sleeper sleeper = {});
 
   // --- notifications (DESIGN.md §5.10) ---------------------------------------
 
@@ -132,6 +156,10 @@ class EmewsService {
   ~EmewsService();
 
  private:
+  /// Re-seed the registry's per-tenant queued/running depths from the task
+  /// table (crash recovery: the registry is in-memory and restarts empty).
+  Status sync_tenant_depths();
+
   const Clock& clock_;
   // Declared before db_: the engine must outlive the LsmStores the database's
   // tables hold, which unregister from it on destruction.
@@ -141,6 +169,7 @@ class EmewsService {
   // Declared after wal_: destroyed (and detached) first, unwrapping the
   // observer chain notifier -> wal in reverse attachment order.
   std::unique_ptr<Notifier> notifier_;
+  std::unique_ptr<tenant::TenantRegistry> tenants_;
   bool running_ = false;
   bool schema_created_ = false;
   std::size_t recovered_requeues_ = 0;

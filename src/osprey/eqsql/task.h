@@ -37,6 +37,7 @@ struct TaskRecord {
   TimePoint created_at = 0;
   std::optional<TimePoint> start_at;
   std::optional<TimePoint> stop_at;
+  TenantId tenant;  // empty for untenanted submits
 };
 
 }  // namespace osprey::eqsql

@@ -8,16 +8,27 @@ AuthService::AuthService(const Clock& clock, std::uint64_t seed)
     : clock_(clock), rng_(seed) {}
 
 Token AuthService::issue(const UserName& user, Duration lifetime) {
+  return issue(user, TenantId{}, lifetime);
+}
+
+Token AuthService::issue(const UserName& user, const TenantId& tenant,
+                         Duration lifetime) {
   static constexpr char kHex[] = "0123456789abcdef";
   std::string token = "osp-";
   for (int i = 0; i < 32; ++i) {
     token += kHex[rng_.uniform_int(0, 15)];
   }
-  tokens_[token] = Entry{user, clock_.now() + lifetime};
+  tokens_[token] = Entry{user, tenant, clock_.now() + lifetime};
   return token;
 }
 
 Result<UserName> AuthService::validate(const Token& token) const {
+  Result<Principal> principal = validate_principal(token);
+  if (!principal.ok()) return principal.error();
+  return principal.value().user;
+}
+
+Result<Principal> AuthService::validate_principal(const Token& token) const {
   auto it = tokens_.find(token);
   if (it == tokens_.end()) {
     return Error(ErrorCode::kPermissionDenied, "unknown or revoked token");
@@ -25,7 +36,7 @@ Result<UserName> AuthService::validate(const Token& token) const {
   if (clock_.now() >= it->second.expires_at) {
     return Error(ErrorCode::kPermissionDenied, "token expired");
   }
-  return it->second.user;
+  return Principal{it->second.user, it->second.tenant};
 }
 
 void AuthService::revoke(const Token& token) { tokens_.erase(token); }

@@ -4,6 +4,12 @@
 // authorizing users (via OAuth 2.0)". We model the outcome of that flow:
 // users obtain bearer tokens with an expiry; every control-plane call
 // validates its token; expired or revoked tokens yield PERMISSION_DENIED.
+//
+// Multi-tenancy (ROADMAP item 4): a token may carry a tenant binding — the
+// billing/quota principal the holder submits as. validate_principal returns
+// the full (user, tenant) identity; the tenant feeds the admission-control
+// front door (tenant/registry.h). Tokens issued without a tenant are the
+// untenanted legacy principals of single-campaign deployments.
 #pragma once
 
 #include <cstdint>
@@ -13,11 +19,19 @@
 #include "osprey/core/clock.h"
 #include "osprey/core/error.h"
 #include "osprey/core/rng.h"
+#include "osprey/core/types.h"
 
 namespace osprey::faas {
 
 using Token = std::string;
 using UserName = std::string;
+
+/// The identity a validated token resolves to: the human/user behind the
+/// call and the tenant it is billed and quota'd against.
+struct Principal {
+  UserName user;
+  TenantId tenant;  // empty = untenanted (single-campaign deployment)
+};
 
 class AuthService {
  public:
@@ -28,9 +42,18 @@ class AuthService {
   /// Issue a bearer token for `user`, valid for `lifetime` seconds.
   Token issue(const UserName& user, Duration lifetime = 3600.0);
 
+  /// Issue a tenant-bound token: the holder submits as `tenant` and is
+  /// subject to that tenant's quota and fair-share weight.
+  Token issue(const UserName& user, const TenantId& tenant,
+              Duration lifetime = 3600.0);
+
   /// Validate a token: returns the owning user, or PERMISSION_DENIED when
   /// the token is unknown, revoked, or expired.
   Result<UserName> validate(const Token& token) const;
+
+  /// Validate a token into its full principal (user + tenant binding);
+  /// PERMISSION_DENIED as validate().
+  Result<Principal> validate_principal(const Token& token) const;
 
   /// Revoke a token immediately. Unknown tokens are ignored.
   void revoke(const Token& token);
@@ -43,6 +66,7 @@ class AuthService {
  private:
   struct Entry {
     UserName user;
+    TenantId tenant;
     TimePoint expires_at;
   };
   const Clock& clock_;

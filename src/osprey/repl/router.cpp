@@ -38,7 +38,13 @@ Result<std::unique_ptr<eqsql::EQSQL>> ReplRouter::leader_api() {
   if (leader == nullptr || !leader->alive()) {
     return Error(ErrorCode::kUnavailable, "no live leader");
   }
-  return leader->connect();
+  Result<std::unique_ptr<eqsql::EQSQL>> api = leader->connect();
+  // Leader handles are per-call, so the tenant context re-attaches on every
+  // resolve — it survives leader replacement the same way epoch fencing does.
+  if (api.ok() && tenants_ != nullptr) {
+    api.value()->set_tenant_context(tenants_, tenant_);
+  }
+  return api;
 }
 
 Result<TaskId> ReplRouter::submit_task(const ExpId& exp_id, WorkType eq_type,
@@ -57,6 +63,27 @@ Result<std::vector<TaskId>> ReplRouter::submit_tasks(
   auto api = leader_api();
   if (!api.ok()) return api.error();
   return api.value()->submit_tasks(exp_id, eq_type, payloads, priority, tag);
+}
+
+Result<TaskId> ReplRouter::submit_task_as(const TenantId& tenant,
+                                          const ExpId& exp_id, WorkType eq_type,
+                                          const std::string& payload,
+                                          Priority priority,
+                                          const std::string& tag) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->submit_task_as(tenant, exp_id, eq_type, payload,
+                                     priority, tag);
+}
+
+Result<std::vector<TaskId>> ReplRouter::submit_tasks_as(
+    const TenantId& tenant, const ExpId& exp_id, WorkType eq_type,
+    const std::vector<std::string>& payloads, Priority priority,
+    const std::string& tag) {
+  auto api = leader_api();
+  if (!api.ok()) return api.error();
+  return api.value()->submit_tasks_as(tenant, exp_id, eq_type, payloads,
+                                      priority, tag);
 }
 
 Result<std::vector<eqsql::TaskHandle>> ReplRouter::try_query_tasks(

@@ -57,6 +57,17 @@ class ReplRouter {
       const ExpId& exp_id, WorkType eq_type,
       const std::vector<std::string>& payloads, Priority priority = 0,
       const std::string& tag = "");
+  /// Submit on behalf of an explicit tenant principal: admission control
+  /// runs against the attached registry before the leader transaction
+  /// opens (kResourceExhausted over quota). See set_tenant_context.
+  Result<TaskId> submit_task_as(const TenantId& tenant, const ExpId& exp_id,
+                                WorkType eq_type, const std::string& payload,
+                                Priority priority = 0,
+                                const std::string& tag = "");
+  Result<std::vector<TaskId>> submit_tasks_as(
+      const TenantId& tenant, const ExpId& exp_id, WorkType eq_type,
+      const std::vector<std::string>& payloads, Priority priority = 0,
+      const std::string& tag = "");
   Result<std::vector<eqsql::TaskHandle>> try_query_tasks(
       WorkType eq_type, int n = 1, const PoolId& worker_pool = "default");
   Status report_task(TaskId eq_task_id, WorkType eq_type,
@@ -94,6 +105,20 @@ class ReplRouter {
   /// remote callers leave it null and degrade to the poll fallback.
   eqsql::WaitRouting wait_routing(eqsql::Notifier* notifier = nullptr);
 
+  // --- multi-tenancy (ROADMAP item 4) ----------------------------------------
+
+  /// Attach the group's shared tenant registry and this router's ambient
+  /// principal: every leader handle the router creates carries the context,
+  /// so submits are admitted, claims are weighted-fair, and reports feed
+  /// per-tenant accounting. The registry must outlive the router; nullptr
+  /// detaches.
+  void set_tenant_context(tenant::TenantRegistry* registry,
+                          TenantId tenant = {}) {
+    tenants_ = registry;
+    tenant_ = std::move(tenant);
+  }
+  tenant::TenantRegistry* tenants() const { return tenants_; }
+
   // --- routing telemetry -----------------------------------------------------
 
   std::uint64_t replica_reads() const { return replica_reads_; }
@@ -112,6 +137,8 @@ class ReplRouter {
 
   ReplicationGroup& group_;
   RouterConfig config_;
+  tenant::TenantRegistry* tenants_ = nullptr;
+  TenantId tenant_;
   std::atomic<std::uint64_t> replica_reads_{0};
   std::atomic<std::uint64_t> leader_reads_{0};
   std::atomic<std::uint64_t> redirects_{0};

@@ -120,6 +120,44 @@ Status ShardCluster::enable_notifications() {
   return Status::ok();
 }
 
+Status ShardCluster::enable_tenants() {
+  if (tenants_enabled_) return Status::ok();
+  tenant_registries_.resize(shard_count());
+  for (ShardId s = 0; s < shard_count(); ++s) {
+    if (!tenant_registries_[s]) {
+      tenant_registries_[s] = std::make_unique<tenant::TenantRegistry>();
+    }
+  }
+  tenants_enabled_ = true;
+  return Status::ok();
+}
+
+Status ShardCluster::register_tenant(const TenantId& tenant,
+                                     tenant::TenantConfig config) {
+  if (!tenants_enabled_) {
+    return Status(ErrorCode::kUnavailable,
+                  "tenancy not enabled on this cluster");
+  }
+  for (auto& registry : tenant_registries_) {
+    Status s = registry->register_tenant(tenant, config);
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
+Status ShardCluster::set_tenant_config(const TenantId& tenant,
+                                       tenant::TenantConfig config) {
+  if (!tenants_enabled_) {
+    return Status(ErrorCode::kUnavailable,
+                  "tenancy not enabled on this cluster");
+  }
+  for (auto& registry : tenant_registries_) {
+    Status s = registry->set_config(tenant, config);
+    if (!s.is_ok()) return s;
+  }
+  return Status::ok();
+}
+
 json::Value ShardCluster::status() {
   json::Value out;
   out["shard_count"] = json::Value(static_cast<std::int64_t>(shard_count()));

@@ -25,6 +25,7 @@
 #include "osprey/net/network.h"
 #include "osprey/repl/group.h"
 #include "osprey/shard/key.h"
+#include "osprey/tenant/registry.h"
 
 namespace osprey::shard {
 
@@ -95,6 +96,30 @@ class ShardCluster {
     return shard < notifiers_.size() ? notifiers_[shard].get() : nullptr;
   }
 
+  // --- multi-tenancy (ROADMAP item 4) ----------------------------------------
+
+  /// Turn on the multi-tenant front door: one TenantRegistry per shard
+  /// (shards share nothing, including quota accounting — each shard's
+  /// registry guards its own slice of the keyspace). Idempotent.
+  Status enable_tenants();
+  bool tenants_enabled() const { return tenants_enabled_; }
+
+  /// Register a tenant on every shard's registry. `config` applies per
+  /// shard: a submit_quota of Q admits up to Q in-flight tasks on each
+  /// shard, matching the share-nothing failure isolation of the design.
+  Status register_tenant(const TenantId& tenant,
+                         tenant::TenantConfig config = {});
+
+  /// Replace a tenant's policy on every shard.
+  Status set_tenant_config(const TenantId& tenant,
+                           tenant::TenantConfig config);
+
+  /// Shard `shard`'s tenant registry (nullptr until enable_tenants).
+  tenant::TenantRegistry* tenants(ShardId shard) {
+    return shard < tenant_registries_.size() ? tenant_registries_[shard].get()
+                                             : nullptr;
+  }
+
   // --- introspection ---------------------------------------------------------
 
   bool leader_alive(ShardId shard) { return group(shard).leader_alive(); }
@@ -117,7 +142,9 @@ class ShardCluster {
   ShardClusterConfig config_;
   std::vector<std::unique_ptr<repl::ReplicationGroup>> groups_;
   std::vector<std::unique_ptr<eqsql::Notifier>> notifiers_;
+  std::vector<std::unique_ptr<tenant::TenantRegistry>> tenant_registries_;
   bool notify_enabled_ = false;
+  bool tenants_enabled_ = false;
 };
 
 }  // namespace osprey::shard

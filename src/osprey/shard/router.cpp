@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -158,6 +159,67 @@ Result<std::vector<TaskId>> ShardRouter::submit_tasks(
     globals.push_back(global_task_id(local, s));
   }
   return globals;
+}
+
+Result<TaskId> ShardRouter::submit_task_as(const TenantId& tenant,
+                                           const ExpId& exp_id,
+                                           WorkType eq_type,
+                                           const std::string& payload,
+                                           Priority priority,
+                                           const std::string& tag) {
+  const ShardId s = shard_of(eq_type, exp_id);
+  Result<TaskId> local = routers_[s]->submit_task_as(tenant, exp_id, eq_type,
+                                                     payload, priority, tag);
+  if (!local.ok()) return local;
+  return global_task_id(local.value(), s);
+}
+
+Result<std::vector<TaskId>> ShardRouter::submit_tasks_as(
+    const TenantId& tenant, const ExpId& exp_id, WorkType eq_type,
+    const std::vector<std::string>& payloads, Priority priority,
+    const std::string& tag) {
+  const ShardId s = shard_of(eq_type, exp_id);
+  Result<std::vector<TaskId>> locals = routers_[s]->submit_tasks_as(
+      tenant, exp_id, eq_type, payloads, priority, tag);
+  if (!locals.ok()) return locals;
+  std::vector<TaskId> globals;
+  globals.reserve(locals.value().size());
+  for (TaskId local : locals.value()) {
+    globals.push_back(global_task_id(local, s));
+  }
+  return globals;
+}
+
+void ShardRouter::set_tenant_context(TenantId tenant) {
+  for (ShardId s = 0; s < shard_count(); ++s) {
+    routers_[s]->set_tenant_context(cluster_.tenants(s), tenant);
+  }
+}
+
+std::vector<tenant::TenantStats> ShardRouter::tenant_stats() {
+  // Registry snapshots are in-memory — no shard database is touched, so
+  // this merge works even while a shard's leader is down.
+  std::map<TenantId, tenant::TenantStats> merged;
+  for (ShardId s = 0; s < shard_count(); ++s) {
+    tenant::TenantRegistry* registry = cluster_.tenants(s);
+    if (registry == nullptr) continue;
+    for (const tenant::TenantStats& row : registry->stats()) {
+      auto [it, inserted] = merged.try_emplace(row.tenant, row);
+      if (inserted) continue;
+      tenant::TenantStats& sum = it->second;
+      sum.queued += row.queued;
+      sum.running += row.running;
+      sum.admitted += row.admitted;
+      sum.rejected += row.rejected;
+      sum.claimed += row.claimed;
+      sum.completed += row.completed;
+      sum.cost_task_seconds += row.cost_task_seconds;
+    }
+  }
+  std::vector<tenant::TenantStats> out;
+  out.reserve(merged.size());
+  for (auto& [_, row] : merged) out.push_back(std::move(row));
+  return out;
 }
 
 Status ShardRouter::gather_tasks(WorkType eq_type, int budget,

@@ -137,6 +137,30 @@ class ShardRouter {
       WorkType eq_type, int n = 1, const PoolId& worker_pool = "default",
       eqsql::WaitSpec wait = {});
 
+  /// Submit on behalf of an explicit tenant: routed to the owning shard,
+  /// admitted against that shard's tenant registry (per-shard quota
+  /// accounting — kResourceExhausted when the tenant's slice of that shard
+  /// is over its bound). Requires set_tenant_context / cluster tenancy for
+  /// admission to apply; without it the tenant is recorded but unmetered.
+  Result<TaskId> submit_task_as(const TenantId& tenant, const ExpId& exp_id,
+                                WorkType eq_type, const std::string& payload,
+                                Priority priority = 0,
+                                const std::string& tag = "");
+  Result<std::vector<TaskId>> submit_tasks_as(
+      const TenantId& tenant, const ExpId& exp_id, WorkType eq_type,
+      const std::vector<std::string>& payloads, Priority priority = 0,
+      const std::string& tag = "");
+
+  /// Wire the cluster's per-shard tenant registries into every shard's
+  /// ReplRouter with this router's ambient principal. Call after
+  /// ShardCluster::enable_tenants; registries attached later need a re-call.
+  void set_tenant_context(TenantId tenant = {});
+
+  /// Cluster-wide per-tenant accounting: every shard's registry snapshot,
+  /// merged by tenant id (counters and depths summed; the config shown is
+  /// the per-shard policy). Empty when cluster tenancy is off.
+  std::vector<tenant::TenantStats> tenant_stats();
+
   /// Report through the owning shard with that shard's current epoch.
   Status report_task(TaskId global_id, WorkType eq_type,
                      const std::string& result);

@@ -1,0 +1,261 @@
+#include "osprey/tenant/registry.h"
+
+#include <algorithm>
+
+namespace osprey::tenant {
+
+namespace {
+
+/// Stride numerator: pass advances kStrideScale / weight per claimed task.
+/// Large enough that weight ratios up to ~1e6 stay well-resolved in a
+/// double's mantissa over billion-task campaigns.
+constexpr double kStrideScale = 1.0e6;
+
+obs::Labels tenant_labels(const TenantId& tenant) {
+  return {{"tenant", tenant.empty() ? "-" : tenant}};
+}
+
+}  // namespace
+
+TenantRegistry::State& TenantRegistry::state_locked(const TenantId& tenant) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  State& s = it->second;
+  if (inserted) {
+    // A tenant appearing for the first time must not inherit a zero pass —
+    // it would win every pick until it caught up to the frontier.
+    s.pass = vtime_;
+    auto& metrics = obs::telemetry().metrics;
+    const obs::Labels labels = tenant_labels(tenant);
+    s.obs_admitted = &metrics.counter("osprey_tenant_admitted_total", labels);
+    s.obs_rejected = &metrics.counter("osprey_tenant_rejected_total", labels);
+    s.obs_claimed = &metrics.counter("osprey_tenant_claimed_total", labels);
+    s.obs_completed = &metrics.counter("osprey_tenant_completed_total", labels);
+    s.obs_queued = &metrics.gauge("osprey_tenant_queued", labels);
+    s.obs_running = &metrics.gauge("osprey_tenant_running", labels);
+    s.obs_cost = &metrics.gauge("osprey_tenant_cost_task_seconds", labels);
+    s.obs_cycle =
+        &metrics.histogram("osprey_tenant_cycle_latency_seconds", labels);
+  }
+  return s;
+}
+
+Status TenantRegistry::register_tenant(const TenantId& tenant,
+                                       TenantConfig config) {
+  if (tenant.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "tenant id must be non-empty");
+  }
+  if (config.weight <= 0.0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "tenant weight must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  if (s.is_registered) {
+    return Status(ErrorCode::kConflict,
+                  "tenant '" + tenant + "' already registered");
+  }
+  s.is_registered = true;
+  s.config = config;
+  return Status::ok();
+}
+
+Status TenantRegistry::set_config(const TenantId& tenant, TenantConfig config) {
+  if (config.weight <= 0.0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "tenant weight must be positive");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.is_registered) {
+    return Status(ErrorCode::kNotFound, "unknown tenant '" + tenant + "'");
+  }
+  it->second.config = config;
+  return Status::ok();
+}
+
+bool TenantRegistry::registered(const TenantId& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.is_registered;
+}
+
+Result<TenantConfig> TenantRegistry::config(const TenantId& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.is_registered) {
+    return Error(ErrorCode::kNotFound, "unknown tenant '" + tenant + "'");
+  }
+  return it->second.config;
+}
+
+Status TenantRegistry::admit(const TenantId& tenant, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  if (!tenant.empty()) {
+    if (!s.is_registered) {
+      s.rejected += n;
+      s.obs_rejected->inc(n);
+      return Status(ErrorCode::kPermissionDenied,
+                    "unknown tenant '" + tenant + "'");
+    }
+    const auto in_flight =
+        static_cast<std::uint64_t>(s.queued + s.running) + n;
+    if (s.config.submit_quota != kUnlimited &&
+        in_flight > s.config.submit_quota) {
+      s.rejected += n;
+      s.obs_rejected->inc(n);
+      return Status(ErrorCode::kResourceExhausted,
+                    "tenant '" + tenant + "' over submit quota (" +
+                        std::to_string(s.queued + s.running) + " in flight, " +
+                        std::to_string(s.config.submit_quota) + " allowed)");
+    }
+    if (s.config.max_queue_depth != kUnlimited &&
+        static_cast<std::uint64_t>(s.queued) + n > s.config.max_queue_depth) {
+      s.rejected += n;
+      s.obs_rejected->inc(n);
+      return Status(ErrorCode::kResourceExhausted,
+                    "tenant '" + tenant + "' over queue depth bound (" +
+                        std::to_string(s.queued) + " queued, " +
+                        std::to_string(s.config.max_queue_depth) + " allowed)");
+    }
+  }
+  s.queued += static_cast<std::int64_t>(n);
+  s.admitted += n;
+  s.obs_admitted->inc(n);
+  s.obs_queued->add(static_cast<double>(n));
+  return Status::ok();
+}
+
+void TenantRegistry::unadmit(const TenantId& tenant, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  s.queued = std::max<std::int64_t>(0, s.queued - static_cast<std::int64_t>(n));
+  s.admitted -= std::min<std::uint64_t>(s.admitted, n);
+  s.obs_queued->add(-static_cast<double>(n));
+}
+
+void TenantRegistry::on_claimed(const TenantId& tenant, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  s.queued = std::max<std::int64_t>(0, s.queued - static_cast<std::int64_t>(n));
+  s.running += static_cast<std::int64_t>(n);
+  s.claimed += n;
+  s.obs_claimed->inc(n);
+  s.obs_queued->add(-static_cast<double>(n));
+  s.obs_running->add(static_cast<double>(n));
+}
+
+void TenantRegistry::on_requeued(const TenantId& tenant, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  s.running =
+      std::max<std::int64_t>(0, s.running - static_cast<std::int64_t>(n));
+  s.queued += static_cast<std::int64_t>(n);
+  s.obs_running->add(-static_cast<double>(n));
+  s.obs_queued->add(static_cast<double>(n));
+}
+
+void TenantRegistry::on_finished(const TenantId& tenant, std::size_t n,
+                                 bool from_queue, double cycle_seconds,
+                                 double run_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  const auto delta = static_cast<std::int64_t>(n);
+  if (from_queue) {
+    s.queued = std::max<std::int64_t>(0, s.queued - delta);
+    s.obs_queued->add(-static_cast<double>(n));
+  } else {
+    s.running = std::max<std::int64_t>(0, s.running - delta);
+    s.obs_running->add(-static_cast<double>(n));
+  }
+  s.completed += n;
+  s.obs_completed->inc(n);
+  if (run_seconds > 0.0) {
+    s.cost_task_seconds += run_seconds;
+    s.obs_cost->add(run_seconds);
+  }
+  if (cycle_seconds >= 0.0) s.obs_cycle->observe(cycle_seconds);
+}
+
+void TenantRegistry::sync_depths(const TenantId& tenant, std::int64_t queued,
+                                 std::int64_t running) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  s.queued = queued;
+  s.running = running;
+  s.obs_queued->set(static_cast<double>(queued));
+  s.obs_running->set(static_cast<double>(running));
+}
+
+TenantId TenantRegistry::pick_next(const std::vector<TenantId>& candidates) {
+  if (candidates.empty()) return TenantId{};
+  std::lock_guard<std::mutex> lock(mutex_);
+  const TenantId* best = nullptr;
+  double best_pass = 0.0;
+  for (const TenantId& candidate : candidates) {
+    const double pass = state_locked(candidate).pass;
+    if (best == nullptr || pass < best_pass ||
+        (pass == best_pass && candidate < *best)) {
+      best = &candidate;
+      best_pass = pass;
+    }
+  }
+  vtime_ = std::max(vtime_, best_pass);
+  return *best;
+}
+
+void TenantRegistry::charge(const TenantId& tenant, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  State& s = state_locked(tenant);
+  const double weight = s.config.weight > 0.0 ? s.config.weight : 1.0;
+  s.pass = std::max(s.pass, vtime_) +
+           static_cast<double>(n) * (kStrideScale / weight);
+}
+
+TenantStats TenantRegistry::snapshot_locked(const TenantId& tenant,
+                                            const State& s) const {
+  TenantStats out;
+  out.tenant = tenant;
+  out.config = s.config;
+  out.queued = s.queued;
+  out.running = s.running;
+  out.admitted = s.admitted;
+  out.rejected = s.rejected;
+  out.claimed = s.claimed;
+  out.completed = s.completed;
+  out.cost_task_seconds = s.cost_task_seconds;
+  return out;
+}
+
+std::vector<TenantStats> TenantRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, s] : tenants_) {
+    // Unregistered entries are claim-side strays; surface only the ones
+    // that actually carried traffic (the untenanted principal included).
+    if (!s.is_registered && s.admitted == 0 && s.claimed == 0) continue;
+    out.push_back(snapshot_locked(tenant, s));
+  }
+  return out;
+}
+
+Result<TenantStats> TenantRegistry::stats_for(const TenantId& tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    return Error(ErrorCode::kNotFound, "unknown tenant '" + tenant + "'");
+  }
+  return snapshot_locked(tenant, it->second);
+}
+
+std::size_t TenantRegistry::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [tenant, s] : tenants_) {
+    if (s.is_registered) ++n;
+  }
+  return n;
+}
+
+}  // namespace osprey::tenant

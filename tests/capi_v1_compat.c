@@ -1,0 +1,150 @@
+/* The v1 ABI guard: a pure-C caller written the way pre-v2 integrations
+ * were, compiled as C11 against today's headers and linked against today's
+ * library. Two layers of protection:
+ *
+ *  - _Static_asserts pin the v1 struct layouts (sizes and field offsets)
+ *    and the error / wait / shard enum values. The v2 redesign is additive
+ *    — if any of these fire, an already-deployed binary would misread
+ *    memory across the library boundary.
+ *  - main() runs a v1-only submit -> claim -> report -> result round trip,
+ *    exactly as a pre-v2 caller would, against the current implementation
+ *    (whose v1 entry points are wrappers over the v2 internals).
+ *
+ * Built with OSPREY_ALLOW_DEPRECATED: exercising the deprecated surface is
+ * the point of this target. */
+#include <assert.h>
+#include <stddef.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <string.h>
+
+#include "osprey/capi/osprey_c.h"
+
+/* --- error codes are frozen (they cross the ABI as plain ints) ----------- */
+_Static_assert(OSPREY_OK == 0, "v1 error code drift");
+_Static_assert(OSPREY_E_TIMEOUT == 1, "v1 error code drift");
+_Static_assert(OSPREY_E_NOT_FOUND == 2, "v1 error code drift");
+_Static_assert(OSPREY_E_CANCELED == 3, "v1 error code drift");
+_Static_assert(OSPREY_E_INVALID_ARGUMENT == 4, "v1 error code drift");
+_Static_assert(OSPREY_E_PAYLOAD_TOO_LARGE == 5, "v1 error code drift");
+_Static_assert(OSPREY_E_UNAVAILABLE == 6, "v1 error code drift");
+_Static_assert(OSPREY_E_PERMISSION_DENIED == 7, "v1 error code drift");
+_Static_assert(OSPREY_E_CONFLICT == 8, "v1 error code drift");
+_Static_assert(OSPREY_E_INTERNAL == 9, "v1 error code drift");
+/* New codes append only — the first v2 addition sits past every v1 code. */
+_Static_assert(OSPREY_E_RESOURCE_EXHAUSTED == 10, "append-only violated");
+
+_Static_assert(OSPREY_WAIT_AUTO == 0, "v1 wait strategy drift");
+_Static_assert(OSPREY_WAIT_NOTIFY == 1, "v1 wait strategy drift");
+_Static_assert(OSPREY_WAIT_POLL == 2, "v1 wait strategy drift");
+_Static_assert(OSPREY_SHARD_KEY_WORK_TYPE == 0, "v1 shard key drift");
+_Static_assert(OSPREY_SHARD_KEY_EXP_ID == 1, "v1 shard key drift");
+_Static_assert(OSPREY_SHARD_HASH == 0, "v1 shard scheme drift");
+_Static_assert(OSPREY_SHARD_RANGE == 1, "v1 shard scheme drift");
+
+/* --- v1 struct layouts are frozen ---------------------------------------- */
+_Static_assert(offsetof(osprey_wait_spec, strategy) == 0, "wait_spec layout");
+_Static_assert(offsetof(osprey_wait_spec, timeout) == 8, "wait_spec layout");
+_Static_assert(offsetof(osprey_wait_spec, poll_delay) == 16,
+               "wait_spec layout");
+_Static_assert(offsetof(osprey_wait_spec, poll_backoff) == 24,
+               "wait_spec layout");
+_Static_assert(offsetof(osprey_wait_spec, poll_max_delay) == 32,
+               "wait_spec layout");
+_Static_assert(sizeof(osprey_wait_spec) == 40, "wait_spec layout");
+
+_Static_assert(offsetof(osprey_queue_stats, output_queue) == 0,
+               "queue_stats layout");
+_Static_assert(offsetof(osprey_queue_stats, input_queue) == 8,
+               "queue_stats layout");
+_Static_assert(offsetof(osprey_queue_stats, canceled) == 40,
+               "queue_stats layout");
+_Static_assert(sizeof(osprey_queue_stats) == 48, "queue_stats layout");
+
+_Static_assert(sizeof(osprey_storage_options) == 32,
+               "storage_options layout");
+_Static_assert(offsetof(osprey_storage_options, compact_fanout) == 24,
+               "storage_options layout");
+_Static_assert(sizeof(osprey_storage_stats) == 96, "storage_stats layout");
+_Static_assert(offsetof(osprey_storage_stats, read_errors) == 88,
+               "storage_stats layout");
+
+/* --- v2 structs are size-prefixed (struct_size leads) -------------------- */
+_Static_assert(offsetof(osprey_task_spec_t, struct_size) == 0,
+               "v2 structs must lead with struct_size");
+_Static_assert(offsetof(osprey_claim_spec_t, struct_size) == 0,
+               "v2 structs must lead with struct_size");
+_Static_assert(offsetof(osprey_stats_v2_t, struct_size) == 0,
+               "v2 structs must lead with struct_size");
+_Static_assert(offsetof(osprey_tenant_config_t, struct_size) == 0,
+               "v2 structs must lead with struct_size");
+_Static_assert(offsetof(osprey_tenant_stats_row_t, struct_size) == 0,
+               "v2 structs must lead with struct_size");
+
+#define CHECK(expr)                                                       \
+  do {                                                                    \
+    int check_rc_ = (expr);                                               \
+    if (check_rc_ != OSPREY_OK) {                                         \
+      fprintf(stderr, "%s:%d: %s -> %s\n", __FILE__, __LINE__, #expr,     \
+              osprey_error_name(check_rc_));                              \
+      return 1;                                                           \
+    }                                                                     \
+  } while (0)
+
+int main(void) {
+  /* The exact call sequence of a pre-v2 integration. */
+  osprey_service* service = osprey_service_create();
+  if (!service) return 1;
+  CHECK(osprey_service_start(service));
+
+  osprey_client* client = osprey_client_connect(service);
+  if (!client) return 1;
+
+  int64_t task_id = -1;
+  CHECK(osprey_submit_task(client, "v1-compat", 7, "{\"x\":1}", 5, "smoke",
+                           &task_id));
+
+  int64_t claimed = -1;
+  char payload[256];
+  CHECK(osprey_query_task(client, 7, "default", 0.01, 2.0, &claimed, payload,
+                          sizeof(payload)));
+  if (claimed != task_id || strcmp(payload, "{\"x\":1}") != 0) {
+    fprintf(stderr, "v1 claim mismatch: id %lld payload %s\n",
+            (long long)claimed, payload);
+    return 1;
+  }
+
+  CHECK(osprey_report_task(client, claimed, 7, "{\"y\":2}"));
+
+  char result[256];
+  CHECK(osprey_query_result(client, task_id, 0.01, 2.0, result,
+                            sizeof(result)));
+  if (strcmp(result, "{\"y\":2}") != 0) {
+    fprintf(stderr, "v1 result mismatch: %s\n", result);
+    return 1;
+  }
+
+  osprey_queue_stats stats;
+  memset(&stats, 0, sizeof(stats));
+  CHECK(osprey_stats(client, &stats));
+  if (stats.complete != 1) {
+    fprintf(stderr, "v1 stats mismatch: complete %lld\n",
+            (long long)stats.complete);
+    return 1;
+  }
+
+  /* A v1 caller on a service that later enabled tenancy keeps working as
+   * the untenanted principal — admitted unconditionally. */
+  CHECK(osprey_service_enable_tenants(service));
+  osprey_client* tenant_era = osprey_client_connect(service);
+  if (!tenant_era) return 1;
+  CHECK(osprey_submit_task(tenant_era, "v1-compat", 7, "{\"x\":2}", 0, NULL,
+                           &task_id));
+  osprey_client_destroy(tenant_era);
+
+  osprey_client_destroy(client);
+  CHECK(osprey_service_stop(service));
+  osprey_service_destroy(service);
+  puts("capi_v1_compat OK");
+  return 0;
+}
